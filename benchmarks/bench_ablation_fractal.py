@@ -1,0 +1,70 @@
+"""Ablation -- cost model with vs without the fractal-dim correction.
+
+On correlated data the uniform/independence model mis-estimates both
+refinement probabilities and page-access counts.  This bench builds the
+IQ-tree on low-fractal-dimension data twice -- once with the estimated
+D_F, once forced to the uniform model (D_F = d) -- and checks that the
+correction never hurts measured query time.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_figure, scaled
+from repro.core.tree import IQTree
+from repro.datasets import make_workload, weather_like
+from repro.experiments.harness import (
+    FigureResult,
+    experiment_disk,
+    run_nn_workload,
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    data, queries = make_workload(
+        weather_like, n=scaled(40_000), n_queries=10, seed=0
+    )
+    fig = FigureResult(
+        "ablation-fractal",
+        "Cost model with vs without fractal-dimension correction "
+        "(WEATHER analogue)",
+        "variant",
+        ["measured"],
+    )
+    corrected = IQTree.build(data, disk=experiment_disk())
+    uniform_model = IQTree.build(
+        data, disk=experiment_disk(), fractal_dim=None
+    )
+    fig.add(
+        "fractal-corrected",
+        "measured",
+        run_nn_workload(corrected, queries),
+    )
+    fig.add(
+        "uniform-model",
+        "measured",
+        run_nn_workload(uniform_model, queries),
+    )
+    fig.details["estimated_df"] = {
+        "measured": corrected.cost_model.fractal_dim
+    }
+    return fig
+
+
+def test_ablation_fractal(benchmark, result):
+    benchmark.pedantic(lambda: result, rounds=1, iterations=1)
+    print_figure(result)
+    print(
+        "estimated fractal dimension:",
+        f"{result.details['estimated_df']['measured']:.2f}",
+    )
+
+
+def test_estimator_sees_low_dimension(result):
+    assert result.details["estimated_df"]["measured"] < 5.0
+
+
+def test_correction_does_not_hurt(result):
+    corrected = result.series["fractal-corrected"][0]
+    uniform_model = result.series["uniform-model"][0]
+    assert corrected <= uniform_model * 1.15

@@ -1,0 +1,75 @@
+"""Ablation -- optimizer-chosen quantization vs fixed global levels.
+
+DESIGN.md calls out the optimal-quantization algorithm as the paper's
+core design choice.  This bench compares the optimizer's per-page
+choice against IQ-trees forced to a constant g in {1, 2, 4, 8, 16, 32}:
+the optimized tree's *modeled* cost is minimal by construction
+(Theorem 1), and its *measured* cost must be competitive with the best
+fixed level -- the property the VA-file (which needs manual tuning)
+lacks.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_figure, scaled
+from repro.core.tree import IQTree
+from repro.datasets import gaussian_clusters, make_workload
+from repro.experiments.harness import (
+    FigureResult,
+    experiment_disk,
+    run_nn_workload,
+)
+
+FIXED_LEVELS = (1, 2, 4, 8, 16, 32)
+
+
+@pytest.fixture(scope="module")
+def result():
+    data, queries = make_workload(
+        gaussian_clusters,
+        n=scaled(20_000),
+        n_queries=8,
+        seed=0,
+        dim=12,
+        n_clusters=15,
+        spread=0.04,
+    )
+    fig = FigureResult(
+        "ablation-quantization",
+        "Optimizer-chosen vs fixed quantization (clustered, 12 dims)",
+        "variant",
+        ["measured"],
+    )
+    tree = IQTree.build(data, disk=experiment_disk())
+    fig.add("optimized", "measured", run_nn_workload(tree, queries))
+    for bits in FIXED_LEVELS:
+        fixed = IQTree.build(
+            data, disk=experiment_disk(), optimize=False, fixed_bits=bits
+        )
+        fig.add(
+            f"fixed-{bits}b",
+            "measured",
+            run_nn_workload(fixed, queries),
+        )
+    return fig
+
+
+def test_ablation_quantization(benchmark, result):
+    benchmark.pedantic(lambda: result, rounds=1, iterations=1)
+    print_figure(result)
+
+
+def test_optimizer_competitive_with_best_fixed_level(result):
+    optimized = result.series["optimized"][0]
+    best_fixed = min(
+        result.series[f"fixed-{b}b"][0] for b in FIXED_LEVELS
+    )
+    assert optimized <= best_fixed * 1.25
+
+
+def test_optimizer_beats_bad_fixed_levels(result):
+    optimized = result.series["optimized"][0]
+    worst_fixed = max(
+        result.series[f"fixed-{b}b"][0] for b in FIXED_LEVELS
+    )
+    assert optimized < worst_fixed / 1.5

@@ -1,0 +1,82 @@
+"""Ablation -- cost-balance scheduler vs the seek/transfer ratio.
+
+The Section 2 scheduler's advantage depends on the disk's over-read
+window ``v = t_seek / t_xfer``: the more expensive seeks are relative
+to transfers, the more speculative pre-reading pays.  This bench sweeps
+the ratio and checks that (a) the optimized scheduler never loses, and
+(b) its advantage grows with the seek cost.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_figure, scaled
+from repro.core.tree import IQTree
+from repro.datasets import make_workload, uniform
+from repro.experiments.harness import FigureResult, run_nn_workload
+from repro.storage.disk import DiskModel, SimulatedDisk
+
+#: (label, t_seek) at fixed t_xfer = 0.2 ms -> windows 2.5 .. 50.
+SEEK_COSTS = [(2.5, 0.0005), (12.5, 0.0025), (50.0, 0.0100)]
+
+
+@pytest.fixture(scope="module")
+def result():
+    data, queries = make_workload(
+        uniform, n=scaled(20_000), n_queries=8, seed=0, dim=12
+    )
+    fig = FigureResult(
+        "ablation-scheduler",
+        "Cost-balance scheduler vs seek/transfer ratio (12-d UNIFORM)",
+        "overread window v",
+        [v for v, _ in SEEK_COSTS],
+    )
+    for window, t_seek in SEEK_COSTS:
+        disk = SimulatedDisk(
+            DiskModel(t_seek=t_seek, t_xfer=0.0002, block_size=2048)
+        )
+        tree = IQTree.build(data, disk=disk)
+        fig.add(
+            "optimized",
+            window,
+            run_nn_workload(
+                tree,
+                queries,
+                nearest=lambda q, t=tree: t.nearest(
+                    q, scheduler="optimized"
+                ),
+            ),
+        )
+        fig.add(
+            "standard",
+            window,
+            run_nn_workload(
+                tree,
+                queries,
+                nearest=lambda q, t=tree: t.nearest(
+                    q, scheduler="standard"
+                ),
+            ),
+        )
+    return fig
+
+
+def test_ablation_scheduler(benchmark, result):
+    benchmark.pedantic(lambda: result, rounds=1, iterations=1)
+    print_figure(result)
+
+
+def test_optimized_never_loses(result):
+    for opt, std in zip(
+        result.series["optimized"], result.series["standard"]
+    ):
+        assert opt <= std * 1.05
+
+
+def test_advantage_grows_with_seek_cost(result):
+    ratios = [
+        std / opt
+        for opt, std in zip(
+            result.series["optimized"], result.series["standard"]
+        )
+    ]
+    assert ratios[-1] > ratios[0]

@@ -1,0 +1,60 @@
+"""Extension bench -- warm-cache behaviour with an LRU buffer pool.
+
+The paper measures cold queries; real deployments keep a buffer pool.
+This bench sweeps the pool size on a repeated-query workload and checks
+the expected profile: even a pool that only fits the directory removes
+the per-query first-level scan, and a pool that fits the whole
+quantized level makes warm queries nearly free.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_figure, scaled
+from repro.core.tree import IQTree
+from repro.datasets import make_workload, uniform
+from repro.experiments.harness import (
+    FigureResult,
+    experiment_disk,
+    run_nn_workload,
+)
+
+#: pool capacities in blocks (0 = uncached baseline)
+CAPACITIES = (0, 16, 256, 4096)
+
+
+@pytest.fixture(scope="module")
+def result():
+    data, queries = make_workload(
+        uniform, n=scaled(20_000), n_queries=8, seed=0, dim=12
+    )
+    fig = FigureResult(
+        "extension-buffer-pool",
+        "Warm-query time vs buffer-pool size (12-d UNIFORM)",
+        "pool blocks",
+        list(CAPACITIES),
+    )
+    for capacity in CAPACITIES:
+        tree = IQTree.build(data, disk=experiment_disk())
+        if capacity:
+            tree.use_buffer_pool(capacity)
+        # Warm the pool with one pass, then measure the repeat pass.
+        run_nn_workload(tree, queries)
+        fig.add("warm", capacity, run_nn_workload(tree, queries))
+    return fig
+
+
+def test_buffer_pool(benchmark, result):
+    benchmark.pedantic(lambda: result, rounds=1, iterations=1)
+    print_figure(result)
+
+
+def test_warm_time_monotone_in_pool_size(result):
+    warm = result.series["warm"]
+    for smaller, larger in zip(warm, warm[1:]):
+        assert larger <= smaller * 1.05
+
+
+def test_large_pool_nearly_free(result):
+    warm = result.series["warm"]
+    assert warm[-1] < warm[0] * 0.2

@@ -1,0 +1,63 @@
+"""Extension bench -- construction cost of the optimizer.
+
+Section 3.5 argues the optimal-quantization algorithm costs
+``32 * P`` test-and-partition operations -- "exactly the cost to build
+a regular hierarchical index".  This bench measures wall-clock build
+time and the optimizer trajectory length across database sizes and
+checks both grow near-linearly in N.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import print_figure, scaled
+from repro.core.tree import IQTree
+from repro.datasets import uniform
+from repro.experiments.harness import FigureResult, experiment_disk
+
+NS = tuple(scaled(n) for n in (5_000, 10_000, 20_000, 40_000))
+
+
+@pytest.fixture(scope="module")
+def result():
+    fig = FigureResult(
+        "extension-build",
+        "IQ-tree construction (12-d UNIFORM): wall seconds and "
+        "optimizer steps",
+        "number of points",
+        list(NS),
+    )
+
+    class _Stats:
+        def __init__(self, mean_time):
+            self.mean_time = mean_time
+
+    for n in NS:
+        data = uniform(n, 12, seed=0)
+        start = time.perf_counter()
+        tree = IQTree.build(data, disk=experiment_disk())
+        elapsed = time.perf_counter() - start
+        fig.add("wall-seconds", n, _Stats(elapsed))
+        fig.add("optimizer-steps", n, _Stats(len(tree.trace.costs) - 1))
+        fig.add("pages-chosen", n, _Stats(tree.n_pages))
+    return fig
+
+
+def test_build(benchmark, result):
+    benchmark.pedantic(lambda: result, rounds=1, iterations=1)
+    print_figure(result)
+
+
+def test_trajectory_linear_in_n(result):
+    steps = result.series["optimizer-steps"]
+    n_ratio = NS[-1] / NS[0]
+    growth = steps[-1] / max(steps[0], 1)
+    assert growth < n_ratio * 1.5
+
+
+def test_build_time_near_linear(result):
+    wall = result.series["wall-seconds"]
+    n_ratio = NS[-1] / NS[0]
+    # Allow up to n log n-ish growth; reject anything quadratic.
+    assert wall[-1] / wall[0] < n_ratio * 2.5

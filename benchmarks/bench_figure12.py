@@ -1,0 +1,56 @@
+"""Figure 12 -- WEATHER analogue (highly clustered, low D_F), varying N.
+
+Paper claims reproduced here:
+
+* on highly clustered, low-fractal-dimension data the hierarchical
+  techniques (IQ-tree, X-tree) clearly beat the VA-file, with the
+  factor growing as N grows (the paper reaches 11.5x);
+* the sequential scan is far above everything.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_figure, scaled
+from repro.experiments import figure12
+
+
+NS = tuple(scaled(n) for n in (20_000, 40_000, 80_000, 120_000))
+
+
+@pytest.fixture(scope="module")
+def result():
+    return figure12(ns=NS, n_queries=8)
+
+
+def test_figure12(benchmark, result):
+    benchmark.pedantic(
+        lambda: figure12(ns=(scaled(4_000),), n_queries=3),
+        rounds=1,
+        iterations=1,
+    )
+    print_figure(result)
+
+
+def test_hierarchical_methods_beat_vafile_at_scale(result):
+    va = result.series["va-file"][-1]
+    assert result.series["iq-tree"][-1] < va
+    assert result.series["x-tree"][-1] < va
+
+
+def test_vafile_gap_grows_with_n(result):
+    """The VA-file must scan everything; the trees stay selective."""
+    iq = result.series["iq-tree"]
+    va = result.series["va-file"]
+    assert va[-1] / iq[-1] > va[0] / iq[0]
+
+
+def test_scan_far_above_everything(result):
+    scan = result.series["scan"][-1]
+    for name in ("iq-tree", "x-tree", "va-file"):
+        assert result.series[name][-1] < scan
+
+
+def test_iqtree_growth_sublinear(result):
+    iq = result.series["iq-tree"]
+    n_ratio = NS[-1] / NS[0]
+    assert iq[-1] / iq[0] < n_ratio / 1.5

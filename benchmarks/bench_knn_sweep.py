@@ -1,0 +1,73 @@
+"""Extension bench -- k-nearest-neighbor queries, sweeping k.
+
+The paper's algorithms and cost model extend to k-NN (footnotes in
+Sections 2.2 and 3.4); this bench verifies the extension end-to-end:
+cost grows mildly with k for the compression methods (more refinements,
+slightly weaker pruning) while the scan is flat by construction.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_figure, scaled
+from repro.baselines.scan import SequentialScan
+from repro.core.tree import IQTree
+from repro.datasets import make_workload, uniform
+from repro.experiments.harness import (
+    FigureResult,
+    best_vafile,
+    experiment_disk,
+    run_nn_workload,
+)
+
+KS = (1, 5, 10, 20)
+
+
+@pytest.fixture(scope="module")
+def result():
+    data, queries = make_workload(
+        uniform, n=scaled(20_000), n_queries=8, seed=0, dim=12
+    )
+    fig = FigureResult(
+        "extension-knn",
+        "k-NN query cost, sweeping k (12-d UNIFORM)",
+        "k",
+        list(KS),
+    )
+    tree = IQTree.build(data, disk=experiment_disk())
+    scan = SequentialScan(data, disk=experiment_disk())
+    for k in KS:
+        fig.add("iq-tree", k, run_nn_workload(tree, queries, k=k))
+        _va, va_stats, _sweep = best_vafile(
+            data, queries, k=k, disk_factory=experiment_disk
+        )
+        fig.add("va-file", k, va_stats)
+        fig.add("scan", k, run_nn_workload(scan, queries, k=k))
+    return fig
+
+
+def test_knn_sweep(benchmark, result):
+    benchmark.pedantic(lambda: result, rounds=1, iterations=1)
+    print_figure(result)
+
+
+def test_scan_flat_in_k(result):
+    scan = result.series["scan"]
+    assert scan[-1] == pytest.approx(scan[0], rel=1e-6)
+
+
+def test_iqtree_cost_grows_sublinearly_in_k(result):
+    iq = result.series["iq-tree"]
+    assert iq[-1] >= iq[0]  # more neighbors cannot be cheaper
+    k_ratio = KS[-1] / KS[0]
+    assert iq[-1] / iq[0] < k_ratio  # ...but sublinearly in k
+
+
+def test_iqtree_beats_scan_at_moderate_k(result):
+    # Each refinement costs a near-random access, so for very large k
+    # the compression methods converge toward the scan; up to k = 10
+    # they must stay clearly below it.
+    for iq, scan, k in zip(
+        result.series["iq-tree"], result.series["scan"], KS
+    ):
+        if k <= 10:
+            assert iq < scan, f"iq-tree above scan at k={k}"

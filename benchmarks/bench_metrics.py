@@ -1,0 +1,65 @@
+"""Extension bench -- query metrics: Euclidean vs maximum metric.
+
+The paper derives its intersection and Minkowski formulas exactly for
+the maximum metric and approximates for Euclidean.  This bench runs the
+same workload under both metrics and checks that the IQ-tree's relative
+standing (vs the tuned VA-file and the scan) holds for both -- i.e.
+nothing about the reproduction hinges on the Euclidean approximations.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_figure, scaled
+from repro.baselines.scan import SequentialScan
+from repro.core.tree import IQTree
+from repro.datasets import make_workload, gaussian_clusters
+from repro.experiments.harness import (
+    FigureResult,
+    best_vafile,
+    experiment_disk,
+    run_nn_workload,
+)
+
+METRICS = ("euclidean", "maximum")
+
+
+@pytest.fixture(scope="module")
+def result():
+    data, queries = make_workload(
+        gaussian_clusters,
+        n=scaled(20_000),
+        n_queries=8,
+        seed=0,
+        dim=12,
+        n_clusters=15,
+        spread=0.05,
+    )
+    fig = FigureResult(
+        "extension-metrics",
+        "Method comparison under both query metrics "
+        "(clustered 12-d)",
+        "metric",
+        list(METRICS),
+    )
+    for metric in METRICS:
+        tree = IQTree.build(data, disk=experiment_disk(), metric=metric)
+        fig.add("iq-tree", metric, run_nn_workload(tree, queries))
+        _va, va_stats, _sweep = best_vafile(
+            data, queries, metric=metric, disk_factory=experiment_disk
+        )
+        fig.add("va-file", metric, va_stats)
+        scan = SequentialScan(data, disk=experiment_disk(), metric=metric)
+        fig.add("scan", metric, run_nn_workload(scan, queries))
+    return fig
+
+
+def test_metrics(benchmark, result):
+    benchmark.pedantic(lambda: result, rounds=1, iterations=1)
+    print_figure(result)
+
+
+@pytest.mark.parametrize("idx,metric", list(enumerate(METRICS)))
+def test_iqtree_wins_under_both_metrics(result, idx, metric):
+    iq = result.series["iq-tree"][idx]
+    assert iq < result.series["scan"][idx], metric
+    assert iq <= result.series["va-file"][idx] * 1.2, metric

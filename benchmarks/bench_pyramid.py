@@ -1,0 +1,95 @@
+"""Extension bench -- the Pyramid Technique as a fifth method.
+
+The paper's related-work section describes the Pyramid Technique as a
+transformation-based alternative that "accelerates hypercube range
+queries".  This bench places it next to the IQ-tree on both workload
+types: it should be strong on window (hypercube) queries -- its home
+turf -- while the IQ-tree wins nearest-neighbor queries, where the
+pyramid's expanding-window search over-fetches.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_figure, scaled
+from repro.baselines.pyramid import PyramidTechnique
+from repro.core.tree import IQTree
+from repro.datasets import make_workload, uniform
+from repro.experiments.harness import (
+    FigureResult,
+    experiment_disk,
+    run_nn_workload,
+)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    data, queries = make_workload(
+        uniform, n=scaled(20_000), n_queries=8, seed=0, dim=8
+    )
+    tree = IQTree.build(data, disk=experiment_disk())
+    pyramid = PyramidTechnique(data, disk=experiment_disk())
+    return tree, pyramid, queries
+
+
+@pytest.fixture(scope="module")
+def result(setup):
+    tree, pyramid, queries = setup
+    fig = FigureResult(
+        "extension-pyramid",
+        "IQ-tree vs Pyramid Technique (8-d UNIFORM)",
+        "workload",
+        ["nn", "window"],
+    )
+
+    class _Stats:
+        def __init__(self, mean_time):
+            self.mean_time = mean_time
+
+    fig.add("iq-tree", "nn", run_nn_workload(tree, queries))
+    fig.add("pyramid", "nn", run_nn_workload(pyramid, queries))
+
+    half = 0.12  # hypercube windows with moderate selectivity
+    iq_times, py_times = [], []
+    for q in queries:
+        lower = np.clip(q - half, 0, 1)
+        upper = np.clip(q + half, 0, 1)
+        pyramid.disk.park()
+        py_times.append(pyramid.window_query(lower, upper).io.elapsed)
+        # The IQ-tree answers a window query as a max-metric range
+        # query centered on the window.
+        tree.disk.park()
+        center = 0.5 * (lower + upper)
+        iq_max = IQTree  # noqa: F841  (clarity only)
+        res = tree.range_query(center, float(np.max(upper - center)))
+        iq_times.append(res.io.elapsed)
+    fig.add("iq-tree", "window", _Stats(float(np.mean(iq_times))))
+    fig.add("pyramid", "window", _Stats(float(np.mean(py_times))))
+    return fig
+
+
+def test_pyramid(benchmark, result):
+    benchmark.pedantic(lambda: result, rounds=1, iterations=1)
+    print_figure(result)
+
+
+def test_pyramid_answers_agree(setup):
+    tree, pyramid, queries = setup
+    for q in queries[:3]:
+        a = tree.nearest(q, k=3)
+        b = pyramid.nearest(q, k=3)
+        assert np.allclose(a.distances, b.distances)
+
+
+def test_iqtree_wins_nn(result):
+    assert result.series["iq-tree"][0] < result.series["pyramid"][0]
+
+
+def test_windows_are_the_pyramids_strength(result):
+    # Hypercube windows are the pyramid's design target: they must be
+    # far cheaper than its expanding-window NN mode, and within an
+    # order of magnitude of the IQ-tree (whose MBR directory is simply
+    # a better filter at this moderate dimensionality).
+    py_nn, py_window = result.series["pyramid"]
+    assert py_window < py_nn / 2
+    assert py_window < result.series["iq-tree"][1] * 10

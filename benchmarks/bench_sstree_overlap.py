@@ -1,0 +1,69 @@
+"""Extension bench -- the SS-tree's sphere-overlap problem.
+
+Section 5 of the paper: "Although the SS-tree clearly outperforms the
+R*-tree, spheres tend to overlap in high-dimensional spaces."  This
+bench measures exactly that: leaf-sphere radii grow with dimension
+until every sphere covers most of the space, so the SS-tree's query
+cost explodes with dimension just like (in fact faster than) the
+X-tree's, while the IQ-tree stays flat.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_figure, scaled
+from repro.baselines.sstree import SSTree
+from repro.core.tree import IQTree
+from repro.datasets import make_workload, uniform
+from repro.experiments.harness import (
+    FigureResult,
+    experiment_disk,
+    run_nn_workload,
+)
+
+DIMS = (4, 8, 16)
+
+
+@pytest.fixture(scope="module")
+def result():
+    fig = FigureResult(
+        "extension-sstree",
+        "SS-tree sphere overlap vs dimension (UNIFORM)",
+        "dimension",
+        list(DIMS),
+    )
+
+    class _Stats:
+        def __init__(self, mean_time):
+            self.mean_time = mean_time
+
+    for dim in DIMS:
+        data, queries = make_workload(
+            uniform, n=scaled(15_000), n_queries=6, seed=0, dim=dim
+        )
+        sstree = SSTree(data, disk=experiment_disk())
+        fig.add("ss-tree", dim, run_nn_workload(sstree, queries))
+        tree = IQTree.build(data, disk=experiment_disk())
+        fig.add("iq-tree", dim, run_nn_workload(tree, queries))
+        fig.add(
+            "mean leaf radius", dim, _Stats(sstree.mean_leaf_radius())
+        )
+    return fig
+
+
+def test_sstree_overlap(benchmark, result):
+    benchmark.pedantic(lambda: result, rounds=1, iterations=1)
+    print_figure(result)
+
+
+def test_sphere_radii_grow_with_dimension(result):
+    radii = result.series["mean leaf radius"]
+    assert radii[0] < radii[1] < radii[2]
+
+
+def test_sstree_degenerates_with_dimension(result):
+    ss = result.series["ss-tree"]
+    assert ss[-1] > 5 * ss[0]
+
+
+def test_iqtree_beats_sstree_at_high_dimension(result):
+    assert result.series["iq-tree"][-1] < result.series["ss-tree"][-1] / 3

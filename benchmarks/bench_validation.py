@@ -1,0 +1,70 @@
+"""Extension bench -- cost-model validation across data distributions.
+
+The optimality theorem is "optimal with respect to a given cost model";
+this bench closes the loop by tabulating predicted-vs-measured page
+accesses, refinements, and total time on each of the evaluation's data
+distributions (under the uniform model for UNIFORM data and the
+estimated fractal model elsewhere).
+"""
+
+import pytest
+
+from benchmarks.conftest import print_figure, scaled
+from repro.core.tree import IQTree
+from repro.datasets import (
+    cad_like,
+    make_workload,
+    uniform,
+    weather_like,
+)
+from repro.experiments.harness import FigureResult, experiment_disk
+from repro.experiments.validation import validate_cost_model
+
+WORKLOADS = [
+    ("uniform-8d", lambda n: make_workload(uniform, n, 8, seed=0, dim=8), None),
+    ("cad-16d", lambda n: make_workload(cad_like, n, 8, seed=1), "auto"),
+    ("weather-9d", lambda n: make_workload(weather_like, n, 8, seed=2), "auto"),
+]
+
+
+@pytest.fixture(scope="module")
+def result():
+    fig = FigureResult(
+        "extension-validation",
+        "Cost model: predicted / measured ratios per distribution",
+        "workload",
+        [name for name, _f, _fd in WORKLOADS],
+    )
+
+    class _Stats:
+        def __init__(self, mean_time):
+            self.mean_time = mean_time
+
+    for name, factory, fractal in WORKLOADS:
+        data, queries = factory(scaled(15_000))
+        tree = IQTree.build(
+            data, disk=experiment_disk(), fractal_dim=fractal
+        )
+        v = validate_cost_model(tree, queries)
+        fig.add("pages-ratio", name, _Stats(v.pages_ratio))
+        fig.add("refinements-ratio", name, _Stats(v.refinements_ratio))
+        fig.add("time-ratio", name, _Stats(v.time_ratio))
+    return fig
+
+
+def test_validation(benchmark, result):
+    benchmark.pedantic(lambda: result, rounds=1, iterations=1)
+    print_figure(result)
+
+
+def test_time_predictions_usable_everywhere(result):
+    for ratio, name in zip(
+        result.series["time-ratio"], result.x_values
+    ):
+        assert 0.05 < ratio < 20.0, name
+
+
+def test_uniform_model_predictions_tight(result):
+    # The first workload runs under the model's home assumptions.
+    assert 0.3 < result.series["time-ratio"][0] < 3.0
+    assert 0.2 < result.series["pages-ratio"][0] < 5.0

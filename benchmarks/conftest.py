@@ -1,0 +1,48 @@
+"""Shared infrastructure for the figure-reproduction benchmarks.
+
+Each benchmark module regenerates one figure of the paper's evaluation
+at a laptop-feasible scale, prints the same series the paper plots, and
+asserts the figure's qualitative shape (who wins, where the crossovers
+fall).  Set ``IQ_REPRO_SCALE`` (a float, default 1.0) to scale every
+database size, e.g. ``IQ_REPRO_SCALE=4 pytest benchmarks/`` for a run
+closer to the paper's 500k points.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def repro_scale() -> float:
+    """Database-size multiplier from the environment (default 1.0)."""
+    return float(os.environ.get("IQ_REPRO_SCALE", "1.0"))
+
+
+def scaled(n: int) -> int:
+    """Scale one database size, keeping it sane for tiny factors."""
+    return max(500, int(n * repro_scale()))
+
+
+@pytest.fixture(scope="session")
+def scale() -> float:
+    return repro_scale()
+
+
+def print_figure(result) -> None:
+    """Print a reproduced figure table and persist it to bench_results/.
+
+    pytest captures stdout by default, so the on-disk copy is the
+    reliable artifact; EXPERIMENTS.md is written from these files.
+    """
+    from pathlib import Path
+
+    from repro.experiments.report import format_figure
+
+    text = format_figure(result)
+    print()
+    print(text)
+    out_dir = Path(__file__).resolve().parent.parent / "bench_results"
+    out_dir.mkdir(exist_ok=True)
+    (out_dir / f"{result.figure_id}.txt").write_text(text + "\n")

@@ -1,0 +1,60 @@
+"""CAD part similarity search over Fourier shape descriptors.
+
+The paper's CAD scenario: each part's outline curvature is summarized
+by its first 16 Fourier coefficients, and engineers look up parts with
+similar shapes.  Moderately clustered data like this is where the
+IQ-tree shines: the hierarchical level keeps its selectivity (unlike
+the VA-file's flat scan) while the quantized level avoids the X-tree's
+random I/O per page.
+
+Run with:  python examples/cad_similarity.py
+"""
+
+import numpy as np
+
+from repro.baselines import XTree
+from repro.core.tree import IQTree
+from repro.datasets import cad_like, holdout_queries
+from repro.experiments.harness import (
+    best_vafile,
+    experiment_disk,
+    run_nn_workload,
+)
+
+
+def main() -> None:
+    descriptors = cad_like(40_008, dim=16, seed=11)
+    database, query_parts = holdout_queries(descriptors, 8, seed=3)
+    print(f"catalog: {database.shape[0]:,} parts, 16 Fourier coefficients")
+
+    tree = IQTree.build(database, disk=experiment_disk())
+    xtree = XTree(database, disk=experiment_disk())
+
+    # Find the five most similar parts for each query part.
+    for i, part in enumerate(query_parts[:3]):
+        hit = tree.nearest(part, k=5)
+        print(
+            f"part {i}: matches={hit.ids.tolist()} "
+            f"(best distance {hit.distances[0]:.4f}, "
+            f"{hit.io.elapsed * 1000:.2f} ms simulated)"
+        )
+
+    # The paper's Figure 10 comparison, in miniature.
+    iq_stats = run_nn_workload(tree, query_parts, k=5, name="iq-tree")
+    xt_stats = run_nn_workload(xtree, query_parts, k=5, name="x-tree")
+    _va, va_stats, _sweep = best_vafile(
+        database, query_parts, k=5, disk_factory=experiment_disk
+    )
+
+    print("\nmean simulated time per 5-NN query:")
+    for stats in (iq_stats, xt_stats, va_stats):
+        print(f"  {stats.name:>8}: {stats.mean_time * 1000:8.2f} ms")
+    print(
+        f"\nIQ-tree speedup: {xt_stats.mean_time / iq_stats.mean_time:.1f}x "
+        f"vs X-tree, {va_stats.mean_time / iq_stats.mean_time:.1f}x vs "
+        f"VA-file (paper reports up to 3x and 5x)"
+    )
+
+
+if __name__ == "__main__":
+    main()

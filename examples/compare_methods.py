@@ -1,0 +1,71 @@
+"""Side-by-side comparison of all six techniques on one workload.
+
+Builds the IQ-tree, the X-tree, a tuned VA-file, the sequential scan,
+the Pyramid Technique, and the SS-tree over the same data set on
+identical simulated disks, verifies they return identical answers, and
+reports their I/O profiles -- a miniature of the paper's evaluation
+plus its related-work section.
+
+Run with:  python examples/compare_methods.py [dim]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.baselines import PyramidTechnique, SequentialScan, SSTree, XTree
+from repro.core.tree import IQTree
+from repro.datasets import make_workload, uniform
+from repro.experiments.harness import (
+    best_vafile,
+    experiment_disk,
+    run_nn_workload,
+)
+
+
+def main(dim: int = 12) -> None:
+    data, queries = make_workload(
+        uniform, n=30_000, n_queries=8, seed=0, dim=dim
+    )
+    print(f"UNIFORM workload: 30,000 points, {dim} dimensions, 8 queries")
+
+    tree = IQTree.build(data, disk=experiment_disk())
+    xtree = XTree(data, disk=experiment_disk())
+    scan = SequentialScan(data, disk=experiment_disk())
+    pyramid = PyramidTechnique(data, disk=experiment_disk())
+    sstree = SSTree(data, disk=experiment_disk())
+
+    # All methods must agree exactly.
+    for q in queries:
+        reference = scan.nearest(q, k=3).distances
+        for method in (tree, xtree, pyramid, sstree):
+            assert np.allclose(
+                method.nearest(q, k=3).distances, reference
+            )
+    print("all methods agree on every query (verified against the scan)")
+
+    results = [
+        run_nn_workload(tree, queries, k=3, name="iq-tree"),
+        run_nn_workload(xtree, queries, k=3, name="x-tree"),
+        best_vafile(data, queries, k=3, disk_factory=experiment_disk)[1],
+        run_nn_workload(scan, queries, k=3, name="scan"),
+        run_nn_workload(pyramid, queries, k=3, name="pyramid"),
+        run_nn_workload(sstree, queries, k=3, name="ss-tree"),
+    ]
+
+    print(
+        f"\n{'method':>8}  {'time (ms)':>10}  {'seeks':>6}  "
+        f"{'blocks':>7}  {'refinements':>11}"
+    )
+    for stats in results:
+        print(
+            f"{stats.name:>8}  {stats.mean_time * 1000:10.2f}  "
+            f"{stats.mean_seeks:6.1f}  {stats.mean_blocks:7.1f}  "
+            f"{stats.mean_refinements:11.1f}"
+        )
+    fastest = min(results, key=lambda s: s.mean_time)
+    print(f"\nfastest at {dim} dimensions: {fastest.name}")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 12)

@@ -1,0 +1,71 @@
+"""Dynamic maintenance: inserts, deletes, and re-optimization.
+
+Paper Section 6: the IQ-tree supports dynamic updates, and the
+interesting decision is what to do when a page overflows its current
+quantization level -- split the page (one more page, finer grid) or
+re-quantize it coarser (same page count, more refinements).  The tree
+consults its cost model for that choice; this example watches it
+happen and then re-optimizes globally.
+
+Run with:  python examples/dynamic_maintenance.py
+"""
+
+import numpy as np
+
+from repro.core.tree import IQTree
+from repro.datasets import uniform
+from repro.experiments.harness import experiment_disk
+from repro.geometry.metrics import EUCLIDEAN
+
+
+def describe(tree: IQTree, label: str) -> None:
+    bits, counts = np.unique(tree.page_bits, return_counts=True)
+    print(
+        f"{label}: {tree.n_live_points:,} live points, {tree.n_pages} pages, "
+        f"resolutions {dict(zip(bits.tolist(), counts.tolist()))}"
+    )
+
+
+def main() -> None:
+    rng = np.random.default_rng(99)
+    tree = IQTree.build(uniform(10_000, 8, seed=1), disk=experiment_disk())
+    describe(tree, "initial build")
+
+    # A hotspot develops: 2,000 new points arrive in one tiny region.
+    hotspot = np.clip(
+        0.3 + rng.normal(0, 0.01, size=(2_000, 8)), 0, 1
+    )
+    for point in hotspot:
+        tree.insert(point)
+    describe(tree, "after 2,000 hotspot inserts")
+
+    # Old data is retired.
+    for point_id in range(0, 3_000, 2):
+        tree.delete(point_id)
+    describe(tree, "after 1,500 deletes")
+
+    # Queries remain exact throughout (verified against brute force
+    # over the live points).
+    query = rng.random(8)
+    result = tree.nearest(query, k=5)
+    live = sorted(
+        pid
+        for opt in tree._partitions
+        for pid in opt.partition.indices.tolist()
+    )
+    expected = np.sort(
+        EUCLIDEAN.distances(query, tree.points[live])
+    )[:5]
+    assert np.allclose(result.distances, expected)
+    print("5-NN after churn verified against brute force")
+
+    # Global re-optimization re-runs bulk load + optimal quantization.
+    tree.reoptimize()
+    describe(tree, "after reoptimize()")
+    result = tree.nearest(query, k=5)
+    assert np.allclose(result.distances, expected)
+    print("answers unchanged after reoptimize")
+
+
+if __name__ == "__main__":
+    main()

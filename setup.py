@@ -1,0 +1,17 @@
+"""Legacy setup shim: the offline environment lacks the ``wheel``
+package, so editable installs must go through ``setup.py develop``."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "IQ-tree: independent quantization index compression for "
+        "high-dimensional data spaces (ICDE 2000 reproduction)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24"],
+)

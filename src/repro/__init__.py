@@ -1,0 +1,35 @@
+"""IQ-tree reproduction: independent quantization for high-dimensional
+nearest-neighbor search (Berchtold, Boehm, Jagadish, Kriegel, Sander --
+ICDE 2000).
+
+Quickstart::
+
+    import numpy as np
+    from repro import IQTree
+    from repro.datasets import uniform
+
+    data = uniform(n=20_000, dim=16, seed=7)
+    tree = IQTree.build(data)
+    result = tree.nearest(data[0], k=5)
+    print(result.ids, result.distances, result.io.elapsed)
+
+The baselines the paper compares against live in
+:mod:`repro.baselines`; the per-figure experiment harnesses in
+:mod:`repro.experiments`.
+"""
+
+from repro.core.tree import IQTree
+from repro.storage.disk import DiskModel, IOStats, SimulatedDisk
+from repro.geometry.metrics import EUCLIDEAN, MAXIMUM, get_metric
+
+__all__ = [
+    "IQTree",
+    "DiskModel",
+    "IOStats",
+    "SimulatedDisk",
+    "EUCLIDEAN",
+    "MAXIMUM",
+    "get_metric",
+]
+
+__version__ = "1.0.0"

@@ -1,0 +1,38 @@
+"""The comparison techniques used in the paper's evaluation.
+
+* :mod:`repro.baselines.scan` -- sequential scan of the exact data (the
+  reference technique; one seek plus a full sequential transfer).
+* :mod:`repro.baselines.vafile` -- the VA-file [Weber et al., VLDB 1998]:
+  a globally quantized approximation file scanned sequentially, followed
+  by random-access refinement of the surviving candidates.
+* :mod:`repro.baselines.xtree` -- an X-tree-family hierarchical index
+  [Berchtold et al., VLDB 1996]: bulk-loaded MBR directory with
+  supernodes, exact data pages, best-first NN search with one random
+  read per accessed page.
+* :mod:`repro.baselines.pyramid` -- the Pyramid Technique [Berchtold
+  et al., SIGMOD 1998], from the paper's related-work section: the
+  one-dimensional pyramid-value mapping over a B+-tree.
+* :mod:`repro.baselines.sstree` -- the SS-tree [White & Jain, ICDE
+  1996], also from the related-work section: bounding *spheres* in the
+  directory instead of rectangles.
+
+All baselines share the IQ-tree's canonical float32 data representation
+and run against the same simulated disk, so their reported times are
+directly comparable.
+"""
+
+from repro.baselines.common import QueryAnswer
+from repro.baselines.pyramid import PyramidTechnique
+from repro.baselines.scan import SequentialScan
+from repro.baselines.sstree import SSTree
+from repro.baselines.vafile import VAFile
+from repro.baselines.xtree import XTree
+
+__all__ = [
+    "QueryAnswer",
+    "PyramidTechnique",
+    "SequentialScan",
+    "SSTree",
+    "VAFile",
+    "XTree",
+]

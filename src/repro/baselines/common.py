@@ -1,0 +1,55 @@
+"""Shared result type and helpers for the baseline methods."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.storage.disk import IOStats, SimulatedDisk
+
+__all__ = ["QueryAnswer", "io_snapshot", "io_delta"]
+
+
+@dataclass
+class QueryAnswer:
+    """A k-NN answer with its simulated-I/O accounting.
+
+    Attributes
+    ----------
+    ids:
+        Point ids in ascending distance order.
+    distances:
+        Matching distances.
+    io:
+        Simulated-I/O delta of this query.
+    refinements:
+        Exact-record look-ups (methods without a refinement phase
+        report 0).
+    """
+
+    ids: np.ndarray
+    distances: np.ndarray
+    io: IOStats
+    refinements: int = 0
+
+
+def io_snapshot(disk: SimulatedDisk) -> IOStats:
+    """Copy of the disk's current counters."""
+    s = disk.stats
+    return IOStats(
+        seeks=s.seeks,
+        blocks_read=s.blocks_read,
+        blocks_overread=s.blocks_overread,
+        elapsed=s.elapsed,
+    )
+
+
+def io_delta(before: IOStats, after: IOStats) -> IOStats:
+    """Counter-wise difference ``after - before``."""
+    return IOStats(
+        seeks=after.seeks - before.seeks,
+        blocks_read=after.blocks_read - before.blocks_read,
+        blocks_overread=after.blocks_overread - before.blocks_overread,
+        elapsed=after.elapsed - before.elapsed,
+    )

@@ -1,0 +1,247 @@
+"""The Pyramid Technique (Berchtold, Boehm, Kriegel -- SIGMOD 1998).
+
+A fourth comparator from the paper's related-work section.  The data
+space is cut into ``2d`` pyramids meeting at the center; each point maps
+to a scalar *pyramid value* ``pv = i + h`` where ``i`` is its pyramid
+and ``h`` its height (center distance in the dominating dimension), and
+the points live in a B+-tree keyed by ``pv``.  A hypercube window query
+turns into at most ``2d`` one-dimensional range scans (with exact
+post-filtering); nearest-neighbor queries are answered by iteratively
+enlarged window queries.
+
+Coordinates are affinely normalized into ``[0, 1]^d`` at build time (the
+technique is defined on the unit space).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import BuildError, SearchError
+from repro.baselines.common import QueryAnswer, io_delta, io_snapshot
+from repro.core.tree import canonicalize
+from repro.geometry.metrics import get_metric
+from repro.storage.bptree import BPlusTree
+from repro.storage.disk import SimulatedDisk
+
+__all__ = ["PyramidTechnique"]
+
+
+class PyramidTechnique:
+    """Pyramid-mapped B+-tree index over a point data set.
+
+    Parameters
+    ----------
+    data:
+        Point data, shape ``(n, d)``; canonicalized to float32.
+    disk:
+        Simulated disk (a default one is created when omitted).
+    metric:
+        Query metric used for distances/filtering.
+    """
+
+    name = "pyramid"
+
+    def __init__(
+        self,
+        data: np.ndarray,
+        disk: SimulatedDisk | None = None,
+        metric="euclidean",
+    ):
+        self.disk = disk or SimulatedDisk()
+        self.metric = get_metric(metric)
+        points = canonicalize(data)
+        if points.ndim != 2 or points.shape[0] == 0:
+            raise BuildError("pyramid needs a non-empty (n, d) array")
+        self._points = points
+        self._lo = points.min(axis=0)
+        span = points.max(axis=0) - self._lo
+        self._span = np.where(span > 0, span, 1.0)
+        unit = self._to_unit(points)
+        values = self._pyramid_values(unit)
+        self._tree = BPlusTree(
+            values,
+            points,
+            np.arange(points.shape[0], dtype=np.int64),
+            self.disk,
+        )
+
+    # ------------------------------------------------------------------
+    # Pyramid mapping
+    # ------------------------------------------------------------------
+    def _to_unit(self, points: np.ndarray) -> np.ndarray:
+        return (points - self._lo) / self._span
+
+    @staticmethod
+    def _pyramid_values(unit: np.ndarray) -> np.ndarray:
+        """Map unit-space points to pyramid values ``i + h``."""
+        centered = unit - 0.5
+        dominant = np.argmax(np.abs(centered), axis=1)
+        rows = np.arange(unit.shape[0])
+        coordinate = centered[rows, dominant]
+        pyramid = np.where(
+            coordinate < 0, dominant, dominant + unit.shape[1]
+        )
+        height = np.abs(coordinate)
+        return pyramid + height
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def points(self) -> np.ndarray:
+        """Canonical stored data."""
+        return self._points
+
+    @property
+    def n_points(self) -> int:
+        """Number of stored points."""
+        return self._points.shape[0]
+
+    @property
+    def dim(self) -> int:
+        """Data dimensionality."""
+        return int(self._points.shape[1])
+
+    # ------------------------------------------------------------------
+    # Window (hypercube) queries
+    # ------------------------------------------------------------------
+    def window_query(
+        self, lower: np.ndarray, upper: np.ndarray
+    ) -> QueryAnswer:
+        """All points inside the axis-aligned box ``[lower, upper]``."""
+        lower = np.asarray(lower, dtype=np.float64)
+        upper = np.asarray(upper, dtype=np.float64)
+        if lower.shape != (self.dim,) or upper.shape != (self.dim,):
+            raise SearchError("window bounds must be (d,) vectors")
+        if np.any(lower > upper):
+            raise SearchError("window bounds inverted")
+        before = io_snapshot(self.disk)
+        ids, coords = self._window_candidates(lower, upper)
+        inside = np.all(
+            (coords >= lower) & (coords <= upper), axis=1
+        )
+        dists = np.zeros(int(np.count_nonzero(inside)))
+        return QueryAnswer(
+            ids=ids[inside],
+            distances=dists,
+            io=io_delta(before, io_snapshot(self.disk)),
+        )
+
+    def _window_candidates(
+        self, lower: np.ndarray, upper: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Fetch candidates of every intersected pyramid (Lemma 4.2)."""
+        d = self.dim
+        a = (lower - self._lo) / self._span - 0.5
+        b = (upper - self._lo) / self._span - 0.5
+        a = np.clip(a, -0.5, 0.5)
+        b = np.clip(b, -0.5, 0.5)
+        # Per-dimension minimal |coordinate| inside the window.
+        min_abs = np.where(
+            (a <= 0) & (b >= 0), 0.0, np.minimum(np.abs(a), np.abs(b))
+        )
+        ids_parts, coords_parts = [], []
+        for i in range(2 * d):
+            j = i % d
+            # Max achievable height inside the window for pyramid i.
+            h_max = -a[j] if i < d else b[j]
+            if h_max < 0:
+                continue
+            h_low = float(np.max(min_abs))
+            if h_low > h_max:
+                continue
+            keys_lo = i + h_low
+            keys_hi = i + min(h_max, 0.5)
+            _keys, coords, ids = self._tree.range_scan(keys_lo, keys_hi)
+            if ids.size:
+                ids_parts.append(ids)
+                coords_parts.append(coords)
+        if not ids_parts:
+            return np.empty(0, dtype=np.int64), np.empty((0, d))
+        return np.concatenate(ids_parts), np.concatenate(coords_parts)
+
+    # ------------------------------------------------------------------
+    # Nearest neighbors via expanding windows
+    # ------------------------------------------------------------------
+    def nearest(self, query: np.ndarray, k: int = 1) -> QueryAnswer:
+        """Exact k-NN by iteratively enlarged window queries.
+
+        The initial window half-side comes from the expected k-NN
+        radius at the data's global density; the window doubles until
+        the k-th candidate distance is certified (<= the half-side, so
+        no point outside the window can be closer).
+        """
+        if k < 1 or k > self.n_points:
+            raise SearchError("k out of range")
+        query = np.asarray(query, dtype=np.float64)
+        if query.shape != (self.dim,):
+            raise SearchError(f"query must have shape ({self.dim},)")
+        before = io_snapshot(self.disk)
+        radius = self._initial_radius(k)
+        span = float(np.max(self._span))
+        while True:
+            lower = query - radius
+            upper = query + radius
+            ids, coords = self._window_candidates(lower, upper)
+            if ids.size >= k:
+                # Exact distances; certified when the k-th fits the box.
+                unique_ids, first = np.unique(ids, return_index=True)
+                dists = self.metric.distances(query, coords[first])
+                order = np.argsort(dists, kind="stable")
+                if dists[order[k - 1]] <= radius:
+                    top = order[:k]
+                    return QueryAnswer(
+                        ids=unique_ids[top],
+                        distances=dists[top],
+                        io=io_delta(before, io_snapshot(self.disk)),
+                    )
+            if radius > 2.0 * span * np.sqrt(self.dim):
+                # Window covers everything: finalize unconditionally.
+                unique_ids, first = np.unique(ids, return_index=True)
+                dists = self.metric.distances(query, coords[first])
+                order = np.argsort(dists, kind="stable")[:k]
+                return QueryAnswer(
+                    ids=unique_ids[order],
+                    distances=dists[order],
+                    io=io_delta(before, io_snapshot(self.disk)),
+                )
+            radius *= 2.0
+
+    def range_query(self, query: np.ndarray, radius: float) -> QueryAnswer:
+        """All points within ``radius``: a window query plus filtering."""
+        if radius < 0:
+            raise SearchError("radius must be non-negative")
+        query = np.asarray(query, dtype=np.float64)
+        if query.shape != (self.dim,):
+            raise SearchError(f"query must have shape ({self.dim},)")
+        before = io_snapshot(self.disk)
+        ids, coords = self._window_candidates(
+            query - radius, query + radius
+        )
+        if ids.size == 0:
+            return QueryAnswer(
+                ids=np.empty(0, dtype=np.int64),
+                distances=np.empty(0),
+                io=io_delta(before, io_snapshot(self.disk)),
+            )
+        unique_ids, first = np.unique(ids, return_index=True)
+        dists = self.metric.distances(query, coords[first])
+        inside = dists <= radius
+        order = np.argsort(dists[inside], kind="stable")
+        return QueryAnswer(
+            ids=unique_ids[inside][order],
+            distances=dists[inside][order],
+            io=io_delta(before, io_snapshot(self.disk)),
+        )
+
+    def _initial_radius(self, k: int) -> float:
+        volume = float(np.prod(self._span))
+        density = self.n_points / max(volume, 1e-12)
+        return self.metric.ball_radius(k / density, self.dim)
+
+    def __repr__(self) -> str:
+        return (
+            f"PyramidTechnique(n={self.n_points}, dim={self.dim}, "
+            f"tree={self._tree!r})"
+        )

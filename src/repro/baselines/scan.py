@@ -1,0 +1,105 @@
+"""Sequential scan: the reference technique.
+
+The scan stores the exact data in one file and answers every query by a
+single sequential pass (one seek plus the transfer of the whole file),
+computing all distances.  In very high dimensions this is the baseline
+all indexes must beat; the paper uses it as the floor for the X-tree's
+degeneration and the ceiling for the compression methods.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import BuildError, SearchError
+from repro.baselines.common import QueryAnswer, io_delta, io_snapshot
+from repro.core.tree import canonicalize
+from repro.geometry.metrics import get_metric
+from repro.storage.blockfile import BlockFile
+from repro.storage.disk import SimulatedDisk
+from repro.storage import serializer
+
+__all__ = ["SequentialScan"]
+
+
+class SequentialScan:
+    """Brute-force scan over exact data with simulated sequential I/O."""
+
+    name = "scan"
+
+    def __init__(
+        self,
+        data: np.ndarray,
+        disk: SimulatedDisk | None = None,
+        metric="euclidean",
+    ):
+        self.disk = disk or SimulatedDisk()
+        self.metric = get_metric(metric)
+        points = canonicalize(data)
+        if points.ndim != 2 or points.shape[0] == 0:
+            raise BuildError("scan needs a non-empty (n, d) array")
+        self._points = points
+        self._ids = np.arange(points.shape[0], dtype=np.int64)
+        self._file = BlockFile(self.disk, "scan-data")
+        record = serializer.encode_exact_record(points, self._ids)
+        self._file.append_record(record)
+        self._file.seal()
+
+    @property
+    def points(self) -> np.ndarray:
+        """Canonical stored data."""
+        return self._points
+
+    @property
+    def n_points(self) -> int:
+        """Number of stored points."""
+        return self._points.shape[0]
+
+    @property
+    def dim(self) -> int:
+        """Data dimensionality."""
+        return int(self._points.shape[1])
+
+    def nearest(self, query: np.ndarray, k: int = 1) -> QueryAnswer:
+        """Exact k-NN by a full sequential pass."""
+        if k < 1 or k > self.n_points:
+            raise SearchError("k out of range")
+        query = np.asarray(query, dtype=np.float64)
+        if query.shape != (self.dim,):
+            raise SearchError(f"query must have shape ({self.dim},)")
+        before = io_snapshot(self.disk)
+        payload = b"".join(self._file.scan())
+        points, ids = serializer.decode_exact_record(
+            payload, self.n_points, self.dim
+        )
+        dists = self.metric.distances(query, points)
+        order = np.argsort(dists, kind="stable")[:k]
+        return QueryAnswer(
+            ids=ids[order],
+            distances=dists[order],
+            io=io_delta(before, io_snapshot(self.disk)),
+        )
+
+    def range_query(self, query: np.ndarray, radius: float) -> QueryAnswer:
+        """All points within ``radius``, by a full sequential pass."""
+        if radius < 0:
+            raise SearchError("radius must be non-negative")
+        query = np.asarray(query, dtype=np.float64)
+        if query.shape != (self.dim,):
+            raise SearchError(f"query must have shape ({self.dim},)")
+        before = io_snapshot(self.disk)
+        payload = b"".join(self._file.scan())
+        points, ids = serializer.decode_exact_record(
+            payload, self.n_points, self.dim
+        )
+        dists = self.metric.distances(query, points)
+        inside = dists <= radius
+        order = np.argsort(dists[inside], kind="stable")
+        return QueryAnswer(
+            ids=ids[inside][order],
+            distances=dists[inside][order],
+            io=io_delta(before, io_snapshot(self.disk)),
+        )
+
+    def __repr__(self) -> str:
+        return f"SequentialScan(n={self.n_points}, dim={self.dim})"

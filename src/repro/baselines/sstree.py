@@ -1,0 +1,376 @@
+"""The SS-tree (White & Jain, ICDE 1996) -- spheres in the directory.
+
+Another structure from the paper's related-work section: an R-tree
+variant whose directory entries are bounding *spheres* (centroid +
+radius) instead of rectangles.  Spheres have smaller volume than MBRs
+for clustered data but, as the paper notes, "tend to overlap in
+high-dimensional spaces" -- this implementation lets that effect be
+measured directly against the other comparators.
+
+Provided: packed bulk load (same balanced partitioning as every tree in
+the repository), best-first exact k-NN and range search with one random
+read per visited node/leaf, and centroid-based dynamic insert with
+variance-driven splits.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+
+import numpy as np
+
+from repro.exceptions import BuildError, SearchError
+from repro.baselines.common import QueryAnswer, io_delta, io_snapshot
+from repro.core.build import partitions_for_capacity
+from repro.core.tree import canonicalize
+from repro.geometry.metrics import get_metric
+from repro.storage.blockfile import BlockFile
+from repro.storage.disk import SimulatedDisk
+from repro.storage import serializer
+
+__all__ = ["SSTree"]
+
+
+class _Leaf:
+    __slots__ = ("indices", "center", "radius", "block")
+
+    def __init__(self, indices: np.ndarray, points: np.ndarray):
+        self.indices = np.asarray(indices, dtype=np.int64)
+        self.refresh(points)
+        self.block = -1
+
+    def refresh(self, points: np.ndarray) -> None:
+        members = points[self.indices]
+        self.center = members.mean(axis=0)
+        self.radius = float(
+            np.sqrt(((members - self.center) ** 2).sum(axis=1)).max()
+        )
+
+
+class _Node:
+    __slots__ = ("children", "center", "radius", "first_block", "n_blocks")
+
+    def __init__(self, children: list):
+        self.children = children
+        self.first_block = -1
+        self.n_blocks = 1
+        self.refresh()
+
+    def refresh(self) -> None:
+        centers = np.array([c.center for c in self.children])
+        self.center = centers.mean(axis=0)
+        self.radius = float(
+            max(
+                np.sqrt(((c.center - self.center) ** 2).sum()) + c.radius
+                for c in self.children
+            )
+        )
+
+
+class SSTree:
+    """A bulk-loaded SS-tree over a point data set.
+
+    Parameters
+    ----------
+    data:
+        Point data, shape ``(n, d)``; canonicalized to float32.
+    disk:
+        Simulated disk (a default one is created when omitted).
+    metric:
+        Query metric.  Bounding spheres are Euclidean; for other
+        metrics the Euclidean sphere is still a valid (conservative)
+        bound because the repository's metrics are all within a
+        constant of L2 on the same coordinates -- mindist uses the
+        query metric's distance to the center minus the L2 radius,
+        which is only exact for L2, so non-L2 metrics fall back to a
+        documented conservative bound.
+    """
+
+    name = "ss-tree"
+
+    def __init__(
+        self,
+        data: np.ndarray,
+        disk: SimulatedDisk | None = None,
+        metric="euclidean",
+    ):
+        self.disk = disk or SimulatedDisk()
+        self.metric = get_metric(metric)
+        if self.metric.name != "euclidean":
+            raise BuildError(
+                "the SS-tree's bounding spheres are Euclidean; "
+                "use metric='euclidean'"
+            )
+        points = canonicalize(data)
+        if points.ndim != 2 or points.shape[0] == 0:
+            raise BuildError("SS-tree needs a non-empty (n, d) array")
+        self._points = points
+        block_size = self.disk.model.block_size
+        self._leaf_capacity = serializer.quantized_page_capacity(
+            block_size, self.dim, 32
+        )
+        if self._leaf_capacity < 1:
+            raise BuildError("block size too small for one exact point")
+        # Directory entry: f4 center per dim + f4 radius + u4 pointer.
+        self._fanout = block_size // (4 * self.dim + 8)
+        if self._fanout < 2:
+            raise BuildError("block size too small for a directory node")
+        self._root = self._bulk_load()
+        self._dirty = True
+        self._ensure_clean()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _bulk_load(self) -> _Node:
+        parts = partitions_for_capacity(self._points, self._leaf_capacity)
+        level: list = [_Leaf(p.indices, self._points) for p in parts]
+        while len(level) > 1:
+            groups = [
+                level[i : i + self._fanout]
+                for i in range(0, len(level), self._fanout)
+            ]
+            if len(groups) > 1 and len(groups[-1]) < 2:
+                groups[-1].insert(0, groups[-2].pop())
+            level = [_Node(children) for children in groups]
+        if isinstance(level[0], _Leaf):
+            return _Node(level)
+        return level[0]
+
+    def _ensure_clean(self) -> None:
+        if not self._dirty:
+            return
+        block_size = self.disk.model.block_size
+        dir_file = BlockFile(self.disk, "sstree-directory")
+        data_file = BlockFile(self.disk, "sstree-data")
+        nodes: list[_Node] = []
+        leaves: list[_Leaf] = []
+        stack: list = [self._root]
+        while stack:
+            item = stack.pop()
+            if isinstance(item, _Leaf):
+                leaves.append(item)
+                continue
+            nodes.append(item)
+            stack.extend(reversed(item.children))
+        for node in nodes:
+            node.n_blocks = max(
+                1, math.ceil(len(node.children) / self._fanout)
+            )
+            node.first_block = dir_file.n_blocks
+            for _ in range(node.n_blocks):
+                dir_file.append_block(b"\0" * block_size)
+        for leaf in leaves:
+            payload = serializer.encode_quantized_page(
+                self._points[leaf.indices], 32, block_size,
+                ids=leaf.indices,
+            )
+            leaf.block = data_file.append_block(payload)
+        dir_file.seal()
+        data_file.seal()
+        self._dir_file = dir_file
+        self._data_file = data_file
+        self._dirty = False
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def points(self) -> np.ndarray:
+        """Canonical stored data."""
+        return self._points
+
+    @property
+    def n_points(self) -> int:
+        """Number of stored points."""
+        return self._points.shape[0]
+
+    @property
+    def dim(self) -> int:
+        """Data dimensionality."""
+        return int(self._points.shape[1])
+
+    def n_leaves(self) -> int:
+        """Number of leaf pages."""
+        count = 0
+        stack: list = [self._root]
+        while stack:
+            item = stack.pop()
+            if isinstance(item, _Leaf):
+                count += 1
+            else:
+                stack.extend(item.children)
+        return count
+
+    def mean_leaf_radius(self) -> float:
+        """Average bounding-sphere radius of the leaves (overlap proxy)."""
+        radii = []
+        stack: list = [self._root]
+        while stack:
+            item = stack.pop()
+            if isinstance(item, _Leaf):
+                radii.append(item.radius)
+            else:
+                stack.extend(item.children)
+        return float(np.mean(radii))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def _sphere_mindist(self, query: np.ndarray, item) -> float:
+        return max(
+            0.0,
+            float(np.sqrt(((query - item.center) ** 2).sum()))
+            - item.radius,
+        )
+
+    def nearest(self, query: np.ndarray, k: int = 1) -> QueryAnswer:
+        """Best-first exact k-NN over the sphere directory."""
+        if k < 1 or k > self.n_points:
+            raise SearchError("k out of range")
+        query = np.asarray(query, dtype=np.float64)
+        if query.shape != (self.dim,):
+            raise SearchError(f"query must have shape ({self.dim},)")
+        self._ensure_clean()
+        before = io_snapshot(self.disk)
+        tie = itertools.count()
+        heap: list[tuple] = [(0.0, next(tie), self._root)]
+        best: list[tuple[float, int]] = []
+
+        def bound() -> float:
+            return -best[0][0] if len(best) == k else np.inf
+
+        while heap and heap[0][0] <= bound():
+            _d, _t, item = heapq.heappop(heap)
+            if isinstance(item, _Leaf):
+                coords, ids = self._read_leaf(item)
+                dists = self.metric.distances(query, coords)
+                for dist, pid in zip(dists, ids):
+                    if len(best) < k:
+                        heapq.heappush(best, (-float(dist), int(pid)))
+                    elif dist < -best[0][0]:
+                        heapq.heapreplace(best, (-float(dist), int(pid)))
+                continue
+            self._dir_file.read_run(item.first_block, item.n_blocks)
+            b = bound()
+            for child in item.children:
+                mindist = self._sphere_mindist(query, child)
+                if mindist <= b:
+                    heapq.heappush(heap, (mindist, next(tie), child))
+
+        pairs = sorted((-nd, pid) for nd, pid in best)
+        return QueryAnswer(
+            ids=np.array([p[1] for p in pairs], dtype=np.int64),
+            distances=np.array([p[0] for p in pairs]),
+            io=io_delta(before, io_snapshot(self.disk)),
+        )
+
+    def range_query(self, query: np.ndarray, radius: float) -> QueryAnswer:
+        """All points within ``radius`` via sphere filtering."""
+        if radius < 0:
+            raise SearchError("radius must be non-negative")
+        query = np.asarray(query, dtype=np.float64)
+        if query.shape != (self.dim,):
+            raise SearchError(f"query must have shape ({self.dim},)")
+        self._ensure_clean()
+        before = io_snapshot(self.disk)
+        ids: list[int] = []
+        dists: list[float] = []
+        stack: list = [self._root]
+        while stack:
+            item = stack.pop()
+            if self._sphere_mindist(query, item) > radius:
+                continue
+            if isinstance(item, _Leaf):
+                coords, leaf_ids = self._read_leaf(item)
+                d = self.metric.distances(query, coords)
+                inside = d <= radius
+                ids.extend(leaf_ids[inside].tolist())
+                dists.extend(d[inside].tolist())
+                continue
+            self._dir_file.read_run(item.first_block, item.n_blocks)
+            stack.extend(item.children)
+        order = np.argsort(dists, kind="stable")
+        return QueryAnswer(
+            ids=np.array(ids, dtype=np.int64)[order],
+            distances=np.array(dists)[order],
+            io=io_delta(before, io_snapshot(self.disk)),
+        )
+
+    # ------------------------------------------------------------------
+    # Dynamic insert
+    # ------------------------------------------------------------------
+    def insert(self, point: np.ndarray) -> int:
+        """Insert a point (closest-centroid descent, variance split)."""
+        point = canonicalize(
+            np.asarray(point, dtype=np.float64).reshape(1, -1)
+        )
+        if point.shape[1] != self.dim:
+            raise SearchError(f"point must have {self.dim} dimensions")
+        new_id = self._points.shape[0]
+        self._points = np.vstack([self._points, point])
+        self._insert_into(self._root, point[0], new_id)
+        if len(self._root.children) > self._fanout:
+            left, right = self._split_children(self._root.children)
+            self._root = _Node([_Node(left), _Node(right)])
+        self._dirty = True
+        return new_id
+
+    def _insert_into(self, node: _Node, point: np.ndarray, pid: int) -> None:
+        child = min(
+            node.children,
+            key=lambda c: float(((point - c.center) ** 2).sum()),
+        )
+        if isinstance(child, _Leaf):
+            child.indices = np.append(child.indices, pid)
+            child.refresh(self._points)
+            if child.indices.size > self._leaf_capacity:
+                node.children.remove(child)
+                for half in self._split_leaf(child):
+                    node.children.append(half)
+        else:
+            self._insert_into(child, point, pid)
+            if len(child.children) > self._fanout:
+                node.children.remove(child)
+                left, right = self._split_children(child.children)
+                node.children.append(_Node(left))
+                node.children.append(_Node(right))
+        node.refresh()
+
+    def _split_leaf(self, leaf: _Leaf) -> tuple[_Leaf, _Leaf]:
+        members = self._points[leaf.indices]
+        dim_split = int(np.argmax(members.var(axis=0)))
+        order = np.argsort(members[:, dim_split], kind="stable")
+        half = order.size // 2
+        return (
+            _Leaf(leaf.indices[order[:half]], self._points),
+            _Leaf(leaf.indices[order[half:]], self._points),
+        )
+
+    def _split_children(self, children: list) -> tuple[list, list]:
+        centers = np.array([c.center for c in children])
+        dim_split = int(np.argmax(centers.var(axis=0)))
+        order = np.argsort(centers[:, dim_split], kind="stable")
+        half = order.size // 2
+        return (
+            [children[i] for i in order[:half]],
+            [children[i] for i in order[half:]],
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _read_leaf(self, leaf: _Leaf) -> tuple[np.ndarray, np.ndarray]:
+        payload = self._data_file.read_block(leaf.block)
+        coords, _bits, ids = serializer.decode_quantized_page(
+            payload, self.dim
+        )
+        return coords, ids
+
+    def __repr__(self) -> str:
+        return (
+            f"SSTree(n={self.n_points}, dim={self.dim}, "
+            f"leaves={self.n_leaves()})"
+        )

@@ -1,0 +1,219 @@
+"""The VA-file baseline (Weber, Schek, Blott -- VLDB 1998).
+
+The VA-file keeps two files with identical point ordering: a bit-
+compressed approximation file (a *global* grid with a constant ``b``
+bits per dimension, spanning the whole data space) and the exact data.
+A nearest-neighbor query scans the approximation file sequentially,
+computing a lower and an upper distance bound per point, then refines
+the surviving candidates in ascending lower-bound order with random
+accesses to the exact file (the near-optimal two-phase search of the
+original paper).
+
+Per the IQ-tree paper's protocol, experiments sweep ``b`` between 2 and
+8 and report the best-performing setting (see
+:func:`repro.experiments.harness.best_vafile`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import BuildError, SearchError
+from repro.baselines.common import QueryAnswer, io_delta, io_snapshot
+from repro.core.tree import canonicalize
+from repro.geometry.mbr import MBR
+from repro.geometry.metrics import get_metric
+from repro.quantization.grid import GridQuantizer
+from repro.storage.blockfile import BlockFile
+from repro.storage.disk import SimulatedDisk
+from repro.storage import serializer
+from repro.quantization.bitpack import pack_codes, unpack_codes
+
+__all__ = ["VAFile"]
+
+
+class VAFile:
+    """A VA-file over a point data set.
+
+    Parameters
+    ----------
+    data:
+        Point data, shape ``(n, d)``; canonicalized to float32
+        precision.
+    bits:
+        Bits per dimension of the global grid (the paper's sweep uses
+        2-8).
+    disk:
+        Simulated disk (a default one is created when omitted).
+    metric:
+        Query metric.
+    """
+
+    name = "va-file"
+
+    def __init__(
+        self,
+        data: np.ndarray,
+        bits: int = 6,
+        disk: SimulatedDisk | None = None,
+        metric="euclidean",
+    ):
+        if not 1 <= bits <= 16:
+            raise BuildError("VA-file bits per dimension must be in [1, 16]")
+        self.disk = disk or SimulatedDisk()
+        self.metric = get_metric(metric)
+        self.bits = int(bits)
+        points = canonicalize(data)
+        if points.ndim != 2 or points.shape[0] == 0:
+            raise BuildError("VA-file needs a non-empty (n, d) array")
+        self._points = points
+        self._ids = np.arange(points.shape[0], dtype=np.int64)
+        self._quantizer = GridQuantizer(MBR.of_points(points), self.bits)
+        self._codes = self._quantizer.encode(points)
+
+        # Approximation file: the packed codes of all points, streamed
+        # into fixed-size blocks.
+        self._approx_file = BlockFile(self.disk, "va-approx")
+        packed = pack_codes(self._codes, self.bits)
+        self._approx_file.append_record(packed)
+        self._approx_file.seal()
+
+        # Exact file: per-point interleaved records, same ordering.
+        self._exact_file = BlockFile(self.disk, "va-exact")
+        record = serializer.encode_exact_record(points, self._ids)
+        self._exact_file.append_record(record)
+        self._exact_file.seal()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def points(self) -> np.ndarray:
+        """Canonical stored data."""
+        return self._points
+
+    @property
+    def n_points(self) -> int:
+        """Number of stored points."""
+        return self._points.shape[0]
+
+    @property
+    def dim(self) -> int:
+        """Data dimensionality."""
+        return int(self._points.shape[1])
+
+    @property
+    def approx_blocks(self) -> int:
+        """Size of the approximation file in blocks."""
+        return self._approx_file.n_blocks
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def nearest(self, query: np.ndarray, k: int = 1) -> QueryAnswer:
+        """Exact k-NN with the two-phase near-optimal VA-file search."""
+        if k < 1 or k > self.n_points:
+            raise SearchError("k out of range")
+        query = np.asarray(query, dtype=np.float64)
+        if query.shape != (self.dim,):
+            raise SearchError(f"query must have shape ({self.dim},)")
+        before = io_snapshot(self.disk)
+
+        lower_b, upper_b = self._scan_bounds(query)
+
+        # Phase 1 filter: a point survives if its lower bound does not
+        # exceed the k-th smallest upper bound.
+        kth_upper = np.partition(upper_b, k - 1)[k - 1]
+        candidates = np.flatnonzero(lower_b <= kth_upper)
+        order = candidates[np.argsort(lower_b[candidates], kind="stable")]
+
+        # Phase 2: refine candidates in ascending lower-bound order.
+        heap: list[tuple[float, int]] = []  # max-heap via negation
+        import heapq
+
+        bound = np.inf
+        refinements = 0
+        cache: dict[int, bytes] = {}
+        for idx in order:
+            if lower_b[idx] > bound:
+                break
+            coords = self._fetch_exact(int(idx), cache)
+            refinements += 1
+            dist = self.metric.distance(query, coords)
+            if len(heap) < k:
+                heapq.heappush(heap, (-dist, int(idx)))
+            elif dist < -heap[0][0]:
+                heapq.heapreplace(heap, (-dist, int(idx)))
+            if len(heap) == k:
+                bound = -heap[0][0]
+
+        pairs = sorted((-nd, i) for nd, i in heap)
+        return QueryAnswer(
+            ids=np.array([p[1] for p in pairs], dtype=np.int64),
+            distances=np.array([p[0] for p in pairs]),
+            io=io_delta(before, io_snapshot(self.disk)),
+            refinements=refinements,
+        )
+
+    def range_query(self, query: np.ndarray, radius: float) -> QueryAnswer:
+        """All points within ``radius``: filter on bounds, then refine."""
+        if radius < 0:
+            raise SearchError("radius must be non-negative")
+        query = np.asarray(query, dtype=np.float64)
+        if query.shape != (self.dim,):
+            raise SearchError(f"query must have shape ({self.dim},)")
+        before = io_snapshot(self.disk)
+        lower_b, _upper_b = self._scan_bounds(query)
+        cache: dict[int, bytes] = {}
+        ids: list[int] = []
+        dists: list[float] = []
+        refinements = 0
+        for idx in np.flatnonzero(lower_b <= radius):
+            coords = self._fetch_exact(int(idx), cache)
+            refinements += 1
+            dist = self.metric.distance(query, coords)
+            if dist <= radius:
+                ids.append(int(idx))
+                dists.append(dist)
+        order = np.argsort(dists, kind="stable")
+        return QueryAnswer(
+            ids=np.array(ids, dtype=np.int64)[order],
+            distances=np.array(dists)[order],
+            io=io_delta(before, io_snapshot(self.disk)),
+            refinements=refinements,
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _scan_bounds(self, query: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Sequential pass over the approximation file -> (lower, upper)."""
+        payload = b"".join(self._approx_file.scan())
+        codes = unpack_codes(payload, self.bits, self.n_points, self.dim)
+        lower = self._quantizer.cell_mindist(query, codes, self.metric)
+        upper = self._quantizer.cell_maxdist(query, codes, self.metric)
+        return lower, upper
+
+    def _fetch_exact(self, index: int, cache: dict[int, bytes]) -> np.ndarray:
+        """Random-access one exact record (per-query block cache)."""
+        record = serializer.exact_point_record_size(self.dim)
+        block_size = self.disk.model.block_size
+        start = index * record
+        end = start + record
+        b0 = start // block_size
+        b1 = (end - 1) // block_size
+        data = bytearray()
+        for b in range(b0, b1 + 1):
+            if b not in cache:
+                cache[b] = self._exact_file.read_block(b)
+            data += cache[b]
+        offset = start - b0 * block_size
+        coords, _ids = serializer.decode_exact_record(
+            bytes(data[offset : offset + record]), 1, self.dim
+        )
+        return coords[0]
+
+    def __repr__(self) -> str:
+        return (
+            f"VAFile(n={self.n_points}, dim={self.dim}, bits={self.bits})"
+        )

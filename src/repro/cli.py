@@ -1,0 +1,170 @@
+"""Top-level command line: build, query, and inspect persisted indexes.
+
+Usage::
+
+    python -m repro build  data.npy index.iqt [--metric l2] [--no-optimize]
+    python -m repro query  index.iqt --point 0.1,0.2,... [--k 5]
+    python -m repro query  index.iqt --random 3 [--k 5]
+    python -m repro info   index.iqt
+    python -m repro validate index.iqt [--queries 10]
+
+``data.npy`` is any ``numpy.save``-ed ``(n, d)`` float array.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.core.tree import IQTree
+from repro.storage.persistence import load_iqtree, save_iqtree
+
+__all__ = ["main"]
+
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    data = np.load(args.data)
+    tree = IQTree.build(
+        data,
+        metric=args.metric,
+        optimize=not args.no_optimize,
+        fractal_dim=None if args.uniform_model else "auto",
+    )
+    save_iqtree(tree, args.index)
+    bits, counts = np.unique(tree.page_bits, return_counts=True)
+    print(
+        f"built {tree!r}\n"
+        f"page resolutions: "
+        f"{dict(zip(bits.tolist(), counts.tolist()))}\n"
+        f"saved to {args.index}"
+    )
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    tree = load_iqtree(args.index)
+    if args.point:
+        queries = [np.array([float(x) for x in args.point.split(",")])]
+    else:
+        rng = np.random.default_rng(args.seed)
+        lo = tree.points.min(axis=0)
+        hi = tree.points.max(axis=0)
+        queries = [
+            lo + rng.random(tree.dim) * (hi - lo)
+            for _ in range(args.random)
+        ]
+    for query in queries:
+        result = tree.nearest(query, k=args.k)
+        pairs = ", ".join(
+            f"{pid} (d={dist:.4f})"
+            for pid, dist in zip(result.ids, result.distances)
+        )
+        print(
+            f"query -> {pairs}  [{result.io.elapsed * 1e3:.2f} ms "
+            f"simulated, {result.pages_read} pages, "
+            f"{result.refinements} refinements]"
+        )
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    tree = load_iqtree(args.index)
+    bits, counts = np.unique(tree.page_bits, return_counts=True)
+    sizes = tree.size_summary()
+    est = tree.estimated_query_cost()
+    print(f"{tree!r}")
+    print(f"metric: {tree.metric.name}")
+    print(f"fractal dimension (model): {tree.cost_model.fractal_dim:.2f}")
+    print(
+        f"page resolutions: {dict(zip(bits.tolist(), counts.tolist()))}"
+    )
+    print(
+        f"blocks: directory={sizes['directory_blocks']} "
+        f"quantized={sizes['quantized_blocks']} "
+        f"exact={sizes['exact_blocks']}"
+    )
+    print(
+        f"estimated query cost: {est.total * 1e3:.2f} ms "
+        f"(T1={est.first_level * 1e3:.2f}, T2={est.second_level * 1e3:.2f}, "
+        f"T3={est.refinement * 1e3:.2f})"
+    )
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.experiments.validation import validate_cost_model
+
+    tree = load_iqtree(args.index)
+    rng = np.random.default_rng(args.seed)
+    picks = rng.choice(
+        tree.n_points, size=min(args.queries, tree.n_points), replace=False
+    )
+    queries = tree.points[picks]
+    validation = validate_cost_model(tree, queries, k=args.k)
+    print(validation.summary())
+    return 0
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="IQ-tree index tool (build / query / info / validate)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    build = sub.add_parser("build", help="build and save an index")
+    build.add_argument("data", help="numpy .npy file of (n, d) points")
+    build.add_argument("index", help="output index path")
+    build.add_argument("--metric", default="euclidean")
+    build.add_argument(
+        "--no-optimize",
+        action="store_true",
+        help="store exact pages (skip the quantization optimizer)",
+    )
+    build.add_argument(
+        "--uniform-model",
+        action="store_true",
+        help="use the uniform cost model instead of estimating D_F",
+    )
+    build.set_defaults(func=_cmd_build)
+
+    query = sub.add_parser("query", help="run nearest-neighbor queries")
+    query.add_argument("index")
+    query.add_argument(
+        "--point", help="comma-separated query coordinates"
+    )
+    query.add_argument(
+        "--random",
+        type=int,
+        default=1,
+        help="number of random queries when --point is absent",
+    )
+    query.add_argument("--k", type=int, default=1)
+    query.add_argument("--seed", type=int, default=0)
+    query.set_defaults(func=_cmd_query)
+
+    info = sub.add_parser("info", help="describe a saved index")
+    info.add_argument("index")
+    info.set_defaults(func=_cmd_info)
+
+    validate = sub.add_parser(
+        "validate", help="compare cost-model predictions with measurements"
+    )
+    validate.add_argument("index")
+    validate.add_argument("--queries", type=int, default=10)
+    validate.add_argument("--k", type=int, default=1)
+    validate.add_argument("--seed", type=int, default=0)
+    validate.set_defaults(func=_cmd_validate)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

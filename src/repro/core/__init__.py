@@ -1,0 +1,30 @@
+"""The IQ-tree: the paper's primary contribution.
+
+Modules:
+
+* :mod:`repro.core.partition` -- in-memory partitions (point index sets
+  plus MBR) and their cost-model summaries.
+* :mod:`repro.core.split` -- the split heuristic (longest MBR dimension,
+  median position) shared by construction and the optimizer.
+* :mod:`repro.core.build` -- top-down bulk-load into 1-bit partitions.
+* :mod:`repro.core.optimizer` -- the optimal-quantization split-tree
+  algorithm of Section 3.5.
+* :mod:`repro.core.tree` -- the three-level on-"disk" structure and its
+  public query API (:class:`~repro.core.tree.IQTree`).
+* :mod:`repro.core.search` -- nearest-neighbor and range search with the
+  standard and the time-optimized page-access strategies.
+* :mod:`repro.core.maintenance` -- dynamic insert/delete (Section 6).
+"""
+
+from repro.core.tree import IQTree
+from repro.core.partition import Partition
+from repro.core.build import bulk_load_partitions
+from repro.core.optimizer import OptimizedPartition, optimize_partitions
+
+__all__ = [
+    "IQTree",
+    "Partition",
+    "bulk_load_partitions",
+    "OptimizedPartition",
+    "optimize_partitions",
+]

@@ -1,0 +1,67 @@
+"""Top-down bulk-load into the initial 1-bit partitioning (Section 3.3).
+
+The builder recursively splits the data space until each partition fits
+into one quantized data page at the coarsest (1 bit per dimension)
+representation.  The result is the paper's "initial IQ-tree": optimal in
+compression rate, possibly poor in accuracy -- the optimizer then refines
+it.  The recursion emits partitions in depth-first order, which places
+spatially adjacent partitions adjacently in the page file; the
+cost-balance scheduler depends on this clustering.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import BuildError
+from repro.core.partition import Partition
+from repro.core.split import split_partition
+from repro.quantization.capacity import capacity_for_bits
+
+__all__ = ["bulk_load_partitions", "partitions_for_capacity"]
+
+
+def bulk_load_partitions(
+    data: np.ndarray, block_size: int
+) -> list[Partition]:
+    """Partition ``data`` until every part fits a 1-bit page.
+
+    Parameters
+    ----------
+    data:
+        The full data set, shape ``(n, d)``.
+    block_size:
+        Fixed size of a quantized data page in bytes.
+    """
+    data = np.asarray(data, dtype=np.float64)
+    if data.ndim != 2 or data.shape[0] == 0:
+        raise BuildError("bulk load needs a non-empty (n, d) array")
+    capacity = capacity_for_bits(block_size, data.shape[1], 1)
+    return partitions_for_capacity(data, capacity)
+
+
+def partitions_for_capacity(
+    data: np.ndarray, capacity: int
+) -> list[Partition]:
+    """Split recursively until every partition has ``<= capacity`` points.
+
+    Shared with the X-tree baseline builder (which targets the exact-page
+    capacity instead of the 1-bit capacity).
+    """
+    if capacity < 1:
+        raise BuildError("page capacity must be at least one point")
+    data = np.asarray(data, dtype=np.float64)
+    root = Partition.of(data, np.arange(data.shape[0], dtype=np.int64))
+    result: list[Partition] = []
+    stack = [root]
+    while stack:
+        part = stack.pop()
+        if part.size <= capacity:
+            result.append(part)
+            continue
+        left, right = split_partition(data, part)
+        # Push right first so the left child is processed first: the
+        # output order is then a depth-first, spatially coherent walk.
+        stack.append(right)
+        stack.append(left)
+    return result

@@ -1,0 +1,163 @@
+"""Dynamic maintenance of an IQ-tree (paper Section 6).
+
+Inserts and deletes mutate the in-memory partition list; the three
+on-"disk" files are re-laid-out lazily before the next query (the files
+are rebuilt in full -- acceptable for a simulator, and it keeps every
+extent contiguous).  The interesting decision the paper highlights is
+the overflow case: when a page can no longer hold its points at the
+current resolution, the tree either *splits* the page (one more page,
+finer quantization) or *re-quantizes it coarser* (same page count, more
+refinement look-ups).  The choice is made by comparing the cost model's
+estimate of both outcomes, exactly as the optimizer would.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import BuildError, SearchError
+from repro.core.build import bulk_load_partitions
+from repro.core.optimizer import OptimizedPartition, optimize_partitions
+from repro.core.partition import Partition
+from repro.core.split import split_partition
+from repro.core.tree import IQTree, canonicalize
+from repro.quantization.capacity import max_bits_for_count
+
+__all__ = ["insert_point", "delete_point", "reoptimize"]
+
+
+def insert_point(tree: IQTree, point: np.ndarray) -> int:
+    """Insert one point; returns its assigned id.
+
+    The target page is the one whose MBR needs the least volume
+    enlargement (ties: the smaller page).  If the page overflows its
+    current quantization level, the split-vs-coarser decision described
+    in Section 6 is made with the cost model.
+    """
+    point = canonicalize(np.asarray(point, dtype=np.float64).reshape(1, -1))
+    if point.shape[1] != tree.dim:
+        raise SearchError(
+            f"point must have {tree.dim} dimensions, got {point.shape[1]}"
+        )
+    new_id = tree._points.shape[0]
+    tree._points = np.vstack([tree._points, point])
+    target = _least_enlargement_page(tree, point[0])
+    opt = tree._partitions[target]
+    part = opt.partition
+    indices = np.append(part.indices, new_id)
+    mbr = part.mbr.extended_by_point(point[0])
+    grown = Partition(indices, mbr)
+    block_size = tree.disk.model.block_size
+    finest = max_bits_for_count(block_size, tree.dim, grown.size)
+
+    if finest >= opt.bits:
+        # Still fits at the current resolution: update in place.
+        tree._partitions[target] = OptimizedPartition(grown, opt.bits)
+    elif finest >= 1 and _coarser_beats_split(tree, grown, finest):
+        tree._partitions[target] = OptimizedPartition(grown, finest)
+    else:
+        left, right = split_partition(tree._points, grown)
+        tree._partitions[target] = _sized(tree, left)
+        tree._partitions.insert(target + 1, _sized(tree, right))
+    tree._dirty = True
+    return new_id
+
+
+def delete_point(tree: IQTree, point_id: int) -> None:
+    """Delete a point by id.
+
+    The containing page shrinks (its MBR is re-tightened); an emptied
+    page is removed.  The page keeps its quantization level -- the next
+    :func:`reoptimize` reconsiders it globally.
+    """
+    tree._ensure_clean()
+    if point_id not in tree._id_to_partition:
+        raise SearchError(f"unknown point id: {point_id}")
+    target = tree._id_to_partition[point_id]
+    opt = tree._partitions[target]
+    keep = opt.partition.indices != point_id
+    if not np.any(keep):
+        if len(tree._partitions) == 1:
+            raise BuildError("cannot delete the last point of the index")
+        del tree._partitions[target]
+    else:
+        remaining = opt.partition.indices[keep]
+        part = Partition.of(tree._points, remaining)
+        tree._partitions[target] = OptimizedPartition(part, opt.bits)
+    tree._dirty = True
+
+
+def reoptimize(tree: IQTree) -> None:
+    """Rebuild the partitioning and quantization from scratch.
+
+    Compacts deleted ids away (ids are *not* preserved across a
+    reoptimize; the canonical data array is re-indexed).
+    """
+    live = sorted(
+        int(i)
+        for opt in tree._partitions
+        for i in opt.partition.indices
+    )
+    data = tree._points[live]
+    block_size = tree.disk.model.block_size
+    initial = bulk_load_partitions(data, block_size)
+    solution, trace = optimize_partitions(
+        data, initial, tree.cost_model, block_size
+    )
+    tree._points = data
+    tree._partitions = list(solution)
+    tree.trace = trace
+    tree._dirty = True
+
+
+# ----------------------------------------------------------------------
+# Internals
+# ----------------------------------------------------------------------
+def _least_enlargement_page(tree: IQTree, point: np.ndarray) -> int:
+    """Index of the page whose MBR grows the least to admit ``point``."""
+    tree._ensure_clean()
+    lowers = np.minimum(tree._lowers, point)
+    uppers = np.maximum(tree._uppers, point)
+    new_vol = np.prod(uppers - lowers, axis=1)
+    old_vol = np.prod(tree._uppers - tree._lowers, axis=1)
+    enlargement = new_vol - old_vol
+    # Tie-break on the smaller resulting volume, then lower index.
+    order = np.lexsort((new_vol, enlargement))
+    return int(order[0])
+
+
+def _sized(tree: IQTree, part: Partition) -> OptimizedPartition:
+    bits = max_bits_for_count(
+        tree.disk.model.block_size, tree.dim, part.size
+    )
+    if bits == 0:
+        raise BuildError("split produced an oversized partition")
+    return OptimizedPartition(part, bits)
+
+
+def _coarser_beats_split(
+    tree: IQTree, grown: Partition, coarser_bits: int
+) -> bool:
+    """Cost-model comparison of the two overflow resolutions."""
+    model = tree.cost_model
+    block_size = tree.disk.model.block_size
+    n_pages = len(tree._partitions)
+
+    from repro.costmodel.model import PartitionStats
+
+    coarse_stats = PartitionStats(
+        m=grown.size,
+        side_lengths=tuple(grown.mbr.extents.tolist()),
+        bits=coarser_bits,
+    )
+    coarse_refine = model.refinement_cost(coarse_stats)
+    coarse_total = model.total_from_aggregates(n_pages, coarse_refine)
+
+    left, right = split_partition(tree._points, grown)
+    split_refine = model.refinement_cost(
+        left.stats(block_size)
+    ) + model.refinement_cost(right.stats(block_size))
+    split_total = model.total_from_aggregates(n_pages + 1, split_refine)
+    # Only the changed page's refinement cost differs between the two
+    # candidates, so comparing these partial totals is exact.
+    return coarse_total <= split_total

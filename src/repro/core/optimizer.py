@@ -1,0 +1,222 @@
+"""The optimal-quantization algorithm of Section 3.5.
+
+Starting from the initial 1-bit partitions, the algorithm repeatedly
+splits the partition with the largest *variable-cost benefit* (the
+reduction in expected refinement cost its split would bring), records the
+estimated total query cost after every split, and continues until every
+partition is stored at the exact 32-bit representation.  The recorded
+trajectory is then rolled back to its global minimum.
+
+The greedy choice is optimal because (a) first- and second-level costs
+depend only on the number of pages -- the "constant cost" shared by every
+solution of equal size (Lemma 1) -- and (b) the refinement cost is
+monotonically decreasing in the resolution with decreasing returns, so a
+child's split benefit never exceeds its parent's (Lemma 2).  The run
+cannot stop early: the constant cost is not monotone, so local optima
+along the trajectory may differ from the global one (Section 3.5).
+
+The implementation simulates the full trajectory on lightweight nodes
+(point-index arrays plus MBRs), tracking the argmin step, and finally
+materializes the frontier of the split forest at that step.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import BuildError
+from repro.core.partition import Partition
+from repro.core.split import split_partition
+from repro.costmodel.model import CostModel
+from repro.quantization.capacity import EXACT_BITS
+
+__all__ = ["OptimizedPartition", "OptimizationTrace", "optimize_partitions"]
+
+
+@dataclass(frozen=True)
+class OptimizedPartition:
+    """A partition of the chosen solution with its quantization level."""
+
+    partition: Partition
+    bits: int
+
+
+@dataclass
+class OptimizationTrace:
+    """Diagnostics of one optimizer run.
+
+    Attributes
+    ----------
+    costs:
+        Estimated total query cost after each step (index 0 = the
+        initial partitioning, before any split).
+    best_step:
+        Index into ``costs`` of the chosen (minimal) solution.
+    n_initial, n_final:
+        Page counts of the initial partitioning and the chosen solution.
+    """
+
+    costs: list[float]
+    best_step: int
+    n_initial: int
+    n_final: int
+
+
+class _Node:
+    """One node of the simulated split forest."""
+
+    __slots__ = (
+        "partition",
+        "bits",
+        "refine_cost",
+        "created_step",
+        "split_step",
+        "children",
+    )
+
+    def __init__(
+        self,
+        partition: Partition,
+        bits: int,
+        refine_cost: float,
+        created_step: int,
+    ):
+        self.partition = partition
+        self.bits = bits
+        self.refine_cost = refine_cost
+        self.created_step = created_step
+        self.split_step: int | None = None
+        self.children: tuple["_Node", "_Node"] | None = None
+
+
+def optimize_partitions(
+    data: np.ndarray,
+    initial: list[Partition],
+    cost_model: CostModel,
+    block_size: int,
+) -> tuple[list[OptimizedPartition], OptimizationTrace]:
+    """Run the optimal-quantization algorithm.
+
+    Parameters
+    ----------
+    data:
+        The full data set (partitions index into it).
+    initial:
+        The 1-bit initial partitioning from the bulk loader.
+    cost_model:
+        Bound cost model used for both variable and constant costs.
+    block_size:
+        Fixed quantized-page size in bytes.
+
+    Returns
+    -------
+    tuple
+        ``(solution, trace)`` -- the chosen partitions with their
+        quantization levels, in depth-first (spatially coherent) order,
+        plus the optimization trace.
+    """
+    if not initial:
+        raise BuildError("optimizer needs at least one initial partition")
+
+    def make_node(partition: Partition, step: int) -> _Node:
+        bits = partition.storable_bits(block_size)
+        if bits == 0:
+            raise BuildError(
+                "initial partition does not fit a 1-bit page; "
+                "run the bulk loader first"
+            )
+        stats = partition.stats(block_size)
+        return _Node(
+            partition, bits, cost_model.refinement_cost(stats), step
+        )
+
+    roots = [make_node(p, 0) for p in initial]
+    n_pages = len(roots)
+    refine_sum = sum(node.refine_cost for node in roots)
+    costs = [cost_model.total_from_aggregates(n_pages, refine_sum)]
+    best_step = 0
+    best_cost = costs[0]
+
+    # Max-heap of splittable nodes keyed by variable-cost benefit.  The
+    # benefit requires the children, so each candidate split is computed
+    # eagerly ("determine_benefits" in the paper's pseudocode).
+    heap: list[tuple[float, int, _Node, _Node, _Node]] = []
+    counter = 0
+
+    def push_candidate(node: _Node) -> None:
+        nonlocal counter
+        if node.bits >= EXACT_BITS or node.partition.size < 2:
+            return  # already exact: nothing to gain from splitting
+        left_part, right_part = split_partition(data, node.partition)
+        # Children's nodes are provisional until the split is committed;
+        # created_step is patched at commit time.
+        left = make_node(left_part, -1)
+        right = make_node(right_part, -1)
+        benefit = node.refine_cost - (left.refine_cost + right.refine_cost)
+        heapq.heappush(heap, (-benefit, counter, node, left, right))
+        counter += 1
+
+    for node in roots:
+        push_candidate(node)
+
+    step = 0
+    while heap:
+        _neg_benefit, _tie, node, left, right = heapq.heappop(heap)
+        step += 1
+        node.split_step = step
+        node.children = (left, right)
+        left.created_step = step
+        right.created_step = step
+        n_pages += 1
+        refine_sum += left.refine_cost + right.refine_cost - node.refine_cost
+        total = cost_model.total_from_aggregates(n_pages, refine_sum)
+        costs.append(total)
+        if total < best_cost:
+            best_cost = total
+            best_step = step
+        push_candidate(left)
+        push_candidate(right)
+
+    # Materialize the frontier at the best step: a node belongs to the
+    # solution iff it existed by then and was not yet split.
+    solution: list[OptimizedPartition] = []
+    stack = list(reversed(roots))
+    while stack:
+        node = stack.pop()
+        if node.split_step is not None and node.split_step <= best_step:
+            left, right = node.children
+            stack.append(right)
+            stack.append(left)
+        else:
+            solution.append(OptimizedPartition(node.partition, node.bits))
+    trace = OptimizationTrace(
+        costs=costs,
+        best_step=best_step,
+        n_initial=len(initial),
+        n_final=len(solution),
+    )
+    return solution, trace
+
+
+def fixed_bits_partitions(
+    data: np.ndarray, block_size: int, bits: int
+) -> list[OptimizedPartition]:
+    """Ablation helper: partition for a *fixed* quantization level.
+
+    Splits until every partition fits a page at exactly ``bits`` bits
+    per dimension, bypassing the optimizer.  Used by the ablation
+    benchmarks to show what independent (per-page) optimization buys
+    over a global constant resolution.
+    """
+    from repro.core.build import partitions_for_capacity
+    from repro.quantization.capacity import capacity_for_bits
+
+    capacity = capacity_for_bits(block_size, data.shape[1], bits)
+    parts = partitions_for_capacity(np.asarray(data, np.float64), capacity)
+    return [OptimizedPartition(p, bits) for p in parts]
+
+
+__all__.append("fixed_bits_partitions")

@@ -1,0 +1,79 @@
+"""In-memory partitions used during construction and optimization.
+
+A :class:`Partition` is a subset of the data set (an index array) plus
+the MBR of those points.  Partitions never copy point coordinates; they
+reference rows of the build-time data array, so splitting is cheap.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import BuildError
+from repro.costmodel.model import PartitionStats
+from repro.geometry.mbr import MBR
+from repro.quantization.capacity import max_bits_for_count
+
+__all__ = ["Partition"]
+
+
+class Partition:
+    """A contiguous region of the data space with its member points.
+
+    Parameters
+    ----------
+    indices:
+        Row indices into the build-time data array (``int64``).
+    mbr:
+        Minimum bounding rectangle of those rows.
+    """
+
+    __slots__ = ("indices", "mbr")
+
+    def __init__(self, indices: np.ndarray, mbr: MBR):
+        indices = np.asarray(indices, dtype=np.int64)
+        if indices.ndim != 1 or indices.size == 0:
+            raise BuildError("a partition needs a non-empty index array")
+        self.indices = indices
+        self.mbr = mbr
+
+    @classmethod
+    def of(cls, data: np.ndarray, indices: np.ndarray) -> "Partition":
+        """Build a partition with the tight MBR of ``data[indices]``."""
+        indices = np.asarray(indices, dtype=np.int64)
+        if indices.size == 0:
+            raise BuildError("a partition needs at least one point")
+        return cls(indices, MBR.of_points(data[indices]))
+
+    @property
+    def size(self) -> int:
+        """Number of points in the partition."""
+        return int(self.indices.size)
+
+    def points(self, data: np.ndarray) -> np.ndarray:
+        """The member points as a ``(m, d)`` view/copy of ``data``."""
+        return data[self.indices]
+
+    def storable_bits(self, block_size: int) -> int:
+        """Finest bits/dim at which the partition fits one page (0: none)."""
+        return max_bits_for_count(block_size, self.mbr.dim, self.size)
+
+    def stats(self, block_size: int) -> PartitionStats:
+        """Cost-model summary at the partition's finest storable bits.
+
+        Raises :class:`BuildError` if the partition does not fit a page
+        even at 1 bit/dim (it must be split before it can be costed).
+        """
+        bits = self.storable_bits(block_size)
+        if bits == 0:
+            raise BuildError(
+                f"partition of {self.size} points does not fit a page"
+            )
+        return PartitionStats(
+            m=self.size,
+            side_lengths=tuple(self.mbr.extents.tolist()),
+            bits=bits,
+        )
+
+    def __repr__(self) -> str:
+        return f"Partition(size={self.size}, mbr={self.mbr!r})"

@@ -1,0 +1,403 @@
+"""IQ-tree query processing (paper Sections 2.1 and 3.2).
+
+Nearest-neighbor search is Hjaltason-Samet best-first search over a
+priority list that mixes two granularities: whole data pages (first-level
+MBRs) and the box approximations of individual points (grid cells of
+loaded quantized pages).  A page that becomes the pivot is loaded and its
+cells enter the list; a *point* that becomes the pivot is refined --
+its exact coordinates are fetched from the third level -- because, as
+the paper argues, no strategy can avoid that look-up.
+
+Two page-access strategies are available:
+
+* ``standard`` -- one random read per pivot page (how classic index
+  structures operate);
+* ``optimized`` -- the cost-balance scheduler of Section 2.1: when a
+  page must be read, neighboring pages in file order whose estimated
+  access probabilities (eqs. 2-5) make speculative reading cheaper in
+  expectation than a later random seek are fetched in the same
+  sequential transfer.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import SearchError
+from repro.costmodel.access_probability import (
+    PageView,
+    access_probabilities,
+)
+from repro.core.tree import ExactStore, IQTree, PageHandle
+from repro.geometry.mbr import mindist_to_boxes, maxdist_to_boxes
+from repro.storage.disk import IOStats
+from repro.storage.scheduler import cost_balance_window
+
+__all__ = [
+    "NNResult",
+    "RangeResult",
+    "nearest_neighbors",
+    "range_search",
+    "browse_by_distance",
+]
+
+_PAGE = 0
+_POINT = 1
+
+
+@dataclass
+class NNResult:
+    """Result of a k-nearest-neighbor query.
+
+    Attributes
+    ----------
+    ids:
+        Point ids, ascending by distance, shape ``(k,)``.
+    distances:
+        Matching distances.
+    io:
+        Simulated-I/O delta of this query.
+    pages_read:
+        Number of quantized data pages processed.
+    refinements:
+        Number of third-level exact look-ups performed.
+    """
+
+    ids: np.ndarray
+    distances: np.ndarray
+    io: IOStats
+    pages_read: int
+    refinements: int
+
+
+@dataclass
+class RangeResult:
+    """Result of a range query (all points within a radius)."""
+
+    ids: np.ndarray
+    distances: np.ndarray
+    io: IOStats
+    pages_read: int
+    refinements: int
+
+
+class _KBest:
+    """Fixed-size max-heap tracking the current k best candidates."""
+
+    def __init__(self, k: int):
+        self.k = k
+        self._heap: list[tuple[float, int]] = []  # (-dist, id)
+
+    def bound(self) -> float:
+        """Current pruning distance (inf until k candidates exist)."""
+        if len(self._heap) < self.k:
+            return np.inf
+        return -self._heap[0][0]
+
+    def offer(self, dist: float, point_id: int) -> None:
+        if len(self._heap) < self.k:
+            heapq.heappush(self._heap, (-dist, point_id))
+        elif dist < -self._heap[0][0]:
+            heapq.heapreplace(self._heap, (-dist, point_id))
+
+    def offer_many(self, dists: np.ndarray, ids: np.ndarray) -> None:
+        for dist, pid in zip(dists, ids):
+            self.offer(float(dist), int(pid))
+
+    def sorted_results(self) -> tuple[np.ndarray, np.ndarray]:
+        pairs = sorted((-nd, pid) for nd, pid in self._heap)
+        dists = np.array([p[0] for p in pairs])
+        ids = np.array([p[1] for p in pairs], dtype=np.int64)
+        return ids, dists
+
+
+def nearest_neighbors(
+    tree: IQTree, query: np.ndarray, k: int = 1, scheduler: str = "optimized"
+) -> NNResult:
+    """Exact k-NN search on an IQ-tree.
+
+    See the module docstring for the algorithm; ``scheduler`` selects the
+    page-access strategy.
+    """
+    if k < 1:
+        raise SearchError("k must be at least 1")
+    if scheduler not in ("optimized", "standard"):
+        raise SearchError(f"unknown scheduler: {scheduler!r}")
+    tree._ensure_clean()
+    if k > tree.n_points:
+        raise SearchError(f"k={k} exceeds the {tree.n_points} stored points")
+    query = _checked_query(tree, query)
+
+    io_before = IOStats(**_io_state(tree))
+    tree._charge_directory_scan()
+
+    metric = tree.metric
+    page_mindists = mindist_to_boxes(
+        query, tree._lowers, tree._uppers, metric
+    )
+    n_pages = tree.n_pages
+    processed = np.zeros(n_pages, dtype=bool)
+    best = _KBest(k)
+    exact = ExactStore(tree)
+    pages_read = 0
+
+    tie = itertools.count()
+    heap: list[tuple] = [
+        (float(page_mindists[i]), next(tie), _PAGE, i, 0)
+        for i in range(n_pages)
+    ]
+    heapq.heapify(heap)
+
+    while heap and heap[0][0] <= best.bound():
+        dist, _t, kind, page, local = heapq.heappop(heap)
+        if kind == _POINT:
+            coords, pid = exact.fetch(page, local)
+            best.offer(metric.distance(query, coords), pid)
+            continue
+        if processed[page]:
+            continue
+        if scheduler == "standard":
+            handles = [tree._read_page(page)]
+        else:
+            handles = _read_window(
+                tree, query, page, page_mindists, processed,
+                best.bound(), k,
+            )
+        for handle in handles:
+            processed[handle.index] = True
+            pages_read += 1
+            _process_page(tree, query, handle, best, heap, tie)
+
+    ids, dists = best.sorted_results()
+    io_after = IOStats(**_io_state(tree))
+    return NNResult(
+        ids=ids,
+        distances=dists,
+        io=_io_delta(io_before, io_after),
+        pages_read=pages_read,
+        refinements=exact.refinements,
+    )
+
+
+def range_search(tree: IQTree, query: np.ndarray, radius: float) -> RangeResult:
+    """All points within ``radius`` of ``query``.
+
+    The candidate page set is known up front (every page whose MBR
+    mindist is within the radius), so the pages are fetched with the
+    optimal batched strategy of Section 2.  A point whose cell maxdist
+    is within the radius is a certain answer but is still refined --
+    returning an answer means producing its exact record; a point whose
+    cell straddles the radius is refined to decide.
+    """
+    if radius < 0:
+        raise SearchError("radius must be non-negative")
+    tree._ensure_clean()
+    query = _checked_query(tree, query)
+
+    io_before = IOStats(**_io_state(tree))
+    tree._charge_directory_scan()
+    metric = tree.metric
+    page_mindists = mindist_to_boxes(
+        query, tree._lowers, tree._uppers, metric
+    )
+    candidates = np.flatnonzero(page_mindists <= radius)
+    exact = ExactStore(tree)
+    found_ids: list[int] = []
+    found_dists: list[float] = []
+    pages_read = 0
+
+    payloads = tree._quant_file.read_batched(candidates.tolist())
+    for page in candidates.tolist():
+        handle = tree._decode_page_payload(page, payloads[page])
+        pages_read += 1
+        if handle.points is not None:
+            dists = metric.distances(query, handle.points)
+            inside = dists <= radius
+            found_ids.extend(handle.ids[inside].tolist())
+            found_dists.extend(dists[inside].tolist())
+            continue
+        quantizer = tree._quantizer_for(page)
+        lower_b = quantizer.cell_mindist(query, handle.codes, metric)
+        for local in np.flatnonzero(lower_b <= radius):
+            coords, pid = exact.fetch(page, int(local))
+            dist = metric.distance(query, coords)
+            if dist <= radius:
+                found_ids.append(pid)
+                found_dists.append(dist)
+
+    order = np.argsort(found_dists, kind="stable")
+    io_after = IOStats(**_io_state(tree))
+    return RangeResult(
+        ids=np.array(found_ids, dtype=np.int64)[order],
+        distances=np.array(found_dists)[order],
+        io=_io_delta(io_before, io_after),
+        pages_read=pages_read,
+        refinements=exact.refinements,
+    )
+
+
+def browse_by_distance(tree: IQTree, query: np.ndarray):
+    """Incremental distance browsing (Hjaltason-Samet ranking).
+
+    Yields ``(point_id, distance)`` pairs in ascending distance order,
+    lazily: pages are loaded and points refined only as far as the
+    consumer iterates, so taking the first k results does no more I/O
+    than a k-NN query with an unknown k.  This is the natural API for
+    "give me neighbors until I say stop" workloads; the paper's k-NN
+    algorithm is the bounded special case.
+
+    Uses the standard (one random read per pivot page) access strategy:
+    speculative pre-reading needs a pruning bound, and an open-ended
+    ranking has none.
+    """
+    tree._ensure_clean()
+    query = _checked_query(tree, query)
+    tree._charge_directory_scan()
+    metric = tree.metric
+    page_mindists = mindist_to_boxes(
+        query, tree._lowers, tree._uppers, metric
+    )
+    exact = ExactStore(tree)
+    tie = itertools.count()
+    # Entry kinds: _PAGE (load + expand), _POINT (refine), _RESULT
+    # (already-exact distance, ready to emit).
+    result_kind = 2
+    heap: list[tuple] = [
+        (float(page_mindists[i]), next(tie), _PAGE, i, 0)
+        for i in range(tree.n_pages)
+    ]
+    heapq.heapify(heap)
+    while heap:
+        dist, _t, kind, page, local = heapq.heappop(heap)
+        if kind == result_kind:
+            yield int(page), float(dist)  # page slot holds the id here
+            continue
+        if kind == _POINT:
+            coords, pid = exact.fetch(page, local)
+            true = metric.distance(query, coords)
+            heapq.heappush(heap, (true, next(tie), result_kind, pid, 0))
+            continue
+        handle = tree._read_page(page)
+        if handle.points is not None:
+            dists = metric.distances(query, handle.points)
+            for pid, true in zip(handle.ids, dists):
+                heapq.heappush(
+                    heap, (float(true), next(tie), result_kind, int(pid), 0)
+                )
+            continue
+        quantizer = tree._quantizer_for(page)
+        lower_b = quantizer.cell_mindist(query, handle.codes, metric)
+        for local_idx, lb in enumerate(lower_b):
+            heapq.heappush(
+                heap, (float(lb), next(tie), _POINT, page, local_idx)
+            )
+
+
+# ----------------------------------------------------------------------
+# Internals
+# ----------------------------------------------------------------------
+def _process_page(tree, query, handle: PageHandle, best, heap, tie) -> None:
+    """Decode one page: exact pages update the result directly, coarser
+    pages push their cells' box approximations into the priority list."""
+    metric = tree.metric
+    if handle.points is not None:
+        dists = metric.distances(query, handle.points)
+        best.offer_many(dists, handle.ids)
+        return
+    quantizer = tree._quantizer_for(handle.index)
+    lower_b = quantizer.cell_mindist(query, handle.codes, metric)
+    bound = best.bound()
+    for local in np.flatnonzero(lower_b <= bound):
+        heapq.heappush(
+            heap,
+            (float(lower_b[local]), next(tie), _POINT, handle.index, int(local)),
+        )
+
+
+def _read_window(
+    tree: IQTree,
+    query: np.ndarray,
+    pivot: int,
+    page_mindists: np.ndarray,
+    processed: np.ndarray,
+    bound: float,
+    k: int = 1,
+) -> list[PageHandle]:
+    """Cost-balance page fetch around the pivot (Section 2.1).
+
+    Builds the pending-page snapshot, evaluates access probabilities for
+    file-order neighbors of the pivot, extends the transfer while the
+    cumulated cost balance stays favorable, reads the chosen run in one
+    sequential transfer, and returns the decoded pending pages.
+    """
+    n_pages = tree.n_pages
+    pending = ~processed
+    if np.isfinite(bound):
+        pending &= page_mindists <= bound
+    pending[pivot] = True
+    pending_idx = np.flatnonzero(pending)
+    snapshot_of = np.full(n_pages, -1, dtype=np.int64)
+    snapshot_of[pending_idx] = np.arange(pending_idx.size)
+    view = PageView(
+        lowers=tree._lowers[pending_idx],
+        uppers=tree._uppers[pending_idx],
+        counts=tree._counts[pending_idx].astype(np.float64),
+        mindists=page_mindists[pending_idx],
+    )
+
+    def probability(block: int) -> float:
+        snap = snapshot_of[block]
+        if snap < 0:
+            return 0.0
+        return float(
+            access_probabilities(
+                query, view, np.array([snap]), metric=tree.metric, k=k
+            )[0]
+        )
+
+    first, last = cost_balance_window(
+        pivot, n_pages, probability, tree.disk.model
+    )
+    to_process = [
+        j for j in range(first, last + 1) if not processed[j] and pending[j]
+    ]
+    payloads = tree._read_page_run(first, last, wanted=len(to_process))
+    return [
+        tree._decode_page_payload(j, payloads[j - first])
+        for j in to_process
+    ]
+
+
+def _checked_query(tree: IQTree, query) -> np.ndarray:
+    """Validate a query point: right shape, finite coordinates."""
+    query = np.asarray(query, dtype=np.float64)
+    if query.shape != (tree.dim,):
+        raise SearchError(
+            f"query must have shape ({tree.dim},), got {query.shape}"
+        )
+    if not np.all(np.isfinite(query)):
+        raise SearchError("query coordinates must be finite")
+    return query
+
+
+def _io_state(tree: IQTree) -> dict:
+    s = tree.disk.stats
+    return {
+        "seeks": s.seeks,
+        "blocks_read": s.blocks_read,
+        "blocks_overread": s.blocks_overread,
+        "elapsed": s.elapsed,
+    }
+
+
+def _io_delta(before: IOStats, after: IOStats) -> IOStats:
+    return IOStats(
+        seeks=after.seeks - before.seeks,
+        blocks_read=after.blocks_read - before.blocks_read,
+        blocks_overread=after.blocks_overread - before.blocks_overread,
+        elapsed=after.elapsed - before.elapsed,
+    )

@@ -1,0 +1,68 @@
+"""The split heuristic shared by construction and the optimizer.
+
+Per the paper (Section 3.3), partitions split along the dimension where
+the MBR has its largest extension.  The split position is the median of
+the member points in that dimension, which keeps the two halves balanced
+-- the property the bulk-load strategy of the paper's reference [4]
+relies on for packed pages.
+
+Degenerate inputs (all points identical in the longest dimension, or
+fully identical points) are handled by falling back to the next-longest
+dimension and, ultimately, an index-count split, so the builder can
+always make progress.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import BuildError
+from repro.core.partition import Partition
+
+__all__ = ["split_partition"]
+
+
+def split_partition(
+    data: np.ndarray, partition: Partition
+) -> tuple[Partition, Partition]:
+    """Split ``partition`` into two balanced halves.
+
+    Returns the two child partitions, each with a freshly tightened MBR.
+    Raises :class:`BuildError` for single-point partitions.
+    """
+    if partition.size < 2:
+        raise BuildError("cannot split a single-point partition")
+    points = partition.points(data)
+    order = np.argsort(partition.mbr.extents)[::-1]
+    for dim in order:
+        left_mask = _median_mask(points[:, dim])
+        if left_mask is not None:
+            break
+    else:
+        # All points identical: split the index array in half.
+        half = partition.size // 2
+        left_mask = np.zeros(partition.size, dtype=bool)
+        left_mask[:half] = True
+    left = Partition.of(data, partition.indices[left_mask])
+    right = Partition.of(data, partition.indices[~left_mask])
+    return left, right
+
+
+def _median_mask(values: np.ndarray) -> np.ndarray | None:
+    """Boolean mask of the lower half split at the median of ``values``.
+
+    Returns ``None`` when no position in this dimension yields two
+    non-empty halves (all values equal, or the median pins everything to
+    one side).  Ties at the median are broken by stable index order so
+    the halves stay balanced even with heavily duplicated values.
+    """
+    m = values.size
+    half = m // 2
+    order = np.argsort(values, kind="stable")
+    lo_value = values[order[0]]
+    hi_value = values[order[-1]]
+    if lo_value == hi_value:
+        return None
+    mask = np.zeros(m, dtype=bool)
+    mask[order[:half]] = True
+    return mask

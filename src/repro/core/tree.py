@@ -1,0 +1,576 @@
+"""The IQ-tree: a three-level compressed index (paper Section 3).
+
+Level 1 is a flat directory of exact MBRs (one entry per data page),
+level 2 holds the grid-quantized data pages with per-page bit resolution,
+and level 3 holds the exact point data, consulted only when a query
+cannot be decided on the approximation.  Each level lives in its own
+:class:`~repro.storage.blockfile.BlockFile` on a shared simulated disk.
+
+Coordinates are canonicalized to float32 precision at build time (the
+stored representation is float32, as in the paper's implementation), so
+the index is exact with respect to its own stored data;
+:attr:`IQTree.points` exposes the canonical copy all comparisons should
+use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import BuildError, SearchError
+from repro.core.build import bulk_load_partitions
+from repro.core.optimizer import (
+    OptimizedPartition,
+    OptimizationTrace,
+    optimize_partitions,
+    fixed_bits_partitions,
+)
+from repro.costmodel.fractal import correlation_dimension
+from repro.costmodel.model import CostModel
+from repro.geometry.mbr import MBR
+from repro.geometry.metrics import get_metric
+from repro.quantization.capacity import EXACT_BITS
+from repro.quantization.grid import GridQuantizer
+from repro.storage.blockfile import BlockFile
+from repro.storage.disk import SimulatedDisk
+from repro.storage import serializer
+
+__all__ = ["IQTree", "canonicalize", "PageHandle"]
+
+
+def canonicalize(data: np.ndarray) -> np.ndarray:
+    """Round coordinates to float32 precision (the stored precision)."""
+    return np.asarray(data, dtype=np.float32).astype(np.float64)
+
+
+@dataclass
+class PageHandle:
+    """Decoded view of one quantized data page (internal to search)."""
+
+    index: int
+    bits: int
+    codes: np.ndarray | None  # uint32 cell codes when bits < 32
+    points: np.ndarray | None  # exact coords when bits = 32
+    ids: np.ndarray | None  # inline ids when bits = 32
+
+
+class IQTree:
+    """A built IQ-tree over a point data set.
+
+    Use :meth:`IQTree.build` to construct one; the initializer is
+    internal.  Public query entry points are :meth:`nearest` and
+    :meth:`range_query`; :meth:`insert`, :meth:`delete`, and
+    :meth:`reoptimize` provide dynamic maintenance.
+    """
+
+    def __init__(
+        self,
+        points: np.ndarray,
+        solution: list[OptimizedPartition],
+        disk: SimulatedDisk,
+        metric,
+        cost_model: CostModel,
+        trace: OptimizationTrace | None,
+        charge_directory: bool,
+    ):
+        self._points = points
+        self._partitions = list(solution)
+        self.disk = disk
+        self.metric = metric
+        self.cost_model = cost_model
+        self.trace = trace
+        self.charge_directory = charge_directory
+        self._dirty = True
+        self._id_to_partition: dict[int, int] = {}
+        self._pool = None
+        self._layout()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        data: np.ndarray,
+        disk: SimulatedDisk | None = None,
+        metric="euclidean",
+        fractal_dim: float | str | None = "auto",
+        optimize: bool = True,
+        fixed_bits: int | None = None,
+        k_for_cost: int = 1,
+        charge_directory: bool = True,
+        layout: str = "spatial",
+        layout_seed: int = 0,
+    ) -> "IQTree":
+        """Bulk-load an IQ-tree.
+
+        Parameters
+        ----------
+        data:
+            Point data, shape ``(n, d)``.  Canonicalized to float32
+            precision.
+        disk:
+            Simulated disk to build on (a default disk is created when
+            omitted); its block size fixes the page size.
+        metric:
+            Query metric name or :class:`~repro.geometry.metrics.Metric`.
+        fractal_dim:
+            ``"auto"`` (estimate the correlation dimension from a
+            sample), a float, or ``None`` for the uniform/independence
+            model (``D_F = d``).
+        optimize:
+            Run the optimal-quantization algorithm.  When ``False``, the
+            tree stores every page at ``fixed_bits`` (default 32 --
+            i.e. a "no quantization" tree, the paper's Fig. 7 ablation).
+        fixed_bits:
+            Quantization level used when ``optimize=False``.
+        k_for_cost:
+            ``k`` the cost model optimizes for.
+        charge_directory:
+            Charge the sequential first-level scan to every query
+            (matches the paper's cost model; disable to model a cached
+            directory).
+        layout:
+            ``"spatial"`` (default) stores pages in the construction's
+            depth-first order, so spatially close partitions are close
+            on disk -- the clustering the cost-balance scheduler
+            exploits.  ``"random"`` shuffles the page order (an
+            ablation that isolates the layout's contribution).
+        layout_seed:
+            Seed of the ``"random"`` layout's shuffle.
+        """
+        disk = disk or SimulatedDisk()
+        metric = get_metric(metric)
+        points = canonicalize(data)
+        if points.ndim != 2 or points.shape[0] == 0:
+            raise BuildError("build needs a non-empty (n, d) array")
+        n, dim = points.shape
+        block_size = disk.model.block_size
+
+        if fractal_dim == "auto":
+            fractal = correlation_dimension(points) if n >= 2 else float(dim)
+        elif fractal_dim is None:
+            fractal = float(dim)
+        else:
+            fractal = float(fractal_dim)
+
+        space = MBR.of_points(points)
+        volume = float(np.prod(np.maximum(space.extents, 1e-12)))
+        cost_model = CostModel(
+            disk.model,
+            dim,
+            n,
+            fractal_dim=fractal,
+            data_space_volume=volume,
+            metric=metric,
+            k=k_for_cost,
+        )
+
+        trace: OptimizationTrace | None = None
+        if optimize:
+            if fixed_bits is not None:
+                raise BuildError("fixed_bits requires optimize=False")
+            initial = bulk_load_partitions(points, block_size)
+            solution, trace = optimize_partitions(
+                points, initial, cost_model, block_size
+            )
+        else:
+            bits = EXACT_BITS if fixed_bits is None else int(fixed_bits)
+            solution = fixed_bits_partitions(points, block_size, bits)
+        if layout == "random":
+            rng = np.random.default_rng(layout_seed)
+            solution = [solution[i] for i in rng.permutation(len(solution))]
+        elif layout != "spatial":
+            raise BuildError(f"unknown layout: {layout!r}")
+        return cls(
+            points,
+            solution,
+            disk,
+            metric,
+            cost_model,
+            trace,
+            charge_directory,
+        )
+
+    # ------------------------------------------------------------------
+    # File layout
+    # ------------------------------------------------------------------
+    def _layout(self) -> None:
+        """(Re)serialize all three levels onto fresh disk extents."""
+        block_size = self.disk.model.block_size
+        n_parts = len(self._partitions)
+        if n_parts == 0:
+            raise BuildError("cannot lay out an empty tree")
+        dim = self.dim
+
+        lowers = np.empty((n_parts, dim))
+        uppers = np.empty((n_parts, dim))
+        counts = np.empty(n_parts, dtype=np.int64)
+        bits = np.empty(n_parts, dtype=np.int64)
+        exact_firsts = np.zeros(n_parts, dtype=np.int64)
+        exact_counts = np.zeros(n_parts, dtype=np.int64)
+        part_ids: list[np.ndarray] = []
+
+        quant_file = BlockFile(self.disk, "quantized")
+        exact_file = BlockFile(self.disk, "exact")
+        self._id_to_partition.clear()
+
+        for j, opt in enumerate(self._partitions):
+            part, g = opt.partition, opt.bits
+            pts = part.points(self._points)
+            ids = part.indices
+            part_ids.append(ids)
+            for pid in ids:
+                self._id_to_partition[int(pid)] = j
+            lowers[j] = part.mbr.lower
+            uppers[j] = part.mbr.upper
+            counts[j] = part.size
+            bits[j] = g
+            if g >= EXACT_BITS:
+                payload = serializer.encode_quantized_page(
+                    pts, EXACT_BITS, block_size, ids=ids
+                )
+                quant_file.append_block(payload)
+            else:
+                quantizer = GridQuantizer(part.mbr, g)
+                codes = quantizer.encode(pts)
+                payload = serializer.encode_quantized_page(
+                    codes, g, block_size
+                )
+                quant_file.append_block(payload)
+                record = serializer.encode_exact_record(pts, ids)
+                first, nblocks = exact_file.append_record(record)
+                exact_firsts[j] = first
+                exact_counts[j] = nblocks
+
+        dir_file = BlockFile(self.disk, "directory")
+        dir_blocks = serializer.encode_directory(
+            lowers,
+            uppers,
+            np.arange(n_parts),
+            exact_firsts,
+            exact_counts,
+            counts,
+            block_size,
+        )
+        for payload in dir_blocks:
+            dir_file.append_block(payload)
+
+        # Seal in first/second/third level order: three distinct files,
+        # each in its own contiguous extent (paper Section 3.1).
+        dir_file.seal()
+        quant_file.seal()
+        exact_file.seal()
+
+        if self._pool is not None:
+            from repro.storage.cache import CachedBlockFile
+
+            dir_file = CachedBlockFile(dir_file, self._pool)
+            quant_file = CachedBlockFile(quant_file, self._pool)
+            exact_file = CachedBlockFile(exact_file, self._pool)
+        self._dir_file = dir_file
+        self._quant_file = quant_file
+        self._exact_file = exact_file
+        # Directory arrays mirror the float32 on-disk representation.
+        decoded = serializer.decode_directory(
+            [dir_file.peek_block(i) for i in range(dir_file.n_blocks)],
+            dim,
+            n_parts,
+        )
+        self._lowers = decoded["lowers"]
+        self._uppers = decoded["uppers"]
+        self._counts = decoded["point_counts"]
+        self._bits = bits
+        self._exact_firsts = decoded["exact_firsts"]
+        self._exact_blocks = decoded["exact_counts"]
+        self._part_ids = part_ids
+        self._dirty = False
+
+    def _ensure_clean(self) -> None:
+        if self._dirty:
+            self._layout()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def points(self) -> np.ndarray:
+        """The canonical (float32-precision) data the index stores."""
+        return self._points
+
+    @property
+    def n_points(self) -> int:
+        """Number of rows in the backing point array.
+
+        Deleted points stay in the array until :meth:`reoptimize`
+        compacts it; :attr:`n_live_points` counts only indexed points.
+        """
+        return self._points.shape[0]
+
+    @property
+    def n_live_points(self) -> int:
+        """Number of points currently indexed (excludes deleted rows)."""
+        return sum(opt.partition.size for opt in self._partitions)
+
+    @property
+    def dim(self) -> int:
+        """Data dimensionality."""
+        return int(self._points.shape[1])
+
+    @property
+    def n_pages(self) -> int:
+        """Number of data pages (= directory entries)."""
+        return len(self._partitions)
+
+    @property
+    def page_bits(self) -> np.ndarray:
+        """Per-page quantization level ``g`` (int array)."""
+        self._ensure_clean()
+        return self._bits.copy()
+
+    def page_mbr(self, page: int) -> MBR:
+        """The (float32-exact) MBR of one data page."""
+        self._ensure_clean()
+        return MBR(self._lowers[page], self._uppers[page])
+
+    def size_summary(self) -> dict[str, int]:
+        """Block counts of the three files (compression diagnostics)."""
+        self._ensure_clean()
+        return {
+            "directory_blocks": self._dir_file.n_blocks,
+            "quantized_blocks": self._quant_file.n_blocks,
+            "exact_blocks": self._exact_file.n_blocks,
+        }
+
+    # ------------------------------------------------------------------
+    # Query entry points (implemented in repro.core.search)
+    # ------------------------------------------------------------------
+    def nearest(self, query: np.ndarray, k: int = 1, scheduler: str = "optimized"):
+        """k-nearest-neighbor query.
+
+        Parameters
+        ----------
+        query:
+            Query point, shape ``(d,)``.
+        k:
+            Number of neighbors.
+        scheduler:
+            ``"optimized"`` for the paper's cost-balance page scheduling
+            (Section 2.1) or ``"standard"`` for one random read per
+            pivot page.
+        """
+        from repro.core.search import nearest_neighbors
+
+        return nearest_neighbors(self, query, k=k, scheduler=scheduler)
+
+    def range_query(self, query: np.ndarray, radius: float):
+        """All points within ``radius`` of ``query`` (ids + distances)."""
+        from repro.core.search import range_search
+
+        return range_search(self, query, radius)
+
+    def nearest_batch(
+        self, queries: np.ndarray, k: int = 1, scheduler: str = "optimized"
+    ) -> list:
+        """Run :meth:`nearest` for each row of ``queries``.
+
+        The disk head is *not* parked between queries, so consecutive
+        queries benefit from head locality (the measurement harness
+        parks explicitly when per-query isolation is wanted).
+        """
+        queries = np.asarray(queries, dtype=np.float64)
+        if queries.ndim != 2:
+            raise SearchError("queries must be a (q, d) array")
+        return [
+            self.nearest(q, k=k, scheduler=scheduler) for q in queries
+        ]
+
+    def browse(self, query: np.ndarray):
+        """Incremental distance browsing: yields ``(id, distance)`` in
+        ascending order, lazily (Hjaltason-Samet ranking)."""
+        from repro.core.search import browse_by_distance
+
+        return browse_by_distance(self, query)
+
+    def estimated_range_query(self, radius: float):
+        """Model predictions for a range query of the given radius.
+
+        Returns a :class:`~repro.costmodel.range_model.RangeEstimate`
+        (expected result count, page accesses, and simulated time).
+        """
+        from repro.costmodel.range_model import estimate_range_query
+
+        self._ensure_clean()
+        return estimate_range_query(
+            radius,
+            self.n_pages,
+            self.n_live_points,
+            self.dim,
+            self.disk.model,
+            fractal_dim=self.cost_model.fractal_dim,
+            data_space_volume=self.cost_model.data_space_volume,
+            metric=self.metric,
+        )
+
+    def insert_many(self, points: np.ndarray) -> np.ndarray:
+        """Insert a batch of points; returns their assigned ids.
+
+        Equivalent to repeated :meth:`insert` (each point goes through
+        the Section 6 overflow logic) with a single re-layout at the
+        end instead of one per intervening query.
+        """
+        points = np.asarray(points, dtype=np.float64)
+        if points.ndim != 2 or points.shape[1] != self.dim:
+            raise SearchError(f"points must be (m, {self.dim})")
+        return np.array([self.insert(p) for p in points], dtype=np.int64)
+
+    def estimated_query_cost(self):
+        """The cost model's prediction for this tree's layout.
+
+        Returns a :class:`~repro.costmodel.model.CostBreakdown` with the
+        expected first-level, second-level, and refinement time per
+        nearest-neighbor query -- the quantity the optimizer minimized.
+        """
+        from repro.costmodel.model import PartitionStats
+
+        return self.cost_model.breakdown(
+            PartitionStats(
+                m=opt.partition.size,
+                side_lengths=tuple(opt.partition.mbr.extents.tolist()),
+                bits=opt.bits,
+            )
+            for opt in self._partitions
+        )
+
+    # ------------------------------------------------------------------
+    # Maintenance entry points (implemented in repro.core.maintenance)
+    # ------------------------------------------------------------------
+    def insert(self, point: np.ndarray) -> int:
+        """Insert a point; returns its assigned id (Section 6)."""
+        from repro.core.maintenance import insert_point
+
+        return insert_point(self, point)
+
+    def delete(self, point_id: int) -> None:
+        """Delete a point by id."""
+        from repro.core.maintenance import delete_point
+
+        delete_point(self, point_id)
+
+    def reoptimize(self) -> None:
+        """Re-run bulk load + optimal quantization on the current data."""
+        from repro.core.maintenance import reoptimize
+
+        reoptimize(self)
+
+    # ------------------------------------------------------------------
+    # Buffer management
+    # ------------------------------------------------------------------
+    def use_buffer_pool(self, pool_or_capacity) -> "object":
+        """Attach an LRU buffer pool to all three level files.
+
+        Accepts a :class:`~repro.storage.cache.BufferPool` (possibly
+        shared with other indexes on the same disk) or an integer
+        capacity in blocks.  Returns the pool.  Pass 0 to effectively
+        disable caching; re-layouts after maintenance keep the pool but
+        drop stale residency.
+        """
+        from repro.storage.cache import BufferPool
+
+        from repro.storage.cache import CachedBlockFile
+
+        if isinstance(pool_or_capacity, BufferPool):
+            pool = pool_or_capacity
+        else:
+            pool = BufferPool(int(pool_or_capacity))
+        self._pool = pool
+        # Wrap the live files in place; re-layouts re-wrap automatically.
+        if not self._dirty:
+            for slot in ("_dir_file", "_quant_file", "_exact_file"):
+                current = getattr(self, slot)
+                if isinstance(current, CachedBlockFile):
+                    current = current._file
+                setattr(self, slot, CachedBlockFile(current, pool))
+        return pool
+
+    # ------------------------------------------------------------------
+    # Internal I/O helpers used by the search algorithms
+    # ------------------------------------------------------------------
+    def _charge_directory_scan(self) -> None:
+        if self.charge_directory and self._dir_file.n_blocks:
+            self._dir_file.read_run(0, self._dir_file.n_blocks)
+
+    def _decode_page_payload(self, page: int, payload: bytes) -> PageHandle:
+        contents, g, ids = serializer.decode_quantized_page(
+            payload, self.dim
+        )
+        if g >= EXACT_BITS:
+            return PageHandle(page, g, None, contents, ids)
+        return PageHandle(page, g, contents, None, None)
+
+    def _read_page(self, page: int) -> PageHandle:
+        """Random single-page read (the standard strategy)."""
+        return self._decode_page_payload(
+            page, self._quant_file.read_block(page)
+        )
+
+    def _read_page_run(
+        self, first: int, last: int, wanted: int
+    ) -> list[bytes]:
+        """One sequential transfer of pages ``first..last`` inclusive."""
+        return self._quant_file.read_run(
+            first, last - first + 1, wanted=wanted
+        )
+
+    def _quantizer_for(self, page: int) -> GridQuantizer:
+        return GridQuantizer(
+            MBR(self._lowers[page], self._uppers[page]),
+            int(self._bits[page]),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"IQTree(n={self.n_points}, dim={self.dim}, "
+            f"pages={self.n_pages}, metric={self.metric.name})"
+        )
+
+
+class ExactStore:
+    """Per-query cached reader of third-level point records.
+
+    Refining a point pays one random seek plus the transfer of the block
+    (or two, when the record straddles a boundary) that holds its
+    record; blocks already fetched during the same query are free.
+    """
+
+    def __init__(self, tree: IQTree):
+        self._tree = tree
+        self._cache: dict[int, bytes] = {}
+        self.refinements = 0
+
+    def fetch(self, page: int, local_index: int) -> tuple[np.ndarray, int]:
+        """Exact ``(coords, id)`` of one point of a ``g < 32`` page."""
+        tree = self._tree
+        record = serializer.exact_point_record_size(tree.dim)
+        first_block = int(tree._exact_firsts[page])
+        start = local_index * record
+        end = start + record  # exclusive
+        block_size = tree.disk.model.block_size
+        b0 = first_block + start // block_size
+        b1 = first_block + (end - 1) // block_size
+        data = bytearray()
+        for b in range(b0, b1 + 1):
+            if b not in self._cache:
+                self._cache[b] = tree._exact_file.read_block(b)
+            data += self._cache[b]
+        offset = start - (b0 - first_block) * block_size
+        coords, ids = serializer.decode_exact_record(
+            bytes(data[offset : offset + record]), 1, tree.dim
+        )
+        self.refinements += 1
+        return coords[0], int(ids[0])
+
+
+__all__.append("ExactStore")

@@ -1,0 +1,58 @@
+"""The IQ-tree cost model (paper Sections 2.2 and 3.4).
+
+Two distinct uses of the model coexist:
+
+* **Build time** (:mod:`~repro.costmodel.model` and friends): estimate
+  the expected query cost of a candidate partitioning/quantization so the
+  optimizer can pick the optimal one.  Components: first-level directory
+  scan (eq. 22), second-level page accesses with optimized reading
+  (eqs. 16-21), and third-level refinement look-ups (eqs. 6-15), with the
+  fractal dimension correcting for correlated data.
+* **Query time** (:mod:`~repro.costmodel.access_probability`): estimate,
+  for the cost-balance scheduler, the probability that a specific data
+  page will have to be loaded later during the running nearest-neighbor
+  query (eqs. 2-5).
+"""
+
+from repro.costmodel.density import (
+    point_density,
+    fractal_point_density,
+    nn_radius,
+    knn_radius,
+)
+from repro.costmodel.fractal import (
+    box_counting_dimension,
+    correlation_dimension,
+    estimate_fractal_dimension,
+)
+from repro.costmodel.minkowski import refinement_probability, cell_volume
+from repro.costmodel.pages import (
+    expected_page_accesses,
+    optimized_read_cost,
+    first_level_cost,
+)
+from repro.costmodel.access_probability import (
+    PageView,
+    access_probabilities,
+)
+from repro.costmodel.model import CostModel, CostBreakdown, PartitionStats
+
+__all__ = [
+    "point_density",
+    "fractal_point_density",
+    "nn_radius",
+    "knn_radius",
+    "box_counting_dimension",
+    "correlation_dimension",
+    "estimate_fractal_dimension",
+    "refinement_probability",
+    "cell_volume",
+    "expected_page_accesses",
+    "optimized_read_cost",
+    "first_level_cost",
+    "PageView",
+    "access_probabilities",
+    "CostModel",
+    "CostBreakdown",
+    "PartitionStats",
+]

@@ -1,0 +1,105 @@
+"""Point densities and nearest-neighbor radii (paper eqs. 6-7, 13-14).
+
+The cost model turns a page's point count and MBR volume into a local
+point density, then sizes the expected nearest-neighbor sphere so that it
+contains an expectation of one (or ``k``) data points.  Correlated data
+is handled by the fractal variants: the exponent ``D_F / d`` shrinks the
+effective volume, reflecting that correlated points concentrate on a
+``D_F``-dimensional subset of the space.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import CostModelError
+from repro.geometry.metrics import EUCLIDEAN
+
+__all__ = [
+    "point_density",
+    "fractal_point_density",
+    "nn_radius",
+    "knn_radius",
+]
+
+#: floor applied to degenerate side lengths when computing volumes, so a
+#: page whose points share a coordinate still has a finite density.
+_MIN_SIDE = 1e-12
+
+
+def _effective_volume(side_lengths: np.ndarray, exponent: float) -> float:
+    """``prod_i max(s_i, eps) ** exponent`` -- shared volume helper."""
+    sides = np.maximum(np.asarray(side_lengths, dtype=np.float64), _MIN_SIDE)
+    return float(np.prod(sides**exponent))
+
+
+def point_density(m: int, side_lengths: np.ndarray) -> float:
+    """Local point density ``rho = m / volume`` (paper eq. 6)."""
+    if m <= 0:
+        raise CostModelError("point count must be positive")
+    return m / _effective_volume(side_lengths, 1.0)
+
+
+def fractal_point_density(
+    m: int, side_lengths: np.ndarray, fractal_dim: float
+) -> float:
+    """Fractal point density (paper eq. 13).
+
+    The volume is computed with each side raised to ``D_F / d``, so the
+    density measures points per unit of *effective* (occupied) volume.
+    """
+    side_lengths = np.asarray(side_lengths, dtype=np.float64)
+    d = side_lengths.size
+    if m <= 0:
+        raise CostModelError("point count must be positive")
+    if not 0 < fractal_dim <= d:
+        raise CostModelError(
+            f"fractal dimension must be in (0, {d}], got {fractal_dim}"
+        )
+    return m / _effective_volume(side_lengths, fractal_dim / d)
+
+
+def nn_radius(density: float, dim: int, metric=None) -> float:
+    """Expected nearest-neighbor radius for a given density (eq. 7).
+
+    The radius is chosen so the metric ball of that radius contains an
+    expectation of exactly one point: ``V_ball(r) = 1 / rho``.
+    """
+    return knn_radius(density, dim, 1, metric)
+
+
+def knn_radius(density: float, dim: int, k: int, metric=None) -> float:
+    """Radius of the ball expected to contain ``k`` points.
+
+    This is the paper's k-NN extension (footnote to Section 3.4): size
+    the query ball to hold an expectation of ``k`` points instead of one.
+    """
+    metric = metric or EUCLIDEAN
+    if density <= 0:
+        raise CostModelError("density must be positive")
+    if k <= 0:
+        raise CostModelError("k must be positive")
+    return metric.ball_radius(k / density, dim)
+
+
+def fractal_nn_radius(
+    density_f: float, dim: int, fractal_dim: float, metric=None, k: int = 1
+) -> float:
+    """Fractal nearest-neighbor radius (paper eq. 14).
+
+    With the fractal density ``rho_F``, the enclosed-point count grows
+    with volume as ``V ** (D_F / d)``, so the volume that holds ``k``
+    points solves ``rho_F * V ** (D_F / d) = k``.
+    """
+    metric = metric or EUCLIDEAN
+    if density_f <= 0:
+        raise CostModelError("density must be positive")
+    if not 0 < fractal_dim <= dim:
+        raise CostModelError("fractal dimension out of range")
+    if k <= 0:
+        raise CostModelError("k must be positive")
+    volume = (k / density_f) ** (dim / fractal_dim)
+    return metric.ball_radius(volume, dim)
+
+
+__all__.append("fractal_nn_radius")

@@ -1,0 +1,98 @@
+"""Refinement probability of a quantized point (paper eqs. 10-15).
+
+A point stored as a ``g``-bit grid cell must be refined (its exact
+coordinates loaded from the third level) when the query ball touches its
+cell.  Under the "queries follow the data distribution" assumption that
+probability is the fraction of data points falling into the Minkowski
+enlargement of the cell by the nearest-neighbor sphere -- with the
+fractal exponent ``D_F / d`` correcting for correlation (eq. 15).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import CostModelError
+from repro.costmodel.density import fractal_point_density, fractal_nn_radius
+from repro.geometry.metrics import EUCLIDEAN
+from repro.geometry.volumes import minkowski_sum
+
+__all__ = ["cell_volume", "minkowski_cell_volume", "refinement_probability"]
+
+
+def cell_volume(side_lengths: np.ndarray, bits: int) -> float:
+    """Volume of one quantization cell: ``V_mbr / 2^(d*g)`` (eq. 10)."""
+    side_lengths = np.asarray(side_lengths, dtype=np.float64)
+    if bits < 1:
+        raise CostModelError("bits must be >= 1")
+    d = side_lengths.size
+    return float(np.prod(side_lengths)) / 2.0 ** (d * bits)
+
+
+def minkowski_cell_volume(
+    side_lengths: np.ndarray, bits: int, radius: float, metric=None
+) -> float:
+    """Volume of cell (+) NN-sphere for a ``g``-bit cell (eq. 11/12).
+
+    The cell's side lengths are the MBR sides divided by ``2^g``; the
+    Minkowski sum then follows the metric's formula (exact product form
+    for the maximum metric, the binomial approximation for Euclidean).
+    """
+    metric = metric or EUCLIDEAN
+    side_lengths = np.asarray(side_lengths, dtype=np.float64)
+    if bits < 1:
+        raise CostModelError("bits must be >= 1")
+    cell_sides = side_lengths / 2.0**bits
+    return minkowski_sum(cell_sides, radius, metric)
+
+
+def refinement_probability(
+    m: int,
+    side_lengths: np.ndarray,
+    bits: int,
+    n_total: int,
+    fractal_dim: float | None = None,
+    metric=None,
+    k: int = 1,
+) -> float:
+    """Probability that one stored point needs exact-geometry refinement.
+
+    Implements paper eq. 15::
+
+        P_refine = (rho_F / N) * V_mink(cell, NN-sphere) ** (D_F / d)
+
+    Parameters
+    ----------
+    m:
+        Number of points on the page.
+    side_lengths:
+        The page MBR's side lengths.
+    bits:
+        Quantization bits per dimension ``g``.  ``bits >= 32`` means the
+        page stores exact data, so the refinement probability is zero.
+    n_total:
+        Total number of points ``N`` in the database.
+    fractal_dim:
+        Fractal dimension ``D_F`` of the data (defaults to the full
+        embedding dimension ``d``, i.e. the uniform/independent model).
+    metric:
+        Query metric (defaults to Euclidean).
+    k:
+        Size the query ball for a k-nearest-neighbor query.
+    """
+    metric = metric or EUCLIDEAN
+    side_lengths = np.asarray(side_lengths, dtype=np.float64)
+    d = side_lengths.size
+    if bits >= 32:
+        return 0.0
+    if n_total <= 0:
+        raise CostModelError("total point count must be positive")
+    if fractal_dim is None:
+        fractal_dim = float(d)
+    if not 0 < fractal_dim <= d:
+        raise CostModelError("fractal dimension out of range")
+    density_f = fractal_point_density(m, side_lengths, fractal_dim)
+    radius = fractal_nn_radius(density_f, d, fractal_dim, metric, k=k)
+    mink = minkowski_cell_volume(side_lengths, bits, radius, metric)
+    prob = (density_f / n_total) * mink ** (fractal_dim / d)
+    return float(min(prob, 1.0))

@@ -1,0 +1,201 @@
+"""The assembled cost model ``T = T_1st + T_2nd + T_3rd`` (eq. 23).
+
+:class:`CostModel` binds together the component formulas with a concrete
+disk model and data-set summary, exposing exactly the quantities the
+split-tree optimizer needs:
+
+* the *variable cost* of a partition -- its expected third-level
+  refinement time, which depends on the partition's own MBR, point
+  count, and quantization resolution, and
+* the *constant cost* of a solution -- first- and second-level time,
+  which depends only on how many pages the solution has (this is the
+  observation that makes the greedy algorithm optimal, Lemma 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from repro.exceptions import CostModelError
+from repro.costmodel.minkowski import refinement_probability
+from repro.costmodel.pages import (
+    expected_page_accesses,
+    first_level_cost,
+    optimized_read_cost,
+)
+from repro.geometry.metrics import EUCLIDEAN
+from repro.storage.disk import DiskModel
+
+__all__ = ["PartitionStats", "CostBreakdown", "CostModel"]
+
+
+@dataclass(frozen=True)
+class PartitionStats:
+    """The cost-relevant summary of one candidate partition.
+
+    Attributes
+    ----------
+    m:
+        Number of points in the partition.
+    side_lengths:
+        Side lengths of the partition's MBR (tuple for hashability).
+    bits:
+        Bits per dimension the partition would be stored with (the
+        finest ``g`` whose capacity admits ``m`` points).
+    """
+
+    m: int
+    side_lengths: tuple[float, ...]
+    bits: int
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """Expected per-query cost, split by directory level (eq. 23)."""
+
+    first_level: float
+    second_level: float
+    refinement: float
+
+    @property
+    def total(self) -> float:
+        """``T = T_1st + T_2nd + T_3rd``."""
+        return self.first_level + self.second_level + self.refinement
+
+
+class CostModel:
+    """Expected-query-cost estimator for a candidate IQ-tree layout.
+
+    Parameters
+    ----------
+    disk:
+        Disk timing model.
+    dim:
+        Data dimensionality ``d``.
+    n_total:
+        Total number of points ``N`` in the database.
+    fractal_dim:
+        Fractal dimension ``D_F`` of the data; defaults to ``d``
+        (uniform/independence assumption).
+    data_space_volume:
+        Volume of the data space (1 for normalized data).
+    metric:
+        Query metric; defaults to Euclidean.
+    k:
+        Queries are k-nearest-neighbor with this ``k``.
+    """
+
+    def __init__(
+        self,
+        disk: DiskModel,
+        dim: int,
+        n_total: int,
+        fractal_dim: float | None = None,
+        data_space_volume: float = 1.0,
+        metric=None,
+        k: int = 1,
+    ):
+        if dim <= 0 or n_total <= 0:
+            raise CostModelError("dim and n_total must be positive")
+        if k <= 0:
+            raise CostModelError("k must be positive")
+        self.disk = disk
+        self.dim = int(dim)
+        self.n_total = int(n_total)
+        self.fractal_dim = (
+            float(fractal_dim) if fractal_dim is not None else float(dim)
+        )
+        if not 0 < self.fractal_dim <= dim:
+            raise CostModelError("fractal dimension out of range")
+        self.data_space_volume = float(data_space_volume)
+        self.metric = metric or EUCLIDEAN
+        self.k = int(k)
+
+    # ------------------------------------------------------------------
+    # Variable cost (per partition)
+    # ------------------------------------------------------------------
+    def refinement_lookups(self, stats: PartitionStats) -> float:
+        """Expected third-level look-ups per query caused by a partition.
+
+        ``m * P_refine`` -- each of the partition's ``m`` points is
+        refined independently with the probability of eq. 15.
+        """
+        prob = refinement_probability(
+            stats.m,
+            np.asarray(stats.side_lengths),
+            stats.bits,
+            self.n_total,
+            fractal_dim=self.fractal_dim,
+            metric=self.metric,
+            k=self.k,
+        )
+        return stats.m * prob
+
+    def refinement_cost(self, stats: PartitionStats) -> float:
+        """Expected third-level time per query caused by a partition.
+
+        Each refinement is a random access to the exact-data file:
+        one seek plus one block transfer.
+        """
+        per_lookup = self.disk.t_seek + self.disk.t_xfer
+        return self.refinement_lookups(stats) * per_lookup
+
+    # ------------------------------------------------------------------
+    # Constant cost (per page count)
+    # ------------------------------------------------------------------
+    def directory_costs(self, n_pages: int) -> tuple[float, float]:
+        """``(T_1st, T_2nd)`` for a solution with ``n_pages`` pages."""
+        if n_pages <= 0:
+            raise CostModelError("page count must be positive")
+        t_first = first_level_cost(n_pages, self.dim, self.disk)
+        accessed = expected_page_accesses(
+            n_pages,
+            self.n_total,
+            self.dim,
+            fractal_dim=self.fractal_dim,
+            data_space_volume=self.data_space_volume,
+            metric=self.metric,
+            k=self.k,
+        )
+        t_second = optimized_read_cost(n_pages, accessed, self.disk)
+        return t_first, t_second
+
+    # ------------------------------------------------------------------
+    # Totals
+    # ------------------------------------------------------------------
+    def breakdown(
+        self, partitions: Iterable[PartitionStats]
+    ) -> CostBreakdown:
+        """Full cost breakdown of a solution (a set of partitions)."""
+        partitions = list(partitions)
+        if not partitions:
+            raise CostModelError("a solution needs at least one partition")
+        t_first, t_second = self.directory_costs(len(partitions))
+        t_refine = sum(self.refinement_cost(p) for p in partitions)
+        return CostBreakdown(t_first, t_second, t_refine)
+
+    def total_cost(self, partitions: Iterable[PartitionStats]) -> float:
+        """Convenience: the scalar total of :meth:`breakdown`."""
+        return self.breakdown(partitions).total
+
+    def total_from_aggregates(
+        self, n_pages: int, refinement_cost_sum: float
+    ) -> float:
+        """Total cost from pre-aggregated terms.
+
+        The optimizer maintains a running sum of per-partition
+        refinement costs so each split step re-evaluates only the
+        page-count-dependent terms.
+        """
+        t_first, t_second = self.directory_costs(n_pages)
+        return t_first + t_second + refinement_cost_sum
+
+    def __repr__(self) -> str:
+        return (
+            f"CostModel(dim={self.dim}, n_total={self.n_total}, "
+            f"fractal_dim={self.fractal_dim:.2f}, k={self.k}, "
+            f"metric={self.metric.name})"
+        )

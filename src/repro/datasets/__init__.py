@@ -1,0 +1,35 @@
+"""Data-set generators for the paper's experimental workloads.
+
+The paper evaluates on uniform synthetic data plus three real data sets
+that are not publicly available; :mod:`repro.datasets.realistic`
+provides synthetic analogues engineered to have the qualitative
+properties the paper ascribes to each (clustering level, anisotropy,
+fractal dimension).  See DESIGN.md for the substitution rationale.
+
+All generators are deterministic given a seed and emit float32-
+representable float64 coordinates (the precision the indexes store), so
+index answers are bit-exact against brute force on the generated data.
+"""
+
+from repro.datasets.synthetic import (
+    uniform,
+    gaussian_clusters,
+    low_dimensional_manifold,
+)
+from repro.datasets.realistic import (
+    cad_like,
+    color_histogram_like,
+    weather_like,
+)
+from repro.datasets.queries import holdout_queries, make_workload
+
+__all__ = [
+    "uniform",
+    "gaussian_clusters",
+    "low_dimensional_manifold",
+    "cad_like",
+    "color_histogram_like",
+    "weather_like",
+    "holdout_queries",
+    "make_workload",
+]

@@ -1,0 +1,55 @@
+"""Query workloads following the paper's protocol.
+
+"For each experiment we separated from database a set of query points,
+thus not contained in the database, but following the distribution of
+the respective data set" -- :func:`holdout_queries` implements exactly
+that: a deterministic holdout split of a generated data set.
+:func:`make_workload` composes a generator with the split.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.exceptions import ReproError
+
+__all__ = ["holdout_queries", "make_workload"]
+
+
+def holdout_queries(
+    data: np.ndarray, n_queries: int, seed: int = 0
+) -> tuple[np.ndarray, np.ndarray]:
+    """Split ``data`` into ``(database, queries)``.
+
+    The held-out query points follow the data distribution (they come
+    from the same draw) but are not contained in the database.
+    """
+    data = np.asarray(data)
+    if data.ndim != 2:
+        raise ReproError("data must be a (n, d) array")
+    n = data.shape[0]
+    if not 0 < n_queries < n:
+        raise ReproError("n_queries must be in (0, len(data))")
+    rng = np.random.default_rng(seed)
+    picks = rng.choice(n, size=n_queries, replace=False)
+    mask = np.ones(n, dtype=bool)
+    mask[picks] = False
+    return data[mask], data[picks]
+
+
+def make_workload(
+    generator: Callable[..., np.ndarray],
+    n: int,
+    n_queries: int,
+    seed: int = 0,
+    **generator_kwargs,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Generate ``n + n_queries`` points and split off the queries.
+
+    The database ends up with exactly ``n`` points regardless of the
+    query count, so experiment scales are comparable across methods.
+    """
+    data = generator(n=n + n_queries, seed=seed, **generator_kwargs)
+    return holdout_queries(data, n_queries, seed=seed + 1)

@@ -1,0 +1,96 @@
+"""Synthetic point-set generators.
+
+All generators return float32-representable float64 arrays (the storage
+precision of the indexes), clipped to the unit cube, and are
+deterministic given the seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ReproError
+
+__all__ = ["uniform", "gaussian_clusters", "low_dimensional_manifold"]
+
+
+def _finish(points: np.ndarray) -> np.ndarray:
+    """Clip to the unit cube and round to float32 precision."""
+    return np.clip(points, 0.0, 1.0).astype(np.float32).astype(np.float64)
+
+
+def _check(n: int, dim: int) -> None:
+    if n <= 0 or dim <= 0:
+        raise ReproError("n and dim must be positive")
+
+
+def uniform(n: int, dim: int, seed: int = 0) -> np.ndarray:
+    """Uniform, independent points in the unit cube (the paper's
+    UNIFORM data set)."""
+    _check(n, dim)
+    rng = np.random.default_rng(seed)
+    return _finish(rng.random((n, dim)))
+
+
+def gaussian_clusters(
+    n: int,
+    dim: int,
+    n_clusters: int = 10,
+    spread: float = 0.05,
+    seed: int = 0,
+) -> np.ndarray:
+    """A mixture of isotropic Gaussian clusters in the unit cube.
+
+    Parameters
+    ----------
+    n, dim:
+        Point count and dimensionality.
+    n_clusters:
+        Number of mixture components (centers drawn uniformly).
+    spread:
+        Per-dimension standard deviation of each cluster.
+    seed:
+        RNG seed.
+    """
+    _check(n, dim)
+    if n_clusters <= 0:
+        raise ReproError("n_clusters must be positive")
+    if spread < 0:
+        raise ReproError("spread must be non-negative")
+    rng = np.random.default_rng(seed)
+    centers = rng.random((n_clusters, dim)) * 0.8 + 0.1
+    assignment = rng.integers(0, n_clusters, size=n)
+    points = centers[assignment] + rng.normal(0.0, spread, size=(n, dim))
+    return _finish(points)
+
+
+def low_dimensional_manifold(
+    n: int,
+    dim: int,
+    intrinsic_dim: int = 2,
+    noise: float = 0.01,
+    seed: int = 0,
+) -> np.ndarray:
+    """Points near a smooth ``intrinsic_dim``-dimensional manifold.
+
+    Latent coordinates are drawn uniformly; each ambient dimension is a
+    smooth (random sinusoidal) function of the latent coordinates plus
+    small isotropic noise.  The resulting cloud has a fractal dimension
+    close to ``intrinsic_dim`` -- the property the cost model's
+    correlation handling keys on.
+    """
+    _check(n, dim)
+    if not 1 <= intrinsic_dim <= dim:
+        raise ReproError("intrinsic_dim must be in [1, dim]")
+    if noise < 0:
+        raise ReproError("noise must be non-negative")
+    rng = np.random.default_rng(seed)
+    latent = rng.random((n, intrinsic_dim))
+    freqs = rng.uniform(0.5, 2.0, size=(dim, intrinsic_dim))
+    phases = rng.uniform(0.0, 2.0 * np.pi, size=dim)
+    weights = rng.normal(0.0, 1.0, size=(dim, intrinsic_dim))
+    weights /= np.linalg.norm(weights, axis=1, keepdims=True)
+    angles = 2.0 * np.pi * latent @ (freqs * weights).T + phases
+    points = 0.5 + 0.4 * np.sin(angles)
+    points += rng.normal(0.0, noise, size=(n, dim))
+    return _finish(points)

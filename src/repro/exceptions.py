@@ -1,0 +1,37 @@
+"""Exception hierarchy for the ``repro`` package.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything originating here with a single ``except`` clause.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class GeometryError(ReproError):
+    """Invalid geometric input (mismatched dimensions, inverted bounds...)."""
+
+
+class StorageError(ReproError):
+    """Errors in the simulated storage layer (bad block ids, overflow...)."""
+
+
+class PageOverflowError(StorageError):
+    """A serialized page does not fit into its fixed-size block."""
+
+
+class QuantizationError(ReproError):
+    """Invalid quantization parameters (bits out of range, empty MBR...)."""
+
+
+class CostModelError(ReproError):
+    """Invalid cost-model input (non-positive density, bad dimension...)."""
+
+
+class BuildError(ReproError):
+    """Index construction failed (empty data set, bad capacity...)."""
+
+
+class SearchError(ReproError):
+    """Query execution failed (bad k, dimension mismatch...)."""

@@ -1,0 +1,42 @@
+"""Experiment harness reproducing the paper's evaluation (Figures 7-12).
+
+* :mod:`repro.experiments.harness` -- build helpers and workload runners
+  that measure mean simulated query time per method.
+* :mod:`repro.experiments.figures` -- one function per paper figure,
+  each returning a :class:`~repro.experiments.harness.FigureResult`
+  with the same series the paper plots.
+* :mod:`repro.experiments.report` -- plain-text table rendering.
+"""
+
+from repro.experiments.harness import (
+    FigureResult,
+    WorkloadStats,
+    run_nn_workload,
+    best_vafile,
+)
+from repro.experiments.figures import (
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    figure11,
+    figure12,
+)
+from repro.experiments.report import format_figure
+from repro.experiments.validation import ModelValidation, validate_cost_model
+
+__all__ = [
+    "ModelValidation",
+    "validate_cost_model",
+    "FigureResult",
+    "WorkloadStats",
+    "run_nn_workload",
+    "best_vafile",
+    "figure7",
+    "figure8",
+    "figure9",
+    "figure10",
+    "figure11",
+    "figure12",
+    "format_figure",
+]

@@ -1,0 +1,106 @@
+"""Command-line entry point for the figure experiments.
+
+Usage::
+
+    python -m repro.experiments figure8            # default scale
+    python -m repro.experiments figure9 --scale 2  # 2x database sizes
+    python -m repro.experiments all --queries 5
+    python -m repro.experiments figure7 --out results.txt
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from repro.experiments import figures
+from repro.experiments.report import format_figure
+
+__all__ = ["main", "FIGURES"]
+
+#: name -> (figure function, scalable size kwarg)
+FIGURES: dict[str, tuple[Callable, str]] = {
+    "figure7": (figures.figure7, "n"),
+    "figure8": (figures.figure8, "n"),
+    "figure9": (figures.figure9, "ns"),
+    "figure10": (figures.figure10, "ns"),
+    "figure11": (figures.figure11, "ns"),
+    "figure12": (figures.figure12, "ns"),
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description=(
+            "Regenerate the paper's evaluation figures on the simulated "
+            "disk and print the series as text tables."
+        ),
+    )
+    parser.add_argument(
+        "figure",
+        choices=[*FIGURES, "all"],
+        help="which figure to regenerate ('all' runs every one)",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="multiplier on every database size (default 1.0)",
+    )
+    parser.add_argument(
+        "--queries",
+        type=int,
+        default=10,
+        help="held-out query points per configuration (default 10)",
+    )
+    parser.add_argument(
+        "--k", type=int, default=1, help="neighbors per query (default 1)"
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="workload seed (default 0)"
+    )
+    parser.add_argument(
+        "--out",
+        type=str,
+        default=None,
+        help="also append the tables to this file",
+    )
+    return parser
+
+
+def _run_one(name: str, args: argparse.Namespace) -> str:
+    func, size_kwarg = FIGURES[name]
+    kwargs = {"n_queries": args.queries, "k": args.k, "seed": args.seed}
+    if args.scale != 1.0:
+        defaults = func.__defaults__[0]
+        if size_kwarg == "n":
+            kwargs["n"] = max(500, int(defaults * args.scale))
+        else:
+            kwargs["ns"] = tuple(
+                max(500, int(n * args.scale)) for n in defaults
+            )
+    result = func(**kwargs)
+    return format_figure(result)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run the CLI; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    names = list(FIGURES) if args.figure == "all" else [args.figure]
+    outputs = []
+    for name in names:
+        text = _run_one(name, args)
+        print(text)
+        print()
+        outputs.append(text)
+    if args.out:
+        with open(args.out, "a") as handle:
+            for text in outputs:
+                handle.write(text + "\n\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

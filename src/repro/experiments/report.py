@@ -1,0 +1,38 @@
+"""Plain-text rendering of reproduced figures.
+
+The benchmark harness prints the same rows/series a paper figure plots:
+one row per x value, one column per method, mean simulated query time in
+seconds.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.harness import FigureResult
+
+__all__ = ["format_figure", "format_sweep"]
+
+
+def format_figure(result: FigureResult, precision: int = 4) -> str:
+    """Render a :class:`FigureResult` as an aligned text table."""
+    names = list(result.series)
+    header = [result.x_label] + names
+    rows = [header]
+    for i, x in enumerate(result.x_values):
+        row = [f"{x}"]
+        for name in names:
+            row.append(f"{result.series[name][i]:.{precision}f}")
+        rows.append(row)
+    widths = [max(len(r[c]) for r in rows) for c in range(len(header))]
+    lines = [f"{result.figure_id}: {result.title}", ""]
+    for r, row in enumerate(rows):
+        line = "  ".join(cell.rjust(w) for cell, w in zip(row, widths))
+        lines.append(line)
+        if r == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def format_sweep(sweep: dict, label: str = "bits") -> str:
+    """Render a parameter sweep (e.g. the VA-file bits tuning)."""
+    parts = [f"{label}={key}: {value:.4f}s" for key, value in sweep.items()]
+    return ", ".join(parts)

@@ -1,0 +1,50 @@
+"""Geometric primitives: MBRs, metrics, and volume computations.
+
+This subpackage provides the low-level geometry the index structures and
+the cost model are built on:
+
+* :mod:`repro.geometry.mbr` -- minimum bounding rectangles and the
+  vectorized mindist/maxdist computations used by every search algorithm.
+* :mod:`repro.geometry.metrics` -- the distance metrics (Euclidean,
+  maximum, general L_p) supported by the indexes.
+* :mod:`repro.geometry.volumes` -- hypersphere/hypercube volumes and the
+  Minkowski-sum formulas from the paper (eqs. 8-12).
+"""
+
+from repro.geometry.mbr import MBR, mindist_to_boxes, maxdist_to_boxes
+from repro.geometry.metrics import (
+    Metric,
+    EuclideanMetric,
+    MaximumMetric,
+    LpMetric,
+    EUCLIDEAN,
+    MAXIMUM,
+    get_metric,
+)
+from repro.geometry.volumes import (
+    sphere_volume,
+    sphere_radius_for_volume,
+    cube_volume,
+    cube_radius_for_volume,
+    minkowski_sum_max_metric,
+    minkowski_sum_euclidean,
+)
+
+__all__ = [
+    "MBR",
+    "mindist_to_boxes",
+    "maxdist_to_boxes",
+    "Metric",
+    "EuclideanMetric",
+    "MaximumMetric",
+    "LpMetric",
+    "EUCLIDEAN",
+    "MAXIMUM",
+    "get_metric",
+    "sphere_volume",
+    "sphere_radius_for_volume",
+    "cube_volume",
+    "cube_radius_for_volume",
+    "minkowski_sum_max_metric",
+    "minkowski_sum_euclidean",
+]

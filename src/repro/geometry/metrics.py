@@ -1,0 +1,167 @@
+"""Distance metrics used by the indexes and the cost model.
+
+The paper derives its formulas for two metrics: the Euclidean metric
+(L2) and the maximum metric (L-infinity).  Both are implemented here
+behind a small :class:`Metric` interface, along with general ``L_p``
+metrics.  Each metric knows how to
+
+* measure the length of one difference vector (:meth:`Metric.length`),
+* measure many vectors at once (:meth:`Metric.lengths`), and
+* report the volume of its unit ball, which the cost model needs to turn
+  point densities into nearest-neighbor radii (eqs. 7-9 of the paper).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.exceptions import GeometryError
+
+__all__ = [
+    "Metric",
+    "EuclideanMetric",
+    "MaximumMetric",
+    "LpMetric",
+    "EUCLIDEAN",
+    "MAXIMUM",
+    "get_metric",
+]
+
+
+class Metric:
+    """Abstract distance metric over ``R^d``.
+
+    Subclasses implement :meth:`lengths`; the remaining convenience
+    methods are derived from it.
+    """
+
+    #: short, stable identifier (used in benchmark reports)
+    name: str = "abstract"
+
+    def lengths(self, vectors: np.ndarray) -> np.ndarray:
+        """Lengths of ``vectors`` (shape ``(..., d)``) -> shape ``(...,)``."""
+        raise NotImplementedError
+
+    def length(self, vector: np.ndarray) -> float:
+        """Length of a single difference vector."""
+        return float(self.lengths(np.asarray(vector, dtype=np.float64)))
+
+    def distance(self, a: np.ndarray, b: np.ndarray) -> float:
+        """Distance between two points."""
+        a = np.asarray(a, dtype=np.float64)
+        b = np.asarray(b, dtype=np.float64)
+        return self.length(a - b)
+
+    def distances(self, query: np.ndarray, points: np.ndarray) -> np.ndarray:
+        """Distances from ``query`` (shape ``(d,)``) to rows of ``points``."""
+        query = np.asarray(query, dtype=np.float64)
+        points = np.asarray(points, dtype=np.float64)
+        return self.lengths(points - query)
+
+    def unit_ball_volume(self, dim: int) -> float:
+        """Volume of the metric's unit ball in ``dim`` dimensions."""
+        raise NotImplementedError
+
+    def ball_volume(self, radius: float, dim: int) -> float:
+        """Volume of the ball of the given radius."""
+        if radius < 0:
+            raise GeometryError("radius must be non-negative")
+        return self.unit_ball_volume(dim) * radius**dim
+
+    def ball_radius(self, volume: float, dim: int) -> float:
+        """Radius of the ball with the given volume (inverse of above)."""
+        if volume < 0:
+            raise GeometryError("volume must be non-negative")
+        unit = self.unit_ball_volume(dim)
+        return (volume / unit) ** (1.0 / dim)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class EuclideanMetric(Metric):
+    """The ordinary L2 metric."""
+
+    name = "euclidean"
+
+    def lengths(self, vectors: np.ndarray) -> np.ndarray:
+        return np.sqrt(np.sum(np.square(vectors), axis=-1))
+
+    def unit_ball_volume(self, dim: int) -> float:
+        # V_sphere(r) = sqrt(pi)^d / Gamma(d/2 + 1) * r^d   (paper eq. 8)
+        if dim <= 0:
+            raise GeometryError("dimension must be positive")
+        return math.pi ** (dim / 2.0) / math.gamma(dim / 2.0 + 1.0)
+
+
+class MaximumMetric(Metric):
+    """The maximum (Chebyshev / L-infinity) metric."""
+
+    name = "maximum"
+
+    def lengths(self, vectors: np.ndarray) -> np.ndarray:
+        return np.max(np.abs(vectors), axis=-1)
+
+    def unit_ball_volume(self, dim: int) -> float:
+        # V_cube(r) = (2r)^d   (paper eq. 9)
+        if dim <= 0:
+            raise GeometryError("dimension must be positive")
+        return 2.0**dim
+
+
+class LpMetric(Metric):
+    """A general Minkowski ``L_p`` metric for finite ``p >= 1``."""
+
+    def __init__(self, p: float):
+        if p < 1:
+            raise GeometryError("L_p metrics require p >= 1")
+        self.p = float(p)
+        self.name = f"l{p:g}"
+
+    def lengths(self, vectors: np.ndarray) -> np.ndarray:
+        return np.sum(np.abs(vectors) ** self.p, axis=-1) ** (1.0 / self.p)
+
+    def unit_ball_volume(self, dim: int) -> float:
+        # Volume of the unit L_p ball: (2 Gamma(1/p + 1))^d / Gamma(d/p + 1)
+        if dim <= 0:
+            raise GeometryError("dimension must be positive")
+        return (2.0 * math.gamma(1.0 / self.p + 1.0)) ** dim / math.gamma(
+            dim / self.p + 1.0
+        )
+
+    def __repr__(self) -> str:
+        return f"LpMetric(p={self.p})"
+
+
+#: Shared singletons -- metrics are stateless, so reuse them.
+EUCLIDEAN = EuclideanMetric()
+MAXIMUM = MaximumMetric()
+
+_REGISTRY = {
+    "euclidean": EUCLIDEAN,
+    "l2": EUCLIDEAN,
+    "maximum": MAXIMUM,
+    "chebyshev": MAXIMUM,
+    "linf": MAXIMUM,
+}
+
+
+def get_metric(name) -> Metric:
+    """Resolve a metric from a name or pass a :class:`Metric` through.
+
+    Accepted names: ``euclidean``/``l2``, ``maximum``/``chebyshev``/
+    ``linf``, or ``l<p>`` for a finite p (e.g. ``l1``, ``l3``).
+    """
+    if isinstance(name, Metric):
+        return name
+    key = str(name).lower()
+    if key in _REGISTRY:
+        return _REGISTRY[key]
+    if key.startswith("l"):
+        try:
+            return LpMetric(float(key[1:]))
+        except ValueError:
+            pass
+    raise GeometryError(f"unknown metric: {name!r}")

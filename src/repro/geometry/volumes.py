@@ -1,0 +1,124 @@
+"""Volume formulas from the paper: spheres, cubes, and Minkowski sums.
+
+These implement eqs. 8-12 of the paper.  The Minkowski sum of a box and a
+query ball is the box "inflated" by the ball; its volume, divided by the
+data-space volume, is the probability that a query point falling
+uniformly in the space touches the box.  For the maximum metric the sum
+is exact (eq. 11); for the Euclidean metric the paper gives a binomial
+approximation based on the geometric mean side length (eq. 12), which we
+reproduce here.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.exceptions import GeometryError
+
+__all__ = [
+    "sphere_volume",
+    "sphere_radius_for_volume",
+    "cube_volume",
+    "cube_radius_for_volume",
+    "minkowski_sum_max_metric",
+    "minkowski_sum_euclidean",
+    "minkowski_sum",
+]
+
+
+def sphere_volume(radius: float, dim: int) -> float:
+    """Volume of a ``dim``-dimensional Euclidean ball (paper eq. 8)."""
+    if dim <= 0:
+        raise GeometryError("dimension must be positive")
+    if radius < 0:
+        raise GeometryError("radius must be non-negative")
+    return math.pi ** (dim / 2.0) / math.gamma(dim / 2.0 + 1.0) * radius**dim
+
+
+def sphere_radius_for_volume(volume: float, dim: int) -> float:
+    """Radius of the Euclidean ball with the given volume."""
+    if dim <= 0:
+        raise GeometryError("dimension must be positive")
+    if volume < 0:
+        raise GeometryError("volume must be non-negative")
+    unit = math.pi ** (dim / 2.0) / math.gamma(dim / 2.0 + 1.0)
+    return (volume / unit) ** (1.0 / dim)
+
+
+def cube_volume(radius: float, dim: int) -> float:
+    """Volume of the max-metric ball, a cube of side ``2*radius`` (eq. 9)."""
+    if dim <= 0:
+        raise GeometryError("dimension must be positive")
+    if radius < 0:
+        raise GeometryError("radius must be non-negative")
+    return (2.0 * radius) ** dim
+
+
+def cube_radius_for_volume(volume: float, dim: int) -> float:
+    """Half side length of the cube with the given volume."""
+    if dim <= 0:
+        raise GeometryError("dimension must be positive")
+    if volume < 0:
+        raise GeometryError("volume must be non-negative")
+    return 0.5 * volume ** (1.0 / dim)
+
+
+def minkowski_sum_max_metric(side_lengths: np.ndarray, radius: float) -> float:
+    """Volume of box (+) max-metric ball: prod_i (s_i + 2r)  (paper eq. 11)."""
+    side_lengths = np.asarray(side_lengths, dtype=np.float64)
+    if radius < 0:
+        raise GeometryError("radius must be non-negative")
+    if np.any(side_lengths < 0):
+        raise GeometryError("side lengths must be non-negative")
+    return float(np.prod(side_lengths + 2.0 * radius))
+
+
+def minkowski_sum_euclidean(side_lengths: np.ndarray, radius: float) -> float:
+    """Approximate volume of box (+) Euclidean ball (paper eq. 12).
+
+    Uses the paper's binomial approximation built from the geometric mean
+    ``a`` of the box's side lengths::
+
+        V  =  sum_{k=0..d}  C(d, k) * a^(d-k) * V_ball_k(r)
+
+    where ``V_ball_k(r)`` is the volume of the k-dimensional Euclidean
+    ball of radius ``r``.  For ``k = 0`` the ball volume is 1, making the
+    ``k = 0`` term the box volume itself (computed with the geometric
+    mean, which equals the true volume).
+    """
+    side_lengths = np.asarray(side_lengths, dtype=np.float64)
+    if radius < 0:
+        raise GeometryError("radius must be non-negative")
+    if np.any(side_lengths < 0):
+        raise GeometryError("side lengths must be non-negative")
+    d = side_lengths.size
+    if d == 0:
+        raise GeometryError("need at least one dimension")
+    if np.any(side_lengths == 0.0):
+        # Degenerate box: fall back to exact geometric mean of zero,
+        # keeping only the pure-ball term of the expansion.
+        a = 0.0
+    else:
+        a = float(np.exp(np.mean(np.log(side_lengths))))
+    total = 0.0
+    for k in range(d + 1):
+        ball_k = 1.0 if k == 0 else sphere_volume(radius, k)
+        total += math.comb(d, k) * a ** (d - k) * ball_k
+    return total
+
+
+def minkowski_sum(side_lengths: np.ndarray, radius: float, metric) -> float:
+    """Dispatch to the right Minkowski-sum formula for ``metric``.
+
+    Exact for the maximum metric; the paper's approximation for the
+    Euclidean metric; any other metric falls back to the Euclidean
+    approximation (documented behaviour -- the paper, too, resorts to
+    approximations for non-max metrics).
+    """
+    from repro.geometry.metrics import MaximumMetric
+
+    if isinstance(metric, MaximumMetric):
+        return minkowski_sum_max_metric(side_lengths, radius)
+    return minkowski_sum_euclidean(side_lengths, radius)

@@ -1,0 +1,32 @@
+"""Grid quantization relative to a page's MBR.
+
+The defining idea of the IQ-tree is *independent quantization*: every
+data page chooses its own number of bits per dimension ``g`` and encodes
+its points on a ``2^g``-cell grid spanned by the page's own MBR (not the
+whole data space, as the VA-file does).  This subpackage provides:
+
+* :mod:`repro.quantization.bitpack` -- dense packing of g-bit integers
+  into bytes (numpy-vectorized).
+* :mod:`repro.quantization.grid` -- the :class:`GridQuantizer` that maps
+  points to cell codes and back to conservative cell bounds, plus the
+  vectorized cell mindist/maxdist used during search.
+* :mod:`repro.quantization.capacity` -- page-capacity math shared by the
+  builder and the optimizer.
+"""
+
+from repro.quantization.bitpack import pack_codes, unpack_codes
+from repro.quantization.grid import GridQuantizer
+from repro.quantization.capacity import (
+    max_bits_for_count,
+    capacity_for_bits,
+    EXACT_BITS,
+)
+
+__all__ = [
+    "pack_codes",
+    "unpack_codes",
+    "GridQuantizer",
+    "max_bits_for_count",
+    "capacity_for_bits",
+    "EXACT_BITS",
+]

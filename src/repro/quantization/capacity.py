@@ -1,0 +1,55 @@
+"""Page-capacity arithmetic shared by the builder and the optimizer.
+
+A quantized data page has a fixed block size; the number of points it can
+hold depends on the chosen bits-per-dimension ``g``.  The builder needs
+the inverse question too: given ``m`` points, what is the finest ``g``
+that still fits in one page?  Both directions live here so the split-tree
+optimizer and the page writer can never disagree.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import QuantizationError
+
+__all__ = ["EXACT_BITS", "capacity_for_bits", "max_bits_for_count"]
+
+#: bits per dimension of the exact (float32) representation
+EXACT_BITS = 32
+
+
+def capacity_for_bits(block_size: int, dim: int, bits: int) -> int:
+    """Points per quantized page at ``bits`` bits/dim (>= 1 required)."""
+    # Imported lazily: the serializer needs the bit packer from this
+    # subpackage, so a module-level import here would be circular.
+    from repro.storage.serializer import quantized_page_capacity
+
+    capacity = quantized_page_capacity(block_size, dim, bits)
+    if capacity < 1:
+        raise QuantizationError(
+            f"a {block_size}-byte page cannot hold even one "
+            f"{dim}-d point at {bits} bits/dim"
+        )
+    return capacity
+
+
+def max_bits_for_count(block_size: int, dim: int, count: int) -> int:
+    """The finest ``g`` such that ``count`` points fit in one page.
+
+    Returns 0 if the points do not fit even at 1 bit/dim (the partition
+    must then be split before it can be stored).  Capacity is monotone
+    decreasing in ``g``, so a binary search over [1, 32] suffices.
+    """
+    from repro.storage.serializer import quantized_page_capacity
+
+    if count <= 0:
+        raise QuantizationError("point count must be positive")
+    if quantized_page_capacity(block_size, dim, 1) < count:
+        return 0
+    lo, hi = 1, EXACT_BITS
+    while lo < hi:
+        mid = (lo + hi + 1) // 2
+        if quantized_page_capacity(block_size, dim, mid) >= count:
+            lo = mid
+        else:
+            hi = mid - 1
+    return lo

@@ -1,0 +1,132 @@
+"""Grid quantizer relative to a page's MBR.
+
+Quantization divides each side of the page's MBR into ``2^g`` equal
+intervals ("virtual grid cells", paper Section 3.1) and stores, per
+point, only the index of the cell that contains it.  A cell is a
+conservative box approximation of its point, so search can compute lower
+and upper distance bounds from the query to each point without touching
+the exact coordinates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import QuantizationError
+from repro.geometry.mbr import MBR, mindist_to_boxes, maxdist_to_boxes
+from repro.geometry.metrics import EUCLIDEAN
+
+__all__ = ["GridQuantizer"]
+
+
+class GridQuantizer:
+    """Encode/decode points against the ``2^g`` grid of one MBR.
+
+    Parameters
+    ----------
+    mbr:
+        The page's minimum bounding rectangle.  All encoded points must
+        lie inside it.
+    bits:
+        Bits per dimension ``g``, ``1 <= g <= 31``.  (The ``g = 32``
+        exact representation bypasses the quantizer entirely.)
+
+    Notes
+    -----
+    Degenerate MBR sides (zero extent) quantize every point to cell 0 in
+    that dimension and decode to the exact (shared) coordinate, which is
+    both valid and maximally tight.
+    """
+
+    def __init__(self, mbr: MBR, bits: int):
+        if not 1 <= bits <= 31:
+            raise QuantizationError("grid quantizer needs bits in [1, 31]")
+        self.mbr = mbr
+        self.bits = int(bits)
+        self.n_cells = 1 << self.bits
+        extents = mbr.extents
+        # Guard degenerate sides: cell width 0 would divide by zero on
+        # encode; use width 1 there and clamp codes to 0 (extent is 0, so
+        # every in-box coordinate equals the lower bound).
+        self._degenerate = extents == 0.0
+        safe_extents = np.where(self._degenerate, 1.0, extents)
+        self._cell_width = safe_extents / self.n_cells
+
+    # ------------------------------------------------------------------
+    # Encoding / decoding
+    # ------------------------------------------------------------------
+    def encode(self, points: np.ndarray) -> np.ndarray:
+        """Map points (shape ``(m, d)``) to uint32 cell codes.
+
+        Points must lie inside the MBR (boundary inclusive); points on
+        the upper boundary fall into the last cell.
+        """
+        points = np.asarray(points, dtype=np.float64)
+        if points.ndim != 2 or points.shape[1] != self.mbr.dim:
+            raise QuantizationError(
+                f"expected (m, {self.mbr.dim}) points, got {points.shape}"
+            )
+        below = points < self.mbr.lower - 1e-12
+        above = points > self.mbr.upper + 1e-12
+        if np.any(below) or np.any(above):
+            raise QuantizationError("point outside the quantizer's MBR")
+        offsets = points - self.mbr.lower
+        codes = np.floor(offsets / self._cell_width).astype(np.int64)
+        np.clip(codes, 0, self.n_cells - 1, out=codes)
+        codes[:, self._degenerate] = 0
+        return codes.astype(np.uint32)
+
+    def cell_bounds(self, codes: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Conservative per-point boxes for cell codes ``(m, d)``.
+
+        Returns ``(lowers, uppers)`` of shape ``(m, d)``.  Degenerate
+        dimensions decode to the exact shared coordinate.
+        """
+        codes = np.asarray(codes, dtype=np.float64)
+        lowers = self.mbr.lower + codes * self._cell_width
+        uppers = lowers + self._cell_width
+        if np.any(self._degenerate):
+            exact = np.broadcast_to(self.mbr.lower, codes.shape)
+            lowers = np.where(self._degenerate, exact, lowers)
+            uppers = np.where(self._degenerate, exact, uppers)
+        return lowers, uppers
+
+    def decode_centers(self, codes: np.ndarray) -> np.ndarray:
+        """Cell center points -- the best single-point reconstruction."""
+        lowers, uppers = self.cell_bounds(codes)
+        return 0.5 * (lowers + uppers)
+
+    # ------------------------------------------------------------------
+    # Distance bounds (the search hot path)
+    # ------------------------------------------------------------------
+    def cell_mindist(
+        self, query: np.ndarray, codes: np.ndarray, metric=None
+    ) -> np.ndarray:
+        """Lower bound on the query-to-point distance for each code."""
+        metric = metric or EUCLIDEAN
+        lowers, uppers = self.cell_bounds(codes)
+        return mindist_to_boxes(query, lowers, uppers, metric)
+
+    def cell_maxdist(
+        self, query: np.ndarray, codes: np.ndarray, metric=None
+    ) -> np.ndarray:
+        """Upper bound on the query-to-point distance for each code."""
+        metric = metric or EUCLIDEAN
+        lowers, uppers = self.cell_bounds(codes)
+        return maxdist_to_boxes(query, lowers, uppers, metric)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def cell_widths(self) -> np.ndarray:
+        """Per-dimension cell side lengths (0-extent dims report 0)."""
+        return np.where(self._degenerate, 0.0, self._cell_width)
+
+    def max_quantization_error(self, metric=None) -> float:
+        """Largest possible point-to-cell-center distance."""
+        metric = metric or EUCLIDEAN
+        return metric.length(0.5 * self.cell_widths)
+
+    def __repr__(self) -> str:
+        return f"GridQuantizer(bits={self.bits}, dim={self.mbr.dim})"

@@ -1,0 +1,35 @@
+"""Simulated storage substrate.
+
+The paper measures query cost as elapsed time on a physical disk; this
+subpackage provides the equivalent substrate for a reproducible,
+hardware-independent build:
+
+* :mod:`repro.storage.disk` -- a disk model with seek/transfer timing and
+  an accounting ledger (:class:`IOStats`), plus a :class:`SimulatedDisk`
+  that executes seek / sequential-read operations against the ledger.
+* :mod:`repro.storage.blockfile` -- fixed-size-block files whose reads
+  are routed through a simulated disk.
+* :mod:`repro.storage.serializer` -- byte-level (de)serialization of the
+  page types used by the indexes.
+* :mod:`repro.storage.scheduler` -- the paper's Section 2 access
+  strategies: the optimal batched fetch for a known block set, and the
+  cost-balance clustering used during nearest-neighbor search.
+"""
+
+from repro.storage.disk import DiskModel, IOStats, SimulatedDisk
+from repro.storage.blockfile import BlockFile
+from repro.storage.scheduler import (
+    plan_batched_fetch,
+    batched_fetch_cost,
+    cost_balance_window,
+)
+
+__all__ = [
+    "DiskModel",
+    "IOStats",
+    "SimulatedDisk",
+    "BlockFile",
+    "plan_batched_fetch",
+    "batched_fetch_cost",
+    "cost_balance_window",
+]

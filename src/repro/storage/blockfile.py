@@ -1,0 +1,206 @@
+"""Fixed-size-block files over a simulated disk.
+
+A :class:`BlockFile` is a sequence of fixed-size byte blocks living in a
+contiguous extent of a :class:`~repro.storage.disk.SimulatedDisk` address
+space.  Writes are free (index construction cost is out of scope for the
+paper's query-time experiments); reads are charged to the disk ledger.
+
+Pages larger than one block (the X-tree's supernodes, variable-size exact
+data runs) are supported by multi-block records.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.exceptions import StorageError
+from repro.storage.disk import SimulatedDisk
+
+__all__ = ["BlockFile"]
+
+
+class BlockFile:
+    """An append-only file of fixed-size blocks with timed reads.
+
+    Parameters
+    ----------
+    disk:
+        The simulated disk that accounts read time.
+    name:
+        Human-readable label (shows up in repr/debugging only).
+    """
+
+    def __init__(self, disk: SimulatedDisk, name: str = "file"):
+        self._disk = disk
+        self.name = name
+        self._blocks: list[bytes] = []
+        self._extent_start: int | None = None
+
+    # ------------------------------------------------------------------
+    # Writing (free: construction time is out of scope)
+    # ------------------------------------------------------------------
+    def append_block(self, payload: bytes) -> int:
+        """Append one block; returns its block index within the file.
+
+        ``payload`` may be shorter than the block size (it is padded on
+        read by the caller's deserializer) but must not exceed it.
+        """
+        self._check_not_sealed()
+        if len(payload) > self.block_size:
+            raise StorageError(
+                f"payload of {len(payload)} bytes exceeds block size "
+                f"{self.block_size}"
+            )
+        self._blocks.append(bytes(payload))
+        return len(self._blocks) - 1
+
+    def append_record(self, payload: bytes) -> tuple[int, int]:
+        """Append a record spanning as many blocks as needed.
+
+        Returns ``(first_block, n_blocks)``.
+        """
+        self._check_not_sealed()
+        if len(payload) == 0:
+            raise StorageError("cannot append an empty record")
+        first = len(self._blocks)
+        size = self.block_size
+        for offset in range(0, len(payload), size):
+            self._blocks.append(bytes(payload[offset : offset + size]))
+        return first, len(self._blocks) - first
+
+    def seal(self) -> None:
+        """Freeze the file and place it on the disk's address space.
+
+        After sealing, block addresses are fixed and reads are timed.
+        """
+        if self._extent_start is not None:
+            raise StorageError("file already sealed")
+        self._extent_start = self._disk.allocate_extent(len(self._blocks))
+
+    def unseal(self) -> None:
+        """Reopen a sealed file for appends (dynamic maintenance).
+
+        The old extent is abandoned; the next :meth:`seal` allocates a
+        fresh one.  Address space is never reclaimed -- acceptable for a
+        simulator, and it keeps every extent contiguous.
+        """
+        self._extent_start = None
+
+    # ------------------------------------------------------------------
+    # Reading (timed)
+    # ------------------------------------------------------------------
+    def read_block(self, index: int) -> bytes:
+        """Read one block with a (possibly sequential) timed access."""
+        self._check_index(index)
+        self._disk.read_blocks(self._address(index), 1)
+        return self._blocks[index]
+
+    def read_run(self, start: int, count: int, wanted: int = -1) -> list[bytes]:
+        """Read ``count`` consecutive blocks in one sequential transfer.
+
+        ``wanted`` (if given) is how many of those blocks the caller
+        actually needs; the remainder is accounted as over-read.
+        """
+        self._check_index(start)
+        if count <= 0:
+            raise StorageError("run length must be positive")
+        self._check_index(start + count - 1)
+        overread = 0 if wanted < 0 else max(0, count - wanted)
+        self._disk.read_blocks(self._address(start), count, overread=overread)
+        return self._blocks[start : start + count]
+
+    def read_record(self, first_block: int, n_blocks: int) -> bytes:
+        """Read a multi-block record as one sequential transfer."""
+        parts = self.read_run(first_block, n_blocks)
+        return b"".join(parts)
+
+    def scan(self) -> list[bytes]:
+        """Read the whole file in one sequential pass."""
+        if len(self._blocks) == 0:
+            return []
+        return self.read_run(0, len(self._blocks))
+
+    def read_batched(self, indices: Sequence[int]) -> dict[int, bytes]:
+        """Fetch a known set of blocks with the optimal Section 2 strategy.
+
+        Gaps shorter than the over-read window are read through instead of
+        seeking; returns a mapping from block index to payload.
+        """
+        from repro.storage.scheduler import plan_batched_fetch
+
+        indices = sorted(set(indices))
+        for index in indices:
+            self._check_index(index)
+        result: dict[int, bytes] = {}
+        window = self._disk.model.overread_window
+        for start, count, wanted in plan_batched_fetch(indices, window):
+            payload = self.read_run(start, count, wanted=wanted)
+            for offset, block in enumerate(payload):
+                if start + offset in indices:
+                    result[start + offset] = block
+        return result
+
+    # ------------------------------------------------------------------
+    # Untimed access (for construction / verification only)
+    # ------------------------------------------------------------------
+    def peek_block(self, index: int) -> bytes:
+        """Read a block without charging any I/O time."""
+        self._check_index(index)
+        return self._blocks[index]
+
+    def replace_block(self, index: int, payload: bytes) -> None:
+        """Overwrite a block in place (used by dynamic maintenance)."""
+        self._check_index(index)
+        if len(payload) > self.block_size:
+            raise StorageError("payload exceeds block size")
+        self._blocks[index] = bytes(payload)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def block_size(self) -> int:
+        """Bytes per block (inherited from the disk model)."""
+        return self._disk.model.block_size
+
+    @property
+    def n_blocks(self) -> int:
+        """Number of blocks currently in the file."""
+        return len(self._blocks)
+
+    @property
+    def extent_start(self) -> int:
+        """Disk address of block 0 (requires the file to be sealed)."""
+        if self._extent_start is None:
+            raise StorageError("file not sealed yet")
+        return self._extent_start
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def __repr__(self) -> str:
+        sealed = self._extent_start is not None
+        return (
+            f"BlockFile(name={self.name!r}, blocks={len(self._blocks)}, "
+            f"sealed={sealed})"
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _address(self, index: int) -> int:
+        if self._extent_start is None:
+            raise StorageError(
+                f"file {self.name!r} must be sealed before timed reads"
+            )
+        return self._extent_start + index
+
+    def _check_index(self, index: int) -> None:
+        if not 0 <= index < len(self._blocks):
+            raise StorageError(
+                f"block {index} out of range [0, {len(self._blocks)})"
+            )
+
+    def _check_not_sealed(self) -> None:
+        if self._extent_start is not None:
+            raise StorageError("cannot append to a sealed file")

@@ -1,0 +1,199 @@
+"""Disk model and simulated-time accounting.
+
+The reproduction substitutes the paper's physical HP-UX workstation disk
+with a deterministic model characterized by two parameters:
+
+* ``t_seek`` -- time for one random positioning operation, and
+* ``t_xfer`` -- time to transfer one block sequentially.
+
+Every index structure in this repository performs its page reads through
+a :class:`SimulatedDisk`, which accrues simulated time in an
+:class:`IOStats` ledger.  "Query time" in all experiments is the
+simulated I/O time of this ledger, so all methods are compared under
+exactly the same device model.
+
+The key derived quantity is the *over-read window* ``v = t_seek /
+t_xfer``: when two wanted blocks are fewer than ``v`` blocks apart it is
+cheaper to read the gap than to seek over it (paper, Section 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import StorageError
+
+__all__ = ["DiskModel", "IOStats", "SimulatedDisk"]
+
+
+@dataclass(frozen=True)
+class DiskModel:
+    """Timing parameters of the simulated disk.
+
+    Parameters
+    ----------
+    t_seek:
+        Seconds per random seek (default 10 ms -- a late-1990s disk).
+    t_xfer:
+        Seconds to transfer one block of ``block_size`` bytes
+        sequentially (default 0.8 ms for an 8 KiB block, i.e. a
+        ~10 MB/s sustained transfer rate).
+    block_size:
+        Bytes per block.  All files in the storage layer use this
+        granularity.
+    """
+
+    t_seek: float = 0.010
+    t_xfer: float = 0.0008
+    block_size: int = 8192
+
+    def __post_init__(self) -> None:
+        if self.t_seek < 0 or self.t_xfer <= 0:
+            raise StorageError("t_seek must be >= 0 and t_xfer > 0")
+        if self.block_size <= 0:
+            raise StorageError("block_size must be positive")
+
+    @property
+    def overread_window(self) -> float:
+        """``v = t_seek / t_xfer``: max gap worth over-reading (Sec. 2)."""
+        return self.t_seek / self.t_xfer
+
+    def scan_time(self, n_blocks: int) -> float:
+        """Time for one seek plus a sequential read of ``n_blocks``."""
+        if n_blocks < 0:
+            raise StorageError("n_blocks must be non-negative")
+        if n_blocks == 0:
+            return 0.0
+        return self.t_seek + n_blocks * self.t_xfer
+
+    def random_read_time(self, n_blocks: int) -> float:
+        """Time for ``n_blocks`` independent single-block random reads."""
+        if n_blocks < 0:
+            raise StorageError("n_blocks must be non-negative")
+        return n_blocks * (self.t_seek + self.t_xfer)
+
+
+@dataclass
+class IOStats:
+    """Accumulated I/O accounting for one or more queries.
+
+    Attributes
+    ----------
+    seeks:
+        Number of random positioning operations performed.
+    blocks_read:
+        Number of blocks transferred (wanted or over-read).
+    blocks_overread:
+        Subset of ``blocks_read`` transferred purely to bridge a gap.
+    elapsed:
+        Total simulated time in seconds.
+    """
+
+    seeks: int = 0
+    blocks_read: int = 0
+    blocks_overread: int = 0
+    elapsed: float = 0.0
+    _extra: dict = field(default_factory=dict)
+
+    def add_seek(self, model: DiskModel, count: int = 1) -> None:
+        """Record ``count`` random seeks."""
+        if count < 0:
+            raise StorageError("seek count must be non-negative")
+        self.seeks += count
+        self.elapsed += count * model.t_seek
+
+    def add_transfer(
+        self, model: DiskModel, blocks: int, overread: int = 0
+    ) -> None:
+        """Record a sequential transfer of ``blocks`` blocks.
+
+        ``overread`` counts how many of those blocks were read only to
+        bridge a gap between wanted blocks.
+        """
+        if blocks < 0 or overread < 0 or overread > blocks:
+            raise StorageError("invalid transfer accounting")
+        self.blocks_read += blocks
+        self.blocks_overread += overread
+        self.elapsed += blocks * model.t_xfer
+
+    def merged_with(self, other: "IOStats") -> "IOStats":
+        """Return a new ledger with both ledgers' counters summed."""
+        return IOStats(
+            seeks=self.seeks + other.seeks,
+            blocks_read=self.blocks_read + other.blocks_read,
+            blocks_overread=self.blocks_overread + other.blocks_overread,
+            elapsed=self.elapsed + other.elapsed,
+        )
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.seeks = 0
+        self.blocks_read = 0
+        self.blocks_overread = 0
+        self.elapsed = 0.0
+
+
+class SimulatedDisk:
+    """A disk head over a linear block address space.
+
+    The disk tracks the head position so that reading the block right
+    after the previous read continues sequentially at ``t_xfer`` per
+    block, while any other target costs a seek first.  Multiple
+    :class:`~repro.storage.blockfile.BlockFile` instances can share one
+    disk; each file occupies a contiguous extent of the address space,
+    mirroring the paper's layout of the three IQ-tree levels in three
+    distinct files.
+    """
+
+    def __init__(self, model: DiskModel | None = None):
+        self.model = model or DiskModel()
+        self.stats = IOStats()
+        self._head = -1  # unknown position: the first read pays a seek
+        self._next_extent_start = 0
+
+    # ------------------------------------------------------------------
+    # Extent allocation (one extent per file)
+    # ------------------------------------------------------------------
+    def allocate_extent(self, n_blocks: int) -> int:
+        """Reserve ``n_blocks`` contiguous block addresses; return start."""
+        if n_blocks < 0:
+            raise StorageError("extent size must be non-negative")
+        start = self._next_extent_start
+        self._next_extent_start += n_blocks
+        return start
+
+    # ------------------------------------------------------------------
+    # Timed operations
+    # ------------------------------------------------------------------
+    def read_blocks(self, start: int, count: int, overread: int = 0) -> None:
+        """Account a read of ``count`` consecutive blocks at ``start``.
+
+        A seek is charged unless the head is already positioned at
+        ``start`` from a previous sequential read.
+        """
+        if count <= 0:
+            return
+        if start != self._head:
+            self.stats.add_seek(self.model)
+        self.stats.add_transfer(self.model, count, overread=overread)
+        self._head = start + count
+
+    def read_block(self, address: int) -> None:
+        """Account a single-block read at ``address``."""
+        self.read_blocks(address, 1)
+
+    @property
+    def head(self) -> int:
+        """Current head position (next sequential block address)."""
+        return self._head
+
+    def reset_stats(self) -> None:
+        """Clear accounting; keep head position and allocations."""
+        self.stats.reset()
+
+    def park(self) -> None:
+        """Invalidate head position so the next read pays a seek.
+
+        Called between queries to model an arbitrary intervening workload.
+        """
+        self._head = -1

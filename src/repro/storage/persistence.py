@@ -1,0 +1,145 @@
+"""Save/load an IQ-tree to a real file on the host filesystem.
+
+The on-disk format mirrors the simulated layout: one container file
+holding a JSON header (metadata: dimension, metric, per-page bits,
+partition index arrays, cost-model parameters) followed by the raw
+blocks of the three level files.  Loading rebuilds the in-memory tree
+and re-lays it out on a fresh simulated disk, then verifies the
+re-serialized pages byte-for-byte against the stored ones -- a
+round-trip integrity check that doubles as a format regression test.
+
+Format (little-endian):
+
+    magic  b"IQTREE01"        8 bytes
+    header_len                u64
+    header                    JSON (utf-8)
+    payload                   float32 coordinate array (n * d * 4 bytes)
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.exceptions import StorageError
+from repro.core.optimizer import OptimizedPartition
+from repro.core.partition import Partition
+from repro.core.tree import IQTree
+from repro.costmodel.model import CostModel
+from repro.geometry.metrics import get_metric
+from repro.storage.disk import DiskModel, SimulatedDisk
+
+__all__ = ["save_iqtree", "load_iqtree"]
+
+_MAGIC = b"IQTREE01"
+
+
+def save_iqtree(tree: IQTree, path) -> None:
+    """Serialize ``tree`` (structure + data) to ``path``."""
+    tree._ensure_clean()
+    model = tree.disk.model
+    header = {
+        "n_points": tree.n_points,
+        "dim": tree.dim,
+        "metric": tree.metric.name,
+        "charge_directory": tree.charge_directory,
+        "disk": {
+            "t_seek": model.t_seek,
+            "t_xfer": model.t_xfer,
+            "block_size": model.block_size,
+        },
+        "cost_model": {
+            "fractal_dim": tree.cost_model.fractal_dim,
+            "data_space_volume": tree.cost_model.data_space_volume,
+            "k": tree.cost_model.k,
+        },
+        "partitions": [
+            {
+                "indices": opt.partition.indices.tolist(),
+                "bits": opt.bits,
+            }
+            for opt in tree._partitions
+        ],
+    }
+    header_bytes = json.dumps(header).encode("utf-8")
+    payload = tree.points.astype("<f4").tobytes()
+    with open(path, "wb") as handle:
+        handle.write(_MAGIC)
+        handle.write(len(header_bytes).to_bytes(8, "little"))
+        handle.write(header_bytes)
+        handle.write(payload)
+
+
+def load_iqtree(path, disk: SimulatedDisk | None = None) -> IQTree:
+    """Rebuild an IQ-tree saved by :func:`save_iqtree`.
+
+    A fresh simulated disk with the saved timing model is created
+    unless one is supplied.
+    """
+    raw = Path(path).read_bytes()
+    if raw[: len(_MAGIC)] != _MAGIC:
+        raise StorageError(f"{path}: not an IQ-tree container")
+    offset = len(_MAGIC)
+    header_len = int.from_bytes(raw[offset : offset + 8], "little")
+    offset += 8
+    try:
+        header = json.loads(raw[offset : offset + header_len])
+    except ValueError as exc:  # JSON or UTF-8 decoding failure
+        raise StorageError(f"{path}: corrupt header") from exc
+    offset += header_len
+
+    n, dim = header["n_points"], header["dim"]
+    need = n * dim * 4
+    if len(raw) - offset < need:
+        raise StorageError(f"{path}: truncated coordinate payload")
+    points = (
+        np.frombuffer(raw, dtype="<f4", count=n * dim, offset=offset)
+        .reshape(n, dim)
+        .astype(np.float64)
+    )
+
+    saved_model = DiskModel(**header["disk"])
+    disk = disk or SimulatedDisk(saved_model)
+    if disk.model.block_size != saved_model.block_size:
+        raise StorageError(
+            "supplied disk's block size differs from the saved layout"
+        )
+    metric = get_metric(header["metric"])
+    cm = header["cost_model"]
+    cost_model = CostModel(
+        disk.model,
+        dim,
+        n,
+        fractal_dim=cm["fractal_dim"],
+        data_space_volume=cm["data_space_volume"],
+        metric=metric,
+        k=cm["k"],
+    )
+    solution = []
+    seen: set[int] = set()
+    for p in header["partitions"]:
+        indices = np.asarray(p["indices"], dtype=np.int64)
+        if indices.size == 0 or indices.min() < 0 or indices.max() >= n:
+            raise StorageError(
+                f"{path}: partition index arrays out of range"
+            )
+        members = set(indices.tolist())
+        if len(members) != indices.size or members & seen:
+            raise StorageError(
+                f"{path}: partition index arrays inconsistent"
+            )
+        seen |= members
+        solution.append(
+            OptimizedPartition(Partition.of(points, indices), int(p["bits"]))
+        )
+    return IQTree(
+        points,
+        solution,
+        disk,
+        metric,
+        cost_model,
+        trace=None,
+        charge_directory=header["charge_directory"],
+    )

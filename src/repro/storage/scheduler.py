@@ -1,0 +1,144 @@
+"""Page-access strategies from Section 2 of the paper.
+
+Two strategies are implemented:
+
+* :func:`plan_batched_fetch` -- the optimal strategy when the wanted
+  block set is known in advance (range queries).  Walking the sorted
+  block list, a gap between consecutive wanted blocks is read through
+  whenever ``gap * t_xfer < t_seek``; otherwise the head seeks.
+* :func:`cost_balance_window` -- the nearest-neighbor extension
+  (Section 2.1).  The pivot block must be read; neighboring blocks in
+  file order are speculatively appended to the transfer while the
+  cumulative cost balance ``sum_i (t_xfer - l_i * (t_seek + t_xfer))``
+  stays favorable, where ``l_i`` is block i's access probability.  The
+  scan in each direction stops once the cumulated balance exceeds the
+  seek cost.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Sequence
+
+from repro.exceptions import StorageError
+from repro.storage.disk import DiskModel
+
+__all__ = [
+    "plan_batched_fetch",
+    "batched_fetch_cost",
+    "cost_balance_window",
+]
+
+
+def plan_batched_fetch(
+    sorted_blocks: Sequence[int], overread_window: float
+) -> Iterator[tuple[int, int, int]]:
+    """Group a sorted list of wanted blocks into sequential runs.
+
+    Parameters
+    ----------
+    sorted_blocks:
+        Strictly increasing block indices to fetch.
+    overread_window:
+        ``v = t_seek / t_xfer``.  A gap of ``gap`` skipped blocks between
+        two wanted blocks is over-read iff ``gap < v`` (equivalently
+        ``gap * t_xfer < t_seek``, the paper's condition with
+        ``gap = p_{i+1} - p_i - 1``).
+
+    Yields
+    ------
+    tuple
+        ``(start, count, wanted)`` runs: read ``count`` consecutive
+        blocks beginning at ``start``, of which ``wanted`` are needed.
+    """
+    if overread_window < 0:
+        raise StorageError("over-read window must be non-negative")
+    blocks = list(sorted_blocks)
+    if not blocks:
+        return
+    if any(b2 <= b1 for b1, b2 in zip(blocks, blocks[1:])):
+        raise StorageError("block list must be strictly increasing")
+    run_start = blocks[0]
+    run_end = blocks[0]  # inclusive
+    wanted = 1
+    for block in blocks[1:]:
+        gap = block - run_end - 1
+        if gap == 0 or gap < overread_window:
+            run_end = block
+            wanted += 1
+        else:
+            yield run_start, run_end - run_start + 1, wanted
+            run_start = run_end = block
+            wanted = 1
+    yield run_start, run_end - run_start + 1, wanted
+
+
+def batched_fetch_cost(
+    sorted_blocks: Sequence[int], model: DiskModel
+) -> float:
+    """Simulated time of fetching the blocks with the optimal strategy."""
+    total = 0.0
+    for _start, count, _wanted in plan_batched_fetch(
+        sorted_blocks, model.overread_window
+    ):
+        total += model.t_seek + count * model.t_xfer
+    return total
+
+
+def cost_balance_window(
+    pivot: int,
+    n_blocks: int,
+    access_probability: Callable[[int], float],
+    model: DiskModel,
+) -> tuple[int, int]:
+    """Choose the run of blocks to read around a pivot (Section 2.1).
+
+    Parameters
+    ----------
+    pivot:
+        Index of the block that *must* be read (access probability 1).
+    n_blocks:
+        Total number of blocks in the file; the window is clipped to
+        ``[0, n_blocks)``.
+    access_probability:
+        Callable returning the probability ``l_i`` in ``[0, 1]`` that
+        block ``i`` will need to be read later during this query
+        (0 for already-processed or pruned blocks).
+    model:
+        Disk timing parameters.
+
+    Returns
+    -------
+    tuple
+        ``(first, last)`` inclusive block range containing the pivot.
+
+    Notes
+    -----
+    Extending the transfer by one block costs ``t_xfer`` now and saves
+    ``l_i * (t_seek + t_xfer)`` in expectation, so its balance is
+    ``c_i = t_xfer - l_i * (t_seek + t_xfer)`` (paper eq. 1).  The run
+    is extended to the farthest block where the cumulated balance since
+    the last accepted block is negative; the search in each direction
+    gives up once the cumulated balance exceeds ``t_seek``.
+    """
+    if not 0 <= pivot < n_blocks:
+        raise StorageError("pivot outside the file")
+    first = last = pivot
+
+    def _scan(direction: int) -> int:
+        accepted = pivot
+        balance = 0.0
+        i = pivot + direction
+        while 0 <= i < n_blocks and balance < model.t_seek:
+            prob = access_probability(i)
+            if not 0.0 <= prob <= 1.0:
+                raise StorageError("access probability must be in [0, 1]")
+            balance += model.t_xfer - prob * (model.t_seek + model.t_xfer)
+            if balance < 0.0:
+                accepted = i
+                balance = 0.0
+            i += direction
+        return accepted
+
+    last = _scan(+1)
+    first = _scan(-1)
+    return first, last

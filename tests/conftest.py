@@ -1,0 +1,49 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.storage.disk import DiskModel, SimulatedDisk
+
+
+@pytest.fixture
+def small_disk() -> SimulatedDisk:
+    """A disk with small blocks so trees get many pages on tiny data."""
+    return SimulatedDisk(DiskModel(t_seek=0.010, t_xfer=0.001, block_size=512))
+
+
+@pytest.fixture
+def default_disk() -> SimulatedDisk:
+    """The library's default disk model (8 KiB blocks)."""
+    return SimulatedDisk()
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def uniform_points(rng) -> np.ndarray:
+    """2000 canonical (float32-representable) uniform points in 8-d."""
+    return rng.random((2000, 8)).astype(np.float32).astype(np.float64)
+
+
+@pytest.fixture
+def clustered_points(rng) -> np.ndarray:
+    """1500 clustered points in 6-d (three tight Gaussian blobs)."""
+    centers = np.array(
+        [[0.2] * 6, [0.8] * 6, [0.2, 0.8] * 3], dtype=np.float64
+    )
+    assignment = rng.integers(0, 3, size=1500)
+    pts = centers[assignment] + rng.normal(0, 0.03, size=(1500, 6))
+    return np.clip(pts, 0, 1).astype(np.float32).astype(np.float64)
+
+
+def brute_force_knn(points: np.ndarray, query: np.ndarray, k: int, metric):
+    """Reference k-NN used to validate every index."""
+    dists = metric.distances(query, points)
+    order = np.argsort(dists, kind="stable")[:k]
+    return order, dists[order]

@@ -1,0 +1,158 @@
+"""Tests for the Pyramid Technique baseline."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import BuildError, SearchError
+from repro.baselines.pyramid import PyramidTechnique
+from repro.geometry.metrics import EUCLIDEAN, MAXIMUM
+from repro.storage.disk import DiskModel, SimulatedDisk
+from tests.conftest import brute_force_knn
+
+
+def small_disk():
+    return SimulatedDisk(DiskModel(t_seek=0.01, t_xfer=0.001, block_size=512))
+
+
+@pytest.fixture
+def pyramid(uniform_points):
+    return PyramidTechnique(uniform_points, disk=small_disk())
+
+
+class TestMapping:
+    def test_values_in_pyramid_ranges(self, uniform_points):
+        p = PyramidTechnique(uniform_points, disk=small_disk())
+        unit = p._to_unit(p.points)
+        values = p._pyramid_values(unit)
+        d = p.dim
+        assert np.all(values >= 0)
+        assert np.all(values <= 2 * d)
+        pyramids = np.floor(values).astype(int)
+        heights = values - pyramids
+        assert np.all(heights <= 0.5 + 1e-9)
+
+    def test_center_point_has_zero_height(self):
+        data = np.vstack([np.full((1, 4), 0.5), np.random.default_rng(0).random((50, 4))])
+        p = PyramidTechnique(
+            np.asarray(data, dtype=np.float32).astype(np.float64),
+            disk=small_disk(),
+        )
+        unit = p._to_unit(p.points[:1])
+        value = p._pyramid_values(unit)[0]
+        assert value - np.floor(value) < 0.1
+
+    def test_dominant_dimension_determines_pyramid(self):
+        # A point far left in dim 1 lives in pyramid 1.
+        data = np.array(
+            [[0.5, 0.05, 0.5], [0.5, 0.95, 0.5], [0.5, 0.5, 0.5]],
+            dtype=np.float64,
+        )
+        p = PyramidTechnique(data, disk=small_disk())
+        # Normalization maps to unit space; recompute directly.
+        unit = np.array([[0.5, 0.05, 0.5], [0.5, 0.95, 0.5]])
+        values = p._pyramid_values(unit)
+        assert int(np.floor(values[0])) == 1  # lower pyramid of dim 1
+        assert int(np.floor(values[1])) == 1 + 3  # upper pyramid
+
+
+class TestWindowQuery:
+    def test_matches_brute_force(self, pyramid, rng):
+        for _ in range(5):
+            center = rng.random(8)
+            half = 0.1 + 0.2 * rng.random()
+            lower, upper = center - half, center + half
+            answer = pyramid.window_query(lower, upper)
+            expected = np.flatnonzero(
+                np.all(
+                    (pyramid.points >= lower) & (pyramid.points <= upper),
+                    axis=1,
+                )
+            )
+            assert set(answer.ids.tolist()) == set(expected.tolist())
+
+    def test_whole_space_window(self, pyramid):
+        answer = pyramid.window_query(np.zeros(8) - 1, np.ones(8) + 1)
+        assert answer.ids.size == pyramid.n_points
+
+    def test_empty_window(self, pyramid):
+        answer = pyramid.window_query(np.full(8, 5.0), np.full(8, 6.0))
+        assert answer.ids.size == 0
+
+    def test_inverted_window_rejected(self, pyramid):
+        with pytest.raises(SearchError):
+            pyramid.window_query(np.ones(8), np.zeros(8))
+
+
+class TestNearest:
+    @pytest.mark.parametrize("k", [1, 3, 10])
+    def test_knn_matches_brute_force(self, pyramid, rng, k):
+        for _ in range(5):
+            q = rng.random(8)
+            answer = pyramid.nearest(q, k=k)
+            _ids, dists = brute_force_knn(
+                pyramid.points, q, k, EUCLIDEAN
+            )
+            assert np.allclose(answer.distances, dists)
+
+    def test_query_outside_space(self, pyramid):
+        q = np.full(8, 2.0)
+        answer = pyramid.nearest(q, k=1)
+        expected = EUCLIDEAN.distances(q, pyramid.points).min()
+        assert answer.distances[0] == pytest.approx(expected)
+
+    def test_max_metric(self, uniform_points):
+        p = PyramidTechnique(
+            uniform_points, disk=small_disk(), metric=MAXIMUM
+        )
+        q = np.full(8, 0.3)
+        answer = p.nearest(q, k=2)
+        _ids, dists = brute_force_knn(p.points, q, 2, MAXIMUM)
+        assert np.allclose(answer.distances, dists)
+
+    def test_clustered_data(self, clustered_points, rng):
+        p = PyramidTechnique(clustered_points, disk=small_disk())
+        q = rng.random(6)
+        answer = p.nearest(q, k=4)
+        _ids, dists = brute_force_knn(p.points, q, 4, EUCLIDEAN)
+        assert np.allclose(answer.distances, dists)
+
+
+class TestRangeQuery:
+    def test_matches_brute_force(self, pyramid, rng):
+        q = rng.random(8)
+        answer = pyramid.range_query(q, 0.5)
+        dists = EUCLIDEAN.distances(q, pyramid.points)
+        expected = set(np.flatnonzero(dists <= 0.5).tolist())
+        assert set(answer.ids.tolist()) == expected
+
+    def test_zero_radius(self, pyramid):
+        q = pyramid.points[17]
+        answer = pyramid.range_query(q, 0.0)
+        assert 17 in answer.ids.tolist()
+
+
+class TestIOPattern:
+    def test_window_query_cost_scales_with_window(self, pyramid):
+        pyramid.disk.park()
+        small = pyramid.window_query(
+            np.full(8, 0.45), np.full(8, 0.55)
+        ).io.elapsed
+        pyramid.disk.park()
+        large = pyramid.window_query(
+            np.full(8, 0.05), np.full(8, 0.95)
+        ).io.elapsed
+        assert small < large
+
+
+class TestValidation:
+    def test_empty_rejected(self):
+        with pytest.raises(BuildError):
+            PyramidTechnique(np.empty((0, 3)))
+
+    def test_bad_query(self, pyramid):
+        with pytest.raises(SearchError):
+            pyramid.nearest(np.zeros(3))
+        with pytest.raises(SearchError):
+            pyramid.nearest(np.zeros(8), k=0)
+        with pytest.raises(SearchError):
+            pyramid.range_query(np.zeros(8), -1.0)

@@ -1,0 +1,91 @@
+"""Tests for the sequential-scan baseline."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import BuildError, SearchError
+from repro.baselines.scan import SequentialScan
+from repro.geometry.metrics import EUCLIDEAN, MAXIMUM
+from tests.conftest import brute_force_knn
+
+
+@pytest.fixture
+def scan(uniform_points, small_disk):
+    return SequentialScan(uniform_points, disk=small_disk)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("k", [1, 5, 20])
+    def test_knn_matches_brute_force(self, scan, rng, k):
+        q = rng.random(8)
+        answer = scan.nearest(q, k=k)
+        _ids, dists = brute_force_knn(scan.points, q, k, EUCLIDEAN)
+        assert np.allclose(answer.distances, dists)
+
+    def test_max_metric(self, uniform_points, small_disk):
+        scan = SequentialScan(
+            uniform_points, disk=small_disk, metric=MAXIMUM
+        )
+        q = np.full(8, 0.3)
+        answer = scan.nearest(q, k=2)
+        _ids, dists = brute_force_knn(scan.points, q, 2, MAXIMUM)
+        assert np.allclose(answer.distances, dists)
+
+    def test_range_query(self, scan, rng):
+        q = rng.random(8)
+        answer = scan.range_query(q, 0.6)
+        dists = EUCLIDEAN.distances(q, scan.points)
+        expected = set(np.flatnonzero(dists <= 0.6).tolist())
+        assert set(answer.ids.tolist()) == expected
+
+
+class TestCost:
+    def test_cost_is_one_seek_plus_full_transfer(self, scan):
+        scan.disk.park()
+        answer = scan.nearest(np.full(8, 0.5))
+        model = scan.disk.model
+        n_blocks = scan._file.n_blocks
+        assert answer.io.seeks == 1
+        assert answer.io.blocks_read == n_blocks
+        assert answer.io.elapsed == pytest.approx(
+            model.t_seek + n_blocks * model.t_xfer
+        )
+
+    def test_cost_independent_of_query(self, scan, rng):
+        scan.disk.park()
+        t1 = scan.nearest(rng.random(8)).io.elapsed
+        scan.disk.park()
+        t2 = scan.nearest(rng.random(8) * 5).io.elapsed
+        assert t1 == pytest.approx(t2)
+
+    def test_cost_linear_in_n(self, uniform_points, small_disk):
+        from repro.storage.disk import SimulatedDisk
+
+        half = SequentialScan(
+            uniform_points[:1000],
+            disk=SimulatedDisk(small_disk.model),
+        )
+        full = SequentialScan(uniform_points, disk=small_disk)
+        half.disk.park()
+        full.disk.park()
+        t_half = half.nearest(np.full(8, 0.5)).io.elapsed
+        t_full = full.nearest(np.full(8, 0.5)).io.elapsed
+        assert t_full > 1.5 * t_half
+
+
+class TestValidation:
+    def test_empty_rejected(self, small_disk):
+        with pytest.raises(BuildError):
+            SequentialScan(np.empty((0, 4)), disk=small_disk)
+
+    def test_bad_k(self, scan):
+        with pytest.raises(SearchError):
+            scan.nearest(np.zeros(8), k=0)
+
+    def test_bad_query_shape(self, scan):
+        with pytest.raises(SearchError):
+            scan.nearest(np.zeros(4))
+
+    def test_negative_radius(self, scan):
+        with pytest.raises(SearchError):
+            scan.range_query(np.zeros(8), -0.5)

@@ -1,0 +1,137 @@
+"""Tests for the SS-tree baseline."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import BuildError, SearchError
+from repro.baselines.sstree import SSTree
+from repro.geometry.metrics import EUCLIDEAN
+from repro.storage.disk import DiskModel, SimulatedDisk
+from tests.conftest import brute_force_knn
+
+
+def small_disk():
+    return SimulatedDisk(DiskModel(t_seek=0.01, t_xfer=0.001, block_size=512))
+
+
+@pytest.fixture
+def sstree(uniform_points):
+    return SSTree(uniform_points, disk=small_disk())
+
+
+class TestStructure:
+    def test_spheres_contain_their_points(self, sstree):
+        stack = [sstree._root]
+        while stack:
+            item = stack.pop()
+            if hasattr(item, "children"):
+                stack.extend(item.children)
+                continue
+            members = sstree.points[item.indices]
+            dists = np.sqrt(((members - item.center) ** 2).sum(axis=1))
+            assert np.all(dists <= item.radius + 1e-9)
+
+    def test_parent_spheres_contain_children(self, sstree):
+        stack = [sstree._root]
+        while stack:
+            node = stack.pop()
+            for child in node.children:
+                gap = float(
+                    np.sqrt(((child.center - node.center) ** 2).sum())
+                )
+                assert gap + child.radius <= node.radius + 1e-9
+                if hasattr(child, "children"):
+                    stack.append(child)
+
+    def test_all_points_covered(self, sstree, uniform_points):
+        seen = []
+        stack = [sstree._root]
+        while stack:
+            item = stack.pop()
+            if hasattr(item, "children"):
+                stack.extend(item.children)
+            else:
+                seen.append(item.indices)
+        combined = np.sort(np.concatenate(seen))
+        assert np.array_equal(combined, np.arange(len(uniform_points)))
+
+    def test_mean_leaf_radius_positive(self, sstree):
+        assert sstree.mean_leaf_radius() > 0
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("k", [1, 4, 12])
+    def test_knn_matches_brute_force(self, sstree, rng, k):
+        q = rng.random(8)
+        answer = sstree.nearest(q, k=k)
+        _ids, dists = brute_force_knn(sstree.points, q, k, EUCLIDEAN)
+        assert np.allclose(answer.distances, dists)
+
+    def test_range_matches_brute_force(self, sstree, rng):
+        q = rng.random(8)
+        answer = sstree.range_query(q, 0.5)
+        dists = EUCLIDEAN.distances(q, sstree.points)
+        expected = set(np.flatnonzero(dists <= 0.5).tolist())
+        assert set(answer.ids.tolist()) == expected
+
+    def test_clustered_data(self, clustered_points, rng):
+        tree = SSTree(clustered_points, disk=small_disk())
+        q = rng.random(6)
+        answer = tree.nearest(q, k=3)
+        _ids, dists = brute_force_knn(tree.points, q, 3, EUCLIDEAN)
+        assert np.allclose(answer.distances, dists)
+
+    def test_selective_on_clusters(self, clustered_points):
+        tree = SSTree(clustered_points, disk=small_disk())
+        tree.disk.park()
+        answer = tree.nearest(np.full(6, 0.2))
+        assert answer.io.blocks_read < tree.n_leaves()
+
+
+class TestInsert:
+    def test_inserted_point_found(self, sstree):
+        p = np.full(8, 0.321)
+        new_id = sstree.insert(p)
+        answer = sstree.nearest(p, k=1)
+        assert answer.ids[0] == new_id
+
+    def test_many_inserts_stay_correct(self, rng):
+        data = rng.random((200, 5)).astype(np.float32).astype(np.float64)
+        tree = SSTree(data, disk=small_disk())
+        for _ in range(200):
+            tree.insert(rng.random(5))
+        q = rng.random(5)
+        answer = tree.nearest(q, k=4)
+        _ids, dists = brute_force_knn(tree.points, q, 4, EUCLIDEAN)
+        assert np.allclose(answer.distances, dists)
+
+    def test_spheres_valid_after_inserts(self, rng):
+        data = rng.random((150, 4)).astype(np.float32).astype(np.float64)
+        tree = SSTree(data, disk=small_disk())
+        for _ in range(150):
+            tree.insert(rng.random(4))
+        stack = [tree._root]
+        while stack:
+            item = stack.pop()
+            if hasattr(item, "children"):
+                stack.extend(item.children)
+                continue
+            members = tree.points[item.indices]
+            dists = np.sqrt(((members - item.center) ** 2).sum(axis=1))
+            assert np.all(dists <= item.radius + 1e-9)
+
+
+class TestValidation:
+    def test_empty_rejected(self):
+        with pytest.raises(BuildError):
+            SSTree(np.empty((0, 4)))
+
+    def test_non_euclidean_rejected(self, uniform_points):
+        with pytest.raises(BuildError):
+            SSTree(uniform_points, metric="maximum")
+
+    def test_bad_query(self, sstree):
+        with pytest.raises(SearchError):
+            sstree.nearest(np.zeros(3))
+        with pytest.raises(SearchError):
+            sstree.range_query(np.zeros(8), -0.5)

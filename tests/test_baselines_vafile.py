@@ -1,0 +1,105 @@
+"""Tests for the VA-file baseline."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import BuildError, SearchError
+from repro.baselines.vafile import VAFile
+from repro.geometry.metrics import EUCLIDEAN, MAXIMUM
+from repro.storage.disk import SimulatedDisk
+from tests.conftest import brute_force_knn
+
+
+@pytest.fixture
+def vafile(uniform_points, small_disk):
+    return VAFile(uniform_points, bits=4, disk=small_disk)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("bits", [1, 2, 4, 8])
+    def test_nn_matches_brute_force(self, uniform_points, bits, rng):
+        va = VAFile(uniform_points, bits=bits, disk=SimulatedDisk())
+        for _ in range(5):
+            q = rng.random(8)
+            answer = va.nearest(q, k=1)
+            _ids, dists = brute_force_knn(va.points, q, 1, EUCLIDEAN)
+            assert answer.distances[0] == pytest.approx(dists[0])
+
+    @pytest.mark.parametrize("k", [1, 4, 15])
+    def test_knn_matches_brute_force(self, vafile, rng, k):
+        q = rng.random(8)
+        answer = vafile.nearest(q, k=k)
+        _ids, dists = brute_force_knn(vafile.points, q, k, EUCLIDEAN)
+        assert np.allclose(answer.distances, dists)
+
+    def test_max_metric(self, uniform_points, small_disk):
+        va = VAFile(
+            uniform_points, bits=5, disk=small_disk, metric=MAXIMUM
+        )
+        q = np.full(8, 0.4)
+        answer = va.nearest(q, k=3)
+        _ids, dists = brute_force_knn(va.points, q, 3, MAXIMUM)
+        assert np.allclose(answer.distances, dists)
+
+    def test_range_query(self, vafile, rng):
+        q = rng.random(8)
+        answer = vafile.range_query(q, 0.5)
+        dists = EUCLIDEAN.distances(q, vafile.points)
+        expected = set(np.flatnonzero(dists <= 0.5).tolist())
+        assert set(answer.ids.tolist()) == expected
+
+
+class TestTwoPhaseBehavior:
+    def test_refinements_reported(self, vafile, rng):
+        answer = vafile.nearest(rng.random(8), k=1)
+        assert answer.refinements >= 1  # at least the answer itself
+
+    def test_more_bits_fewer_refinements(self, uniform_points, rng):
+        coarse = VAFile(uniform_points, bits=1, disk=SimulatedDisk())
+        fine = VAFile(uniform_points, bits=8, disk=SimulatedDisk())
+        q = rng.random(8)
+        assert fine.nearest(q).refinements <= coarse.nearest(q).refinements
+
+    def test_more_bits_larger_approx_file(self, uniform_points, small_disk):
+        from repro.storage.disk import DiskModel
+
+        def blocks(bits):
+            disk = SimulatedDisk(DiskModel(block_size=512))
+            return VAFile(uniform_points, bits=bits, disk=disk).approx_blocks
+
+        sizes = [blocks(b) for b in (2, 4, 8)]
+        assert sizes[0] < sizes[1] < sizes[2]
+
+    def test_scan_is_sequential(self, vafile, rng):
+        vafile.disk.park()
+        answer = vafile.nearest(rng.random(8))
+        # One seek for the approximation scan plus one per refinement
+        # cache miss, never one per point.
+        assert answer.io.seeks <= 1 + answer.refinements
+
+    def test_refinement_count_much_smaller_than_n(self, vafile, rng):
+        answer = vafile.nearest(rng.random(8), k=1)
+        assert answer.refinements < vafile.n_points * 0.05
+
+
+class TestValidation:
+    def test_bits_out_of_range(self, uniform_points):
+        with pytest.raises(BuildError):
+            VAFile(uniform_points, bits=0)
+        with pytest.raises(BuildError):
+            VAFile(uniform_points, bits=17)
+
+    def test_empty_rejected(self):
+        with pytest.raises(BuildError):
+            VAFile(np.empty((0, 3)))
+
+    def test_bad_query(self, vafile):
+        with pytest.raises(SearchError):
+            vafile.nearest(np.zeros(3))
+        with pytest.raises(SearchError):
+            vafile.nearest(np.zeros(8), k=0)
+        with pytest.raises(SearchError):
+            vafile.range_query(np.zeros(8), -1.0)
+
+    def test_repr(self, vafile):
+        assert "bits=4" in repr(vafile)

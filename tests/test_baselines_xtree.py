@@ -1,0 +1,159 @@
+"""Tests for the X-tree baseline."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import BuildError, SearchError
+from repro.baselines.xtree import XTree
+from repro.geometry.metrics import EUCLIDEAN, MAXIMUM
+from repro.storage.disk import SimulatedDisk
+from tests.conftest import brute_force_knn
+
+
+@pytest.fixture
+def xtree(uniform_points, small_disk):
+    return XTree(uniform_points, disk=small_disk)
+
+
+class TestStructure:
+    def test_leaf_capacity_respected(self, xtree):
+        for leaf in xtree._iter_leaves(xtree._root):
+            assert leaf.indices.size <= xtree._leaf_capacity
+
+    def test_all_points_in_exactly_one_leaf(self, xtree, uniform_points):
+        seen = np.concatenate(
+            [leaf.indices for leaf in xtree._iter_leaves(xtree._root)]
+        )
+        assert np.array_equal(np.sort(seen), np.arange(len(uniform_points)))
+
+    def test_mbrs_nest(self, xtree):
+        stack = [xtree._root]
+        while stack:
+            node = stack.pop()
+            for child in node.children:
+                assert node.mbr.contains_mbr(child.mbr)
+                if hasattr(child, "children"):
+                    stack.append(child)
+
+    def test_height_positive(self, xtree):
+        assert xtree.height() >= 1
+
+    def test_bulk_load_has_no_supernodes(self, xtree):
+        assert xtree.n_supernodes() == 0
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("k", [1, 5, 12])
+    def test_knn_matches_brute_force(self, xtree, rng, k):
+        q = rng.random(8)
+        answer = xtree.nearest(q, k=k)
+        _ids, dists = brute_force_knn(xtree.points, q, k, EUCLIDEAN)
+        assert np.allclose(answer.distances, dists)
+
+    def test_max_metric(self, uniform_points):
+        xt = XTree(uniform_points, disk=SimulatedDisk(), metric=MAXIMUM)
+        q = np.full(8, 0.6)
+        answer = xt.nearest(q, k=2)
+        _ids, dists = brute_force_knn(xt.points, q, 2, MAXIMUM)
+        assert np.allclose(answer.distances, dists)
+
+    def test_range_query(self, xtree, rng):
+        q = rng.random(8)
+        answer = xtree.range_query(q, 0.5)
+        dists = EUCLIDEAN.distances(q, xtree.points)
+        expected = set(np.flatnonzero(dists <= 0.5).tolist())
+        assert set(answer.ids.tolist()) == expected
+
+    def test_clustered_data(self, clustered_points, rng):
+        xt = XTree(clustered_points, disk=SimulatedDisk())
+        q = rng.random(6)
+        answer = xt.nearest(q, k=3)
+        _ids, dists = brute_force_knn(xt.points, q, 3, EUCLIDEAN)
+        assert np.allclose(answer.distances, dists)
+
+
+class TestIOPattern:
+    def test_selective_on_clustered_data(self, clustered_points):
+        """On clustered low-d data the X-tree must visit few leaves."""
+        xt = XTree(clustered_points, disk=SimulatedDisk())
+        xt.disk.park()
+        answer = xt.nearest(np.full(6, 0.2))
+        n_leaves = xt.n_leaves()
+        # blocks read = directory nodes + visited leaves << all leaves.
+        assert answer.io.blocks_read < n_leaves * 0.5 + xt.height() + 1
+
+    def test_each_page_read_is_random(self, xtree, rng):
+        xtree.disk.park()
+        answer = xtree.nearest(rng.random(8))
+        # The X-tree does not batch reads: seeks track block reads
+        # (adjacent leaves occasionally read back-to-back).
+        assert answer.io.seeks >= answer.io.blocks_read * 0.3
+        assert answer.io.blocks_overread == 0
+
+
+class TestInsert:
+    def test_inserted_point_found(self, xtree):
+        p = np.full(8, 0.123)
+        new_id = xtree.insert(p)
+        answer = xtree.nearest(p, k=1)
+        assert answer.ids[0] == new_id
+
+    def test_many_inserts_stay_correct(self, rng):
+        data = rng.random((300, 4)).astype(np.float32).astype(np.float64)
+        xt = XTree(data, disk=SimulatedDisk())
+        for _ in range(250):
+            xt.insert(rng.random(4))
+        for _ in range(5):
+            q = rng.random(4)
+            answer = xt.nearest(q, k=4)
+            _ids, dists = brute_force_knn(xt.points, q, 4, EUCLIDEAN)
+            assert np.allclose(answer.distances, dists)
+
+    def test_inserts_grow_leaves(self, rng, small_disk):
+        data = rng.random((100, 3)).astype(np.float32).astype(np.float64)
+        xt = XTree(data, disk=small_disk)
+        before = xt.n_leaves()
+        for _ in range(300):
+            xt.insert(rng.random(3))
+        assert xt.n_leaves() > before
+
+    def test_structure_valid_after_inserts(self, rng):
+        data = rng.random((200, 5)).astype(np.float32).astype(np.float64)
+        xt = XTree(data, disk=SimulatedDisk())
+        for _ in range(200):
+            xt.insert(rng.random(5))
+        seen = np.concatenate(
+            [leaf.indices for leaf in xt._iter_leaves(xt._root)]
+        )
+        assert np.array_equal(np.sort(seen), np.arange(400))
+        for leaf in xt._iter_leaves(xt._root):
+            pts = xt.points[leaf.indices]
+            assert np.all(pts >= leaf.mbr.lower - 1e-9)
+            assert np.all(pts <= leaf.mbr.upper + 1e-9)
+
+    def test_skewed_inserts_may_create_supernodes(self, rng):
+        data = rng.random((50, 8)).astype(np.float32).astype(np.float64)
+        xt = XTree(data, disk=SimulatedDisk())
+        # Insert many points on a diagonal line: splits overlap badly in
+        # high-d, the condition that triggers supernodes.
+        t = rng.random(600)
+        for ti in t:
+            xt.insert(np.full(8, ti))
+        q = np.full(8, 0.5)
+        answer = xt.nearest(q, k=3)
+        _ids, dists = brute_force_knn(xt.points, q, 3, EUCLIDEAN)
+        assert np.allclose(answer.distances, dists)
+
+
+class TestValidation:
+    def test_empty_rejected(self):
+        with pytest.raises(BuildError):
+            XTree(np.empty((0, 4)))
+
+    def test_bad_query(self, xtree):
+        with pytest.raises(SearchError):
+            xtree.nearest(np.zeros(3))
+        with pytest.raises(SearchError):
+            xtree.nearest(np.zeros(8), k=0)
+        with pytest.raises(SearchError):
+            xtree.insert(np.zeros(5))

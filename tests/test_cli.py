@@ -1,0 +1,82 @@
+"""Tests for the top-level ``python -m repro`` CLI."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def data_file(tmp_path, rng):
+    path = tmp_path / "data.npy"
+    np.save(path, rng.random((400, 6)).astype(np.float32))
+    return path
+
+
+@pytest.fixture
+def index_file(tmp_path, data_file):
+    path = tmp_path / "index.iqt"
+    assert main(["build", str(data_file), str(path)]) == 0
+    return path
+
+
+class TestBuild:
+    def test_build_writes_index(self, tmp_path, data_file, capsys):
+        path = tmp_path / "fresh.iqt"
+        assert main(["build", str(data_file), str(path)]) == 0
+        assert path.exists()
+        out = capsys.readouterr().out
+        assert "saved to" in out
+
+    def test_build_no_optimize(self, tmp_path, data_file, capsys):
+        path = tmp_path / "exact.iqt"
+        assert (
+            main(["build", str(data_file), str(path), "--no-optimize"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "{32:" in out.replace("np.int64(32)", "32")
+
+    def test_build_with_metric(self, tmp_path, data_file):
+        path = tmp_path / "linf.iqt"
+        assert (
+            main(
+                ["build", str(data_file), str(path), "--metric", "linf"]
+            )
+            == 0
+        )
+
+
+class TestQuery:
+    def test_explicit_point(self, index_file, capsys):
+        point = ",".join(["0.5"] * 6)
+        assert (
+            main(["query", str(index_file), "--point", point, "--k", "3"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "query ->" in out
+        assert "ms simulated" in out
+
+    def test_random_queries(self, index_file, capsys):
+        assert main(["query", str(index_file), "--random", "3"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("query ->") == 3
+
+
+class TestInfo:
+    def test_info_fields(self, index_file, capsys):
+        assert main(["info", str(index_file)]) == 0
+        out = capsys.readouterr().out
+        assert "metric: euclidean" in out
+        assert "estimated query cost" in out
+        assert "page resolutions" in out
+
+
+class TestValidate:
+    def test_validate_runs(self, index_file, capsys):
+        assert (
+            main(["validate", str(index_file), "--queries", "4"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "pages" in out and "refinements" in out

@@ -1,0 +1,59 @@
+"""Tests for the bulk-load partitioner."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import BuildError
+from repro.core.build import bulk_load_partitions, partitions_for_capacity
+from repro.quantization.capacity import capacity_for_bits
+
+
+class TestBulkLoad:
+    def test_every_partition_fits_one_bit_page(self, uniform_points):
+        parts = bulk_load_partitions(uniform_points, 2048)
+        cap = capacity_for_bits(2048, 8, 1)
+        assert all(p.size <= cap for p in parts)
+
+    def test_partitions_cover_all_points_exactly_once(self, uniform_points):
+        parts = bulk_load_partitions(uniform_points, 2048)
+        combined = np.sort(np.concatenate([p.indices for p in parts]))
+        assert np.array_equal(combined, np.arange(len(uniform_points)))
+
+    def test_small_data_one_partition(self, rng):
+        data = rng.random((10, 4))
+        parts = bulk_load_partitions(data, 8192)
+        assert len(parts) == 1
+
+    def test_balanced_sizes(self, uniform_points):
+        parts = bulk_load_partitions(uniform_points, 1024)
+        sizes = np.array([p.size for p in parts])
+        # Median splits keep pages within a factor ~2 of each other.
+        assert sizes.max() <= 2 * sizes.min() + 1
+
+    def test_depth_first_order_is_spatially_coherent(self, rng):
+        # 1-d data: depth-first output must be sorted left-to-right.
+        data = np.sort(rng.random(512)).reshape(-1, 1)
+        parts = partitions_for_capacity(data, 16)
+        centers = [p.mbr.center[0] for p in parts]
+        assert centers == sorted(centers)
+
+    def test_empty_rejected(self):
+        with pytest.raises(BuildError):
+            bulk_load_partitions(np.empty((0, 3)), 8192)
+
+    def test_bad_capacity_rejected(self, rng):
+        with pytest.raises(BuildError):
+            partitions_for_capacity(rng.random((10, 2)), 0)
+
+
+class TestCapacityTargets:
+    def test_respects_arbitrary_capacity(self, uniform_points):
+        for cap in (7, 50, 333):
+            parts = partitions_for_capacity(uniform_points, cap)
+            assert all(p.size <= cap for p in parts)
+
+    def test_duplicate_points_handled(self):
+        data = np.ones((100, 3))
+        parts = partitions_for_capacity(data, 8)
+        assert all(p.size <= 8 for p in parts)
+        assert sum(p.size for p in parts) == 100

@@ -1,0 +1,138 @@
+"""Tests for dynamic insert/delete/reoptimize (paper Section 6)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import BuildError, SearchError
+from repro.core.tree import IQTree
+from repro.geometry.metrics import EUCLIDEAN
+from tests.conftest import brute_force_knn
+
+
+@pytest.fixture
+def tree(uniform_points, small_disk):
+    return IQTree.build(uniform_points[:500], disk=small_disk)
+
+
+class TestInsert:
+    def test_insert_returns_new_id(self, tree, rng):
+        n_before = tree.n_points
+        new_id = tree.insert(rng.random(8))
+        assert new_id == n_before
+        assert tree.n_points == n_before + 1
+
+    def test_inserted_point_found(self, tree):
+        point = np.full(8, 0.4321)
+        new_id = tree.insert(point)
+        res = tree.nearest(point, k=1)
+        assert res.ids[0] == new_id
+        assert res.distances[0] == pytest.approx(0.0, abs=1e-6)
+
+    def test_many_inserts_stay_correct(self, tree, rng):
+        for _ in range(60):
+            tree.insert(rng.random(8))
+        for _ in range(5):
+            q = rng.random(8)
+            res = tree.nearest(q, k=5)
+            _ids, dists = brute_force_knn(tree.points, q, 5, EUCLIDEAN)
+            assert np.allclose(res.distances, dists)
+
+    def test_overflow_triggers_split_or_requantize(self, tree, rng):
+        pages_before = tree.n_pages
+        bits_before = tree.page_bits.copy()
+        # Insert many points into one tight region to overflow a page.
+        target = tree.points[0] + rng.normal(0, 1e-4, size=(300, 8))
+        for p in np.clip(target, 0, 1):
+            tree.insert(p)
+        changed = (
+            tree.n_pages != pages_before
+            or len(tree.page_bits) != len(bits_before)
+            or not np.array_equal(tree.page_bits, bits_before)
+        )
+        assert changed
+        # Structure still valid: every page fits its bits.
+        from repro.quantization.capacity import capacity_for_bits
+
+        for opt in tree._partitions:
+            cap = capacity_for_bits(
+                tree.disk.model.block_size, tree.dim, opt.bits
+            )
+            assert opt.partition.size <= cap
+
+    def test_insert_outside_all_mbrs(self, tree):
+        new_id = tree.insert(np.full(8, 0.9999))
+        res = tree.nearest(np.full(8, 0.9999), k=1)
+        assert res.ids[0] == new_id
+
+    def test_wrong_dimension_rejected(self, tree):
+        with pytest.raises(SearchError):
+            tree.insert(np.zeros(3))
+
+
+class TestDelete:
+    def test_deleted_point_not_returned(self, tree):
+        victim = 42
+        point = tree.points[victim].copy()
+        tree.delete(victim)
+        res = tree.nearest(point, k=3)
+        assert victim not in res.ids
+
+    def test_delete_keeps_structure_correct(self, tree, rng):
+        removed = set()
+        for pid in range(0, 100, 7):
+            tree.delete(pid)
+            removed.add(pid)
+        q = rng.random(8)
+        res = tree.nearest(q, k=5)
+        assert not (set(res.ids.tolist()) & removed)
+        # Against brute force over the survivors:
+        keep = np.array(
+            [i for i in range(tree.points.shape[0]) if i not in removed]
+        )
+        dists = EUCLIDEAN.distances(q, tree.points[keep])
+        expected = np.sort(dists)[:5]
+        assert np.allclose(res.distances, expected)
+
+    def test_delete_unknown_id_rejected(self, tree):
+        with pytest.raises(SearchError):
+            tree.delete(10**9)
+
+    def test_delete_twice_rejected(self, tree):
+        tree.delete(7)
+        with pytest.raises(SearchError):
+            tree.delete(7)
+
+    def test_delete_whole_page(self, tree):
+        part0 = tree._partitions[0].partition
+        ids = part0.indices.tolist()
+        pages_before = tree.n_pages
+        for pid in ids:
+            tree.delete(pid)
+        tree.nearest(np.full(8, 0.5))  # forces re-layout
+        assert tree.n_pages == pages_before - 1
+
+    def test_cannot_delete_last_point(self, small_disk):
+        tree = IQTree.build(np.array([[0.1, 0.2]]), disk=small_disk)
+        with pytest.raises(BuildError):
+            tree.delete(0)
+
+
+class TestReoptimize:
+    def test_reoptimize_after_churn(self, tree, rng):
+        for _ in range(50):
+            tree.insert(rng.random(8))
+        for pid in range(0, 40, 3):
+            tree.delete(pid)
+        tree.reoptimize()
+        # Ids are compacted: the index is rebuilt over live points only.
+        q = rng.random(8)
+        res = tree.nearest(q, k=3)
+        _ids, dists = brute_force_knn(tree.points, q, 3, EUCLIDEAN)
+        assert np.allclose(res.distances, dists)
+
+    def test_reoptimize_refreshes_trace(self, tree, rng):
+        for _ in range(30):
+            tree.insert(rng.random(8))
+        tree.reoptimize()
+        assert tree.trace is not None
+        assert tree.trace.n_final == tree.n_pages

@@ -1,0 +1,61 @@
+"""Tests for the in-memory Partition type."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import BuildError
+from repro.core.partition import Partition
+from repro.geometry.mbr import MBR
+
+
+class TestConstruction:
+    def test_of_builds_tight_mbr(self, rng):
+        data = rng.random((100, 4))
+        idx = np.arange(0, 50)
+        part = Partition.of(data, idx)
+        assert part.size == 50
+        assert part.mbr == MBR.of_points(data[:50])
+
+    def test_points_view(self, rng):
+        data = rng.random((20, 3))
+        part = Partition.of(data, np.array([3, 7, 9]))
+        assert np.array_equal(part.points(data), data[[3, 7, 9]])
+
+    def test_empty_rejected(self, rng):
+        with pytest.raises(BuildError):
+            Partition.of(rng.random((10, 2)), np.array([], dtype=np.int64))
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(BuildError):
+            Partition(np.zeros((2, 2), dtype=np.int64), MBR.unit_cube(2))
+
+
+class TestStats:
+    def test_storable_bits_matches_capacity(self, rng):
+        data = rng.random((3000, 16))
+        part = Partition.of(data, np.arange(3000))
+        # 3000 points in 16-d fit a 1-bit 8K page (capacity 4092).
+        assert part.storable_bits(8192) == 1
+
+    def test_small_partition_gets_exact_bits(self, rng):
+        data = rng.random((10, 16))
+        part = Partition.of(data, np.arange(10))
+        assert part.storable_bits(8192) == 32
+
+    def test_stats_fields(self, rng):
+        data = rng.random((100, 4))
+        part = Partition.of(data, np.arange(100))
+        stats = part.stats(8192)
+        assert stats.m == 100
+        assert stats.bits == part.storable_bits(8192)
+        assert stats.side_lengths == tuple(part.mbr.extents.tolist())
+
+    def test_stats_rejects_oversized(self, rng):
+        data = rng.random((5000, 16))
+        part = Partition.of(data, np.arange(5000))
+        with pytest.raises(BuildError):
+            part.stats(8192)
+
+    def test_repr(self, rng):
+        data = rng.random((5, 2))
+        assert "size=5" in repr(Partition.of(data, np.arange(5)))

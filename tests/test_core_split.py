@@ -1,0 +1,74 @@
+"""Tests for the split heuristic."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import BuildError
+from repro.core.partition import Partition
+from repro.core.split import split_partition
+
+
+class TestSplit:
+    def test_balanced_halves(self, rng):
+        data = rng.random((101, 5))
+        part = Partition.of(data, np.arange(101))
+        left, right = split_partition(data, part)
+        assert {left.size, right.size} == {50, 51}
+        combined = np.sort(np.concatenate([left.indices, right.indices]))
+        assert np.array_equal(combined, np.arange(101))
+
+    def test_splits_longest_dimension(self, rng):
+        data = rng.random((200, 3))
+        data[:, 1] *= 10  # dimension 1 has the largest extent
+        part = Partition.of(data, np.arange(200))
+        left, right = split_partition(data, part)
+        # The halves must be separated in dimension 1.
+        assert left.mbr.upper[1] <= right.mbr.lower[1] or (
+            right.mbr.upper[1] <= left.mbr.lower[1]
+        )
+
+    def test_children_mbrs_tight_and_inside_parent(self, rng):
+        data = rng.random((100, 4))
+        part = Partition.of(data, np.arange(100))
+        for child in split_partition(data, part):
+            assert part.mbr.contains_mbr(child.mbr)
+            assert child.mbr == Partition.of(data, child.indices).mbr
+
+    def test_duplicate_heavy_dimension_falls_back(self):
+        # Dimension 0 has the largest extent but only two distinct
+        # values; a valid split must still be produced.
+        data = np.zeros((10, 2))
+        data[5:, 0] = 10.0
+        data[:, 1] = np.linspace(0, 1, 10)
+        part = Partition.of(data, np.arange(10))
+        left, right = split_partition(data, part)
+        assert left.size + right.size == 10
+        assert left.size > 0 and right.size > 0
+
+    def test_all_identical_points_split_by_count(self):
+        data = np.ones((9, 3))
+        part = Partition.of(data, np.arange(9))
+        left, right = split_partition(data, part)
+        assert {left.size, right.size} == {4, 5}
+
+    def test_single_point_rejected(self, rng):
+        data = rng.random((5, 2))
+        part = Partition.of(data, np.array([2]))
+        with pytest.raises(BuildError):
+            split_partition(data, part)
+
+    def test_two_points(self, rng):
+        data = rng.random((2, 6))
+        part = Partition.of(data, np.arange(2))
+        left, right = split_partition(data, part)
+        assert left.size == right.size == 1
+
+    def test_heavy_duplicates_stay_balanced(self):
+        # 90% of values share the median: the mask must still produce
+        # two near-equal halves (stable-order tie breaking).
+        data = np.zeros((100, 1))
+        data[:90, 0] = 0.5
+        data[90:, 0] = np.linspace(0, 1, 10)
+        part = Partition.of(data, np.arange(100))
+        left, right = split_partition(data, part)
+        assert {left.size, right.size} == {50, 50}

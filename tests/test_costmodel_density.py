@@ -1,0 +1,104 @@
+"""Tests for densities and nearest-neighbor radii (eqs. 6-7, 13-14)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import CostModelError
+from repro.costmodel.density import (
+    fractal_nn_radius,
+    fractal_point_density,
+    knn_radius,
+    nn_radius,
+    point_density,
+)
+from repro.geometry.metrics import EUCLIDEAN, MAXIMUM
+
+
+class TestPointDensity:
+    def test_unit_box(self):
+        assert point_density(100, np.ones(4)) == pytest.approx(100.0)
+
+    def test_scales_inverse_with_volume(self):
+        d1 = point_density(100, np.array([1.0, 1.0]))
+        d2 = point_density(100, np.array([2.0, 2.0]))
+        assert d1 == pytest.approx(4 * d2)
+
+    def test_degenerate_side_guarded(self):
+        # A zero side length must not produce an infinite density.
+        d = point_density(10, np.array([1.0, 0.0]))
+        assert np.isfinite(d)
+        assert d > 0
+
+    def test_rejects_nonpositive_count(self):
+        with pytest.raises(CostModelError):
+            point_density(0, np.ones(2))
+
+
+class TestFractalDensity:
+    def test_equals_plain_when_df_is_d(self):
+        sides = np.array([0.5, 0.25, 0.75])
+        assert fractal_point_density(50, sides, 3.0) == pytest.approx(
+            point_density(50, sides)
+        )
+
+    def test_lower_df_raises_density_for_small_volumes(self):
+        sides = np.full(4, 0.1)  # volume < 1
+        shallow = fractal_point_density(50, sides, 2.0)
+        full = fractal_point_density(50, sides, 4.0)
+        assert shallow < full  # sides < 1: raising to DF/d < 1 grows them
+
+    def test_rejects_bad_df(self):
+        with pytest.raises(CostModelError):
+            fractal_point_density(10, np.ones(3), 0.0)
+        with pytest.raises(CostModelError):
+            fractal_point_density(10, np.ones(3), 3.5)
+
+
+class TestNNRadius:
+    def test_ball_contains_one_expected_point(self):
+        density = 1000.0
+        for d in (2, 8, 16):
+            r = nn_radius(density, d)
+            assert density * EUCLIDEAN.ball_volume(r, d) == pytest.approx(1.0)
+
+    def test_max_metric_variant(self):
+        r = nn_radius(1000.0, 4, MAXIMUM)
+        assert 1000.0 * MAXIMUM.ball_volume(r, 4) == pytest.approx(1.0)
+
+    def test_radius_grows_with_k(self):
+        rs = [knn_radius(500.0, 6, k) for k in (1, 5, 20)]
+        assert rs[0] < rs[1] < rs[2]
+
+    def test_knn_volume_contains_k(self):
+        r = knn_radius(500.0, 6, 7)
+        assert 500.0 * EUCLIDEAN.ball_volume(r, 6) == pytest.approx(7.0)
+
+    def test_radius_shrinks_with_density(self):
+        assert nn_radius(1000.0, 8) < nn_radius(10.0, 8)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(CostModelError):
+            nn_radius(0.0, 4)
+        with pytest.raises(CostModelError):
+            knn_radius(1.0, 4, 0)
+
+
+class TestFractalNNRadius:
+    def test_equals_plain_when_df_is_d(self):
+        r_plain = nn_radius(200.0, 5)
+        r_fractal = fractal_nn_radius(200.0, 5, 5.0)
+        assert r_fractal == pytest.approx(r_plain)
+
+    def test_defining_identity(self):
+        # The radius solves rho_F * V_ball(r) ** (D_F / d) = k: the
+        # fractal growth law of enclosed point counts (eqs. 13-14).
+        density_f, d, df, k = 73.0, 8, 2.5, 3
+        r = fractal_nn_radius(density_f, d, df, k=k)
+        v = EUCLIDEAN.ball_volume(r, d)
+        assert density_f * v ** (df / d) == pytest.approx(k)
+
+    def test_invalid(self):
+        with pytest.raises(CostModelError):
+            fractal_nn_radius(1.0, 4, 5.0)
+        with pytest.raises(CostModelError):
+            fractal_nn_radius(-1.0, 4, 2.0)

@@ -1,0 +1,86 @@
+"""Tests for the fractal-dimension estimators."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import CostModelError
+from repro.costmodel.fractal import (
+    box_counting_dimension,
+    correlation_dimension,
+    estimate_fractal_dimension,
+)
+from repro.datasets import low_dimensional_manifold, uniform, weather_like
+
+
+class TestBoxCounting:
+    def test_uniform_square_near_two(self, rng):
+        pts = rng.random((8000, 2))
+        d0 = box_counting_dimension(pts)
+        assert 1.6 < d0 <= 2.0
+
+    def test_line_near_one(self, rng):
+        t = rng.random(5000)
+        pts = np.column_stack([t, t, t])
+        d0 = box_counting_dimension(pts)
+        assert 0.8 < d0 < 1.3
+
+    def test_clamped_to_embedding_dim(self, rng):
+        pts = rng.random((2000, 2))
+        assert box_counting_dimension(pts) <= 2.0
+
+    def test_deterministic(self, rng):
+        pts = rng.random((3000, 3))
+        assert box_counting_dimension(pts, seed=7) == (
+            box_counting_dimension(pts, seed=7)
+        )
+
+    def test_rejects_tiny_input(self):
+        with pytest.raises(CostModelError):
+            box_counting_dimension(np.zeros((1, 2)))
+        with pytest.raises(CostModelError):
+            box_counting_dimension(np.zeros((10, 2)), scales=1)
+
+
+class TestCorrelation:
+    def test_uniform_cube_near_three(self, rng):
+        pts = rng.random((3000, 3))
+        d2 = correlation_dimension(pts)
+        assert 2.2 < d2 <= 3.0
+
+    def test_plane_in_five_dims_near_two(self, rng):
+        uv = rng.random((3000, 2))
+        basis = rng.normal(size=(2, 5))
+        pts = uv @ basis
+        d2 = correlation_dimension(pts)
+        assert 1.5 < d2 < 2.6
+
+    def test_identical_points_near_zero(self):
+        pts = np.ones((100, 4))
+        assert correlation_dimension(pts) == pytest.approx(0.0, abs=1e-3)
+
+    def test_weather_analogue_is_low_dimensional(self):
+        """The WEATHER substitute must have the paper's low D_F."""
+        pts = weather_like(4000, seed=3)
+        d2 = correlation_dimension(pts)
+        assert d2 < 4.0  # far below the 9-d embedding
+
+    def test_manifold_generator_matches_target(self):
+        pts = low_dimensional_manifold(4000, dim=8, intrinsic_dim=2, seed=1)
+        d2 = correlation_dimension(pts)
+        assert 1.3 < d2 < 3.5
+
+    def test_uniform_16d_is_high_dimensional(self):
+        pts = uniform(3000, 16, seed=2)
+        d2 = correlation_dimension(pts)
+        assert d2 > 6.0
+
+
+class TestDispatch:
+    def test_methods(self, rng):
+        pts = rng.random((1000, 2))
+        assert estimate_fractal_dimension(pts, "correlation") > 0
+        assert estimate_fractal_dimension(pts, "box") > 0
+
+    def test_unknown_method(self, rng):
+        with pytest.raises(CostModelError):
+            estimate_fractal_dimension(rng.random((10, 2)), "hausdorff")

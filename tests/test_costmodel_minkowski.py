@@ -1,0 +1,113 @@
+"""Tests for the refinement-probability model (eqs. 10-15)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import CostModelError
+from repro.costmodel.minkowski import (
+    cell_volume,
+    minkowski_cell_volume,
+    refinement_probability,
+)
+from repro.geometry.metrics import EUCLIDEAN, MAXIMUM
+
+
+class TestCellVolume:
+    def test_formula(self):
+        # V_mbr / 2^(d*g): 2x4 box at g=1 in 2-d -> 8 / 4 = 2.
+        assert cell_volume(np.array([2.0, 4.0]), 1) == pytest.approx(2.0)
+
+    def test_shrinks_exponentially_with_bits(self):
+        sides = np.array([1.0, 1.0, 1.0])
+        v1 = cell_volume(sides, 1)
+        v2 = cell_volume(sides, 2)
+        assert v1 == pytest.approx(8 * v2)
+
+    def test_rejects_zero_bits(self):
+        with pytest.raises(CostModelError):
+            cell_volume(np.ones(2), 0)
+
+
+class TestMinkowskiCellVolume:
+    def test_max_metric_closed_form(self):
+        sides = np.array([1.0, 1.0])
+        got = minkowski_cell_volume(sides, 1, 0.25, MAXIMUM)
+        # Cell sides 0.5; (0.5 + 0.5)^2 = 1.
+        assert got == pytest.approx(1.0)
+
+    def test_decreasing_in_bits(self):
+        sides = np.full(6, 0.5)
+        vols = [
+            minkowski_cell_volume(sides, g, 0.1, EUCLIDEAN)
+            for g in (1, 2, 4, 8)
+        ]
+        assert all(a > b for a, b in zip(vols, vols[1:]))
+
+    def test_floor_is_ball_volume(self):
+        # As g -> inf the cell vanishes and the sum tends to the ball.
+        sides = np.full(4, 1.0)
+        v = minkowski_cell_volume(sides, 30, 0.2, EUCLIDEAN)
+        assert v == pytest.approx(EUCLIDEAN.ball_volume(0.2, 4), rel=1e-3)
+
+
+class TestRefinementProbability:
+    def test_in_unit_interval(self, rng):
+        for _ in range(20):
+            sides = rng.random(8) + 0.01
+            p = refinement_probability(
+                100, sides, int(rng.integers(1, 31)), 10000
+            )
+            assert 0.0 <= p <= 1.0
+
+    def test_exact_pages_never_refine(self):
+        assert refinement_probability(10, np.ones(4), 32, 1000) == 0.0
+
+    def test_monotonically_decreasing_in_bits(self):
+        """The paper's key monotonicity property (Section 3.4)."""
+        sides = np.full(8, 0.3)
+        probs = [
+            refinement_probability(200, sides, g, 50_000)
+            for g in range(1, 32)
+        ]
+        assert all(a >= b for a, b in zip(probs, probs[1:]))
+
+    def test_decrease_has_diminishing_returns(self):
+        """First splits save more than later ones (second derivative > 0).
+
+        The optimizer's greedy optimality proof rests on this.
+        """
+        sides = np.full(4, 0.4)
+        probs = [
+            refinement_probability(500, sides, g, 100_000)
+            for g in range(1, 12)
+        ]
+        drops = [a - b for a, b in zip(probs, probs[1:])]
+        # Skip any leading saturated (clamped-at-1) region.
+        active = [d for d in drops if d > 0]
+        assert all(a >= b - 1e-15 for a, b in zip(active, active[1:]))
+
+    def test_fractal_dim_changes_probability(self):
+        sides = np.full(8, 0.25)
+        uniform_p = refinement_probability(100, sides, 4, 10_000)
+        fractal_p = refinement_probability(
+            100, sides, 4, 10_000, fractal_dim=3.0
+        )
+        assert fractal_p != pytest.approx(uniform_p)
+
+    def test_max_metric_supported(self):
+        p = refinement_probability(
+            100, np.full(4, 0.5), 4, 10_000, metric=MAXIMUM
+        )
+        assert 0.0 <= p <= 1.0
+
+    def test_knn_raises_probability(self):
+        sides = np.full(6, 0.5)
+        p1 = refinement_probability(100, sides, 6, 10_000, k=1)
+        p10 = refinement_probability(100, sides, 6, 10_000, k=10)
+        assert p10 >= p1
+
+    def test_invalid_inputs(self):
+        with pytest.raises(CostModelError):
+            refinement_probability(100, np.ones(2), 4, 0)
+        with pytest.raises(CostModelError):
+            refinement_probability(100, np.ones(2), 4, 100, fractal_dim=5.0)

@@ -1,0 +1,100 @@
+"""Tests for the assembled cost model."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import CostModelError
+from repro.costmodel.model import CostBreakdown, CostModel, PartitionStats
+from repro.geometry.metrics import MAXIMUM
+from repro.storage.disk import DiskModel
+
+
+@pytest.fixture
+def model():
+    return CostModel(DiskModel(), dim=8, n_total=50_000)
+
+
+def stats(m=200, sides=0.25, bits=4, dim=8):
+    return PartitionStats(m=m, side_lengths=(sides,) * dim, bits=bits)
+
+
+class TestRefinementCost:
+    def test_exact_pages_cost_nothing(self, model):
+        assert model.refinement_cost(stats(bits=32)) == 0.0
+
+    def test_decreasing_in_bits(self, model):
+        costs = [model.refinement_cost(stats(bits=g)) for g in range(1, 33)]
+        assert all(a >= b for a, b in zip(costs, costs[1:]))
+
+    def test_lookups_scale_with_points(self, model):
+        few = model.refinement_lookups(stats(m=10))
+        many = model.refinement_lookups(stats(m=400))
+        assert many > few
+
+    def test_cost_is_lookups_times_random_access(self, model):
+        s = stats()
+        per = model.disk.t_seek + model.disk.t_xfer
+        assert model.refinement_cost(s) == pytest.approx(
+            model.refinement_lookups(s) * per
+        )
+
+
+class TestDirectoryCosts:
+    def test_first_level_linear(self, model):
+        t1a, _ = model.directory_costs(100)
+        t1b, _ = model.directory_costs(10_000)
+        assert t1b > t1a
+
+    def test_invalid_page_count(self, model):
+        with pytest.raises(CostModelError):
+            model.directory_costs(0)
+
+
+class TestBreakdown:
+    def test_total_is_sum(self, model):
+        parts = [stats(bits=g) for g in (2, 4, 8)]
+        b = model.breakdown(parts)
+        assert b.total == pytest.approx(
+            b.first_level + b.second_level + b.refinement
+        )
+        assert model.total_cost(parts) == pytest.approx(b.total)
+
+    def test_aggregate_shortcut_matches(self, model):
+        parts = [stats(m=100, bits=3), stats(m=300, bits=5)]
+        full = model.total_cost(parts)
+        refine_sum = sum(model.refinement_cost(p) for p in parts)
+        shortcut = model.total_from_aggregates(len(parts), refine_sum)
+        assert shortcut == pytest.approx(full)
+
+    def test_empty_solution_rejected(self, model):
+        with pytest.raises(CostModelError):
+            model.breakdown([])
+
+
+class TestConfiguration:
+    def test_fractal_dim_default_is_d(self):
+        m = CostModel(DiskModel(), dim=6, n_total=1000)
+        assert m.fractal_dim == 6.0
+
+    def test_fractal_dim_validated(self):
+        with pytest.raises(CostModelError):
+            CostModel(DiskModel(), dim=4, n_total=100, fractal_dim=9.0)
+
+    def test_metric_configurable(self):
+        m = CostModel(DiskModel(), dim=4, n_total=100, metric=MAXIMUM)
+        assert m.metric is MAXIMUM
+
+    def test_k_affects_refinement(self):
+        m1 = CostModel(DiskModel(), dim=8, n_total=50_000, k=1)
+        m10 = CostModel(DiskModel(), dim=8, n_total=50_000, k=10)
+        assert m10.refinement_cost(stats()) >= m1.refinement_cost(stats())
+
+    def test_invalid_construction(self):
+        with pytest.raises(CostModelError):
+            CostModel(DiskModel(), dim=0, n_total=10)
+        with pytest.raises(CostModelError):
+            CostModel(DiskModel(), dim=2, n_total=10, k=0)
+
+    def test_repr_mentions_parameters(self, model):
+        assert "dim=8" in repr(model)
+        assert "n_total=50000" in repr(model)

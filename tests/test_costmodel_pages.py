@@ -1,0 +1,125 @@
+"""Tests for the directory-level cost components (eqs. 16-22)."""
+
+import pytest
+
+from repro.exceptions import CostModelError
+from repro.costmodel.pages import (
+    expected_page_accesses,
+    first_level_cost,
+    optimized_read_cost,
+)
+from repro.geometry.metrics import MAXIMUM
+from repro.storage.disk import DiskModel
+
+
+class TestExpectedPageAccesses:
+    def test_within_bounds(self):
+        k = expected_page_accesses(100, 10_000, 8)
+        assert 1.0 <= k <= 100.0
+
+    def test_at_least_the_pivot(self):
+        # With enormous selectivity the floor of one page holds.
+        k = expected_page_accesses(10, 10_000_000, 2)
+        assert k >= 1.0
+
+    def test_grows_with_dimension(self):
+        """The curse: more dimensions -> larger accessed fraction."""
+        ks = [
+            expected_page_accesses(200, 50_000, d) / 200
+            for d in (2, 8, 16)
+        ]
+        assert ks[0] < ks[1] < ks[2]
+
+    def test_grows_with_k_neighbors(self):
+        k1 = expected_page_accesses(200, 50_000, 8, k=1)
+        k10 = expected_page_accesses(200, 50_000, 8, k=10)
+        assert k10 >= k1
+
+    def test_fractal_dim_reduces_accesses(self):
+        """Clustered (low-D_F) data keeps indexes selective."""
+        full = expected_page_accesses(500, 100_000, 16)
+        clustered = expected_page_accesses(
+            500, 100_000, 16, fractal_dim=3.0
+        )
+        assert clustered < full
+
+    def test_max_metric_supported(self):
+        k = expected_page_accesses(100, 10_000, 6, metric=MAXIMUM)
+        assert 1.0 <= k <= 100.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(CostModelError):
+            expected_page_accesses(0, 100, 4)
+        with pytest.raises(CostModelError):
+            expected_page_accesses(10, 100, 4, fractal_dim=9.0)
+        with pytest.raises(CostModelError):
+            expected_page_accesses(10, 100, 4, k=0)
+
+
+class TestOptimizedReadCost:
+    def _model(self):
+        return DiskModel(t_seek=0.010, t_xfer=0.001)
+
+    def test_zero_accesses_costs_nothing(self):
+        assert optimized_read_cost(100, 0.0, self._model()) == 0.0
+
+    def test_full_scan_limit(self):
+        model = self._model()
+        cost = optimized_read_cost(100, 100, model)
+        assert cost == pytest.approx(model.t_seek + 100 * model.t_xfer)
+
+    def test_sparse_limit_is_random_reads(self):
+        model = self._model()
+        # 2 pages of 1e6: gaps are huge, each access pays seek + xfer.
+        cost = optimized_read_cost(1_000_000, 2.0, model)
+        expected = model.t_seek + 2 * (model.t_seek + model.t_xfer)
+        assert cost == pytest.approx(expected, rel=1e-3)
+
+    def test_monotone_in_accessed_count(self):
+        model = self._model()
+        costs = [
+            optimized_read_cost(1000, k, model)
+            for k in (1, 10, 100, 500, 1000)
+        ]
+        assert all(a <= b + 1e-12 for a, b in zip(costs, costs[1:]))
+
+    def test_never_exceeds_either_extreme_strategy(self):
+        model = self._model()
+        for n, k in ((100, 10), (1000, 50), (500, 400)):
+            cost = optimized_read_cost(n, k, model)
+            scan = model.t_seek + n * model.t_xfer
+            random = model.t_seek + k * (model.t_seek + model.t_xfer)
+            assert cost <= max(scan, random) + 1e-9
+            # It should beat pure random reads when k is large enough
+            # to cluster, and never be much worse than the better one.
+            assert cost <= random + 1e-9 or cost <= scan + 1e-9
+
+    def test_clamps_excess_k(self):
+        model = self._model()
+        assert optimized_read_cost(10, 50, model) == pytest.approx(
+            optimized_read_cost(10, 10, model)
+        )
+
+    def test_invalid(self):
+        with pytest.raises(CostModelError):
+            optimized_read_cost(0, 1, self._model())
+
+
+class TestFirstLevelCost:
+    def test_linear_in_pages(self):
+        model = DiskModel(t_seek=0.01, t_xfer=0.001, block_size=2048)
+        # 2048 / 144 = 14 entries per block (16-d entries).
+        c14 = first_level_cost(14, 16, model)
+        c15 = first_level_cost(15, 16, model)
+        assert c14 == pytest.approx(model.t_seek + model.t_xfer)
+        assert c15 == pytest.approx(model.t_seek + 2 * model.t_xfer)
+
+    def test_scales_with_dimension(self):
+        model = DiskModel()
+        assert first_level_cost(1000, 32, model) > first_level_cost(
+            1000, 4, model
+        )
+
+    def test_invalid(self):
+        with pytest.raises(CostModelError):
+            first_level_cost(0, 4, DiskModel())

@@ -1,0 +1,131 @@
+"""Tests for the range-query cost/selectivity estimator."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import CostModelError
+from repro.core.tree import IQTree
+from repro.costmodel.range_model import estimate_range_query
+from repro.datasets import make_workload, uniform
+from repro.experiments.harness import experiment_disk
+from repro.storage.disk import DiskModel
+
+
+class TestFormulaProperties:
+    def _estimate(self, radius, **overrides):
+        kwargs = dict(
+            radius=radius,
+            n_pages=100,
+            n_points=50_000,
+            dim=8,
+            disk=DiskModel(),
+        )
+        kwargs.update(overrides)
+        return estimate_range_query(**kwargs)
+
+    def test_zero_radius(self):
+        est = self._estimate(0.0)
+        assert est.expected_results == pytest.approx(0.0)
+        assert est.expected_time > 0  # directory scan is always paid
+
+    def test_monotone_in_radius(self):
+        results, pages, times = [], [], []
+        for r in (0.05, 0.1, 0.2, 0.4, 0.8):
+            est = self._estimate(r)
+            results.append(est.expected_results)
+            pages.append(est.expected_pages)
+            times.append(est.expected_time)
+        assert results == sorted(results)
+        assert pages == sorted(pages)
+        assert times == sorted(times)
+
+    def test_huge_radius_saturates(self):
+        est = self._estimate(10.0)
+        assert est.expected_results == pytest.approx(50_000)
+        assert est.expected_pages == pytest.approx(100)
+
+    def test_fractal_dim_changes_selectivity(self):
+        full = self._estimate(0.2)
+        clustered = self._estimate(0.2, fractal_dim=3.0)
+        assert clustered.expected_results != pytest.approx(
+            full.expected_results
+        )
+
+    def test_invalid_inputs(self):
+        with pytest.raises(CostModelError):
+            self._estimate(-1.0)
+        with pytest.raises(CostModelError):
+            self._estimate(0.1, n_pages=0)
+        with pytest.raises(CostModelError):
+            self._estimate(0.1, fractal_dim=99.0)
+
+
+class TestAgainstMeasurement:
+    @pytest.fixture(scope="class")
+    def tree_and_queries(self):
+        data, queries = make_workload(
+            uniform, n=8_000, n_queries=6, seed=0, dim=6
+        )
+        tree = IQTree.build(
+            data, disk=experiment_disk(), fractal_dim=None
+        )
+        return tree, queries
+
+    def test_selectivity_within_factor(self, tree_and_queries):
+        tree, queries = tree_and_queries
+        radius = 0.3
+        est = tree.estimated_range_query(radius)
+        measured = np.mean(
+            [tree.range_query(q, radius).ids.size for q in queries]
+        )
+        # Boundary effects make uniform-space predictions optimistic;
+        # an order-of-magnitude agreement is the usable bar.
+        assert est.expected_results / 10 < measured + 1
+        assert measured < est.expected_results * 10 + 10
+
+    def test_time_within_factor(self, tree_and_queries):
+        tree, queries = tree_and_queries
+        radius = 0.3
+        est = tree.estimated_range_query(radius)
+        times = []
+        for q in queries:
+            tree.disk.park()
+            times.append(tree.range_query(q, radius).io.elapsed)
+        measured = float(np.mean(times))
+        assert est.expected_time / 10 < measured < est.expected_time * 10
+
+    def test_estimates_rank_radii_correctly(self, tree_and_queries):
+        """Even where absolute numbers drift, the model must order
+        radii by cost -- what an optimizer would use it for."""
+        tree, queries = tree_and_queries
+        radii = (0.1, 0.3, 0.6)
+        predicted = [
+            tree.estimated_range_query(r).expected_time for r in radii
+        ]
+        measured = []
+        for r in radii:
+            times = []
+            for q in queries:
+                tree.disk.park()
+                times.append(tree.range_query(q, r).io.elapsed)
+            measured.append(float(np.mean(times)))
+        assert predicted == sorted(predicted)
+        assert measured == sorted(measured)
+
+
+class TestInsertMany:
+    def test_batch_insert(self, uniform_points, small_disk, rng):
+        tree = IQTree.build(uniform_points[:500], disk=small_disk)
+        batch = rng.random((40, 8))
+        ids = tree.insert_many(batch)
+        assert ids.size == 40
+        assert np.array_equal(ids, np.arange(500, 540))
+        hit = tree.nearest(batch[7], k=1)
+        assert hit.ids[0] == ids[7]
+
+    def test_bad_shape(self, uniform_points, small_disk):
+        tree = IQTree.build(uniform_points[:100], disk=small_disk)
+        from repro.exceptions import SearchError
+
+        with pytest.raises(SearchError):
+            tree.insert_many(np.zeros((3, 5)))

@@ -1,0 +1,141 @@
+"""Tests for the data-set generators and workload splitter."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ReproError
+from repro.datasets import (
+    cad_like,
+    color_histogram_like,
+    gaussian_clusters,
+    holdout_queries,
+    low_dimensional_manifold,
+    make_workload,
+    uniform,
+    weather_like,
+)
+
+ALL_GENERATORS = [
+    lambda n, seed: uniform(n, 8, seed=seed),
+    lambda n, seed: gaussian_clusters(n, 8, seed=seed),
+    lambda n, seed: low_dimensional_manifold(n, 8, seed=seed),
+    lambda n, seed: cad_like(n, seed=seed),
+    lambda n, seed: color_histogram_like(n, seed=seed),
+    lambda n, seed: weather_like(n, seed=seed),
+]
+
+
+class TestCommonContracts:
+    @pytest.mark.parametrize("gen", ALL_GENERATORS)
+    def test_shape_and_range(self, gen):
+        pts = gen(500, 0)
+        assert pts.shape[0] == 500
+        assert np.all(pts >= 0.0) and np.all(pts <= 1.0)
+
+    @pytest.mark.parametrize("gen", ALL_GENERATORS)
+    def test_deterministic(self, gen):
+        assert np.array_equal(gen(200, 7), gen(200, 7))
+
+    @pytest.mark.parametrize("gen", ALL_GENERATORS)
+    def test_seed_changes_data(self, gen):
+        assert not np.array_equal(gen(200, 1), gen(200, 2))
+
+    @pytest.mark.parametrize("gen", ALL_GENERATORS)
+    def test_float32_representable(self, gen):
+        pts = gen(100, 3)
+        assert np.array_equal(pts, pts.astype(np.float32))
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ReproError):
+            uniform(0, 4)
+        with pytest.raises(ReproError):
+            uniform(10, 0)
+
+
+class TestDistributionProperties:
+    def test_uniform_mean_near_half(self):
+        pts = uniform(5000, 6, seed=0)
+        assert np.allclose(pts.mean(axis=0), 0.5, atol=0.05)
+
+    def test_gaussian_clusters_are_clustered(self):
+        pts = gaussian_clusters(3000, 6, n_clusters=5, spread=0.02, seed=1)
+        # Clustered data has much lower NN distances than uniform.
+        from repro.geometry.metrics import EUCLIDEAN
+
+        sample = pts[:200]
+        rest = pts
+        nn = [
+            np.partition(EUCLIDEAN.distances(s, rest), 1)[1]
+            for s in sample
+        ]
+        upts = uniform(3000, 6, seed=1)
+        unn = [
+            np.partition(EUCLIDEAN.distances(s, upts), 1)[1]
+            for s in upts[:200]
+        ]
+        assert np.median(nn) < 0.5 * np.median(unn)
+
+    def test_cad_like_variance_decays(self):
+        pts = cad_like(5000, seed=2)
+        variances = pts.var(axis=0)
+        # Fourier-style energy decay: later dims carry much less spread.
+        assert variances[0] > 4 * variances[-1]
+
+    def test_color_histogram_sums_near_one(self):
+        pts = color_histogram_like(1000, seed=3)
+        sums = pts.sum(axis=1)
+        # Clipping to [0,1] and float32 rounding leave sums near 1.
+        assert np.all(np.abs(sums - 1.0) < 0.05)
+
+    def test_weather_like_low_fractal_dim(self):
+        from repro.costmodel.fractal import correlation_dimension
+
+        pts = weather_like(4000, seed=4)
+        assert correlation_dimension(pts) < 4.5
+
+    def test_manifold_respects_intrinsic_dim(self):
+        from repro.costmodel.fractal import correlation_dimension
+
+        thin = low_dimensional_manifold(3000, 8, intrinsic_dim=1, seed=5)
+        thick = low_dimensional_manifold(3000, 8, intrinsic_dim=4, seed=5)
+        assert correlation_dimension(thin) < correlation_dimension(thick)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ReproError):
+            gaussian_clusters(10, 4, n_clusters=0)
+        with pytest.raises(ReproError):
+            low_dimensional_manifold(10, 4, intrinsic_dim=9)
+        with pytest.raises(ReproError):
+            cad_like(10, decay=0.0)
+        with pytest.raises(ReproError):
+            weather_like(10, noise=-1.0)
+
+
+class TestWorkloads:
+    def test_holdout_disjoint_and_complete(self, rng):
+        data = rng.random((100, 3))
+        db, queries = holdout_queries(data, 10, seed=0)
+        assert db.shape == (90, 3)
+        assert queries.shape == (10, 3)
+        combined = np.vstack([db, queries])
+        assert np.array_equal(
+            np.sort(combined, axis=0), np.sort(data, axis=0)
+        )
+
+    def test_holdout_deterministic(self, rng):
+        data = rng.random((50, 2))
+        db1, q1 = holdout_queries(data, 5, seed=3)
+        db2, q2 = holdout_queries(data, 5, seed=3)
+        assert np.array_equal(q1, q2) and np.array_equal(db1, db2)
+
+    def test_holdout_invalid_sizes(self, rng):
+        data = rng.random((10, 2))
+        with pytest.raises(ReproError):
+            holdout_queries(data, 0)
+        with pytest.raises(ReproError):
+            holdout_queries(data, 10)
+
+    def test_make_workload_exact_db_size(self):
+        db, queries = make_workload(uniform, n=500, n_queries=20, dim=4)
+        assert db.shape == (500, 4)
+        assert queries.shape == (20, 4)

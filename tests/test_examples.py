@@ -1,0 +1,60 @@
+"""Smoke checks on the example scripts.
+
+The examples run at demo scale (tens of thousands of points), so the
+test suite compiles them all and executes the fastest two end-to-end.
+"""
+
+import py_compile
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+ALL_EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+class TestExamples:
+    def test_examples_exist(self):
+        names = {path.name for path in ALL_EXAMPLES}
+        assert {
+            "quickstart.py",
+            "image_color_search.py",
+            "cad_similarity.py",
+            "weather_station_neighbors.py",
+            "compare_methods.py",
+            "dynamic_maintenance.py",
+        } <= names
+
+    @pytest.mark.parametrize(
+        "path", ALL_EXAMPLES, ids=[p.name for p in ALL_EXAMPLES]
+    )
+    def test_example_compiles(self, path):
+        py_compile.compile(str(path), doraise=True)
+
+    @pytest.mark.parametrize(
+        "path", ALL_EXAMPLES, ids=[p.name for p in ALL_EXAMPLES]
+    )
+    def test_example_has_module_docstring(self, path):
+        source = path.read_text()
+        assert source.lstrip().startswith('"""'), path.name
+
+    def test_quickstart_runs(self, capsys, monkeypatch):
+        monkeypatch.setattr(sys, "argv", ["quickstart.py"])
+        runpy.run_path(
+            str(EXAMPLES_DIR / "quickstart.py"), run_name="__main__"
+        )
+        out = capsys.readouterr().out
+        assert "built: IQTree" in out
+        assert "inserted point" in out
+
+    def test_dynamic_maintenance_runs(self, capsys, monkeypatch):
+        monkeypatch.setattr(sys, "argv", ["dynamic_maintenance.py"])
+        runpy.run_path(
+            str(EXAMPLES_DIR / "dynamic_maintenance.py"),
+            run_name="__main__",
+        )
+        out = capsys.readouterr().out
+        assert "verified against brute force" in out
+        assert "after reoptimize" in out

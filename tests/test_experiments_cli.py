@@ -1,0 +1,68 @@
+"""Tests for the command-line experiment runner."""
+
+import pytest
+
+from repro.experiments.cli import FIGURES, main
+
+
+class TestCLI:
+    def test_single_figure_runs(self, capsys):
+        code = main(
+            ["figure9", "--scale", "0.05", "--queries", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "figure9" in out
+        assert "iq-tree" in out
+
+    def test_figure7_runs(self, capsys):
+        code = main(["figure7", "--scale", "0.05", "--queries", "2"])
+        assert code == 0
+        assert "optimized NN-search" in capsys.readouterr().out
+
+    def test_out_file_written(self, tmp_path, capsys):
+        out_file = tmp_path / "tables.txt"
+        code = main(
+            [
+                "figure12",
+                "--scale",
+                "0.02",
+                "--queries",
+                "2",
+                "--out",
+                str(out_file),
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+        assert "figure12" in out_file.read_text()
+
+    def test_k_and_seed_flags(self, capsys):
+        code = main(
+            [
+                "figure9",
+                "--scale",
+                "0.05",
+                "--queries",
+                "2",
+                "--k",
+                "3",
+                "--seed",
+                "5",
+            ]
+        )
+        assert code == 0
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["figure99"])
+
+    def test_registry_complete(self):
+        assert set(FIGURES) == {
+            "figure7",
+            "figure8",
+            "figure9",
+            "figure10",
+            "figure11",
+            "figure12",
+        }

@@ -1,0 +1,76 @@
+"""Small-scale end-to-end runs of the per-figure experiments.
+
+These exercise the full pipeline (generators -> builders -> workloads ->
+tables) at tiny scales; the paper-shape assertions live in the
+benchmarks, which run at the experiment scale.
+"""
+
+import pytest
+
+from repro.experiments import (
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    figure11,
+    figure12,
+    format_figure,
+)
+
+
+class TestFigure7:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return figure7(n=1200, dims=(4, 8), n_queries=3)
+
+    def test_all_four_variants_present(self, result):
+        assert len(result.series) == 4
+        for series in result.series.values():
+            assert len(series) == 2
+            assert all(t > 0 for t in series)
+
+    def test_optimized_scheduling_never_slower(self, result):
+        for quant in ("quantization", "no quantization"):
+            opt = result.series[f"optimized NN-search, {quant}"]
+            std = result.series[f"standard NN-search, {quant}"]
+            assert all(o <= s * 1.10 for o, s in zip(opt, std))
+
+
+class TestComparisonFigures:
+    @pytest.fixture(scope="class")
+    def fig8(self):
+        return figure8(n=1200, dims=(4, 8), n_queries=3)
+
+    def test_figure8_series(self, fig8):
+        assert set(fig8.series) == {"iq-tree", "x-tree", "va-file", "scan"}
+
+    def test_figure8_formats(self, fig8):
+        text = format_figure(fig8)
+        assert "iq-tree" in text and "dimension" in text
+
+    def test_figure9_runs(self):
+        result = figure9(ns=(800, 1600), n_queries=2)
+        assert len(result.series["iq-tree"]) == 2
+
+    def test_figure10_excludes_scan(self):
+        result = figure10(ns=(800,), n_queries=2)
+        assert "scan" not in result.series
+        assert set(result.series) == {"iq-tree", "x-tree", "va-file"}
+
+    def test_figure11_runs(self):
+        result = figure11(ns=(800,), n_queries=2)
+        assert set(result.series) == {
+            "iq-tree",
+            "x-tree",
+            "va-file",
+            "scan",
+        }
+
+    def test_figure12_runs(self):
+        result = figure12(ns=(800,), n_queries=2)
+        assert len(result.series["va-file"]) == 1
+
+    def test_scan_time_grows_with_n(self):
+        result = figure9(ns=(1000, 4000), n_queries=2)
+        scan = result.series["scan"]
+        assert scan[1] > scan[0] * 2

@@ -1,0 +1,120 @@
+"""Tests for the experiment harness."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ReproError
+from repro.baselines.scan import SequentialScan
+from repro.core.tree import IQTree
+from repro.datasets import make_workload, uniform
+from repro.experiments.harness import (
+    FigureResult,
+    best_vafile,
+    experiment_disk,
+    run_nn_workload,
+)
+from repro.experiments.report import format_figure, format_sweep
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return make_workload(uniform, n=1500, n_queries=5, seed=0, dim=6)
+
+
+class TestRunWorkload:
+    def test_aggregates_per_query(self, workload, small_disk):
+        data, queries = workload
+        scan = SequentialScan(data, disk=small_disk)
+        stats = run_nn_workload(scan, queries, k=2)
+        assert stats.times.shape == (5,)
+        assert stats.mean_time > 0
+        assert stats.mean_seeks >= 1
+        assert stats.name == "scan"
+
+    def test_custom_nearest_callable(self, workload):
+        data, queries = workload
+        tree = IQTree.build(data, disk=experiment_disk())
+        stats = run_nn_workload(
+            tree,
+            queries,
+            nearest=lambda q: tree.nearest(q, k=1, scheduler="standard"),
+            name="iq-std",
+        )
+        assert stats.name == "iq-std"
+        assert np.all(stats.times > 0)
+
+    def test_parks_disk_between_queries(self, workload, small_disk):
+        """Each query pays its own initial seek."""
+        data, queries = workload
+        scan = SequentialScan(data, disk=small_disk)
+        stats = run_nn_workload(scan, queries)
+        assert np.all(stats.seeks >= 1)
+
+    def test_empty_queries_rejected(self, workload, small_disk):
+        data, _queries = workload
+        scan = SequentialScan(data, disk=small_disk)
+        with pytest.raises(ReproError):
+            run_nn_workload(scan, np.empty((0, 6)))
+
+
+class TestBestVAFile:
+    def test_picks_minimum(self, workload):
+        data, queries = workload
+        va, stats, sweep = best_vafile(
+            data, queries, bits_candidates=(2, 4, 6),
+            disk_factory=experiment_disk,
+        )
+        assert stats.mean_time == pytest.approx(min(sweep.values()))
+        assert sweep[va.bits] == pytest.approx(stats.mean_time)
+        assert stats.name == "va-file"
+
+    def test_empty_candidates_rejected(self, workload):
+        data, queries = workload
+        with pytest.raises(ReproError):
+            best_vafile(data, queries, bits_candidates=())
+
+
+class TestFigureResult:
+    def test_add_and_ratio(self):
+        result = FigureResult("figX", "title", "n", [1, 2])
+
+        class FakeStats:
+            def __init__(self, t):
+                self.mean_time = t
+
+        result.add("a", 1, FakeStats(2.0))
+        result.add("a", 2, FakeStats(4.0))
+        result.add("b", 1, FakeStats(1.0))
+        result.add("b", 2, FakeStats(1.0))
+        assert result.series["a"] == [2.0, 4.0]
+        assert result.ratio("a", "b") == [2.0, 4.0]
+
+    def test_ratio_unknown_series(self):
+        result = FigureResult("figX", "t", "n", [1])
+        with pytest.raises(ReproError):
+            result.ratio("a", "b")
+
+    def test_format_figure(self):
+        result = FigureResult("figX", "demo", "n", [10, 20])
+
+        class FakeStats:
+            mean_time = 0.5
+
+        result.add("m1", 10, FakeStats())
+        result.add("m1", 20, FakeStats())
+        text = format_figure(result)
+        assert "figX: demo" in text
+        assert "m1" in text
+        assert "0.5000" in text
+
+    def test_format_sweep(self):
+        text = format_sweep({2: 0.5, 4: 0.25})
+        assert "bits=2: 0.5000s" in text
+        assert "bits=4: 0.2500s" in text
+
+
+class TestExperimentDisk:
+    def test_scale_model_ratio(self):
+        disk = experiment_disk()
+        assert disk.model.block_size == 2048
+        assert disk.model.overread_window == pytest.approx(12.5)

@@ -1,0 +1,64 @@
+"""Extra coverage for reporting and figure-result plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.harness import FigureResult, WorkloadStats
+from repro.experiments.report import format_figure, format_sweep
+
+
+def make_stats(name, times):
+    times = np.asarray(times, dtype=np.float64)
+    zeros = np.zeros_like(times)
+    return WorkloadStats(
+        name=name, times=times, seeks=zeros, blocks=zeros,
+        refinements=zeros,
+    )
+
+
+class TestWorkloadStats:
+    def test_aggregates(self):
+        stats = make_stats("m", [0.1, 0.2, 0.3])
+        assert stats.mean_time == pytest.approx(0.2)
+        assert stats.std_time == pytest.approx(np.std([0.1, 0.2, 0.3]))
+        assert stats.mean_seeks == 0.0
+        assert stats.mean_refinements == 0.0
+
+
+class TestFigureResultDetails:
+    def test_details_store_full_stats(self):
+        fig = FigureResult("f", "t", "x", [1, 2])
+        s1 = make_stats("m", [0.5])
+        fig.add("m", 1, s1)
+        assert fig.details["m"][1] is s1
+
+    def test_multiple_series_alignment(self):
+        fig = FigureResult("f", "t", "x", [10, 20, 30])
+        for x, t in zip([10, 20, 30], [0.1, 0.2, 0.3]):
+            fig.add("a", x, make_stats("a", [t]))
+            fig.add("b", x, make_stats("b", [t * 2]))
+        assert fig.ratio("b", "a") == pytest.approx([2.0, 2.0, 2.0])
+
+
+class TestFormatting:
+    def test_table_alignment(self):
+        fig = FigureResult("figN", "demo title", "n", [100, 20000])
+        fig.add("method-with-long-name", 100, make_stats("m", [0.123456]))
+        fig.add("method-with-long-name", 20000, make_stats("m", [1.5]))
+        text = format_figure(fig)
+        lines = text.splitlines()
+        # Header, separator, and data rows share one width per column.
+        assert "figN: demo title" in lines[0]
+        data_lines = [l for l in lines if l.strip() and ":" not in l]
+        widths = {len(l) for l in data_lines}
+        assert len(widths) == 1
+
+    def test_precision_parameter(self):
+        fig = FigureResult("f", "t", "x", [1])
+        fig.add("m", 1, make_stats("m", [0.123456789]))
+        assert "0.12" in format_figure(fig, precision=2)
+        assert "0.123457" in format_figure(fig, precision=6)
+
+    def test_sweep_format(self):
+        text = format_sweep({3: 1.0}, label="radius")
+        assert text == "radius=3: 1.0000s"

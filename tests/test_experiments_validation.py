@@ -1,0 +1,88 @@
+"""Tests for the cost-model validation harness."""
+
+import numpy as np
+import pytest
+
+from repro.core.tree import IQTree
+from repro.datasets import make_workload, uniform, weather_like
+from repro.experiments.harness import experiment_disk
+from repro.experiments.validation import (
+    ModelValidation,
+    validate_cost_model,
+)
+
+
+@pytest.fixture(scope="module")
+def validation():
+    # Uniform data validated under the uniform model (fractal_dim=None):
+    # this isolates the model formulas from the finite-sample bias of
+    # the D_2 estimator (which test_auto_df_within_bounds covers).
+    data, queries = make_workload(
+        uniform, n=8_000, n_queries=8, seed=0, dim=8
+    )
+    tree = IQTree.build(data, disk=experiment_disk(), fractal_dim=None)
+    return validate_cost_model(tree, queries)
+
+
+class TestValidation:
+    def test_fields_populated(self, validation):
+        assert validation.measured_pages >= 1
+        assert validation.measured_time > 0
+        assert validation.predicted_pages >= 1
+        assert validation.predicted_time > 0
+
+    def test_ratios_defined(self, validation):
+        assert validation.pages_ratio > 0
+        assert validation.refinements_ratio >= 0
+        assert validation.time_ratio > 0
+
+    def test_page_prediction_tight_under_uniform_model(self, validation):
+        assert 0.4 < validation.pages_ratio < 2.5
+
+    def test_refinement_prediction_tight(self, validation):
+        assert 0.3 < validation.refinements_ratio < 3.0
+
+    def test_time_prediction_tight_under_uniform_model(self, validation):
+        assert 0.5 < validation.time_ratio < 2.0
+
+    def test_auto_df_within_bounds(self):
+        """With the estimated D_2 (finite-sample underestimate on truly
+        full-dimensional data) predictions drift but stay usable."""
+        data, queries = make_workload(
+            uniform, n=8_000, n_queries=6, seed=3, dim=8
+        )
+        tree = IQTree.build(data, disk=experiment_disk())
+        v = validate_cost_model(tree, queries)
+        assert 0.05 < v.pages_ratio < 10.0
+        assert 0.2 < v.time_ratio < 5.0
+
+    def test_summary_readable(self, validation):
+        text = validation.summary()
+        assert "pages" in text and "refinements" in text and "ms" in text
+
+    def test_on_correlated_data(self):
+        data, queries = make_workload(
+            weather_like, n=8_000, n_queries=6, seed=1
+        )
+        tree = IQTree.build(data, disk=experiment_disk())
+        v = validate_cost_model(tree, queries)
+        # Low-D_F data is the hard case for the model; require the
+        # prediction to stay within 1.5 orders of magnitude.
+        assert 0.03 < v.time_ratio < 30.0
+
+    def test_knn_prediction_grows_with_k(self):
+        data, queries = make_workload(
+            uniform, n=6_000, n_queries=5, seed=2, dim=8
+        )
+        t1 = IQTree.build(data, disk=experiment_disk(), k_for_cost=1)
+        t10 = IQTree.build(data, disk=experiment_disk(), k_for_cost=10)
+        v1 = validate_cost_model(t1, queries, k=1)
+        v10 = validate_cost_model(t10, queries, k=10)
+        assert v10.predicted_pages >= v1.predicted_pages
+        assert v10.measured_pages >= v1.measured_pages
+
+    def test_dataclass_direct_construction(self):
+        v = ModelValidation(10, 5, 2, 1, 0.1, 0.05)
+        assert v.pages_ratio == pytest.approx(2.0)
+        assert v.refinements_ratio == pytest.approx(2.0)
+        assert v.time_ratio == pytest.approx(2.0)

@@ -1,0 +1,202 @@
+"""Tests for MBR construction, predicates, and distance bounds."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GeometryError
+from repro.geometry.mbr import (
+    MBR,
+    maxdist_to_boxes,
+    mindist_components,
+    mindist_to_boxes,
+)
+from repro.geometry.metrics import EUCLIDEAN, MAXIMUM
+
+
+class TestConstruction:
+    def test_of_points_is_tight(self):
+        pts = np.array([[0.0, 2.0], [1.0, 1.0], [0.5, 3.0]])
+        box = MBR.of_points(pts)
+        assert np.array_equal(box.lower, [0.0, 1.0])
+        assert np.array_equal(box.upper, [1.0, 3.0])
+
+    def test_unit_cube(self):
+        box = MBR.unit_cube(4)
+        assert box.dim == 4
+        assert box.volume() == 1.0
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(GeometryError):
+            MBR([1.0, 0.0], [0.0, 1.0])
+
+    def test_rejects_mismatched_shapes(self):
+        with pytest.raises(GeometryError):
+            MBR([0.0], [1.0, 2.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(GeometryError):
+            MBR([], [])
+
+    def test_rejects_empty_point_set(self):
+        with pytest.raises(GeometryError):
+            MBR.of_points(np.empty((0, 3)))
+
+    def test_bounds_are_immutable(self):
+        box = MBR.unit_cube(2)
+        with pytest.raises(ValueError):
+            box.lower[0] = 5.0
+
+    def test_bounds_copied_from_input(self):
+        lower = np.zeros(2)
+        box = MBR(lower, np.ones(2))
+        lower[0] = 99.0
+        assert box.lower[0] == 0.0
+
+
+class TestGeometry:
+    def test_volume_and_margin(self):
+        box = MBR([0.0, 0.0], [2.0, 3.0])
+        assert box.volume() == 6.0
+        assert box.margin() == 5.0
+
+    def test_degenerate_volume_is_zero(self):
+        box = MBR([0.0, 1.0], [2.0, 1.0])
+        assert box.volume() == 0.0
+
+    def test_center_and_extents(self):
+        box = MBR([0.0, 2.0], [4.0, 6.0])
+        assert np.array_equal(box.center, [2.0, 4.0])
+        assert np.array_equal(box.extents, [4.0, 4.0])
+
+    def test_longest_dimension(self):
+        box = MBR([0.0, 0.0, 0.0], [1.0, 5.0, 2.0])
+        assert box.longest_dimension() == 1
+
+    def test_union(self):
+        a = MBR([0.0, 0.0], [1.0, 1.0])
+        b = MBR([0.5, -1.0], [2.0, 0.5])
+        u = a.union(b)
+        assert np.array_equal(u.lower, [0.0, -1.0])
+        assert np.array_equal(u.upper, [2.0, 1.0])
+
+    def test_extended_by_point(self):
+        box = MBR([0.0, 0.0], [1.0, 1.0]).extended_by_point([2.0, -1.0])
+        assert np.array_equal(box.lower, [0.0, -1.0])
+        assert np.array_equal(box.upper, [2.0, 1.0])
+
+    def test_minkowski_enlarged(self):
+        box = MBR([0.0], [1.0]).minkowski_enlarged(0.5)
+        assert np.array_equal(box.lower, [-0.5])
+        assert np.array_equal(box.upper, [1.5])
+
+    def test_minkowski_enlarged_rejects_negative(self):
+        with pytest.raises(GeometryError):
+            MBR([0.0], [1.0]).minkowski_enlarged(-1.0)
+
+
+class TestPredicates:
+    def test_contains_point_boundary_inclusive(self):
+        box = MBR([0.0, 0.0], [1.0, 1.0])
+        assert box.contains_point([0.0, 1.0])
+        assert box.contains_point([0.5, 0.5])
+        assert not box.contains_point([1.5, 0.5])
+
+    def test_contains_mbr(self):
+        outer = MBR([0.0, 0.0], [2.0, 2.0])
+        inner = MBR([0.5, 0.5], [1.0, 1.0])
+        assert outer.contains_mbr(inner)
+        assert not inner.contains_mbr(outer)
+
+    def test_intersects(self):
+        a = MBR([0.0, 0.0], [1.0, 1.0])
+        b = MBR([1.0, 1.0], [2.0, 2.0])  # touching corner
+        c = MBR([1.5, 1.5], [2.0, 2.0])
+        assert a.intersects(b)
+        assert not a.intersects(c)
+
+    def test_intersection_volume(self):
+        a = MBR([0.0, 0.0], [2.0, 2.0])
+        b = MBR([1.0, 1.0], [3.0, 3.0])
+        assert a.intersection_volume(b) == pytest.approx(1.0)
+        assert a.intersection_volume(MBR([5.0, 5.0], [6.0, 6.0])) == 0.0
+
+    def test_dimension_mismatch_raises(self):
+        with pytest.raises(GeometryError):
+            MBR.unit_cube(2).contains_point([0.5, 0.5, 0.5])
+
+
+class TestDistances:
+    def test_mindist_zero_inside(self):
+        box = MBR([0.0, 0.0], [1.0, 1.0])
+        assert box.mindist([0.5, 0.5]) == 0.0
+
+    def test_mindist_outside(self):
+        box = MBR([0.0, 0.0], [1.0, 1.0])
+        assert box.mindist([2.0, 1.0]) == pytest.approx(1.0)
+        assert box.mindist([2.0, 2.0]) == pytest.approx(np.sqrt(2.0))
+
+    def test_mindist_max_metric(self):
+        box = MBR([0.0, 0.0], [1.0, 1.0])
+        assert box.mindist([2.0, 3.0], MAXIMUM) == pytest.approx(2.0)
+
+    def test_maxdist_is_farthest_corner(self):
+        box = MBR([0.0, 0.0], [1.0, 1.0])
+        assert box.maxdist([0.0, 0.0]) == pytest.approx(np.sqrt(2.0))
+        assert box.maxdist([0.5, 0.5]) == pytest.approx(
+            np.sqrt(0.5), rel=1e-12
+        )
+
+    def test_mindist_leq_point_dist_leq_maxdist(self, rng):
+        pts = rng.random((50, 4))
+        box = MBR.of_points(pts)
+        query = rng.random(4) * 2 - 0.5
+        dmin = box.mindist(query)
+        dmax = box.maxdist(query)
+        dists = EUCLIDEAN.distances(query, pts)
+        assert np.all(dists >= dmin - 1e-12)
+        assert np.all(dists <= dmax + 1e-12)
+
+
+class TestVectorizedHelpers:
+    def test_mindist_components_nonnegative(self, rng):
+        lowers = rng.random((20, 3))
+        uppers = lowers + rng.random((20, 3))
+        query = rng.random(3)
+        comps = mindist_components(query, lowers, uppers)
+        assert comps.shape == (20, 3)
+        assert np.all(comps >= 0.0)
+
+    def test_vectorized_matches_scalar(self, rng):
+        lowers = rng.random((30, 5))
+        uppers = lowers + rng.random((30, 5))
+        query = rng.random(5) * 2 - 0.5
+        vec_min = mindist_to_boxes(query, lowers, uppers)
+        vec_max = maxdist_to_boxes(query, lowers, uppers)
+        for i in range(30):
+            box = MBR(lowers[i], uppers[i])
+            assert vec_min[i] == pytest.approx(box.mindist(query))
+            assert vec_max[i] == pytest.approx(box.maxdist(query))
+
+    def test_max_metric_variant(self, rng):
+        lowers = rng.random((10, 4))
+        uppers = lowers + rng.random((10, 4))
+        query = rng.random(4) * 3 - 1
+        vec = mindist_to_boxes(query, lowers, uppers, MAXIMUM)
+        for i in range(10):
+            box = MBR(lowers[i], uppers[i])
+            assert vec[i] == pytest.approx(box.mindist(query, MAXIMUM))
+
+
+class TestDunder:
+    def test_equality_and_hash(self):
+        a = MBR([0.0, 1.0], [2.0, 3.0])
+        b = MBR([0.0, 1.0], [2.0, 3.0])
+        c = MBR([0.0, 1.0], [2.0, 4.0])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+
+    def test_repr_roundtrippable_fields(self):
+        box = MBR([0.0], [1.0])
+        assert "lower=[0.0]" in repr(box)
+        assert "upper=[1.0]" in repr(box)

@@ -1,0 +1,125 @@
+"""Tests for the distance metrics and their unit-ball volumes."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GeometryError
+from repro.geometry.metrics import (
+    EUCLIDEAN,
+    MAXIMUM,
+    EuclideanMetric,
+    LpMetric,
+    get_metric,
+)
+
+
+class TestEuclidean:
+    def test_distance(self):
+        assert EUCLIDEAN.distance([0, 0], [3, 4]) == pytest.approx(5.0)
+
+    def test_distances_vectorized(self, rng):
+        pts = rng.random((40, 6))
+        q = rng.random(6)
+        expected = np.sqrt(((pts - q) ** 2).sum(axis=1))
+        assert np.allclose(EUCLIDEAN.distances(q, pts), expected)
+
+    def test_unit_ball_volume_known_values(self):
+        assert EUCLIDEAN.unit_ball_volume(1) == pytest.approx(2.0)
+        assert EUCLIDEAN.unit_ball_volume(2) == pytest.approx(math.pi)
+        assert EUCLIDEAN.unit_ball_volume(3) == pytest.approx(
+            4.0 / 3.0 * math.pi
+        )
+
+    def test_ball_volume_scaling(self):
+        v1 = EUCLIDEAN.ball_volume(1.0, 5)
+        v2 = EUCLIDEAN.ball_volume(2.0, 5)
+        assert v2 == pytest.approx(v1 * 2**5)
+
+    def test_ball_radius_inverts_volume(self):
+        for d in (1, 2, 7, 16):
+            r = 0.37
+            v = EUCLIDEAN.ball_volume(r, d)
+            assert EUCLIDEAN.ball_radius(v, d) == pytest.approx(r)
+
+
+class TestMaximum:
+    def test_distance(self):
+        assert MAXIMUM.distance([0, 0, 0], [1, -3, 2]) == pytest.approx(3.0)
+
+    def test_unit_ball_is_cube(self):
+        assert MAXIMUM.unit_ball_volume(4) == pytest.approx(16.0)
+
+    def test_ball_radius_inverts_volume(self):
+        v = MAXIMUM.ball_volume(0.25, 6)
+        assert MAXIMUM.ball_radius(v, 6) == pytest.approx(0.25)
+
+
+class TestLp:
+    def test_l1_is_manhattan(self):
+        m = LpMetric(1)
+        assert m.distance([0, 0], [1, 2]) == pytest.approx(3.0)
+
+    def test_l2_matches_euclidean(self, rng):
+        m = LpMetric(2)
+        a, b = rng.random(5), rng.random(5)
+        assert m.distance(a, b) == pytest.approx(EUCLIDEAN.distance(a, b))
+
+    def test_l1_unit_ball_volume(self):
+        # Cross-polytope: 2^d / d!
+        m = LpMetric(1)
+        assert m.unit_ball_volume(3) == pytest.approx(8.0 / 6.0)
+
+    def test_rejects_p_below_one(self):
+        with pytest.raises(GeometryError):
+            LpMetric(0.5)
+
+
+class TestRegistry:
+    @pytest.mark.parametrize(
+        "name", ["euclidean", "l2", "L2", "maximum", "linf", "chebyshev"]
+    )
+    def test_known_names(self, name):
+        assert get_metric(name) is not None
+
+    def test_passthrough(self):
+        assert get_metric(EUCLIDEAN) is EUCLIDEAN
+
+    def test_lp_by_name(self):
+        m = get_metric("l3")
+        assert isinstance(m, LpMetric)
+        assert m.p == 3.0
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(GeometryError):
+            get_metric("cosine")
+
+    def test_euclidean_is_singleton(self):
+        assert get_metric("l2") is get_metric("euclidean")
+
+
+class TestMetricContract:
+    @pytest.mark.parametrize("metric", [EUCLIDEAN, MAXIMUM, LpMetric(1.5)])
+    def test_triangle_inequality(self, metric, rng):
+        for _ in range(20):
+            a, b, c = rng.random((3, 4))
+            assert metric.distance(a, c) <= (
+                metric.distance(a, b) + metric.distance(b, c) + 1e-12
+            )
+
+    @pytest.mark.parametrize("metric", [EUCLIDEAN, MAXIMUM, LpMetric(3)])
+    def test_identity_and_symmetry(self, metric, rng):
+        a, b = rng.random((2, 4))
+        assert metric.distance(a, a) == 0.0
+        assert metric.distance(a, b) == pytest.approx(metric.distance(b, a))
+
+    @pytest.mark.parametrize("metric", [EUCLIDEAN, MAXIMUM])
+    def test_negative_radius_rejected(self, metric):
+        with pytest.raises(GeometryError):
+            metric.ball_volume(-1.0, 3)
+
+    @pytest.mark.parametrize("metric", [EUCLIDEAN, MAXIMUM])
+    def test_zero_dim_rejected(self, metric):
+        with pytest.raises(GeometryError):
+            metric.unit_ball_volume(0)

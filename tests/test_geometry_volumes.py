@@ -1,0 +1,121 @@
+"""Tests for sphere/cube volumes and the Minkowski-sum formulas."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GeometryError
+from repro.geometry.metrics import EUCLIDEAN, MAXIMUM
+from repro.geometry.volumes import (
+    cube_radius_for_volume,
+    cube_volume,
+    minkowski_sum,
+    minkowski_sum_euclidean,
+    minkowski_sum_max_metric,
+    sphere_radius_for_volume,
+    sphere_volume,
+)
+
+
+class TestSphere:
+    def test_known_low_dims(self):
+        assert sphere_volume(1.0, 2) == pytest.approx(math.pi)
+        assert sphere_volume(2.0, 3) == pytest.approx(
+            4.0 / 3.0 * math.pi * 8.0
+        )
+
+    def test_radius_inverts(self):
+        for d in (1, 4, 9, 16):
+            v = sphere_volume(0.42, d)
+            assert sphere_radius_for_volume(v, d) == pytest.approx(0.42)
+
+    def test_zero_radius(self):
+        assert sphere_volume(0.0, 5) == 0.0
+
+    def test_high_dim_unit_ball_shrinks(self):
+        # The curse of dimensionality the paper leans on: past its peak
+        # at d=5 the unit ball's volume vanishes as d grows.
+        assert sphere_volume(1.0, 30) < sphere_volume(1.0, 16) < sphere_volume(1.0, 5)
+        assert sphere_volume(1.0, 30) < 1e-4
+
+    def test_invalid_inputs(self):
+        with pytest.raises(GeometryError):
+            sphere_volume(-1.0, 2)
+        with pytest.raises(GeometryError):
+            sphere_volume(1.0, 0)
+
+
+class TestCube:
+    def test_volume(self):
+        assert cube_volume(0.5, 3) == pytest.approx(1.0)
+
+    def test_radius_inverts(self):
+        v = cube_volume(0.3, 6)
+        assert cube_radius_for_volume(v, 6) == pytest.approx(0.3)
+
+
+class TestMinkowskiMax:
+    def test_exact_product_form(self):
+        # (1 + 2*0.5) * (2 + 2*0.5) = 2 * 3 = 6
+        assert minkowski_sum_max_metric([1.0, 2.0], 0.5) == pytest.approx(6.0)
+
+    def test_zero_radius_is_box_volume(self):
+        assert minkowski_sum_max_metric([2.0, 3.0], 0.0) == pytest.approx(6.0)
+
+    def test_degenerate_box_becomes_ball(self):
+        # A zero-volume box inflated by r has the cube volume (2r)^d.
+        assert minkowski_sum_max_metric([0.0, 0.0], 0.5) == pytest.approx(1.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(GeometryError):
+            minkowski_sum_max_metric([1.0], -0.1)
+        with pytest.raises(GeometryError):
+            minkowski_sum_max_metric([-1.0], 0.1)
+
+
+class TestMinkowskiEuclidean:
+    def test_zero_radius_is_box_volume_for_equal_sides(self):
+        assert minkowski_sum_euclidean([2.0, 2.0], 0.0) == pytest.approx(4.0)
+
+    def test_exact_for_cube_plus_ball_2d(self):
+        # In 2-d the Minkowski sum of an a x a square and a disc of
+        # radius r has exact area a^2 + 4*a*r/2*2 ... the binomial
+        # approximation with equal sides is exact in 2-d:
+        # a^2 + 2*a*(2r) ... check against the known closed form
+        # a^2 + 4ar + pi r^2.
+        a, r = 2.0, 0.5
+        expected = a * a + 4 * a * r + math.pi * r * r
+        got = minkowski_sum_euclidean([a, a], r)
+        assert got == pytest.approx(expected)
+
+    def test_monotone_in_radius(self):
+        sides = np.array([1.0, 0.5, 0.25])
+        vols = [minkowski_sum_euclidean(sides, r) for r in (0.0, 0.1, 0.5, 1.0)]
+        assert vols == sorted(vols)
+
+    def test_degenerate_box_reduces_to_ball(self):
+        got = minkowski_sum_euclidean([0.0, 0.0, 0.0], 0.7)
+        assert got == pytest.approx(sphere_volume(0.7, 3))
+
+    def test_bounded_by_enclosing_max_sum(self):
+        # Ball subset of cube => Euclidean sum <= max-metric sum.
+        sides = np.array([1.0, 2.0, 0.5, 0.7])
+        r = 0.3
+        assert minkowski_sum_euclidean(sides, r) <= (
+            minkowski_sum_max_metric(sides, r) + 1e-9
+        )
+
+
+class TestDispatch:
+    def test_max_metric_dispatch(self):
+        sides = np.array([1.0, 1.0])
+        assert minkowski_sum(sides, 0.25, MAXIMUM) == pytest.approx(
+            minkowski_sum_max_metric(sides, 0.25)
+        )
+
+    def test_euclidean_dispatch(self):
+        sides = np.array([1.0, 1.0])
+        assert minkowski_sum(sides, 0.25, EUCLIDEAN) == pytest.approx(
+            minkowski_sum_euclidean(sides, 0.25)
+        )

@@ -1,0 +1,103 @@
+"""Tests for the public package surface and the exception hierarchy."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro import exceptions
+
+
+class TestTopLevelExports:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_iqtree_importable_from_top_level(self):
+        from repro import IQTree
+
+        data = np.random.default_rng(0).random((50, 4))
+        tree = IQTree.build(data)
+        assert tree.n_points == 50
+
+    def test_subpackage_alls_resolve(self):
+        import repro.baselines
+        import repro.costmodel
+        import repro.datasets
+        import repro.experiments
+        import repro.geometry
+        import repro.quantization
+        import repro.storage
+
+        for module in (
+            repro.baselines,
+            repro.costmodel,
+            repro.datasets,
+            repro.experiments,
+            repro.geometry,
+            repro.quantization,
+            repro.storage,
+        ):
+            for name in module.__all__:
+                assert getattr(module, name) is not None, (
+                    f"{module.__name__}.{name}"
+                )
+
+
+class TestExceptionHierarchy:
+    ALL = [
+        exceptions.GeometryError,
+        exceptions.StorageError,
+        exceptions.PageOverflowError,
+        exceptions.QuantizationError,
+        exceptions.CostModelError,
+        exceptions.BuildError,
+        exceptions.SearchError,
+    ]
+
+    @pytest.mark.parametrize("exc", ALL)
+    def test_all_derive_from_base(self, exc):
+        assert issubclass(exc, exceptions.ReproError)
+
+    def test_page_overflow_is_storage_error(self):
+        assert issubclass(
+            exceptions.PageOverflowError, exceptions.StorageError
+        )
+
+    def test_one_except_clause_catches_everything(self):
+        from repro.geometry.mbr import MBR
+
+        with pytest.raises(exceptions.ReproError):
+            MBR([1.0], [0.0])
+
+
+class TestDocstrings:
+    def test_every_public_module_documented(self):
+        import importlib
+        import pkgutil
+
+        missing = []
+        package = importlib.import_module("repro")
+        for info in pkgutil.walk_packages(
+            package.__path__, prefix="repro."
+        ):
+            module = importlib.import_module(info.name)
+            if not (module.__doc__ or "").strip():
+                missing.append(info.name)
+        assert not missing, f"undocumented modules: {missing}"
+
+    def test_key_public_classes_documented(self):
+        from repro.baselines import SequentialScan, VAFile, XTree
+        from repro.core.tree import IQTree
+        from repro.costmodel.model import CostModel
+
+        for cls in (IQTree, XTree, VAFile, SequentialScan, CostModel):
+            assert (cls.__doc__ or "").strip(), cls.__name__
+            for name, member in vars(cls).items():
+                if name.startswith("_") or not callable(member):
+                    continue
+                assert (member.__doc__ or "").strip(), (
+                    f"{cls.__name__}.{name} lacks a docstring"
+                )

@@ -1,0 +1,105 @@
+"""Hypothesis property tests on the baseline index structures.
+
+The IQ-tree's property tests live in test_properties.py; these cover
+the comparison techniques with the same contract: exact agreement with
+brute force on arbitrary random inputs.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines import SequentialScan, VAFile, XTree
+from repro.core.tree import canonicalize
+from repro.geometry.metrics import EUCLIDEAN
+from repro.storage.disk import DiskModel, SimulatedDisk
+
+
+def _small_disk():
+    return SimulatedDisk(
+        DiskModel(t_seek=0.01, t_xfer=0.001, block_size=512)
+    )
+
+
+class TestVAFileProperties:
+    @given(
+        seed=st.integers(0, 2**16),
+        n=st.integers(5, 200),
+        dim=st.integers(1, 8),
+        bits=st.integers(1, 8),
+        k=st.integers(1, 4),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_knn_matches_brute_force(self, seed, n, dim, bits, k):
+        rng = np.random.default_rng(seed)
+        data = canonicalize(rng.random((n, dim)))
+        k = min(k, n)
+        va = VAFile(data, bits=bits, disk=_small_disk())
+        query = canonicalize(rng.random(dim) * 1.4 - 0.2)
+        answer = va.nearest(query, k=k)
+        expected = np.sort(EUCLIDEAN.distances(query, va.points))[:k]
+        assert np.allclose(answer.distances, expected)
+
+    @given(seed=st.integers(0, 2**16), radius=st.floats(0, 1.5))
+    @settings(max_examples=15, deadline=None)
+    def test_range_matches_brute_force(self, seed, radius):
+        rng = np.random.default_rng(seed)
+        data = canonicalize(rng.random((80, 4)))
+        va = VAFile(data, bits=3, disk=_small_disk())
+        query = canonicalize(rng.random(4))
+        answer = va.range_query(query, radius)
+        expected = set(
+            np.flatnonzero(
+                EUCLIDEAN.distances(query, va.points) <= radius
+            ).tolist()
+        )
+        assert set(answer.ids.tolist()) == expected
+
+
+class TestXTreeProperties:
+    @given(
+        seed=st.integers(0, 2**16),
+        n=st.integers(5, 250),
+        dim=st.integers(1, 8),
+        k=st.integers(1, 4),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_knn_matches_brute_force(self, seed, n, dim, k):
+        rng = np.random.default_rng(seed)
+        data = canonicalize(rng.random((n, dim)))
+        k = min(k, n)
+        xt = XTree(data, disk=_small_disk())
+        query = canonicalize(rng.random(dim) * 1.4 - 0.2)
+        answer = xt.nearest(query, k=k)
+        expected = np.sort(EUCLIDEAN.distances(query, xt.points))[:k]
+        assert np.allclose(answer.distances, expected)
+
+    @given(
+        seed=st.integers(0, 2**16),
+        n_initial=st.integers(5, 60),
+        n_inserts=st.integers(1, 60),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_knn_correct_after_inserts(self, seed, n_initial, n_inserts):
+        rng = np.random.default_rng(seed)
+        data = canonicalize(rng.random((n_initial, 4)))
+        xt = XTree(data, disk=_small_disk())
+        for _ in range(n_inserts):
+            xt.insert(canonicalize(rng.random(4)))
+        query = canonicalize(rng.random(4))
+        answer = xt.nearest(query, k=2)
+        expected = np.sort(EUCLIDEAN.distances(query, xt.points))[:2]
+        assert np.allclose(answer.distances, expected)
+
+
+class TestScanProperties:
+    @given(seed=st.integers(0, 2**16), k=st.integers(1, 6))
+    @settings(max_examples=15, deadline=None)
+    def test_reference_is_self_consistent(self, seed, k):
+        rng = np.random.default_rng(seed)
+        data = canonicalize(rng.random((50, 5)))
+        scan = SequentialScan(data, disk=_small_disk())
+        query = canonicalize(rng.random(5))
+        answer = scan.nearest(query, k=k)
+        assert np.all(np.diff(answer.distances) >= 0)
+        recomputed = EUCLIDEAN.distances(query, data[answer.ids])
+        assert np.allclose(answer.distances, recomputed)

@@ -1,0 +1,117 @@
+"""Hypothesis property tests on the B+-tree, pyramid, and SS-tree."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.pyramid import PyramidTechnique
+from repro.baselines.sstree import SSTree
+from repro.core.tree import canonicalize
+from repro.geometry.metrics import EUCLIDEAN
+from repro.storage.bptree import BPlusTree
+from repro.storage.disk import DiskModel, SimulatedDisk
+
+
+def _small_disk():
+    return SimulatedDisk(
+        DiskModel(t_seek=0.01, t_xfer=0.001, block_size=512)
+    )
+
+
+class TestBPlusTreeProperties:
+    @given(
+        seed=st.integers(0, 2**16),
+        n=st.integers(1, 300),
+        lo=st.floats(-2, 2, allow_nan=False),
+        width=st.floats(0, 4, allow_nan=False),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_range_scan_matches_filter(self, seed, n, lo, width):
+        rng = np.random.default_rng(seed)
+        keys = rng.random(n) * 4 - 2
+        coords = canonicalize(rng.random((n, 3)))
+        ids = np.arange(n)
+        tree = BPlusTree(keys, coords, ids, _small_disk())
+        hi = lo + width
+        _k, _c, got = tree.range_scan(lo, hi)
+        expected = ids[(keys >= lo) & (keys <= hi)]
+        assert set(got.tolist()) == set(expected.tolist())
+
+    @given(seed=st.integers(0, 2**16), n=st.integers(1, 200))
+    @settings(max_examples=25, deadline=None)
+    def test_full_scan_sorted_and_complete(self, seed, n):
+        rng = np.random.default_rng(seed)
+        keys = rng.random(n)
+        tree = BPlusTree(
+            keys, canonicalize(rng.random((n, 2))), np.arange(n),
+            _small_disk(),
+        )
+        got_keys, _c, got_ids = tree.range_scan(-1, 2)
+        assert got_keys.size == n
+        assert np.all(np.diff(got_keys) >= 0)
+
+
+class TestPyramidProperties:
+    @given(
+        seed=st.integers(0, 2**16),
+        n=st.integers(5, 150),
+        dim=st.integers(2, 6),
+        k=st.integers(1, 3),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_knn_matches_brute_force(self, seed, n, dim, k):
+        rng = np.random.default_rng(seed)
+        data = canonicalize(rng.random((n, dim)))
+        k = min(k, n)
+        p = PyramidTechnique(data, disk=_small_disk())
+        query = canonicalize(rng.random(dim) * 1.4 - 0.2)
+        answer = p.nearest(query, k=k)
+        expected = np.sort(EUCLIDEAN.distances(query, p.points))[:k]
+        assert np.allclose(answer.distances, expected)
+
+    @given(seed=st.integers(0, 2**16))
+    @settings(max_examples=15, deadline=None)
+    def test_window_query_exact(self, seed):
+        rng = np.random.default_rng(seed)
+        data = canonicalize(rng.random((120, 4)))
+        p = PyramidTechnique(data, disk=_small_disk())
+        lower = canonicalize(rng.random(4) * 0.6)
+        upper = lower + rng.random(4) * 0.5
+        answer = p.window_query(lower, upper)
+        expected = np.flatnonzero(
+            np.all((p.points >= lower) & (p.points <= upper), axis=1)
+        )
+        assert set(answer.ids.tolist()) == set(expected.tolist())
+
+
+class TestSSTreeProperties:
+    @given(
+        seed=st.integers(0, 2**16),
+        n=st.integers(5, 200),
+        dim=st.integers(1, 6),
+        k=st.integers(1, 3),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_knn_matches_brute_force(self, seed, n, dim, k):
+        rng = np.random.default_rng(seed)
+        data = canonicalize(rng.random((n, dim)))
+        k = min(k, n)
+        tree = SSTree(data, disk=_small_disk())
+        query = canonicalize(rng.random(dim) * 1.4 - 0.2)
+        answer = tree.nearest(query, k=k)
+        expected = np.sort(EUCLIDEAN.distances(query, tree.points))[:k]
+        assert np.allclose(answer.distances, expected)
+
+    @given(seed=st.integers(0, 2**16), radius=st.floats(0, 1.2))
+    @settings(max_examples=15, deadline=None)
+    def test_range_matches_brute_force(self, seed, radius):
+        rng = np.random.default_rng(seed)
+        data = canonicalize(rng.random((100, 4)))
+        tree = SSTree(data, disk=_small_disk())
+        query = canonicalize(rng.random(4))
+        answer = tree.range_query(query, radius)
+        expected = set(
+            np.flatnonzero(
+                EUCLIDEAN.distances(query, tree.points) <= radius
+            ).tolist()
+        )
+        assert set(answer.ids.tolist()) == expected

@@ -1,0 +1,77 @@
+"""Tests for dense g-bit code packing."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import QuantizationError
+from repro.quantization.bitpack import pack_codes, packed_size, unpack_codes
+
+
+class TestPackedSize:
+    def test_exact_byte_boundary(self):
+        assert packed_size(8, 1) == 1
+        assert packed_size(2, 4) == 1
+
+    def test_rounds_up(self):
+        assert packed_size(3, 3) == 2  # 9 bits -> 2 bytes
+
+    def test_zero_codes(self):
+        assert packed_size(0, 7) == 0
+
+    def test_invalid(self):
+        with pytest.raises(QuantizationError):
+            packed_size(4, 0)
+        with pytest.raises(QuantizationError):
+            packed_size(-1, 4)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("bits", [1, 2, 3, 4, 5, 7, 8, 11, 16, 23, 31])
+    def test_random_roundtrip(self, bits, rng):
+        m, d = 50, 7
+        codes = rng.integers(0, 2**bits, size=(m, d), dtype=np.uint64)
+        codes = codes.astype(np.uint32)
+        payload = pack_codes(codes, bits)
+        assert len(payload) == packed_size(m * d, bits)
+        assert np.array_equal(unpack_codes(payload, bits, m, d), codes)
+
+    def test_extreme_values(self):
+        for bits in (1, 9, 31):
+            codes = np.array(
+                [[0, 2**bits - 1], [2**bits - 1, 0]], dtype=np.uint32
+            )
+            payload = pack_codes(codes, bits)
+            assert np.array_equal(unpack_codes(payload, bits, 2, 2), codes)
+
+    def test_empty(self):
+        assert pack_codes(np.zeros((0, 3), dtype=np.uint32), 5) == b""
+        out = unpack_codes(b"", 5, 0, 3)
+        assert out.shape == (0, 3)
+
+    def test_density(self):
+        """Packing is dense: 1000 3-bit codes -> 375 bytes exactly."""
+        codes = np.zeros(1000, dtype=np.uint32)
+        assert len(pack_codes(codes, 3)) == 375
+
+
+class TestValidation:
+    def test_out_of_range_code(self):
+        codes = np.array([[4]], dtype=np.uint32)
+        with pytest.raises(QuantizationError):
+            pack_codes(codes, 2)
+
+    def test_bits_out_of_range(self):
+        codes = np.zeros((1, 1), dtype=np.uint32)
+        with pytest.raises(QuantizationError):
+            pack_codes(codes, 0)
+        with pytest.raises(QuantizationError):
+            pack_codes(codes, 33)
+
+    def test_short_payload_rejected(self):
+        payload = pack_codes(np.zeros((4, 4), dtype=np.uint32), 8)
+        with pytest.raises(QuantizationError):
+            unpack_codes(payload[:-1], 8, 4, 4)
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(QuantizationError):
+            unpack_codes(b"\x00" * 16, 8, 4, 0)

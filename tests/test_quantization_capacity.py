@@ -1,0 +1,64 @@
+"""Tests for the page-capacity arithmetic."""
+
+import pytest
+
+from repro.exceptions import QuantizationError
+from repro.quantization.capacity import (
+    EXACT_BITS,
+    capacity_for_bits,
+    max_bits_for_count,
+)
+from repro.storage.serializer import quantized_page_capacity
+
+
+class TestCapacityForBits:
+    def test_matches_serializer(self):
+        for bits in (1, 4, 8, 16, 32):
+            assert capacity_for_bits(8192, 16, bits) == (
+                quantized_page_capacity(8192, 16, bits)
+            )
+
+    def test_too_small_block_rejected(self):
+        # A 16-byte block cannot hold one 16-d point at 32 bits.
+        with pytest.raises(QuantizationError):
+            capacity_for_bits(16, 16, 32)
+
+
+class TestMaxBitsForCount:
+    def test_single_point_gets_exact(self):
+        assert max_bits_for_count(8192, 16, 1) == EXACT_BITS
+
+    def test_overfull_returns_zero(self):
+        cap1 = capacity_for_bits(8192, 16, 1)
+        assert max_bits_for_count(8192, 16, cap1 + 1) == 0
+
+    def test_exactly_full_at_one_bit(self):
+        cap1 = capacity_for_bits(8192, 16, 1)
+        assert max_bits_for_count(8192, 16, cap1) == 1
+
+    def test_is_finest_fitting_level(self):
+        """The returned g fits; g+1 does not (unless already 32)."""
+        for count in (1, 10, 100, 500, 2000, 4000):
+            bits = max_bits_for_count(8192, 16, count)
+            assert bits >= 1
+            assert capacity_for_bits(8192, 16, bits) >= count
+            if bits < EXACT_BITS:
+                assert quantized_page_capacity(8192, 16, bits + 1) < count
+
+    def test_monotone_in_count(self):
+        values = [
+            max_bits_for_count(8192, 8, c) for c in range(1, 2000, 37)
+        ]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_invalid_count(self):
+        with pytest.raises(QuantizationError):
+            max_bits_for_count(8192, 16, 0)
+
+    def test_halving_count_roughly_doubles_bits(self):
+        """The split-tree story: each split doubles the bit budget."""
+        cap1 = capacity_for_bits(2048, 8, 1)
+        bits_full = max_bits_for_count(2048, 8, cap1)
+        bits_half = max_bits_for_count(2048, 8, cap1 // 2)
+        assert bits_full == 1
+        assert bits_half == 2

@@ -1,0 +1,130 @@
+"""Tests for the per-MBR grid quantizer."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import QuantizationError
+from repro.geometry.mbr import MBR
+from repro.geometry.metrics import EUCLIDEAN, MAXIMUM
+from repro.quantization.grid import GridQuantizer
+
+
+@pytest.fixture
+def box():
+    return MBR([0.0, 10.0], [1.0, 20.0])
+
+
+class TestEncode:
+    def test_codes_in_range(self, box, rng):
+        q = GridQuantizer(box, bits=3)
+        pts = np.column_stack(
+            [rng.random(100), 10 + 10 * rng.random(100)]
+        )
+        codes = q.encode(pts)
+        assert codes.dtype == np.uint32
+        assert codes.max() < 8
+
+    def test_lower_corner_is_cell_zero(self, box):
+        q = GridQuantizer(box, bits=4)
+        codes = q.encode(np.array([[0.0, 10.0]]))
+        assert np.array_equal(codes, [[0, 0]])
+
+    def test_upper_boundary_clamps_to_last_cell(self, box):
+        q = GridQuantizer(box, bits=4)
+        codes = q.encode(np.array([[1.0, 20.0]]))
+        assert np.array_equal(codes, [[15, 15]])
+
+    def test_outside_point_rejected(self, box):
+        q = GridQuantizer(box, bits=2)
+        with pytest.raises(QuantizationError):
+            q.encode(np.array([[2.0, 15.0]]))
+
+    def test_wrong_dim_rejected(self, box):
+        q = GridQuantizer(box, bits=2)
+        with pytest.raises(QuantizationError):
+            q.encode(np.zeros((3, 3)))
+
+    def test_bits_out_of_range(self, box):
+        with pytest.raises(QuantizationError):
+            GridQuantizer(box, bits=0)
+        with pytest.raises(QuantizationError):
+            GridQuantizer(box, bits=32)
+
+
+class TestCellBounds:
+    def test_cell_contains_its_point(self, box, rng):
+        q = GridQuantizer(box, bits=5)
+        pts = np.column_stack([rng.random(200), 10 + 10 * rng.random(200)])
+        codes = q.encode(pts)
+        lowers, uppers = q.cell_bounds(codes)
+        assert np.all(pts >= lowers - 1e-9)
+        assert np.all(pts <= uppers + 1e-9)
+
+    def test_cells_inside_mbr(self, box, rng):
+        q = GridQuantizer(box, bits=2)
+        pts = np.column_stack([rng.random(50), 10 + 10 * rng.random(50)])
+        lowers, uppers = q.cell_bounds(q.encode(pts))
+        assert np.all(lowers >= box.lower - 1e-9)
+        assert np.all(uppers <= box.upper + 1e-9)
+
+    def test_cell_width_halves_per_bit(self, box):
+        w1 = GridQuantizer(box, bits=1).cell_widths
+        w2 = GridQuantizer(box, bits=2).cell_widths
+        assert np.allclose(w1, 2 * w2)
+
+    def test_decode_centers_error_bounded(self, box, rng):
+        q = GridQuantizer(box, bits=6)
+        pts = np.column_stack([rng.random(100), 10 + 10 * rng.random(100)])
+        centers = q.decode_centers(q.encode(pts))
+        max_err = q.max_quantization_error()
+        errs = EUCLIDEAN.lengths(pts - centers)
+        assert np.all(errs <= max_err + 1e-9)
+
+    def test_degenerate_dimension(self):
+        box = MBR([0.0, 5.0], [1.0, 5.0])  # second dim has zero extent
+        q = GridQuantizer(box, bits=3)
+        pts = np.array([[0.3, 5.0], [0.9, 5.0]])
+        codes = q.encode(pts)
+        assert np.all(codes[:, 1] == 0)
+        lowers, uppers = q.cell_bounds(codes)
+        assert np.all(lowers[:, 1] == 5.0)
+        assert np.all(uppers[:, 1] == 5.0)
+        assert q.cell_widths[1] == 0.0
+
+
+class TestDistanceBounds:
+    @pytest.mark.parametrize("metric", [EUCLIDEAN, MAXIMUM])
+    def test_bounds_bracket_true_distance(self, box, rng, metric):
+        q = GridQuantizer(box, bits=4)
+        pts = np.column_stack([rng.random(150), 10 + 10 * rng.random(150)])
+        codes = q.encode(pts)
+        query = np.array([0.5, 12.0])
+        lower = q.cell_mindist(query, codes, metric)
+        upper = q.cell_maxdist(query, codes, metric)
+        true = metric.distances(query, pts)
+        assert np.all(lower <= true + 1e-9)
+        assert np.all(true <= upper + 1e-9)
+
+    def test_bounds_tighten_with_bits(self, box, rng):
+        pts = np.column_stack([rng.random(100), 10 + 10 * rng.random(100)])
+        query = np.array([1.5, 25.0])  # outside the box
+        gaps = []
+        for bits in (1, 3, 6):
+            q = GridQuantizer(box, bits=bits)
+            codes = q.encode(pts)
+            gap = q.cell_maxdist(query, codes) - q.cell_mindist(query, codes)
+            gaps.append(gap.mean())
+        assert gaps[0] > gaps[1] > gaps[2]
+
+    def test_query_inside_cell_has_zero_mindist(self, box):
+        q = GridQuantizer(box, bits=1)
+        pts = np.array([[0.2, 12.0]])
+        codes = q.encode(pts)
+        query = np.array([0.1, 11.0])  # same (0,0) cell
+        assert q.cell_mindist(query, codes)[0] == 0.0
+
+    def test_max_quantization_error_formula(self, box):
+        q = GridQuantizer(box, bits=2)
+        # Cell widths are (0.25, 2.5); half-diagonal is the max error.
+        expected = np.sqrt(0.125**2 + 1.25**2)
+        assert q.max_quantization_error() == pytest.approx(expected)

@@ -1,0 +1,156 @@
+"""Edge-case tests for search on unusual data and queries."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SearchError
+from repro.core.tree import IQTree, canonicalize
+from repro.geometry.metrics import EUCLIDEAN
+from repro.storage.disk import DiskModel, SimulatedDisk
+
+
+def small_disk():
+    return SimulatedDisk(DiskModel(t_seek=0.01, t_xfer=0.001, block_size=512))
+
+
+class TestDuplicateHeavyData:
+    @pytest.fixture
+    def tree(self):
+        # 60% duplicates of a single point, the rest random.
+        rng = np.random.default_rng(3)
+        dupes = np.tile([0.5, 0.5, 0.5, 0.5], (600, 1))
+        rest = rng.random((400, 4))
+        data = canonicalize(np.vstack([dupes, rest]))
+        return IQTree.build(data, disk=small_disk())
+
+    def test_knn_on_duplicate_point(self, tree):
+        res = tree.nearest(np.array([0.5] * 4), k=10)
+        assert np.allclose(res.distances, 0.0)
+        assert len(set(res.ids.tolist())) == 10
+
+    def test_knn_past_duplicate_block(self, tree):
+        res = tree.nearest(np.array([0.5] * 4), k=650)
+        expected = np.sort(
+            EUCLIDEAN.distances(np.array([0.5] * 4), tree.points)
+        )[:650]
+        assert np.allclose(res.distances, expected)
+
+    def test_range_on_duplicates(self, tree):
+        res = tree.range_query(np.array([0.5] * 4), 0.0)
+        assert len(res.ids) == 600
+
+
+class TestExtremeK:
+    @pytest.fixture
+    def tree(self, uniform_points):
+        return IQTree.build(uniform_points[:300], disk=small_disk())
+
+    def test_k_equals_n(self, tree, rng):
+        q = rng.random(8)
+        res = tree.nearest(q, k=300)
+        expected = np.sort(EUCLIDEAN.distances(q, tree.points))
+        assert np.allclose(res.distances, expected)
+
+    def test_k_equals_n_minus_one(self, tree, rng):
+        q = rng.random(8)
+        res = tree.nearest(q, k=299)
+        assert res.ids.size == 299
+
+
+class TestDegenerateDimensions:
+    def test_constant_dimension(self):
+        rng = np.random.default_rng(5)
+        data = rng.random((500, 5))
+        data[:, 2] = 0.25  # zero extent in dimension 2
+        data = canonicalize(data)
+        tree = IQTree.build(data, disk=small_disk())
+        q = canonicalize(np.array([0.3, 0.7, 0.25, 0.1, 0.9]))
+        res = tree.nearest(q, k=4)
+        expected = np.sort(EUCLIDEAN.distances(q, tree.points))[:4]
+        assert np.allclose(res.distances, expected)
+
+    def test_one_dimensional_data(self):
+        rng = np.random.default_rng(6)
+        data = canonicalize(rng.random((400, 1)))
+        tree = IQTree.build(data, disk=small_disk())
+        res = tree.nearest(np.array([0.5]), k=3)
+        expected = np.sort(np.abs(tree.points[:, 0] - 0.5))[:3]
+        assert np.allclose(res.distances, expected)
+
+    def test_high_dimension_small_n(self):
+        rng = np.random.default_rng(7)
+        data = canonicalize(rng.random((60, 40)))
+        tree = IQTree.build(data, disk=small_disk())
+        q = canonicalize(rng.random(40))
+        res = tree.nearest(q, k=2)
+        expected = np.sort(EUCLIDEAN.distances(q, tree.points))[:2]
+        assert np.allclose(res.distances, expected)
+
+
+class TestNonFiniteQueries:
+    @pytest.fixture
+    def tree(self, uniform_points):
+        return IQTree.build(uniform_points[:200], disk=small_disk())
+
+    def test_nan_query_rejected(self, tree):
+        q = np.full(8, np.nan)
+        with pytest.raises(SearchError):
+            tree.nearest(q)
+        with pytest.raises(SearchError):
+            tree.range_query(q, 1.0)
+
+    def test_inf_query_rejected(self, tree):
+        q = np.full(8, np.inf)
+        with pytest.raises(SearchError):
+            tree.nearest(q)
+
+    def test_partial_nan_rejected(self, tree):
+        q = np.zeros(8)
+        q[3] = np.nan
+        with pytest.raises(SearchError):
+            tree.nearest(q)
+
+
+class TestTies:
+    def test_equidistant_neighbors(self):
+        # Four points at exactly the same distance from the center.
+        data = canonicalize(
+            np.array(
+                [
+                    [0.4, 0.5],
+                    [0.6, 0.5],
+                    [0.5, 0.4],
+                    [0.5, 0.6],
+                    [0.9, 0.9],
+                ]
+            )
+        )
+        tree = IQTree.build(data, disk=small_disk())
+        res = tree.nearest(np.array([0.5, 0.5]), k=4)
+        assert np.allclose(res.distances, 0.1)
+        assert set(res.ids.tolist()) == {0, 1, 2, 3}
+
+    def test_k_smaller_than_tie_set(self):
+        data = canonicalize(
+            np.array([[0.4, 0.5], [0.6, 0.5], [0.5, 0.4], [0.5, 0.6]])
+        )
+        tree = IQTree.build(data, disk=small_disk())
+        res = tree.nearest(np.array([0.5, 0.5]), k=2)
+        assert np.allclose(res.distances, 0.1)
+        assert len(set(res.ids.tolist())) == 2
+
+
+class TestTinyTrees:
+    def test_two_points(self):
+        data = canonicalize(np.array([[0.1, 0.1], [0.9, 0.9]]))
+        tree = IQTree.build(data, disk=small_disk())
+        res = tree.nearest(np.array([0.2, 0.2]), k=1)
+        assert res.ids[0] == 0
+
+    def test_query_far_away_in_every_direction(self, uniform_points):
+        tree = IQTree.build(uniform_points[:100], disk=small_disk())
+        for sign in (-1.0, 1.0):
+            q = np.full(8, sign * 100.0)
+            res = tree.nearest(q, k=1)
+            expected = EUCLIDEAN.distances(q, tree.points).min()
+            assert res.distances[0] == pytest.approx(expected)

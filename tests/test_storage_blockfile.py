@@ -1,0 +1,183 @@
+"""Tests for the block-file layer."""
+
+import pytest
+
+from repro.exceptions import StorageError
+from repro.storage.blockfile import BlockFile
+from repro.storage.disk import DiskModel, SimulatedDisk
+
+
+@pytest.fixture
+def disk():
+    return SimulatedDisk(DiskModel(t_seek=0.01, t_xfer=0.001, block_size=64))
+
+
+class TestAppend:
+    def test_append_block_returns_index(self, disk):
+        f = BlockFile(disk)
+        assert f.append_block(b"a" * 10) == 0
+        assert f.append_block(b"b" * 64) == 1
+        assert f.n_blocks == 2
+
+    def test_append_block_rejects_oversize(self, disk):
+        f = BlockFile(disk)
+        with pytest.raises(StorageError):
+            f.append_block(b"x" * 65)
+
+    def test_append_record_spans_blocks(self, disk):
+        f = BlockFile(disk)
+        first, count = f.append_record(b"y" * 150)
+        assert first == 0
+        assert count == 3  # 150 bytes over 64-byte blocks
+
+    def test_append_record_rejects_empty(self, disk):
+        with pytest.raises(StorageError):
+            BlockFile(disk).append_record(b"")
+
+    def test_append_after_seal_rejected(self, disk):
+        f = BlockFile(disk)
+        f.append_block(b"z")
+        f.seal()
+        with pytest.raises(StorageError):
+            f.append_block(b"w")
+
+    def test_unseal_reopens(self, disk):
+        f = BlockFile(disk)
+        f.append_block(b"z")
+        f.seal()
+        f.unseal()
+        f.append_block(b"w")
+        f.seal()
+        assert f.n_blocks == 2
+
+
+class TestReads:
+    def test_read_block_charges_time(self, disk):
+        f = BlockFile(disk)
+        f.append_block(b"data")
+        f.seal()
+        payload = f.read_block(0)
+        assert payload == b"data"
+        assert disk.stats.seeks == 1
+        assert disk.stats.blocks_read == 1
+
+    def test_read_before_seal_rejected(self, disk):
+        f = BlockFile(disk)
+        f.append_block(b"data")
+        with pytest.raises(StorageError):
+            f.read_block(0)
+
+    def test_read_run_sequential(self, disk):
+        f = BlockFile(disk)
+        for i in range(5):
+            f.append_block(bytes([i]))
+        f.seal()
+        payloads = f.read_run(1, 3)
+        assert payloads == [b"\x01", b"\x02", b"\x03"]
+        assert disk.stats.seeks == 1
+        assert disk.stats.blocks_read == 3
+
+    def test_read_run_overread_accounting(self, disk):
+        f = BlockFile(disk)
+        for i in range(5):
+            f.append_block(bytes([i]))
+        f.seal()
+        f.read_run(0, 5, wanted=2)
+        assert disk.stats.blocks_overread == 3
+
+    def test_read_record_reassembles(self, disk):
+        f = BlockFile(disk)
+        blob = bytes(range(150))
+        first, count = f.append_record(blob)
+        f.seal()
+        assert f.read_record(first, count) == blob
+
+    def test_scan_reads_everything_once(self, disk):
+        f = BlockFile(disk)
+        for i in range(4):
+            f.append_block(bytes([i]))
+        f.seal()
+        assert b"".join(f.scan()) == b"\x00\x01\x02\x03"
+        assert disk.stats.seeks == 1
+        assert disk.stats.blocks_read == 4
+
+    def test_scan_empty_file(self, disk):
+        f = BlockFile(disk)
+        f.seal()
+        assert f.scan() == []
+
+    def test_out_of_range_rejected(self, disk):
+        f = BlockFile(disk)
+        f.append_block(b"a")
+        f.seal()
+        with pytest.raises(StorageError):
+            f.read_block(1)
+        with pytest.raises(StorageError):
+            f.read_run(0, 2)
+
+    def test_consecutive_single_reads_stay_sequential(self, disk):
+        f = BlockFile(disk)
+        for i in range(3):
+            f.append_block(bytes([i]))
+        f.seal()
+        f.read_block(0)
+        f.read_block(1)
+        f.read_block(2)
+        assert disk.stats.seeks == 1
+
+
+class TestBatchedFetch:
+    def test_close_blocks_merge_into_one_run(self, disk):
+        # Window is t_seek/t_xfer = 10 blocks: gaps below that merge.
+        f = BlockFile(disk)
+        for i in range(20):
+            f.append_block(bytes([i]))
+        f.seal()
+        result = f.read_batched([0, 3, 6])
+        assert set(result) == {0, 3, 6}
+        assert result[3] == b"\x03"
+        assert disk.stats.seeks == 1
+        assert disk.stats.blocks_read == 7
+        assert disk.stats.blocks_overread == 4
+
+    def test_distant_blocks_separate_seeks(self):
+        disk = SimulatedDisk(
+            DiskModel(t_seek=0.002, t_xfer=0.001, block_size=64)
+        )
+        f = BlockFile(disk)
+        for i in range(30):
+            f.append_block(bytes([i]))
+        f.seal()
+        f.read_batched([0, 20])  # gap 19 >= window 2 -> two seeks
+        assert disk.stats.seeks == 2
+        assert disk.stats.blocks_read == 2
+
+    def test_duplicates_and_order_insensitive(self, disk):
+        f = BlockFile(disk)
+        for i in range(5):
+            f.append_block(bytes([i]))
+        f.seal()
+        result = f.read_batched([4, 0, 4, 2])
+        assert set(result) == {0, 2, 4}
+
+
+class TestUntimedAccess:
+    def test_peek_is_free(self, disk):
+        f = BlockFile(disk)
+        f.append_block(b"peek")
+        f.seal()
+        assert f.peek_block(0) == b"peek"
+        assert disk.stats.elapsed == 0.0
+
+    def test_replace_block(self, disk):
+        f = BlockFile(disk)
+        f.append_block(b"old")
+        f.seal()
+        f.replace_block(0, b"new")
+        assert f.peek_block(0) == b"new"
+
+    def test_replace_oversize_rejected(self, disk):
+        f = BlockFile(disk)
+        f.append_block(b"old")
+        with pytest.raises(StorageError):
+            f.replace_block(0, b"x" * 65)

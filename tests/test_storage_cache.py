@@ -1,0 +1,184 @@
+"""Tests for the LRU buffer pool and cached block file."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import StorageError
+from repro.core.tree import IQTree
+from repro.storage.blockfile import BlockFile
+from repro.storage.cache import BufferPool, CachedBlockFile
+from repro.storage.disk import DiskModel, SimulatedDisk
+
+
+@pytest.fixture
+def disk():
+    return SimulatedDisk(DiskModel(t_seek=0.01, t_xfer=0.001, block_size=64))
+
+
+@pytest.fixture
+def cached(disk):
+    f = BlockFile(disk)
+    for i in range(20):
+        f.append_block(bytes([i]) * 8)
+    f.seal()
+    return CachedBlockFile(f, BufferPool(8))
+
+
+class TestBufferPool:
+    def test_lru_eviction(self):
+        pool = BufferPool(2)
+        pool.admit(1)
+        pool.admit(2)
+        pool.admit(3)  # evicts 1
+        assert not pool.lookup(1)
+        assert pool.lookup(2)
+        assert pool.lookup(3)
+
+    def test_lookup_refreshes_recency(self):
+        pool = BufferPool(2)
+        pool.admit(1)
+        pool.admit(2)
+        pool.lookup(1)  # 1 is now most recent
+        pool.admit(3)  # evicts 2
+        assert pool.lookup(1)
+        assert not pool.lookup(2)
+
+    def test_zero_capacity_never_caches(self):
+        pool = BufferPool(0)
+        pool.admit(1)
+        assert not pool.lookup(1)
+
+    def test_hit_rate(self):
+        pool = BufferPool(4)
+        pool.admit(1)
+        pool.lookup(1)
+        pool.lookup(2)
+        assert pool.hits == 1 and pool.misses == 1
+        assert pool.hit_rate == pytest.approx(0.5)
+
+    def test_invalidate(self):
+        pool = BufferPool(4)
+        pool.admit(1)
+        pool.invalidate(1)
+        assert not pool.lookup(1)
+
+    def test_clear_keeps_counters(self):
+        pool = BufferPool(4)
+        pool.admit(1)
+        pool.lookup(1)
+        pool.clear()
+        assert pool.resident_count == 0
+        assert pool.hits == 1
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(StorageError):
+            BufferPool(-1)
+
+
+class TestCachedBlockFile:
+    def test_repeat_read_is_free(self, cached, disk):
+        cached.read_block(3)
+        cost_after_first = disk.stats.elapsed
+        payload = cached.read_block(3)
+        assert payload == bytes([3]) * 8
+        assert disk.stats.elapsed == cost_after_first
+
+    def test_run_read_admits_all_blocks(self, cached, disk):
+        cached.read_run(2, 5)
+        cost = disk.stats.elapsed
+        for i in range(2, 7):
+            cached.read_block(i)
+        assert disk.stats.elapsed == cost
+
+    def test_partial_residency_fetches_span(self, cached, disk):
+        cached.read_block(4)
+        before = disk.stats.blocks_read
+        payloads = cached.read_run(2, 5)  # 4 resident, 2-3 and 5-6 not
+        assert [p[0] for p in payloads] == [2, 3, 4, 5, 6]
+        # One sequential fetch of the missing span 2..6 (re-reading 4
+        # is cheaper than splitting the transfer).
+        assert disk.stats.blocks_read - before <= 5
+
+    def test_eviction_causes_reread(self, disk):
+        f = BlockFile(disk)
+        for i in range(20):
+            f.append_block(bytes([i]))
+        f.seal()
+        cached = CachedBlockFile(f, BufferPool(2))
+        cached.read_block(0)
+        cached.read_block(1)
+        cached.read_block(2)  # evicts 0
+        before = disk.stats.blocks_read
+        cached.read_block(0)
+        assert disk.stats.blocks_read == before + 1
+
+    def test_read_batched_skips_resident(self, cached, disk):
+        cached.read_block(10)
+        before = disk.stats.blocks_read
+        result = cached.read_batched([9, 10, 11])
+        assert set(result) == {9, 10, 11}
+        assert disk.stats.blocks_read - before <= 3
+
+    def test_passthrough_attributes(self, cached):
+        assert cached.n_blocks == 20
+        assert len(cached) == 20
+
+
+class TestTreeWithPool:
+    def test_answers_unchanged(self, uniform_points, small_disk, rng):
+        from repro.storage.disk import SimulatedDisk
+
+        plain = IQTree.build(uniform_points, disk=small_disk)
+        pooled = IQTree.build(
+            uniform_points, disk=SimulatedDisk(small_disk.model)
+        )
+        pooled.use_buffer_pool(4096)
+        for _ in range(5):
+            q = rng.random(8)
+            a = plain.nearest(q, k=3)
+            b = pooled.nearest(q, k=3)
+            assert np.array_equal(a.ids, b.ids)
+
+    def test_warm_queries_cheaper(self, uniform_points, small_disk, rng):
+        tree = IQTree.build(uniform_points, disk=small_disk)
+        pool = tree.use_buffer_pool(100_000)  # everything fits
+        q = rng.random(8)
+        tree.disk.park()
+        cold = tree.nearest(q).io.elapsed
+        tree.disk.park()
+        warm = tree.nearest(q).io.elapsed
+        assert warm < cold * 0.2
+        assert pool.hit_rate > 0
+
+    def test_shared_pool_across_indexes(self, uniform_points, small_disk):
+        tree1 = IQTree.build(uniform_points[:500], disk=small_disk)
+        tree2 = IQTree.build(uniform_points[500:1000], disk=small_disk)
+        pool = tree1.use_buffer_pool(1000)
+        tree2.use_buffer_pool(pool)
+        tree1.nearest(np.full(8, 0.5))
+        tree2.nearest(np.full(8, 0.5))
+        assert pool.resident_count > 0
+
+    def test_pool_survives_maintenance(self, uniform_points, small_disk, rng):
+        tree = IQTree.build(uniform_points[:500], disk=small_disk)
+        pool = tree.use_buffer_pool(10_000)
+        tree.nearest(rng.random(8))
+        tree.insert(rng.random(8))  # marks dirty; next query re-lays out
+        result = tree.nearest(rng.random(8))
+        assert result.ids.size == 1
+        assert tree._pool is pool
+
+    def test_zero_capacity_matches_uncached(self, uniform_points, small_disk, rng):
+        from repro.storage.disk import SimulatedDisk
+
+        plain = IQTree.build(uniform_points[:800], disk=small_disk)
+        zero = IQTree.build(
+            uniform_points[:800], disk=SimulatedDisk(small_disk.model)
+        )
+        zero.use_buffer_pool(0)
+        q = rng.random(8)
+        plain.disk.park()
+        zero.disk.park()
+        assert plain.nearest(q).io.elapsed == pytest.approx(
+            zero.nearest(q).io.elapsed
+        )

@@ -1,0 +1,127 @@
+"""Tests for the disk model and simulated-time accounting."""
+
+import pytest
+
+from repro.exceptions import StorageError
+from repro.storage.disk import DiskModel, IOStats, SimulatedDisk
+
+
+class TestDiskModel:
+    def test_defaults_sane(self):
+        model = DiskModel()
+        assert model.t_seek > model.t_xfer > 0
+        assert model.block_size == 8192
+
+    def test_overread_window(self):
+        model = DiskModel(t_seek=0.010, t_xfer=0.001)
+        assert model.overread_window == pytest.approx(10.0)
+
+    def test_scan_time(self):
+        model = DiskModel(t_seek=0.01, t_xfer=0.001)
+        assert model.scan_time(0) == 0.0
+        assert model.scan_time(5) == pytest.approx(0.015)
+
+    def test_random_read_time(self):
+        model = DiskModel(t_seek=0.01, t_xfer=0.001)
+        assert model.random_read_time(3) == pytest.approx(0.033)
+
+    def test_validation(self):
+        with pytest.raises(StorageError):
+            DiskModel(t_xfer=0.0)
+        with pytest.raises(StorageError):
+            DiskModel(t_seek=-1.0)
+        with pytest.raises(StorageError):
+            DiskModel(block_size=0)
+
+    def test_frozen(self):
+        model = DiskModel()
+        with pytest.raises(Exception):
+            model.t_seek = 0.5
+
+
+class TestIOStats:
+    def test_add_seek(self):
+        model = DiskModel(t_seek=0.01, t_xfer=0.001)
+        stats = IOStats()
+        stats.add_seek(model, 2)
+        assert stats.seeks == 2
+        assert stats.elapsed == pytest.approx(0.02)
+
+    def test_add_transfer_with_overread(self):
+        model = DiskModel(t_seek=0.01, t_xfer=0.001)
+        stats = IOStats()
+        stats.add_transfer(model, 10, overread=3)
+        assert stats.blocks_read == 10
+        assert stats.blocks_overread == 3
+        assert stats.elapsed == pytest.approx(0.010)
+
+    def test_invalid_accounting(self):
+        stats = IOStats()
+        with pytest.raises(StorageError):
+            stats.add_transfer(DiskModel(), 2, overread=3)
+        with pytest.raises(StorageError):
+            stats.add_seek(DiskModel(), -1)
+
+    def test_merged_with(self):
+        a = IOStats(seeks=1, blocks_read=2, blocks_overread=1, elapsed=0.5)
+        b = IOStats(seeks=2, blocks_read=3, blocks_overread=0, elapsed=0.25)
+        merged = a.merged_with(b)
+        assert merged.seeks == 3
+        assert merged.blocks_read == 5
+        assert merged.elapsed == pytest.approx(0.75)
+
+    def test_reset(self):
+        stats = IOStats(seeks=5, blocks_read=9, elapsed=1.0)
+        stats.reset()
+        assert stats.seeks == 0 and stats.elapsed == 0.0
+
+
+class TestSimulatedDisk:
+    def test_sequential_read_after_seek(self):
+        disk = SimulatedDisk(DiskModel(t_seek=0.01, t_xfer=0.001))
+        disk.read_blocks(0, 4)
+        assert disk.stats.seeks == 1
+        assert disk.stats.blocks_read == 4
+        # Head is at block 4: continuing there costs no extra seek.
+        disk.read_blocks(4, 2)
+        assert disk.stats.seeks == 1
+        assert disk.stats.blocks_read == 6
+
+    def test_non_contiguous_read_pays_seek(self):
+        disk = SimulatedDisk(DiskModel(t_seek=0.01, t_xfer=0.001))
+        disk.read_blocks(0, 2)
+        disk.read_blocks(10, 1)
+        assert disk.stats.seeks == 2
+
+    def test_backward_read_pays_seek(self):
+        disk = SimulatedDisk()
+        disk.read_blocks(10, 2)
+        disk.read_blocks(0, 1)
+        assert disk.stats.seeks == 2
+
+    def test_zero_count_is_noop(self):
+        disk = SimulatedDisk()
+        disk.read_blocks(5, 0)
+        assert disk.stats.elapsed == 0.0
+
+    def test_park_forces_seek(self):
+        disk = SimulatedDisk()
+        disk.read_blocks(0, 2)
+        disk.park()
+        disk.read_blocks(2, 1)  # would have been sequential
+        assert disk.stats.seeks == 2
+
+    def test_extent_allocation_contiguous(self):
+        disk = SimulatedDisk()
+        a = disk.allocate_extent(10)
+        b = disk.allocate_extent(5)
+        c = disk.allocate_extent(0)
+        assert a == 0 and b == 10 and c == 15
+
+    def test_reset_stats_keeps_head(self):
+        disk = SimulatedDisk()
+        disk.read_blocks(0, 3)
+        disk.reset_stats()
+        assert disk.stats.elapsed == 0.0
+        disk.read_blocks(3, 1)  # still sequential
+        assert disk.stats.seeks == 0

@@ -1,0 +1,116 @@
+"""Tests for saving/loading an IQ-tree to a real file."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import StorageError
+from repro.core.tree import IQTree
+from repro.geometry.metrics import EUCLIDEAN
+from repro.storage.disk import DiskModel, SimulatedDisk
+from repro.storage.persistence import load_iqtree, save_iqtree
+from tests.conftest import brute_force_knn
+
+
+@pytest.fixture
+def tree(uniform_points, small_disk):
+    return IQTree.build(uniform_points[:800], disk=small_disk)
+
+
+class TestRoundTrip:
+    def test_structure_preserved(self, tree, tmp_path):
+        path = tmp_path / "index.iqt"
+        save_iqtree(tree, path)
+        loaded = load_iqtree(path)
+        assert loaded.n_points == tree.n_points
+        assert loaded.dim == tree.dim
+        assert loaded.n_pages == tree.n_pages
+        assert np.array_equal(loaded.page_bits, tree.page_bits)
+        assert np.array_equal(loaded.points, tree.points)
+        assert loaded.metric.name == tree.metric.name
+        assert loaded.cost_model.fractal_dim == pytest.approx(
+            tree.cost_model.fractal_dim
+        )
+
+    def test_queries_identical_after_reload(self, tree, tmp_path, rng):
+        path = tmp_path / "index.iqt"
+        save_iqtree(tree, path)
+        loaded = load_iqtree(path)
+        for _ in range(5):
+            q = rng.random(8)
+            a = tree.nearest(q, k=3)
+            b = loaded.nearest(q, k=3)
+            assert np.array_equal(a.ids, b.ids)
+            assert np.allclose(a.distances, b.distances)
+
+    def test_io_costs_identical_after_reload(self, tree, tmp_path, rng):
+        path = tmp_path / "index.iqt"
+        save_iqtree(tree, path)
+        loaded = load_iqtree(path)
+        q = rng.random(8)
+        tree.disk.park()
+        loaded.disk.park()
+        assert tree.nearest(q).io.elapsed == pytest.approx(
+            loaded.nearest(q).io.elapsed
+        )
+
+    def test_loaded_tree_supports_maintenance(self, tree, tmp_path):
+        path = tmp_path / "index.iqt"
+        save_iqtree(tree, path)
+        loaded = load_iqtree(path)
+        new_id = loaded.insert(np.full(8, 0.77))
+        hit = loaded.nearest(np.full(8, 0.77), k=1)
+        assert hit.ids[0] == new_id
+
+    def test_maintenance_state_saved(self, tree, tmp_path, rng):
+        """Save after churn: the mutated structure round-trips."""
+        for _ in range(30):
+            tree.insert(rng.random(8))
+        tree.delete(5)
+        path = tmp_path / "churned.iqt"
+        save_iqtree(tree, path)
+        loaded = load_iqtree(path)
+        assert loaded.n_live_points == tree.n_live_points
+        q = rng.random(8)
+        assert np.allclose(
+            loaded.nearest(q, k=4).distances,
+            tree.nearest(q, k=4).distances,
+        )
+
+    def test_custom_disk_on_load(self, tree, tmp_path):
+        path = tmp_path / "index.iqt"
+        save_iqtree(tree, path)
+        disk = SimulatedDisk(tree.disk.model)
+        loaded = load_iqtree(path, disk=disk)
+        assert loaded.disk is disk
+
+
+class TestValidation:
+    def test_wrong_magic_rejected(self, tmp_path):
+        path = tmp_path / "bogus.iqt"
+        path.write_bytes(b"NOTATREE" + b"\x00" * 64)
+        with pytest.raises(StorageError):
+            load_iqtree(path)
+
+    def test_corrupt_header_rejected(self, tree, tmp_path):
+        path = tmp_path / "index.iqt"
+        save_iqtree(tree, path)
+        raw = bytearray(path.read_bytes())
+        raw[20] ^= 0xFF  # flip a byte inside the JSON header
+        path.write_bytes(bytes(raw))
+        with pytest.raises(StorageError):
+            load_iqtree(path)
+
+    def test_truncated_payload_rejected(self, tree, tmp_path):
+        path = tmp_path / "index.iqt"
+        save_iqtree(tree, path)
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) - 100])
+        with pytest.raises(StorageError):
+            load_iqtree(path)
+
+    def test_mismatched_block_size_rejected(self, tree, tmp_path):
+        path = tmp_path / "index.iqt"
+        save_iqtree(tree, path)
+        other = SimulatedDisk(DiskModel(block_size=4096))
+        with pytest.raises(StorageError):
+            load_iqtree(path, disk=other)

@@ -1,0 +1,157 @@
+"""Tests for the Section 2 page-access strategies."""
+
+import pytest
+
+from repro.exceptions import StorageError
+from repro.storage.disk import DiskModel
+from repro.storage.scheduler import (
+    batched_fetch_cost,
+    cost_balance_window,
+    plan_batched_fetch,
+)
+
+
+class TestPlanBatchedFetch:
+    def test_empty(self):
+        assert list(plan_batched_fetch([], 10)) == []
+
+    def test_single_block(self):
+        assert list(plan_batched_fetch([7], 10)) == [(7, 1, 1)]
+
+    def test_small_gap_overread(self):
+        # Gap of 2 skipped blocks < window 10: read through.
+        runs = list(plan_batched_fetch([0, 3], 10))
+        assert runs == [(0, 4, 2)]
+
+    def test_large_gap_seeks(self):
+        runs = list(plan_batched_fetch([0, 30], 10))
+        assert runs == [(0, 1, 1), (30, 1, 1)]
+
+    def test_gap_exactly_at_window_seeks(self):
+        # Condition is gap * t_xfer < t_seek, strict: gap == window seeks.
+        runs = list(plan_batched_fetch([0, 11], 10))
+        assert runs == [(0, 1, 1), (11, 1, 1)]
+
+    def test_gap_just_below_window_overreads(self):
+        runs = list(plan_batched_fetch([0, 10], 10))
+        assert runs == [(0, 11, 2)]
+
+    def test_adjacent_blocks_merge(self):
+        runs = list(plan_batched_fetch([4, 5, 6], 0))
+        assert runs == [(4, 3, 3)]
+
+    def test_mixed_pattern(self):
+        runs = list(plan_batched_fetch([0, 2, 40, 41], 10))
+        assert runs == [(0, 3, 2), (40, 2, 2)]
+
+    def test_zero_window_never_overreads(self):
+        runs = list(plan_batched_fetch([0, 2, 4], 0))
+        assert runs == [(0, 1, 1), (2, 1, 1), (4, 1, 1)]
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(StorageError):
+            list(plan_batched_fetch([3, 1], 10))
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(StorageError):
+            list(plan_batched_fetch([1, 1], 10))
+
+
+class TestBatchedFetchCost:
+    def test_extremes_match_paper(self):
+        """n large relative to N -> one scan; n small -> random reads."""
+        model = DiskModel(t_seek=0.010, t_xfer=0.001)
+        # Dense selection: the cost equals one seek + contiguous read.
+        dense = list(range(0, 100, 2))
+        cost = batched_fetch_cost(dense, model)
+        assert cost == pytest.approx(model.t_seek + 99 * model.t_xfer)
+        # Sparse selection: every block pays its own seek.
+        sparse = [0, 100, 200]
+        cost = batched_fetch_cost(sparse, model)
+        assert cost == pytest.approx(3 * (model.t_seek + model.t_xfer))
+
+    def test_never_worse_than_naive_random(self):
+        model = DiskModel(t_seek=0.010, t_xfer=0.001)
+        blocks = [0, 5, 9, 40, 44, 90]
+        optimal = batched_fetch_cost(blocks, model)
+        naive = model.random_read_time(len(blocks))
+        assert optimal <= naive + 1e-12
+
+    def test_never_worse_than_full_scan(self):
+        model = DiskModel(t_seek=0.010, t_xfer=0.001)
+        blocks = list(range(0, 200, 3))
+        optimal = batched_fetch_cost(blocks, model)
+        scan = model.scan_time(blocks[-1] + 1)
+        assert optimal <= scan + 1e-12
+
+
+class TestCostBalanceWindow:
+    def _model(self):
+        return DiskModel(t_seek=0.010, t_xfer=0.001)
+
+    def test_pivot_only_when_neighbors_improbable(self):
+        first, last = cost_balance_window(
+            5, 11, lambda i: 0.0, self._model()
+        )
+        assert (first, last) == (5, 5)
+
+    def test_expands_over_certain_neighbors(self):
+        # Neighboring blocks with probability 1 are always worth
+        # pre-reading (balance = t_xfer - (t_seek + t_xfer) < 0).
+        first, last = cost_balance_window(
+            5, 11, lambda i: 1.0, self._model()
+        )
+        assert (first, last) == (0, 10)
+
+    def test_probability_threshold(self):
+        # Balance is negative iff l > t_xfer / (t_seek + t_xfer) ~ 0.0909.
+        model = self._model()
+        threshold = model.t_xfer / (model.t_seek + model.t_xfer)
+        first, last = cost_balance_window(
+            5, 11, lambda i: threshold * 1.5, model
+        )
+        assert (first, last) == (0, 10)
+        first, last = cost_balance_window(
+            5, 11, lambda i: threshold * 0.5, model
+        )
+        assert (first, last) == (5, 5)
+
+    def test_bridges_low_probability_gap(self):
+        # A certain block 3 positions away should be bridged: the gap's
+        # cumulated positive balance stays below the seek cost.
+        probs = {8: 1.0}
+        first, last = cost_balance_window(
+            5, 12, lambda i: probs.get(i, 0.0), self._model()
+        )
+        assert last == 8
+        assert first == 5
+
+    def test_stops_at_cumulated_seek_cost(self):
+        # With zero probabilities the scan gives up after t_seek/t_xfer
+        # blocks; a certain block beyond that horizon is not reached.
+        probs = {30: 1.0}
+        first, last = cost_balance_window(
+            5, 40, lambda i: probs.get(i, 0.0), self._model()
+        )
+        assert last == 5
+
+    def test_clipped_to_file(self):
+        first, last = cost_balance_window(
+            0, 3, lambda i: 1.0, self._model()
+        )
+        assert (first, last) == (0, 2)
+
+    def test_backward_extension(self):
+        probs = {3: 1.0, 4: 1.0}
+        first, last = cost_balance_window(
+            5, 10, lambda i: probs.get(i, 0.0), self._model()
+        )
+        assert first == 3
+
+    def test_invalid_pivot(self):
+        with pytest.raises(StorageError):
+            cost_balance_window(7, 5, lambda i: 0.0, self._model())
+
+    def test_invalid_probability(self):
+        with pytest.raises(StorageError):
+            cost_balance_window(0, 5, lambda i: 1.5, self._model())

@@ -1,0 +1,181 @@
+"""Tests for page serialization round trips and capacity math."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import PageOverflowError, StorageError
+from repro.storage.serializer import (
+    decode_directory,
+    decode_exact_record,
+    decode_quantized_page,
+    directory_entry_size,
+    encode_directory,
+    encode_exact_record,
+    encode_quantized_page,
+    exact_point_record_size,
+    quantized_page_capacity,
+)
+
+
+class TestCapacities:
+    def test_directory_entry_size(self):
+        # 16-d: 2 * 4 * 16 MBR bytes + 16 reference bytes.
+        assert directory_entry_size(16) == 144
+
+    def test_exact_point_record_size(self):
+        assert exact_point_record_size(16) == 68
+
+    def test_quantized_capacity_monotone_in_bits(self):
+        caps = [
+            quantized_page_capacity(8192, 16, b) for b in range(1, 33)
+        ]
+        assert all(a >= b for a, b in zip(caps, caps[1:]))
+
+    def test_capacity_known_value(self):
+        # (8192 - 8) * 8 bits / (16 dims * 1 bit) = 4092 points.
+        assert quantized_page_capacity(8192, 16, 1) == 4092
+
+    def test_exact_capacity_includes_id(self):
+        # 32-bit pages store ids inline: (8192 - 8) // 68.
+        assert quantized_page_capacity(8192, 16, 32) == (8192 - 8) // 68
+
+    def test_invalid_bits(self):
+        with pytest.raises(StorageError):
+            quantized_page_capacity(8192, 16, 0)
+        with pytest.raises(StorageError):
+            quantized_page_capacity(8192, 16, 33)
+
+
+class TestQuantizedPageRoundTrip:
+    @pytest.mark.parametrize("bits", [1, 2, 5, 7, 8, 13, 31])
+    def test_code_page_roundtrip(self, bits, rng):
+        m, d = 37, 6
+        codes = rng.integers(0, 2**bits, size=(m, d), dtype=np.uint64)
+        codes = codes.astype(np.uint32)
+        payload = encode_quantized_page(codes, bits, 8192)
+        got, got_bits, ids = decode_quantized_page(payload, d)
+        assert got_bits == bits
+        assert ids is None
+        assert np.array_equal(got, codes)
+
+    def test_exact_page_roundtrip(self, rng):
+        m, d = 20, 5
+        points = rng.random((m, d)).astype(np.float32).astype(np.float64)
+        ids = rng.integers(0, 10**6, size=m)
+        payload = encode_quantized_page(points, 32, 8192, ids=ids)
+        got, bits, got_ids = decode_quantized_page(payload, d)
+        assert bits == 32
+        assert np.array_equal(got, points)
+        assert np.array_equal(got_ids, ids)
+
+    def test_exact_page_requires_ids(self, rng):
+        points = rng.random((3, 2))
+        with pytest.raises(StorageError):
+            encode_quantized_page(points, 32, 8192)
+
+    def test_code_page_rejects_ids(self, rng):
+        codes = np.zeros((3, 2), dtype=np.uint32)
+        with pytest.raises(StorageError):
+            encode_quantized_page(codes, 4, 8192, ids=np.arange(3))
+
+    def test_overflow_detected(self):
+        codes = np.zeros((5000, 16), dtype=np.uint32)
+        with pytest.raises(PageOverflowError):
+            encode_quantized_page(codes, 2, 8192)
+
+    def test_fits_exactly_at_capacity(self):
+        cap = quantized_page_capacity(8192, 16, 2)
+        codes = np.full((cap, 16), 3, dtype=np.uint32)
+        payload = encode_quantized_page(codes, 2, 8192)
+        assert len(payload) <= 8192
+        got, _, _ = decode_quantized_page(payload, 16)
+        assert np.array_equal(got, codes)
+
+    def test_empty_payload_rejected(self):
+        with pytest.raises(StorageError):
+            decode_quantized_page(b"\x01", 4)
+
+
+class TestExactRecordRoundTrip:
+    def test_roundtrip(self, rng):
+        m, d = 13, 9
+        points = rng.random((m, d)).astype(np.float32).astype(np.float64)
+        ids = rng.integers(0, 2**31, size=m)
+        payload = encode_exact_record(points, ids)
+        assert len(payload) == m * exact_point_record_size(d)
+        got_pts, got_ids = decode_exact_record(payload, m, d)
+        assert np.array_equal(got_pts, points)
+        assert np.array_equal(got_ids, ids)
+
+    def test_single_point_slice(self, rng):
+        """Each point's record is self-contained at a fixed offset."""
+        m, d = 8, 4
+        points = rng.random((m, d)).astype(np.float32).astype(np.float64)
+        ids = np.arange(100, 100 + m)
+        payload = encode_exact_record(points, ids)
+        record = exact_point_record_size(d)
+        for i in range(m):
+            chunk = payload[i * record : (i + 1) * record]
+            pt, pid = decode_exact_record(chunk, 1, d)
+            assert np.array_equal(pt[0], points[i])
+            assert pid[0] == ids[i]
+
+    def test_shape_mismatch_rejected(self, rng):
+        with pytest.raises(StorageError):
+            encode_exact_record(rng.random((3, 2)), np.arange(4))
+
+    def test_truncated_payload_rejected(self):
+        with pytest.raises(StorageError):
+            decode_exact_record(b"\x00" * 10, 2, 4)
+
+
+class TestDirectoryRoundTrip:
+    def test_roundtrip(self, rng):
+        n, d = 57, 7
+        lowers = rng.random((n, d)).astype(np.float32).astype(np.float64)
+        uppers = lowers + rng.random((n, d)).astype(np.float32)
+        uppers = uppers.astype(np.float32).astype(np.float64)
+        quant = np.arange(n)
+        firsts = rng.integers(0, 1000, size=n)
+        counts = rng.integers(1, 10, size=n)
+        points = rng.integers(1, 500, size=n)
+        blocks = encode_directory(
+            lowers, uppers, quant, firsts, counts, points, 2048
+        )
+        got = decode_directory(blocks, d, n)
+        assert np.array_equal(got["lowers"], lowers)
+        assert np.array_equal(got["uppers"], uppers)
+        assert np.array_equal(got["quant_pages"], quant)
+        assert np.array_equal(got["exact_firsts"], firsts)
+        assert np.array_equal(got["exact_counts"], counts)
+        assert np.array_equal(got["point_counts"], points)
+
+    def test_entries_do_not_straddle_blocks(self, rng):
+        n, d = 100, 16  # entry = 144 bytes; 14 per 2048-byte block
+        lowers = np.zeros((n, d))
+        uppers = np.ones((n, d))
+        blocks = encode_directory(
+            lowers,
+            uppers,
+            np.arange(n),
+            np.zeros(n),
+            np.zeros(n),
+            np.ones(n),
+            2048,
+        )
+        per_block = 2048 // 144
+        assert len(blocks) == -(-n // per_block)
+        assert all(len(b) % 144 == 0 for b in blocks)
+
+    def test_truncated_blocks_rejected(self):
+        blocks = encode_directory(
+            np.zeros((4, 2)),
+            np.ones((4, 2)),
+            np.arange(4),
+            np.zeros(4),
+            np.zeros(4),
+            np.ones(4),
+            2048,
+        )
+        with pytest.raises(StorageError):
+            decode_directory(blocks, 2, 5)
