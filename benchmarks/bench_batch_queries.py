@@ -1,0 +1,94 @@
+"""Extension bench -- batched query execution vs a sequential loop.
+
+The paper measures one query at a time; a server sees batches.  This
+bench runs the same kNN workload twice on identical trees and disks:
+once as a sequential loop over :meth:`IQTree.nearest` (head parked
+between queries, the paper's measurement discipline) and once through
+the :class:`~repro.engine.QueryEngine`, which scans the directory once,
+fetches the union of candidate pages in one Section 2 batched transfer,
+and shares page decodes and third-level refinements across the batch.
+
+The expected profile, asserted below: the batched engine needs *fewer
+seeks* and *less total simulated I/O time* at every batch size, and its
+advantage grows with the batch (more shared pages per transfer).
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_figure, scaled
+from repro.core.tree import IQTree
+from repro.datasets import make_workload, uniform
+from repro.experiments.harness import (
+    FigureResult,
+    WorkloadStats,
+    experiment_disk,
+    run_nn_workload,
+)
+
+#: queries per batch
+BATCH_SIZES = (4, 16, 64)
+K = 5
+
+
+def _batched_stats(data: np.ndarray, queries: np.ndarray) -> WorkloadStats:
+    """Run one batch through the engine; report per-query averages."""
+    tree = IQTree.build(data, disk=experiment_disk())
+    result = tree.query_engine().knn_batch(queries, k=K)
+    io = result.stats.io
+    q = queries.shape[0]
+    return WorkloadStats(
+        name="batched",
+        times=np.full(q, io.elapsed / q),
+        seeks=np.full(q, io.seeks / q),
+        blocks=np.full(q, io.blocks_read / q),
+        refinements=np.full(q, result.stats.refinements / q),
+    )
+
+
+@pytest.fixture(scope="module")
+def result():
+    data, queries = make_workload(
+        uniform, n=scaled(15_000), n_queries=max(BATCH_SIZES), seed=3, dim=10
+    )
+    fig = FigureResult(
+        "extension-batch-queries",
+        f"Per-query time vs batch size, {K}-NN (10-d UNIFORM)",
+        "batch size",
+        list(BATCH_SIZES),
+    )
+    for size in BATCH_SIZES:
+        batch = queries[:size]
+        tree = IQTree.build(data, disk=experiment_disk())
+        fig.add(
+            "sequential",
+            size,
+            run_nn_workload(tree, batch, k=K, name="sequential"),
+        )
+        fig.add("batched", size, _batched_stats(data, batch))
+    return fig
+
+
+def test_batch_queries(benchmark, result):
+    benchmark.pedantic(lambda: result, rounds=1, iterations=1)
+    print_figure(result)
+
+
+def test_batched_fewer_seeks_and_less_io(result):
+    """The ISSUE's acceptance criterion, asserted per batch size."""
+    for size in BATCH_SIZES:
+        seq = result.details["sequential"][size]
+        bat = result.details["batched"][size]
+        assert bat.seeks.sum() < seq.seeks.sum()
+        assert bat.times.sum() < seq.times.sum()
+
+
+def test_batched_advantage_grows_with_batch_size(result):
+    speedups = result.ratio("sequential", "batched")
+    assert speedups[-1] > speedups[0]
+
+
+def test_batched_per_query_time_decreases(result):
+    batched = result.series["batched"]
+    for smaller, larger in zip(batched, batched[1:]):
+        assert larger <= smaller * 1.05

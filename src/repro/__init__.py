@@ -19,11 +19,13 @@ The baselines the paper compares against live in
 """
 
 from repro.core.tree import IQTree
+from repro.engine import QueryEngine
 from repro.storage.disk import DiskModel, IOStats, SimulatedDisk
 from repro.geometry.metrics import EUCLIDEAN, MAXIMUM, get_metric
 
 __all__ = [
     "IQTree",
+    "QueryEngine",
     "DiskModel",
     "IOStats",
     "SimulatedDisk",

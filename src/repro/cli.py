@@ -5,6 +5,8 @@ Usage::
     python -m repro build  data.npy index.iqt [--metric l2] [--no-optimize]
     python -m repro query  index.iqt --point 0.1,0.2,... [--k 5]
     python -m repro query  index.iqt --random 3 [--k 5]
+    python -m repro batch  index.iqt --random 50 [--k 5] [--pool 256]
+    python -m repro batch  index.iqt --random 50 --radius 0.2 [--compare]
     python -m repro info   index.iqt
     python -m repro validate index.iqt [--queries 10]
 
@@ -65,6 +67,57 @@ def _cmd_query(args: argparse.Namespace) -> int:
             f"query -> {pairs}  [{result.io.elapsed * 1e3:.2f} ms "
             f"simulated, {result.pages_read} pages, "
             f"{result.refinements} refinements]"
+        )
+    return 0
+
+
+def _random_queries(tree, count: int, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    lo = tree.points.min(axis=0)
+    hi = tree.points.max(axis=0)
+    return lo + rng.random((count, tree.dim)) * (hi - lo)
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    tree = load_iqtree(args.index)
+    queries = _random_queries(tree, args.random, args.seed)
+    engine = tree.query_engine(pool=args.pool)
+    if args.radius is not None:
+        result = engine.range_batch(queries, args.radius)
+        kind = f"range r={args.radius}"
+    else:
+        result = engine.knn_batch(queries, k=args.k)
+        kind = f"{args.k}-NN"
+    stats = result.stats
+    print(
+        f"batch of {stats.n_queries} {kind} queries: "
+        f"{stats.io.elapsed * 1e3:.2f} ms simulated "
+        f"({stats.mean_time * 1e3:.3f} ms/query), "
+        f"{stats.io.seeks} seeks, {stats.pages_read} pages, "
+        f"{stats.refinements} refinements, "
+        f"{stats.bytes_transferred} bytes"
+    )
+    if stats.pool_hits or stats.pool_misses:
+        print(
+            f"buffer pool: {stats.pool_hits} hits / "
+            f"{stats.pool_misses} misses "
+            f"(hit rate {stats.pool_hit_rate:.2f})"
+        )
+    if args.compare:
+        seq = load_iqtree(args.index)
+        before = seq.disk.stats.elapsed, seq.disk.stats.seeks
+        for query in queries:
+            seq.disk.park()
+            if args.radius is not None:
+                seq.range_query(query, args.radius)
+            else:
+                seq.nearest(query, k=args.k)
+        elapsed = seq.disk.stats.elapsed - before[0]
+        seeks = seq.disk.stats.seeks - before[1]
+        speedup = elapsed / stats.io.elapsed if stats.io.elapsed else float("inf")
+        print(
+            f"sequential loop: {elapsed * 1e3:.2f} ms simulated, "
+            f"{seeks} seeks ({speedup:.1f}x slower than batched)"
         )
     return 0
 
@@ -144,6 +197,37 @@ def _build_parser() -> argparse.ArgumentParser:
     query.add_argument("--k", type=int, default=1)
     query.add_argument("--seed", type=int, default=0)
     query.set_defaults(func=_cmd_query)
+
+    batch = sub.add_parser(
+        "batch", help="run a query batch through the shared-buffer engine"
+    )
+    batch.add_argument("index")
+    batch.add_argument(
+        "--random",
+        type=int,
+        default=10,
+        help="number of random queries in the batch",
+    )
+    batch.add_argument("--k", type=int, default=1)
+    batch.add_argument(
+        "--radius",
+        type=float,
+        default=None,
+        help="run range queries with this radius instead of kNN",
+    )
+    batch.add_argument(
+        "--pool",
+        type=int,
+        default=None,
+        help="buffer pool capacity in blocks (default: no pool)",
+    )
+    batch.add_argument("--seed", type=int, default=0)
+    batch.add_argument(
+        "--compare",
+        action="store_true",
+        help="also run the same queries one by one and report the cost",
+    )
+    batch.set_defaults(func=_cmd_batch)
 
     info = sub.add_parser("info", help="describe a saved index")
     info.add_argument("index")

@@ -33,16 +33,21 @@ from repro.costmodel.access_probability import (
     access_probabilities,
 )
 from repro.core.tree import ExactStore, IQTree, PageHandle
-from repro.geometry.mbr import mindist_to_boxes, maxdist_to_boxes
+from repro.geometry.mbr import mindist_to_boxes
 from repro.storage.disk import IOStats
 from repro.storage.scheduler import cost_balance_window
 
 __all__ = [
     "NNResult",
     "RangeResult",
+    "KBest",
     "nearest_neighbors",
     "range_search",
     "browse_by_distance",
+    "checked_query",
+    "checked_queries",
+    "io_snapshot",
+    "io_delta",
 ]
 
 _PAGE = 0
@@ -85,8 +90,12 @@ class RangeResult:
     refinements: int
 
 
-class _KBest:
-    """Fixed-size max-heap tracking the current k best candidates."""
+class KBest:
+    """Fixed-size max-heap tracking the current k best candidates.
+
+    Shared by the single-query searches here and by the batch query
+    engine in :mod:`repro.engine`.
+    """
 
     def __init__(self, k: int):
         self.k = k
@@ -130,9 +139,9 @@ def nearest_neighbors(
     tree._ensure_clean()
     if k > tree.n_points:
         raise SearchError(f"k={k} exceeds the {tree.n_points} stored points")
-    query = _checked_query(tree, query)
+    query = checked_query(tree, query)
 
-    io_before = IOStats(**_io_state(tree))
+    io_before = io_snapshot(tree)
     tree._charge_directory_scan()
 
     metric = tree.metric
@@ -141,7 +150,7 @@ def nearest_neighbors(
     )
     n_pages = tree.n_pages
     processed = np.zeros(n_pages, dtype=bool)
-    best = _KBest(k)
+    best = KBest(k)
     exact = ExactStore(tree)
     pages_read = 0
 
@@ -173,11 +182,11 @@ def nearest_neighbors(
             _process_page(tree, query, handle, best, heap, tie)
 
     ids, dists = best.sorted_results()
-    io_after = IOStats(**_io_state(tree))
+    io_after = io_snapshot(tree)
     return NNResult(
         ids=ids,
         distances=dists,
-        io=_io_delta(io_before, io_after),
+        io=io_delta(io_before, io_after),
         pages_read=pages_read,
         refinements=exact.refinements,
     )
@@ -196,9 +205,9 @@ def range_search(tree: IQTree, query: np.ndarray, radius: float) -> RangeResult:
     if radius < 0:
         raise SearchError("radius must be non-negative")
     tree._ensure_clean()
-    query = _checked_query(tree, query)
+    query = checked_query(tree, query)
 
-    io_before = IOStats(**_io_state(tree))
+    io_before = io_snapshot(tree)
     tree._charge_directory_scan()
     metric = tree.metric
     page_mindists = mindist_to_boxes(
@@ -230,11 +239,11 @@ def range_search(tree: IQTree, query: np.ndarray, radius: float) -> RangeResult:
                 found_dists.append(dist)
 
     order = np.argsort(found_dists, kind="stable")
-    io_after = IOStats(**_io_state(tree))
+    io_after = io_snapshot(tree)
     return RangeResult(
         ids=np.array(found_ids, dtype=np.int64)[order],
         distances=np.array(found_dists)[order],
-        io=_io_delta(io_before, io_after),
+        io=io_delta(io_before, io_after),
         pages_read=pages_read,
         refinements=exact.refinements,
     )
@@ -255,7 +264,7 @@ def browse_by_distance(tree: IQTree, query: np.ndarray):
     ranking has none.
     """
     tree._ensure_clean()
-    query = _checked_query(tree, query)
+    query = checked_query(tree, query)
     tree._charge_directory_scan()
     metric = tree.metric
     page_mindists = mindist_to_boxes(
@@ -372,7 +381,7 @@ def _read_window(
     ]
 
 
-def _checked_query(tree: IQTree, query) -> np.ndarray:
+def checked_query(tree: IQTree, query) -> np.ndarray:
     """Validate a query point: right shape, finite coordinates."""
     query = np.asarray(query, dtype=np.float64)
     if query.shape != (tree.dim,):
@@ -384,17 +393,32 @@ def _checked_query(tree: IQTree, query) -> np.ndarray:
     return query
 
 
-def _io_state(tree: IQTree) -> dict:
+def checked_queries(tree: IQTree, queries) -> np.ndarray:
+    """Validate a batch of query points, shape ``(q, d)``."""
+    queries = np.asarray(queries, dtype=np.float64)
+    if queries.ndim != 2 or queries.shape[1] != tree.dim:
+        raise SearchError(
+            f"queries must have shape (q, {tree.dim}), "
+            f"got {queries.shape}"
+        )
+    if not np.all(np.isfinite(queries)):
+        raise SearchError("query coordinates must be finite")
+    return queries
+
+
+def io_snapshot(tree: IQTree) -> IOStats:
+    """Copy of the tree's disk ledger (for before/after deltas)."""
     s = tree.disk.stats
-    return {
-        "seeks": s.seeks,
-        "blocks_read": s.blocks_read,
-        "blocks_overread": s.blocks_overread,
-        "elapsed": s.elapsed,
-    }
+    return IOStats(
+        seeks=s.seeks,
+        blocks_read=s.blocks_read,
+        blocks_overread=s.blocks_overread,
+        elapsed=s.elapsed,
+    )
 
 
-def _io_delta(before: IOStats, after: IOStats) -> IOStats:
+def io_delta(before: IOStats, after: IOStats) -> IOStats:
+    """Ledger difference ``after - before``."""
     return IOStats(
         seeks=after.seeks - before.seeks,
         blocks_read=after.blocks_read - before.blocks_read,

@@ -387,6 +387,17 @@ class IQTree:
             self.nearest(q, k=k, scheduler=scheduler) for q in queries
         ]
 
+    def query_engine(self, pool=None):
+        """A :class:`~repro.engine.QueryEngine` serving this tree.
+
+        ``pool`` is an optional shared buffer pool (or integer capacity
+        in blocks) attached via :meth:`use_buffer_pool`; when omitted,
+        the engine uses whatever pool is already attached, if any.
+        """
+        from repro.engine import QueryEngine
+
+        return QueryEngine(self, pool=pool)
+
     def browse(self, query: np.ndarray):
         """Incremental distance browsing: yields ``(id, distance)`` in
         ascending order, lazily (Hjaltason-Samet ranking)."""

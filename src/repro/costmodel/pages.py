@@ -18,7 +18,6 @@ import math
 
 from repro.exceptions import CostModelError
 from repro.geometry.metrics import EUCLIDEAN
-from repro.geometry.volumes import minkowski_sum
 from repro.storage.disk import DiskModel
 from repro.storage.serializer import directory_entry_size
 

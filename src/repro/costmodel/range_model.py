@@ -18,8 +18,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
 from repro.exceptions import CostModelError
 from repro.costmodel.access_probability import effective_cube_radius
 from repro.costmodel.pages import first_level_cost, optimized_read_cost

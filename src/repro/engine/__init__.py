@@ -1,0 +1,18 @@
+"""Batch query execution layer (shared-buffer query engine).
+
+Public entry point is :class:`QueryEngine`, which runs batches of kNN
+and range queries against one IQ-tree while sharing page fetches,
+decodes, and third-level refinements across the batch, optionally
+through a shared :class:`~repro.storage.cache.BufferPool`.
+"""
+
+from repro.engine.engine import BatchQueryResult, BatchResult, QueryEngine
+from repro.engine.stats import BatchStats, QueryStats
+
+__all__ = [
+    "QueryEngine",
+    "BatchResult",
+    "BatchQueryResult",
+    "BatchStats",
+    "QueryStats",
+]

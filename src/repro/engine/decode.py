@@ -1,0 +1,151 @@
+"""Per-batch page and record caches of the batch query engine.
+
+:class:`PageDecodeCache` fetches quantized data pages through one
+optimal batched transfer (Section 2 strategy) and decodes each page at
+most once per batch -- same-width pages are unpacked together through
+:func:`~repro.quantization.bitpack.unpack_codes_bulk`, so a batch of
+pages costs a handful of numpy passes rather than one per page.  The
+derived per-point cell bound boxes are cached as well, because they
+depend only on the page, not on the query.
+
+:class:`ExactBatchStore` is the batched counterpart of
+:class:`~repro.core.tree.ExactStore`: it collects the third-level
+refinement candidates of *all* queries of a batch, plans one optimal
+fetch over the union of their blocks, and decodes every requested point
+record exactly once.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from repro.core.tree import IQTree, PageHandle
+from repro.quantization.bitpack import unpack_codes_bulk
+from repro.quantization.capacity import EXACT_BITS
+from repro.storage import serializer
+
+__all__ = ["PageDecodeCache", "ExactBatchStore"]
+
+
+class PageDecodeCache:
+    """Fetch + decode quantized pages at most once per batch."""
+
+    def __init__(self, tree: IQTree):
+        self._tree = tree
+        self._handles: dict[int, PageHandle] = {}
+        self._bounds: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        #: unique pages fetched from the quantized level so far
+        self.pages_fetched = 0
+
+    def load(self, pages: Iterable[int]) -> None:
+        """Ensure all ``pages`` are fetched and decoded.
+
+        Missing pages are read in one batched transfer; pages already
+        decoded for an earlier query of the batch are reused.
+        """
+        need = sorted(
+            {int(p) for p in pages} - self._handles.keys()
+        )
+        if not need:
+            return
+        payloads = self._tree._quant_file.read_batched(need)
+        self.pages_fetched += len(need)
+        self._decode_bulk(payloads)
+
+    def handle(self, page: int) -> PageHandle:
+        """Decoded view of one loaded page."""
+        return self._handles[page]
+
+    def cell_bounds(self, page: int) -> tuple[np.ndarray, np.ndarray]:
+        """Per-point conservative boxes of one quantized page.
+
+        Query-independent, so computed once per page per batch and
+        shared by every query that examines the page.
+        """
+        if page not in self._bounds:
+            handle = self._handles[page]
+            quantizer = self._tree._quantizer_for(page)
+            self._bounds[page] = quantizer.cell_bounds(handle.codes)
+        return self._bounds[page]
+
+    def _decode_bulk(self, payloads: Mapping[int, bytes]) -> None:
+        dim = self._tree.dim
+        grouped: dict[int, list[tuple[int, bytes, int]]] = defaultdict(list)
+        for page, payload in payloads.items():
+            m, bits = serializer.QUANT_PAGE_HEADER.unpack_from(payload)
+            if bits >= EXACT_BITS:
+                # Exact pages carry coords + ids; decode individually
+                # (a plain frombuffer, nothing to batch).
+                contents, g, ids = serializer.decode_quantized_page(
+                    payload, dim
+                )
+                self._handles[page] = PageHandle(
+                    page, g, None, contents, ids
+                )
+            else:
+                body = payload[serializer.QUANT_PAGE_HEADER.size :]
+                grouped[bits].append((page, body, m))
+        for bits, entries in grouped.items():
+            codes_list = unpack_codes_bulk(
+                [body for _page, body, _m in entries],
+                bits,
+                [m for _page, _body, m in entries],
+                dim,
+            )
+            for (page, _body, _m), codes in zip(entries, codes_list):
+                self._handles[page] = PageHandle(
+                    page, bits, codes, None, None
+                )
+
+
+class ExactBatchStore:
+    """Batched third-level reader shared by all queries of a batch."""
+
+    def __init__(self, tree: IQTree):
+        self._tree = tree
+        self._points: dict[tuple[int, int], tuple[np.ndarray, int]] = {}
+        #: unique point records fetched so far
+        self.refinements = 0
+
+    def fetch_all(
+        self, requests: Iterable[tuple[int, int]]
+    ) -> dict[tuple[int, int], tuple[np.ndarray, int]]:
+        """Fetch the exact ``(coords, id)`` of many ``(page, local)``.
+
+        The union of the backing third-level blocks is read in one
+        batched transfer planned with the Section 2 strategy; each
+        requested record is decoded once, even when several queries
+        asked for it.
+        """
+        tree = self._tree
+        record = serializer.exact_point_record_size(tree.dim)
+        block_size = tree.disk.model.block_size
+        todo = sorted(set(requests) - self._points.keys())
+        blocks: set[int] = set()
+        spans: list[tuple[tuple[int, int], int, int, int]] = []
+        for page, local in todo:
+            first_block = int(tree._exact_firsts[page])
+            start = local * record
+            end = start + record  # exclusive
+            b0 = first_block + start // block_size
+            b1 = first_block + (end - 1) // block_size
+            offset = start - (b0 - first_block) * block_size
+            blocks.update(range(b0, b1 + 1))
+            spans.append(((page, local), b0, b1, offset))
+        if blocks:
+            payloads = tree._exact_file.read_batched(sorted(blocks))
+            for key, b0, b1, offset in spans:
+                data = b"".join(payloads[b] for b in range(b0, b1 + 1))
+                coords, ids = serializer.decode_exact_record(
+                    data[offset : offset + record], 1, tree.dim
+                )
+                self._points[key] = (coords[0], int(ids[0]))
+            self.refinements += len(spans)
+        return {key: self._points[key] for key in set(requests)}
+
+    def get(self, page: int, local: int) -> tuple[np.ndarray, int]:
+        """A record previously fetched via :meth:`fetch_all`."""
+        return self._points[(page, local)]

@@ -1,0 +1,89 @@
+"""Statistics emitted by the batch query engine.
+
+Two granularities are reported: :class:`BatchStats` aggregates the
+shared, physical side of a batch (simulated I/O, unique pages fetched,
+buffer-pool traffic), while each query's :class:`QueryStats` records the
+logical work done on its behalf (candidate pages and points examined,
+exact-coordinate refinements it needed).  Physical I/O is deliberately
+*not* attributed per query: a page transferred once may serve many
+queries of the batch, which is the whole point of batching.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.storage.disk import IOStats
+
+__all__ = ["QueryStats", "BatchStats"]
+
+
+@dataclass
+class QueryStats:
+    """Logical work performed for one query of a batch.
+
+    Attributes
+    ----------
+    candidate_pages:
+        Directory pages whose MBR could not be pruned for this query.
+    candidate_points:
+        Points (cells or exact rows) examined on those pages.
+    refinements:
+        Third-level exact-coordinate look-ups this query required.
+    """
+
+    candidate_pages: int
+    candidate_points: int
+    refinements: int
+
+
+@dataclass
+class BatchStats:
+    """Physical, shared cost of executing one batch.
+
+    Attributes
+    ----------
+    n_queries:
+        Number of queries in the batch.
+    io:
+        Simulated-I/O delta of the whole batch.
+    pages_read:
+        Unique quantized data pages fetched (each at most once).
+    refinements:
+        Unique third-level point records fetched (each at most once).
+    bytes_transferred:
+        ``io.blocks_read`` scaled to bytes by the disk's block size.
+    pool_hits, pool_misses:
+        Buffer-pool lookups charged during the batch (both zero when no
+        pool is attached).
+    """
+
+    n_queries: int
+    io: IOStats
+    pages_read: int
+    refinements: int
+    bytes_transferred: int
+    pool_hits: int = 0
+    pool_misses: int = 0
+
+    @property
+    def pool_hit_rate(self) -> float:
+        """Pool hits / lookups within this batch (0 when no lookups)."""
+        total = self.pool_hits + self.pool_misses
+        return self.pool_hits / total if total else 0.0
+
+    @property
+    def mean_time(self) -> float:
+        """Simulated seconds per query (elapsed / n_queries)."""
+        if self.n_queries == 0:
+            return 0.0
+        return self.io.elapsed / self.n_queries
+
+    def __repr__(self) -> str:
+        return (
+            f"BatchStats(n_queries={self.n_queries}, "
+            f"elapsed={self.io.elapsed:.4f}s, seeks={self.io.seeks}, "
+            f"pages_read={self.pages_read}, "
+            f"refinements={self.refinements}, "
+            f"pool_hit_rate={self.pool_hit_rate:.2f})"
+        )

@@ -18,6 +18,8 @@ __all__ = [
     "MBR",
     "mindist_to_boxes",
     "maxdist_to_boxes",
+    "mindist_matrix",
+    "maxdist_matrix",
     "mindist_components",
 ]
 
@@ -286,4 +288,65 @@ def maxdist_to_boxes(
     metric = metric or EUCLIDEAN
     query = np.asarray(query, dtype=np.float64)
     gap = np.maximum(np.abs(query - lowers), np.abs(query - uppers))
+    return metric.lengths(gap)
+
+
+def _checked_query_matrix_args(
+    queries: np.ndarray, lowers: np.ndarray, uppers: np.ndarray
+) -> np.ndarray:
+    queries = np.asarray(queries, dtype=np.float64)
+    if queries.ndim != 2:
+        raise GeometryError("queries must be a (q, d) array")
+    if lowers.ndim != 2 or queries.shape[1] != lowers.shape[1]:
+        raise GeometryError(
+            f"dimension mismatch: queries are {queries.shape[1]}-d, "
+            f"boxes are {lowers.shape[-1]}-d"
+        )
+    if lowers.shape != uppers.shape:
+        raise GeometryError("box bound shapes differ")
+    return queries
+
+
+def mindist_matrix(
+    queries: np.ndarray,
+    lowers: np.ndarray,
+    uppers: np.ndarray,
+    metric=None,
+) -> np.ndarray:
+    """Mindist from ``q`` query points to ``n`` boxes in one numpy pass.
+
+    ``queries`` has shape ``(q, d)`` and ``lowers``/``uppers`` shape
+    ``(n, d)``; the result has shape ``(q, n)``.  This is the batch
+    query engine's replacement for ``q`` separate
+    :func:`mindist_to_boxes` passes over the directory.
+    """
+    from repro.geometry.metrics import EUCLIDEAN
+
+    metric = metric or EUCLIDEAN
+    queries = _checked_query_matrix_args(queries, lowers, uppers)
+    q = queries[:, None, :]
+    gap = np.maximum(
+        np.maximum(lowers[None, :, :] - q, q - uppers[None, :, :]), 0.0
+    )
+    return metric.lengths(gap)
+
+
+def maxdist_matrix(
+    queries: np.ndarray,
+    lowers: np.ndarray,
+    uppers: np.ndarray,
+    metric=None,
+) -> np.ndarray:
+    """Maxdist from ``q`` query points to ``n`` boxes in one numpy pass.
+
+    Same shapes as :func:`mindist_matrix`.
+    """
+    from repro.geometry.metrics import EUCLIDEAN
+
+    metric = metric or EUCLIDEAN
+    queries = _checked_query_matrix_args(queries, lowers, uppers)
+    q = queries[:, None, :]
+    gap = np.maximum(
+        np.abs(q - lowers[None, :, :]), np.abs(q - uppers[None, :, :])
+    )
     return metric.lengths(gap)

@@ -16,7 +16,12 @@ import numpy as np
 
 from repro.exceptions import QuantizationError
 
-__all__ = ["pack_codes", "unpack_codes", "packed_size"]
+__all__ = [
+    "pack_codes",
+    "unpack_codes",
+    "unpack_codes_bulk",
+    "packed_size",
+]
 
 
 def packed_size(n_codes: int, bits: int) -> int:
@@ -75,6 +80,80 @@ def unpack_codes(
     shifts = np.arange(bits, dtype=np.uint32)
     codes = (bit_matrix << shifts[None, :]).sum(axis=1, dtype=np.uint64)
     return codes.astype(np.uint32).reshape(n_points, dim)
+
+
+def unpack_codes_bulk(
+    payloads, bits: int, n_points, dim: int
+) -> list[np.ndarray]:
+    """Unpack many same-width pages in one vectorized pass.
+
+    Equivalent to ``[unpack_codes(p, bits, m, dim) for p, m in
+    zip(payloads, n_points)]`` but with a single ``np.unpackbits`` call
+    and a single shift/accumulate over the concatenated bit streams, so
+    decoding a whole batch of pages costs a handful of numpy operations
+    instead of one pass per page.  This is the decode entry point of the
+    batch query engine.
+
+    Parameters
+    ----------
+    payloads:
+        Per-page packed byte strings (possibly of different lengths).
+    bits:
+        Shared code width in bits, ``1 <= bits <= 32``.
+    n_points:
+        Per-page point counts, aligned with ``payloads``.
+    dim:
+        Codes per point.
+
+    Returns
+    -------
+    list of numpy.ndarray
+        One ``(m_i, dim)`` uint32 array per input page.
+    """
+    _check_bits(bits)
+    if dim <= 0:
+        raise QuantizationError("invalid shape for unpacking")
+    payloads = list(payloads)
+    counts = [int(m) for m in n_points]
+    if len(payloads) != len(counts):
+        raise QuantizationError("payloads and n_points must align")
+    if any(m < 0 for m in counts):
+        raise QuantizationError("invalid shape for unpacking")
+    if not payloads:
+        return []
+    n_codes = np.array([m * dim for m in counts], dtype=np.int64)
+    total_bits = n_codes * bits
+    need_bytes = (total_bits + 7) // 8
+    for payload, need in zip(payloads, need_bytes):
+        if len(payload) < need:
+            raise QuantizationError(
+                f"payload of {len(payload)} bytes too short for "
+                f"{int(need) * 8 // max(bits, 1)} codes of {bits} bits"
+            )
+    if int(n_codes.sum()) == 0:
+        return [np.zeros((0, dim), dtype=np.uint32) for _ in counts]
+    max_bytes = int(need_bytes.max())
+    matrix = np.zeros((len(payloads), max_bytes), dtype=np.uint8)
+    for row, (payload, need) in enumerate(zip(payloads, need_bytes)):
+        if need:
+            matrix[row, :need] = np.frombuffer(
+                payload, dtype=np.uint8, count=int(need)
+            )
+    bit_rows = np.unpackbits(matrix, axis=1, bitorder="little")
+    valid = np.arange(bit_rows.shape[1])[None, :] < total_bits[:, None]
+    bit_matrix = bit_rows[valid].reshape(-1, bits).astype(np.uint32)
+    shifts = np.arange(bits, dtype=np.uint32)
+    codes = (
+        (bit_matrix << shifts[None, :])
+        .sum(axis=1, dtype=np.uint64)
+        .astype(np.uint32)
+    )
+    out: list[np.ndarray] = []
+    cursor = 0
+    for m, nc in zip(counts, n_codes):
+        out.append(codes[cursor : cursor + nc].reshape(m, dim))
+        cursor += int(nc)
+    return out
 
 
 def _check_bits(bits: int) -> None:

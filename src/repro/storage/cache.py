@@ -41,13 +41,39 @@ class BufferPool:
         self.misses = 0
 
     def lookup(self, address: int) -> bool:
-        """True (and refresh recency) if ``address`` is resident."""
+        """True (and refresh recency) if ``address`` is resident.
+
+        This is the *charged* residency check: it counts toward
+        :attr:`hit_rate` and refreshes LRU recency.  Planning passes
+        that only need to know residency must use :meth:`peek`.
+        """
         if address in self._resident:
             self._resident.move_to_end(address)
             self.hits += 1
             return True
         self.misses += 1
         return False
+
+    def peek(self, address: int) -> bool:
+        """Side-effect-free residency test.
+
+        Unlike :meth:`lookup`, peeking mutates neither the hit/miss
+        counters nor the LRU recency order, so fetch *planning* can
+        probe the pool without skewing statistics or eviction order.
+        """
+        return address in self._resident
+
+    def record(self, hits: int = 0, misses: int = 0) -> None:
+        """Charge pre-planned lookups to the counters.
+
+        Batched readers plan with :meth:`peek` and then charge the
+        final service decision here: a block counts as a hit only when
+        it was served from the pool without a disk transfer.
+        """
+        if hits < 0 or misses < 0:
+            raise StorageError("lookup counts must be non-negative")
+        self.hits += hits
+        self.misses += misses
 
     def admit(self, address: int) -> None:
         """Insert ``address``, evicting the least recently used block."""
@@ -115,23 +141,32 @@ class CachedBlockFile:
     def read_run(self, start: int, count: int, wanted: int = -1) -> list[bytes]:
         """Read a run; fully-resident runs are free, otherwise the
         uncovered span is fetched in one transfer (the pool cannot
-        split a sequential transfer without paying extra seeks)."""
+        split a sequential transfer without paying extra seeks).
+
+        Residency is *planned* with side-effect-free peeks; the pool is
+        charged once per requested block afterwards: blocks inside the
+        fetched span are transferred from disk (misses, even if they
+        happened to be resident), blocks outside it are served from the
+        pool (hits).
+        """
         base = self._file.extent_start
-        missing = [
-            i
-            for i in range(start, start + count)
-            if not self.pool.lookup(base + i)
-        ]
+        indices = range(start, start + count)
+        missing = [i for i in indices if not self.pool.peek(base + i)]
         if missing:
             first, last = missing[0], missing[-1]
             fetch_count = last - first + 1
             fetch_wanted = len(missing) if wanted >= 0 else -1
+            self.pool.record(misses=fetch_count)
+            for i in indices:
+                if i < first or i > last:  # resident by construction
+                    self.pool.lookup(base + i)
             self._file.read_run(first, fetch_count, wanted=fetch_wanted)
             for i in range(first, last + 1):
                 self.pool.admit(base + i)
-        return [
-            self._file.peek_block(i) for i in range(start, start + count)
-        ]
+        else:
+            for i in indices:
+                self.pool.lookup(base + i)
+        return [self._file.peek_block(i) for i in indices]
 
     def scan(self) -> list[bytes]:
         """Full sequential scan (cached like any other run)."""
@@ -140,21 +175,43 @@ class CachedBlockFile:
         return self.read_run(0, self._file.n_blocks)
 
     def read_batched(self, indices) -> dict[int, bytes]:
-        """Optimal batched fetch of the non-resident subset."""
+        """Optimal batched fetch of the non-resident subset.
+
+        Planning peeks the pool without side effects; each requested
+        block is then charged exactly once (hit when served from the
+        pool, miss when part of the batched disk fetch).
+        """
         base = self._file.extent_start
         indices = sorted(set(indices))
-        missing = [i for i in indices if not self.pool.lookup(base + i)]
+        missing = [i for i in indices if not self.pool.peek(base + i)]
         if missing:
+            missing_set = set(missing)
+            self.pool.record(misses=len(missing))
+            for i in indices:
+                if i not in missing_set:
+                    self.pool.lookup(base + i)
             self._file.read_batched(missing)
             for i in missing:
                 self.pool.admit(base + i)
+        else:
+            for i in indices:
+                self.pool.lookup(base + i)
         return {i: self._file.peek_block(i) for i in indices}
 
     # ------------------------------------------------------------------
     # Pass-through
     # ------------------------------------------------------------------
     def __getattr__(self, name):
-        return getattr(self._file, name)
+        # ``_file`` may be absent on a bare instance (pickle/copy
+        # protocols probe attributes before __init__ runs); falling
+        # through to ``self._file`` would recurse forever.
+        try:
+            file = object.__getattribute__(self, "_file")
+        except AttributeError:
+            raise AttributeError(
+                f"{type(self).__name__!r} object has no attribute {name!r}"
+            ) from None
+        return getattr(file, name)
 
     def __len__(self) -> int:
         return len(self._file)

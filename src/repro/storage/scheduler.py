@@ -25,6 +25,7 @@ from repro.storage.disk import DiskModel
 __all__ = [
     "plan_batched_fetch",
     "batched_fetch_cost",
+    "batched_fetch_stats",
     "cost_balance_window",
 ]
 
@@ -76,12 +77,35 @@ def batched_fetch_cost(
     sorted_blocks: Sequence[int], model: DiskModel
 ) -> float:
     """Simulated time of fetching the blocks with the optimal strategy."""
-    total = 0.0
-    for _start, count, _wanted in plan_batched_fetch(
+    return batched_fetch_stats(sorted_blocks, model)["elapsed"]
+
+
+def batched_fetch_stats(
+    sorted_blocks: Sequence[int], model: DiskModel
+) -> dict[str, float]:
+    """Predicted I/O profile of one optimal batched fetch.
+
+    Returns a dict with ``seeks``, ``blocks_read``, ``blocks_overread``
+    and ``elapsed`` -- the same fields an
+    :class:`~repro.storage.disk.IOStats` ledger would accrue, computed
+    without touching any disk.  The batch query engine uses this to plan
+    and report fetch phases before executing them.
+    """
+    seeks = 0
+    blocks = 0
+    overread = 0
+    for _start, count, wanted in plan_batched_fetch(
         sorted_blocks, model.overread_window
     ):
-        total += model.t_seek + count * model.t_xfer
-    return total
+        seeks += 1
+        blocks += count
+        overread += count - wanted
+    return {
+        "seeks": seeks,
+        "blocks_read": blocks,
+        "blocks_overread": overread,
+        "elapsed": seeks * model.t_seek + blocks * model.t_xfer,
+    }
 
 
 def cost_balance_window(

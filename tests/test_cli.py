@@ -64,6 +64,47 @@ class TestQuery:
         assert out.count("query ->") == 3
 
 
+class TestBatch:
+    def test_knn_batch(self, index_file, capsys):
+        assert (
+            main(
+                [
+                    "batch",
+                    str(index_file),
+                    "--random",
+                    "5",
+                    "--k",
+                    "3",
+                    "--pool",
+                    "64",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "batch of 5 3-NN queries" in out
+        assert "buffer pool" in out
+
+    def test_range_batch_with_compare(self, index_file, capsys):
+        assert (
+            main(
+                [
+                    "batch",
+                    str(index_file),
+                    "--random",
+                    "4",
+                    "--radius",
+                    "0.25",
+                    "--compare",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "range r=0.25" in out
+        assert "sequential loop" in out
+
+
 class TestInfo:
     def test_info_fields(self, index_file, capsys):
         assert main(["info", str(index_file)]) == 0

@@ -5,7 +5,7 @@ import pytest
 
 from repro.exceptions import BuildError, SearchError
 from repro.core.tree import IQTree, canonicalize
-from repro.storage.disk import DiskModel, SimulatedDisk
+from repro.storage.disk import SimulatedDisk
 
 
 @pytest.fixture

@@ -1,10 +1,9 @@
 """Tests for the assembled cost model."""
 
-import numpy as np
 import pytest
 
 from repro.exceptions import CostModelError
-from repro.costmodel.model import CostBreakdown, CostModel, PartitionStats
+from repro.costmodel.model import CostModel, PartitionStats
 from repro.geometry.metrics import MAXIMUM
 from repro.storage.disk import DiskModel
 

@@ -1,6 +1,5 @@
 """Tests for the cost-model validation harness."""
 
-import numpy as np
 import pytest
 
 from repro.core.tree import IQTree

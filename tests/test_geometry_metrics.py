@@ -9,7 +9,6 @@ from repro.exceptions import GeometryError
 from repro.geometry.metrics import (
     EUCLIDEAN,
     MAXIMUM,
-    EuclideanMetric,
     LpMetric,
     get_metric,
 )

@@ -6,9 +6,14 @@ from hypothesis import given, settings, strategies as st
 from hypothesis.extra import numpy as hnp
 
 from repro.core.tree import IQTree, canonicalize
-from repro.geometry.mbr import MBR, mindist_to_boxes, maxdist_to_boxes
-from repro.geometry.metrics import EUCLIDEAN, MAXIMUM
-from repro.quantization.bitpack import pack_codes, unpack_codes
+from repro.geometry.mbr import MBR
+from repro.geometry.metrics import EUCLIDEAN
+from repro.exceptions import QuantizationError
+from repro.quantization.bitpack import (
+    pack_codes,
+    unpack_codes,
+    unpack_codes_bulk,
+)
 from repro.quantization.grid import GridQuantizer
 from repro.storage.disk import DiskModel
 from repro.storage.scheduler import (
@@ -49,6 +54,60 @@ class TestBitpackProperties:
         codes = codes.astype(np.uint32)
         back = unpack_codes(pack_codes(codes, bits), bits, *shape)
         assert np.array_equal(back, codes)
+
+    @given(
+        shape=st.tuples(st.integers(1, 30), st.integers(1, 8)),
+        seed=st.integers(0, 2**16),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_full_width_roundtrip(self, shape, seed):
+        """bits=32 must round-trip the entire uint32 range."""
+        rng = np.random.default_rng(seed)
+        codes = rng.integers(0, 2**32, size=shape, dtype=np.uint64)
+        codes = codes.astype(np.uint32)
+        codes.flat[0] = 0
+        codes.flat[-1] = 2**32 - 1
+        back = unpack_codes(pack_codes(codes, 32), 32, *shape)
+        assert np.array_equal(back, codes)
+
+    @given(
+        bits=st.integers(1, 32),
+        shape=st.tuples(st.integers(1, 20), st.integers(1, 6)),
+        cut=st.integers(1, 64),
+        seed=st.integers(0, 2**16),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_truncated_payload_always_rejected(self, bits, shape, cut, seed):
+        rng = np.random.default_rng(seed)
+        codes = rng.integers(0, 2**bits, size=shape, dtype=np.uint64)
+        payload = pack_codes(codes.astype(np.uint32), bits)
+        short = payload[: -min(cut, len(payload))]
+        with pytest.raises(QuantizationError):
+            unpack_codes(short, bits, *shape)
+        with pytest.raises(QuantizationError):
+            unpack_codes_bulk([short], bits, [shape[0]], shape[1])
+
+    @given(
+        bits=st.integers(1, 32),
+        sizes=st.lists(st.integers(0, 25), min_size=1, max_size=6),
+        dim=st.integers(1, 6),
+        seed=st.integers(0, 2**16),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_bulk_matches_scalar_unpack(self, bits, sizes, dim, seed):
+        rng = np.random.default_rng(seed)
+        pages = [
+            rng.integers(0, 2**bits, size=(m, dim), dtype=np.uint64).astype(
+                np.uint32
+            )
+            for m in sizes
+        ]
+        payloads = [pack_codes(c, bits) for c in pages]
+        bulk = unpack_codes_bulk(payloads, bits, sizes, dim)
+        assert len(bulk) == len(pages)
+        for codes, out in zip(pages, bulk):
+            assert out.dtype == np.uint32
+            assert np.array_equal(out, codes)
 
 
 class TestMBRProperties:

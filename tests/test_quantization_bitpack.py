@@ -4,7 +4,12 @@ import numpy as np
 import pytest
 
 from repro.exceptions import QuantizationError
-from repro.quantization.bitpack import pack_codes, packed_size, unpack_codes
+from repro.quantization.bitpack import (
+    pack_codes,
+    packed_size,
+    unpack_codes,
+    unpack_codes_bulk,
+)
 
 
 class TestPackedSize:
@@ -26,7 +31,9 @@ class TestPackedSize:
 
 
 class TestRoundTrip:
-    @pytest.mark.parametrize("bits", [1, 2, 3, 4, 5, 7, 8, 11, 16, 23, 31])
+    @pytest.mark.parametrize(
+        "bits", [1, 2, 3, 4, 5, 7, 8, 11, 16, 23, 31, 32]
+    )
     def test_random_roundtrip(self, bits, rng):
         m, d = 50, 7
         codes = rng.integers(0, 2**bits, size=(m, d), dtype=np.uint64)
@@ -36,7 +43,7 @@ class TestRoundTrip:
         assert np.array_equal(unpack_codes(payload, bits, m, d), codes)
 
     def test_extreme_values(self):
-        for bits in (1, 9, 31):
+        for bits in (1, 9, 31, 32):
             codes = np.array(
                 [[0, 2**bits - 1], [2**bits - 1, 0]], dtype=np.uint32
             )
@@ -52,6 +59,43 @@ class TestRoundTrip:
         """Packing is dense: 1000 3-bit codes -> 375 bytes exactly."""
         codes = np.zeros(1000, dtype=np.uint32)
         assert len(pack_codes(codes, 3)) == 375
+
+
+class TestBulkUnpack:
+    def test_matches_scalar_unpack(self, rng):
+        sizes = [0, 5, 31, 12]
+        pages = [
+            rng.integers(0, 2**11, size=(m, 6), dtype=np.uint64).astype(
+                np.uint32
+            )
+            for m in sizes
+        ]
+        payloads = [pack_codes(c, 11) for c in pages]
+        for codes, out in zip(
+            pages, unpack_codes_bulk(payloads, 11, sizes, 6)
+        ):
+            assert np.array_equal(out, codes)
+
+    def test_empty_batch(self):
+        assert unpack_codes_bulk([], 8, [], 3) == []
+
+    def test_all_empty_pages(self):
+        out = unpack_codes_bulk([b"", b""], 8, [0, 0], 3)
+        assert len(out) == 2
+        assert all(o.shape == (0, 3) for o in out)
+
+    def test_truncated_member_rejected(self):
+        good = pack_codes(np.zeros((4, 4), dtype=np.uint32), 8)
+        with pytest.raises(QuantizationError):
+            unpack_codes_bulk([good, good[:-1]], 8, [4, 4], 4)
+
+    def test_misaligned_inputs_rejected(self):
+        with pytest.raises(QuantizationError):
+            unpack_codes_bulk([b""], 8, [0, 0], 3)
+        with pytest.raises(QuantizationError):
+            unpack_codes_bulk([b""], 8, [-1], 3)
+        with pytest.raises(QuantizationError):
+            unpack_codes_bulk([b""], 0, [0], 3)
 
 
 class TestValidation:

@@ -124,6 +124,115 @@ class TestCachedBlockFile:
         assert len(cached) == 20
 
 
+class TestPeekAndExactCounters:
+    def test_peek_has_no_side_effects(self):
+        pool = BufferPool(4)
+        pool.admit(1)
+        assert pool.peek(1)
+        assert not pool.peek(2)
+        assert pool.hits == 0 and pool.misses == 0
+
+    def test_peek_does_not_refresh_recency(self):
+        pool = BufferPool(2)
+        pool.admit(1)
+        pool.admit(2)
+        pool.peek(1)  # must NOT make 1 most-recent
+        pool.admit(3)  # evicts 1 (still least recent)
+        assert not pool.peek(1)
+        assert pool.peek(2) and pool.peek(3)
+
+    def test_record_validates(self):
+        pool = BufferPool(2)
+        with pytest.raises(StorageError):
+            pool.record(hits=-1)
+        pool.record(hits=2, misses=3)
+        assert pool.hits == 2 and pool.misses == 3
+
+    def test_run_hit_rate_exact(self, cached):
+        pool = cached.pool
+        cached.read_run(0, 6)
+        assert (pool.hits, pool.misses) == (0, 6)
+        cached.read_run(0, 6)
+        assert (pool.hits, pool.misses) == (6, 6)
+        assert pool.hit_rate == pytest.approx(0.5)
+
+    def test_planning_does_not_inflate_hits(self, cached, disk):
+        # Block 4 is resident but lies inside the span the run fetch
+        # re-transfers; the old planning pass counted it as a hit even
+        # though its bytes came from the disk again.
+        cached.read_block(4)
+        assert (cached.pool.hits, cached.pool.misses) == (0, 1)
+        before = disk.stats.blocks_read
+        cached.read_run(2, 5)
+        assert disk.stats.blocks_read - before == 5
+        assert cached.pool.hits == 0
+        assert cached.pool.misses == 6
+        # Every charged miss corresponds to one transferred block.
+        assert cached.pool.misses == disk.stats.blocks_read
+
+    def test_run_hits_only_outside_fetched_span(self, cached):
+        cached.read_block(2)  # miss 1
+        cached.read_block(6)  # miss 2
+        # Run 2..6: 2 and 6 are resident, 3-5 missing; the fetched span
+        # is 3..5, so exactly the two outside blocks count as hits.
+        cached.read_run(2, 5)
+        assert cached.pool.hits == 2
+        assert cached.pool.misses == 5
+
+    def test_batched_hit_rate_exact(self, cached):
+        cached.read_block(10)
+        cached.read_batched([9, 10, 11])
+        assert cached.pool.hits == 1  # block 10 served from the pool
+        assert cached.pool.misses == 3  # 10 cold + 9, 11 fetched
+
+    def test_planning_does_not_perturb_eviction_order(self, disk):
+        f = BlockFile(disk)
+        for i in range(20):
+            f.append_block(bytes([i]))
+        f.seal()
+        cached = CachedBlockFile(f, BufferPool(3))
+        cached.read_block(0)
+        cached.read_block(1)
+        cached.read_block(2)
+        # A fully-resident run charges hits in block order, so 0 is
+        # refreshed first and 2 last; the next admit evicts 0.
+        cached.read_run(0, 3)
+        cached.read_block(10)
+        assert not cached.pool.peek(disk_address(cached, 0))
+        assert cached.pool.peek(disk_address(cached, 1))
+
+
+def disk_address(cached, index):
+    return cached._file.extent_start + index
+
+
+class TestGetattrGuard:
+    def test_missing_attribute_raises_cleanly(self, cached):
+        with pytest.raises(AttributeError, match="no_such_attr"):
+            cached.no_such_attr
+
+    def test_bare_instance_does_not_recurse(self):
+        bare = CachedBlockFile.__new__(CachedBlockFile)
+        with pytest.raises(AttributeError):
+            bare.anything
+        with pytest.raises(AttributeError):
+            bare._file
+
+    def test_deepcopy_roundtrip(self, cached):
+        import copy
+
+        clone = copy.deepcopy(cached)
+        assert clone.n_blocks == cached.n_blocks
+        assert clone.read_block(3) == bytes([3]) * 8
+
+    def test_pickle_roundtrip(self, cached):
+        import pickle
+
+        clone = pickle.loads(pickle.dumps(cached))
+        assert clone.n_blocks == cached.n_blocks
+        assert clone.pool.capacity == cached.pool.capacity
+
+
 class TestTreeWithPool:
     def test_answers_unchanged(self, uniform_points, small_disk, rng):
         from repro.storage.disk import SimulatedDisk

@@ -5,10 +5,8 @@ import pytest
 
 from repro.exceptions import StorageError
 from repro.core.tree import IQTree
-from repro.geometry.metrics import EUCLIDEAN
 from repro.storage.disk import DiskModel, SimulatedDisk
 from repro.storage.persistence import load_iqtree, save_iqtree
-from tests.conftest import brute_force_knn
 
 
 @pytest.fixture

@@ -6,6 +6,7 @@ from repro.exceptions import StorageError
 from repro.storage.disk import DiskModel
 from repro.storage.scheduler import (
     batched_fetch_cost,
+    batched_fetch_stats,
     cost_balance_window,
     plan_batched_fetch,
 )
@@ -55,6 +56,37 @@ class TestPlanBatchedFetch:
     def test_rejects_duplicates(self):
         with pytest.raises(StorageError):
             list(plan_batched_fetch([1, 1], 10))
+
+
+class TestBatchedFetchStats:
+    def test_matches_cost(self):
+        model = DiskModel(t_seek=0.010, t_xfer=0.001)
+        blocks = [0, 3, 9, 40, 44, 90]
+        stats = batched_fetch_stats(blocks, model)
+        assert stats["elapsed"] == pytest.approx(
+            batched_fetch_cost(blocks, model)
+        )
+        assert stats["elapsed"] == pytest.approx(
+            stats["seeks"] * model.t_seek
+            + stats["blocks_read"] * model.t_xfer
+        )
+
+    def test_counts_overread(self):
+        model = DiskModel(t_seek=0.010, t_xfer=0.001)
+        stats = batched_fetch_stats([0, 3], model)
+        assert stats["seeks"] == 1
+        assert stats["blocks_read"] == 4
+        assert stats["blocks_overread"] == 2
+
+    def test_empty(self):
+        model = DiskModel(t_seek=0.010, t_xfer=0.001)
+        stats = batched_fetch_stats([], model)
+        assert stats == {
+            "seeks": 0,
+            "blocks_read": 0,
+            "blocks_overread": 0,
+            "elapsed": 0.0,
+        }
 
 
 class TestBatchedFetchCost:
@@ -147,6 +179,93 @@ class TestCostBalanceWindow:
             5, 10, lambda i: probs.get(i, 0.0), self._model()
         )
         assert first == 3
+
+    def test_balance_exactly_at_seek_cost_stops(self):
+        # 10 zero-probability blocks accumulate a cumulated balance of
+        # exactly t_seek (10 * t_xfer = 0.010); the scan must give up
+        # there, and the certain block just beyond has a cumulated
+        # balance of exactly zero -- not strictly negative, so
+        # excluding it is correct.
+        model = self._model()
+        assert model.t_seek == pytest.approx(10 * model.t_xfer)
+        probs = {16: 1.0}
+        first, last = cost_balance_window(
+            5, 40, lambda i: probs.get(i, 0.0), model
+        )
+        assert last == 5
+        assert first == 5
+
+    def test_balance_just_below_seek_cost_continues(self):
+        # 9 zero-probability blocks leave the balance at 0.009 <
+        # t_seek, so the certain block at distance 10 is still seen and
+        # its strictly negative cumulated balance (-0.001) accepts it.
+        model = self._model()
+        probs = {15: 1.0}
+        first, last = cost_balance_window(
+            5, 40, lambda i: probs.get(i, 0.0), model
+        )
+        assert last == 15
+
+    def test_probability_exactly_one_accepts_every_scanned_block(self):
+        # l_i = 1.0 makes each block's balance -t_seek: the window must
+        # extend to the file edge in both directions, never skipping a
+        # block (each inclusion is strictly negative cumulated).
+        model = self._model()
+        first, last = cost_balance_window(17, 35, lambda i: 1.0, model)
+        assert (first, last) == (0, 34)
+
+    def test_pivot_at_file_start(self):
+        model = self._model()
+        first, last = cost_balance_window(0, 20, lambda i: 1.0, model)
+        assert (first, last) == (0, 19)
+        first, last = cost_balance_window(0, 20, lambda i: 0.0, model)
+        assert (first, last) == (0, 0)
+
+    def test_pivot_at_file_end(self):
+        model = self._model()
+        first, last = cost_balance_window(19, 20, lambda i: 1.0, model)
+        assert (first, last) == (0, 19)
+        first, last = cost_balance_window(19, 20, lambda i: 0.0, model)
+        assert (first, last) == (19, 19)
+
+    def test_single_block_file(self):
+        first, last = cost_balance_window(
+            0, 1, lambda i: 1.0, self._model()
+        )
+        assert (first, last) == (0, 0)
+
+    def test_never_excludes_strictly_negative_cumulated_balance(self):
+        # Invariant: walking outward from the window edge, the first
+        # block at which the cumulated balance since the edge turns
+        # strictly negative must not exist within the scan horizon --
+        # otherwise the window wrongly excluded a profitable extension.
+        import random
+
+        model = self._model()
+        n = 48
+        for seed in range(25):
+            rng = random.Random(seed)
+            probs = [
+                rng.choice([0.0, 0.0, 0.05, 0.2, 0.5, 1.0])
+                for _ in range(n)
+            ]
+            pivot = rng.randrange(n)
+            first, last = cost_balance_window(
+                pivot, n, lambda i: probs[i], model
+            )
+            assert 0 <= first <= pivot <= last < n
+            for edge, direction in ((last, +1), (first, -1)):
+                balance = 0.0
+                i = edge + direction
+                while 0 <= i < n and balance < model.t_seek:
+                    balance += model.t_xfer - probs[i] * (
+                        model.t_seek + model.t_xfer
+                    )
+                    # A strictly negative cumulated balance would mean
+                    # extending the window through block i is strictly
+                    # cheaper than a later seek -- must be included.
+                    assert balance >= 0.0, (seed, pivot, i)
+                    i += direction
 
     def test_invalid_pivot(self):
         with pytest.raises(StorageError):
