@@ -1,0 +1,103 @@
+"""Extension bench -- persistence: save/load wall time and container size.
+
+The v2 container doubles the coordinate payload (float64 vs the lossy
+float32 of v1) but replaces the JSON-list partition index with packed
+binary arrays, so total size stays comparable; this bench pins that
+trade-off with real numbers and times the full save -> fsck -> load
+cycle host-side (wall clock, not simulated disk time -- persistence is
+the one layer that does real I/O).
+
+Runs in smoke mode in CI (``IQ_REPRO_SCALE=0.1``); asserts are
+scale-independent: the round-trip is bit-exact, fsck passes, and v2
+stays within 2.5x of the v1 container it replaces.
+"""
+
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import scaled
+from repro.core.tree import IQTree
+from repro.datasets import uniform
+from repro.experiments.harness import experiment_disk
+from repro.storage.persistence import (
+    load_iqtree,
+    save_iqtree,
+    verify_container,
+    write_legacy_v1,
+)
+
+DIM = 10
+
+
+@pytest.fixture(scope="module")
+def tree():
+    data = uniform(scaled(20_000), DIM, seed=7)
+    return IQTree.build(data, disk=experiment_disk())
+
+
+@pytest.fixture(scope="module")
+def container(tree, tmp_path_factory) -> Path:
+    path = tmp_path_factory.mktemp("persistence") / "index.iqt"
+    save_iqtree(tree, path)
+    return path
+
+
+def test_save_wall_time(benchmark, tree, tmp_path):
+    path = tmp_path / "save.iqt"
+    benchmark.pedantic(
+        save_iqtree, args=(tree, path), rounds=3, iterations=1
+    )
+
+
+def test_load_wall_time(benchmark, container):
+    loaded = benchmark.pedantic(
+        load_iqtree, args=(container,), rounds=3, iterations=1
+    )
+    assert loaded.n_points > 0
+
+
+def test_fsck_wall_time(benchmark, container):
+    report = benchmark.pedantic(
+        verify_container, args=(container,), rounds=3, iterations=1
+    )
+    assert report.ok
+
+
+def test_container_size_vs_v1(tree, container, tmp_path):
+    v1 = tmp_path / "legacy.iqt"
+    write_legacy_v1(tree, v1)
+    v1_size = v1.stat().st_size
+    v2_size = container.stat().st_size
+    payload = tree.n_points * tree.dim * 8
+    lines = [
+        "persistence containers "
+        f"({tree.n_points} points, {tree.dim}-d):",
+        f"  v1 (float32, JSON index)   {v1_size:>12,} bytes",
+        f"  v2 (float64, CRC, binary)  {v2_size:>12,} bytes "
+        f"({v2_size / v1_size:.2f}x v1)",
+        f"  v2 payload share           {payload / v2_size:>11.1%}",
+    ]
+    text = "\n".join(lines)
+    print("\n" + text)
+    out_dir = Path(__file__).resolve().parent.parent / "bench_results"
+    out_dir.mkdir(exist_ok=True)
+    (out_dir / "extension-persistence.txt").write_text(text + "\n")
+    # Full-precision coordinates cost at most the payload doubling.
+    assert v2_size < 2.5 * v1_size
+
+
+def test_round_trip_bit_exact_and_fast_enough(tree, container):
+    start = time.perf_counter()
+    loaded = load_iqtree(container, verify=True)
+    elapsed = time.perf_counter() - start
+    assert loaded.points.tobytes() == tree.points.tobytes()
+    q = np.full(DIM, 0.5)
+    assert np.array_equal(
+        loaded.nearest(q, k=5).ids, tree.nearest(q, k=5).ids
+    )
+    # verify=True re-serializes the whole tree; even so a reload must
+    # stay interactive at bench scale.
+    assert elapsed < 60.0

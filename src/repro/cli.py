@@ -8,6 +8,7 @@ Usage::
     python -m repro batch  index.iqt --random 50 [--k 5] [--pool 256]
     python -m repro batch  index.iqt --random 50 --radius 0.2 [--compare]
     python -m repro info   index.iqt
+    python -m repro fsck   index.iqt
     python -m repro validate index.iqt [--queries 10]
 
 ``data.npy`` is any ``numpy.save``-ed ``(n, d)`` float array.
@@ -21,7 +22,11 @@ import sys
 import numpy as np
 
 from repro.core.tree import IQTree
-from repro.storage.persistence import load_iqtree, save_iqtree
+from repro.storage.persistence import (
+    load_iqtree,
+    save_iqtree,
+    verify_container,
+)
 
 __all__ = ["main"]
 
@@ -146,6 +151,12 @@ def _cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fsck(args: argparse.Namespace) -> int:
+    report = verify_container(args.index)
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
 def _cmd_validate(args: argparse.Namespace) -> int:
     from repro.experiments.validation import validate_cost_model
 
@@ -232,6 +243,13 @@ def _build_parser() -> argparse.ArgumentParser:
     info = sub.add_parser("info", help="describe a saved index")
     info.add_argument("index")
     info.set_defaults(func=_cmd_info)
+
+    fsck = sub.add_parser(
+        "fsck",
+        help="verify a container's integrity section by section",
+    )
+    fsck.add_argument("index")
+    fsck.set_defaults(func=_cmd_fsck)
 
     validate = sub.add_parser(
         "validate", help="compare cost-model predictions with measurements"

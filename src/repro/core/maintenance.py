@@ -40,7 +40,7 @@ def insert_point(tree: IQTree, point: np.ndarray) -> int:
             f"point must have {tree.dim} dimensions, got {point.shape[1]}"
         )
     new_id = tree._points.shape[0]
-    tree._points = np.vstack([tree._points, point])
+    grown_points = np.vstack([tree._points, point])
     target = _least_enlargement_page(tree, point[0])
     opt = tree._partitions[target]
     part = opt.partition
@@ -50,15 +50,19 @@ def insert_point(tree: IQTree, point: np.ndarray) -> int:
     block_size = tree.disk.model.block_size
     finest = max_bits_for_count(block_size, tree.dim, grown.size)
 
+    # Resolve the overflow decision fully before mutating the tree, so
+    # a BuildError (e.g. an unsplittable overflowing page) leaves it
+    # exactly as it was -- point list, partitions, and clean layout.
     if finest >= opt.bits:
         # Still fits at the current resolution: update in place.
-        tree._partitions[target] = OptimizedPartition(grown, opt.bits)
-    elif finest >= 1 and _coarser_beats_split(tree, grown, finest):
-        tree._partitions[target] = OptimizedPartition(grown, finest)
+        replacement = [OptimizedPartition(grown, opt.bits)]
+    elif finest >= 1 and _coarser_beats_split(tree, grown, finest, grown_points):
+        replacement = [OptimizedPartition(grown, finest)]
     else:
-        left, right = split_partition(tree._points, grown)
-        tree._partitions[target] = _sized(tree, left)
-        tree._partitions.insert(target + 1, _sized(tree, right))
+        left, right = split_partition(grown_points, grown)
+        replacement = [_sized(tree, left), _sized(tree, right)]
+    tree._points = grown_points
+    tree._partitions[target : target + 1] = replacement
     tree._dirty = True
     return new_id
 
@@ -136,9 +140,13 @@ def _sized(tree: IQTree, part: Partition) -> OptimizedPartition:
 
 
 def _coarser_beats_split(
-    tree: IQTree, grown: Partition, coarser_bits: int
+    tree: IQTree, grown: Partition, coarser_bits: int, points: np.ndarray
 ) -> bool:
-    """Cost-model comparison of the two overflow resolutions."""
+    """Cost-model comparison of the two overflow resolutions.
+
+    ``points`` is the candidate data array including the pending point
+    (the tree's own array is not yet updated at decision time).
+    """
     model = tree.cost_model
     block_size = tree.disk.model.block_size
     n_pages = len(tree._partitions)
@@ -153,7 +161,7 @@ def _coarser_beats_split(
     coarse_refine = model.refinement_cost(coarse_stats)
     coarse_total = model.total_from_aggregates(n_pages, coarse_refine)
 
-    left, right = split_partition(tree._points, grown)
+    left, right = split_partition(points, grown)
     split_refine = model.refinement_cost(
         left.stats(block_size)
     ) + model.refinement_cost(right.stats(block_size))

@@ -21,6 +21,19 @@ class PageOverflowError(StorageError):
     """A serialized page does not fit into its fixed-size block."""
 
 
+class IntegrityError(StorageError):
+    """A persisted container failed an integrity check.
+
+    ``section`` names the container section ("header", "meta", "index",
+    "payload") whose verification failed, so callers and the ``fsck``
+    tool can report exactly what is corrupt.
+    """
+
+    def __init__(self, message: str, section: str | None = None):
+        super().__init__(message)
+        self.section = section
+
+
 class QuantizationError(ReproError):
     """Invalid quantization parameters (bits out of range, empty MBR...)."""
 

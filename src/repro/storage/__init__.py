@@ -14,6 +14,11 @@ hardware-independent build:
 * :mod:`repro.storage.scheduler` -- the paper's Section 2 access
   strategies: the optimal batched fetch for a known block set, and the
   cost-balance clustering used during nearest-neighbor search.
+* :mod:`repro.storage.persistence` -- crash-safe, checksummed container
+  files for saving/loading an IQ-tree on the host filesystem.
+* :mod:`repro.storage.faults` -- deterministic fault injection
+  (truncation, torn writes, bit flips) used to prove the persistence
+  layer detects every corruption mode.
 """
 
 from repro.storage.disk import DiskModel, IOStats, SimulatedDisk

@@ -11,6 +11,7 @@ data runs) are supported by multi-block records.
 
 from __future__ import annotations
 
+import zlib
 from typing import Sequence
 
 from repro.exceptions import StorageError
@@ -154,6 +155,20 @@ class BlockFile:
         if len(payload) > self.block_size:
             raise StorageError("payload exceeds block size")
         self._blocks[index] = bytes(payload)
+
+    def content_crc32(self) -> int:
+        """CRC32 over every block payload, in file order (untimed).
+
+        Each block's length is mixed into the digest ahead of its bytes
+        so moving padding between adjacent short blocks cannot cancel
+        out.  Persistence snapshots this per level file and re-checks it
+        after a reload re-layout.
+        """
+        crc = 0
+        for block in self._blocks:
+            crc = zlib.crc32(len(block).to_bytes(4, "little"), crc)
+            crc = zlib.crc32(block, crc)
+        return crc & 0xFFFFFFFF
 
     # ------------------------------------------------------------------
     # Introspection

@@ -1,0 +1,139 @@
+"""Deterministic fault injection against persisted containers.
+
+Persistence claims two properties that only hold if someone tries to
+break them: saves are *atomic* (a crash mid-save never damages the
+previous container) and loads are *self-verifying* (any corruption is
+detected and surfaced as a clean :class:`~repro.exceptions.StorageError`
+naming the failing section, never garbage query results).  This module
+is the adversary the tests use to prove both.
+
+:class:`FaultInjector` wraps a container file on disk and mutates it in
+place -- truncation, torn (prefix-only) writes, single-bit flips, with
+section-targeted aim via :func:`~repro.storage.persistence.section_spans`
+-- keeping a pristine copy so one fixture file can be corrupted many
+ways.  :func:`torn_save` drives the real atomic-save protocol and cuts
+the power (raises :class:`PowerLoss`) after a byte budget, before the
+rename; the destination container must come through untouched.
+
+Everything here is deterministic: faults are aimed at explicit offsets,
+not sampled, so a failing corruption mode reproduces exactly.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.exceptions import StorageError
+from repro.storage import persistence
+
+__all__ = ["FaultInjector", "PowerLoss", "torn_save"]
+
+
+class PowerLoss(RuntimeError):
+    """Simulated machine crash in the middle of a write.
+
+    Deliberately *not* a :class:`~repro.exceptions.ReproError`: it
+    models the process dying, which no library code should catch.
+    """
+
+
+class FaultInjector:
+    """Mutate one container file in place, deterministically.
+
+    Parameters
+    ----------
+    path:
+        The container file to corrupt.  Its pristine bytes are captured
+        at construction time; :meth:`restore` rolls any fault back.
+    """
+
+    def __init__(self, path):
+        self.path = Path(path)
+        self._pristine = self.path.read_bytes()
+
+    # ------------------------------------------------------------------
+    # State
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Byte size of the pristine container."""
+        return len(self._pristine)
+
+    def restore(self) -> None:
+        """Undo all faults: rewrite the pristine bytes."""
+        self.path.write_bytes(self._pristine)
+
+    def section_span(self, name: str) -> tuple[int, int]:
+        """Byte span of a v2 section of the pristine container."""
+        return persistence.section_spans(self._pristine)[name]
+
+    # ------------------------------------------------------------------
+    # Faults
+    # ------------------------------------------------------------------
+    def truncate_to(self, n_bytes: int) -> None:
+        """Keep only the first ``n_bytes`` of the container."""
+        if not 0 <= n_bytes <= self.size:
+            raise StorageError(
+                f"truncation point {n_bytes} outside [0, {self.size}]"
+            )
+        self.path.write_bytes(self._pristine[:n_bytes])
+
+    def truncate_tail(self, n_bytes: int) -> None:
+        """Drop the last ``n_bytes`` of the container."""
+        self.truncate_to(self.size - n_bytes)
+
+    def tear(self, fraction: float) -> None:
+        """Keep only a prefix: a torn write that stopped mid-file.
+
+        Models a non-atomic writer (or a copy tool) that got
+        ``fraction`` of the way through before the machine died.
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise StorageError("tear fraction must be in [0, 1]")
+        self.truncate_to(int(self.size * fraction))
+
+    def flip_bit(self, offset: int, bit: int = 0) -> None:
+        """XOR one bit of the byte at ``offset`` (on the current bytes,
+        so faults compose)."""
+        raw = bytearray(self.path.read_bytes())
+        if not 0 <= offset < len(raw):
+            raise StorageError(
+                f"offset {offset} outside [0, {len(raw)})"
+            )
+        if not 0 <= bit < 8:
+            raise StorageError("bit must be in [0, 8)")
+        raw[offset] ^= 1 << bit
+        self.path.write_bytes(bytes(raw))
+
+    def flip_bit_in(self, section: str, position: int = 0, bit: int = 0) -> None:
+        """Flip a bit ``position`` bytes into a named v2 section."""
+        start, stop = self.section_span(section)
+        if not 0 <= position < stop - start:
+            raise StorageError(
+                f"position {position} outside the {section} section "
+                f"({stop - start} bytes)"
+            )
+        self.flip_bit(start + position, bit)
+
+
+def torn_save(tree, path, byte_budget: int) -> None:
+    """Run the atomic save protocol, losing power after ``byte_budget``.
+
+    The temp file gets the first ``byte_budget`` bytes of the new
+    container, then :class:`PowerLoss` fires *before* the rename --
+    exactly the crash window the temp-file protocol exists for.  The
+    destination ``path`` is left untouched (the caller's test asserts
+    it), and the partial ``<name>.tmp`` remains as crash debris, as it
+    would after a real power loss.
+    """
+    blob = persistence.serialize_iqtree(tree)
+
+    def tearing_writer(handle, data: bytes) -> None:
+        handle.write(data[:byte_budget])
+        handle.flush()
+        raise PowerLoss(
+            f"simulated power loss after {min(byte_budget, len(data))} "
+            f"of {len(data)} bytes"
+        )
+
+    persistence._atomic_write(path, blob, _writer=tearing_writer)

@@ -114,6 +114,33 @@ class TestInfo:
         assert "page resolutions" in out
 
 
+class TestFsck:
+    def test_fsck_clean_container(self, index_file, capsys):
+        assert main(["fsck", str(index_file)]) == 0
+        out = capsys.readouterr().out
+        assert "IQTREE02" in out
+        assert "status: clean" in out
+
+    def test_fsck_corrupt_container(self, index_file, capsys):
+        raw = bytearray(index_file.read_bytes())
+        raw[-1] ^= 0xFF  # damage the payload tail
+        index_file.write_bytes(bytes(raw))
+        assert main(["fsck", str(index_file)]) == 1
+        out = capsys.readouterr().out
+        assert "status: corrupt" in out
+        assert "payload" in out
+
+    def test_fsck_legacy_v1(self, index_file, tmp_path, capsys):
+        from repro.storage.persistence import load_iqtree, write_legacy_v1
+
+        v1 = tmp_path / "legacy.iqt"
+        write_legacy_v1(load_iqtree(index_file), v1)
+        assert main(["fsck", str(v1)]) == 0
+        out = capsys.readouterr().out
+        assert "IQTREE01" in out
+        assert "no checksum" in out
+
+
 class TestValidate:
     def test_validate_runs(self, index_file, capsys):
         assert (

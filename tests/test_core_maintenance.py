@@ -68,6 +68,40 @@ class TestInsert:
         with pytest.raises(SearchError):
             tree.insert(np.zeros(3))
 
+    def test_failed_overflow_insert_leaves_tree_intact(
+        self, tree, rng, monkeypatch
+    ):
+        """A BuildError mid-insert must not corrupt the tree.
+
+        Forcing ``max_bits_for_count`` to 0 makes every overflow
+        resolution fail (``_sized`` rejects both split halves), the
+        worst case of an unsplittable page.  The insert must roll back
+        completely: same points, same partitions, still clean, and
+        queries answer exactly as before.
+        """
+        import repro.core.maintenance as maintenance
+
+        tree._ensure_clean()
+        points_before = tree.points.copy()
+        partitions_before = list(tree._partitions)
+        q = rng.random(8)
+        baseline = tree.nearest(q, k=3)
+
+        monkeypatch.setattr(
+            maintenance, "max_bits_for_count", lambda *args: 0
+        )
+        with pytest.raises(BuildError):
+            tree.insert(rng.random(8))
+        monkeypatch.undo()
+
+        assert tree.n_points == points_before.shape[0]
+        assert np.array_equal(tree.points, points_before)
+        assert tree._partitions == partitions_before
+        assert not tree._dirty
+        after = tree.nearest(q, k=3)
+        assert np.array_equal(after.ids, baseline.ids)
+        assert np.array_equal(after.distances, baseline.distances)
+
 
 class TestDelete:
     def test_deleted_point_not_returned(self, tree):

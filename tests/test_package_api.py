@@ -51,6 +51,7 @@ class TestExceptionHierarchy:
         exceptions.GeometryError,
         exceptions.StorageError,
         exceptions.PageOverflowError,
+        exceptions.IntegrityError,
         exceptions.QuantizationError,
         exceptions.CostModelError,
         exceptions.BuildError,
@@ -65,6 +66,12 @@ class TestExceptionHierarchy:
         assert issubclass(
             exceptions.PageOverflowError, exceptions.StorageError
         )
+
+    def test_integrity_is_storage_error(self):
+        assert issubclass(
+            exceptions.IntegrityError, exceptions.StorageError
+        )
+        assert exceptions.IntegrityError("boom", section="meta").section == "meta"
 
     def test_one_except_clause_catches_everything(self):
         from repro.geometry.mbr import MBR

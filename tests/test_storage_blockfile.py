@@ -181,3 +181,32 @@ class TestUntimedAccess:
         f.append_block(b"old")
         with pytest.raises(StorageError):
             f.replace_block(0, b"x" * 65)
+
+
+class TestContentCrc:
+    def test_deterministic_and_untimed(self, disk):
+        f = BlockFile(disk)
+        f.append_block(b"abc")
+        f.append_block(b"defg")
+        assert f.content_crc32() == f.content_crc32()
+        assert disk.stats.elapsed == 0.0
+
+    def test_changes_with_content(self, disk):
+        f = BlockFile(disk)
+        f.append_block(b"abc")
+        before = f.content_crc32()
+        f.replace_block(0, b"abd")
+        assert f.content_crc32() != before
+
+    def test_block_boundaries_matter(self, disk):
+        """Moving a byte across a block boundary changes the digest."""
+        a = BlockFile(disk)
+        a.append_block(b"ab")
+        a.append_block(b"c")
+        b = BlockFile(disk)
+        b.append_block(b"a")
+        b.append_block(b"bc")
+        assert a.content_crc32() != b.content_crc32()
+
+    def test_empty_file(self, disk):
+        assert BlockFile(disk).content_crc32() == 0

@@ -1,0 +1,183 @@
+"""Fault-injection suite: every corruption mode must be *detected*.
+
+The persistence layer's contract is that a damaged container never
+produces garbage query results -- it produces a clean
+:class:`~repro.exceptions.StorageError` whose message names the failing
+section.  These tests drive :mod:`repro.storage.faults` against real
+containers to prove it for truncation, torn writes, and bit flips in
+every section, and prove the atomic-save protocol keeps the previous
+container intact through a simulated power loss.
+"""
+
+import pytest
+
+from repro.cli import main
+from repro.exceptions import IntegrityError, StorageError
+from repro.core.tree import IQTree
+from repro.storage.faults import FaultInjector, PowerLoss, torn_save
+from repro.storage.persistence import (
+    load_iqtree,
+    save_iqtree,
+    verify_container,
+)
+
+SECTIONS = ("header", "meta", "index", "payload")
+
+
+@pytest.fixture
+def tree(uniform_points, small_disk):
+    return IQTree.build(uniform_points[:600], disk=small_disk)
+
+
+@pytest.fixture
+def container(tree, tmp_path):
+    path = tmp_path / "index.iqt"
+    save_iqtree(tree, path)
+    return path
+
+
+@pytest.fixture
+def injector(container):
+    return FaultInjector(container)
+
+
+def assert_detected(path, section: str) -> StorageError:
+    """Loading must fail with a StorageError naming ``section``."""
+    with pytest.raises(StorageError, match=section) as excinfo:
+        load_iqtree(path)
+    assert not verify_container(path).ok
+    return excinfo.value
+
+
+class TestBitFlips:
+    @pytest.mark.parametrize("section", SECTIONS)
+    def test_flipped_bit_detected_and_named(self, injector, container, section):
+        # Offset 8 skips the magic inside the header section; for the
+        # other sections any offset works -- CRCs have no blind spots.
+        injector.flip_bit_in(section, position=8, bit=3)
+        exc = assert_detected(container, section)
+        assert isinstance(exc, IntegrityError)
+        assert exc.section == section
+
+    @pytest.mark.parametrize("section", SECTIONS)
+    def test_flipped_low_bit_near_section_end(self, injector, container, section):
+        _, stop = injector.section_span(section)
+        injector.flip_bit(stop - 1, bit=0)
+        assert not verify_container(container).ok
+        with pytest.raises(StorageError):
+            load_iqtree(container)
+
+    def test_corrupted_magic_rejected(self, injector, container):
+        injector.flip_bit(0)
+        with pytest.raises(StorageError, match="not an IQ-tree"):
+            load_iqtree(container)
+        assert not verify_container(container).ok
+
+    def test_restore_heals_every_fault(self, injector, container):
+        for section in SECTIONS:
+            injector.flip_bit_in(section, position=8)
+        injector.restore()
+        load_iqtree(container, verify=True)
+        assert verify_container(container).ok
+
+
+class TestTruncation:
+    def test_truncated_header(self, injector, container):
+        injector.truncate_to(20)  # mid fixed header
+        exc = assert_detected(container, "header")
+        assert "truncated" in str(exc)
+
+    def test_truncated_payload(self, injector, container):
+        injector.truncate_tail(64)
+        exc = assert_detected(container, "payload")
+        assert "truncated" in str(exc)
+
+    @pytest.mark.parametrize("fraction", [0.05, 0.35, 0.7, 0.98])
+    def test_torn_write_at_any_fraction(self, injector, container, fraction):
+        """A partial copy/write of a container is caught wherever it
+        stopped: the missing tail always un-verifies some section."""
+        injector.tear(fraction)
+        with pytest.raises(StorageError) as excinfo:
+            load_iqtree(container)
+        assert any(s in str(excinfo.value) for s in SECTIONS)
+        assert not verify_container(container).ok
+
+    def test_empty_file(self, injector, container):
+        injector.truncate_to(0)
+        with pytest.raises(StorageError):
+            load_iqtree(container)
+        assert not verify_container(container).ok
+
+
+class TestAtomicSaveUnderPowerLoss:
+    def test_old_container_survives_torn_save(self, tree, container, rng):
+        pristine = container.read_bytes()
+        tree.insert(rng.random(8))  # make the new container different
+        with pytest.raises(PowerLoss):
+            torn_save(tree, container, byte_budget=200)
+        # The destination is byte-identical and still loads cleanly;
+        # only a .tmp with the partial write remains as crash debris.
+        assert container.read_bytes() == pristine
+        load_iqtree(container, verify=True)
+        debris = container.with_name(container.name + ".tmp")
+        assert debris.exists() and debris.stat().st_size == 200
+
+    def test_next_save_overwrites_crash_debris(self, tree, container, rng):
+        tree.insert(rng.random(8))
+        with pytest.raises(PowerLoss):
+            torn_save(tree, container, byte_budget=64)
+        save_iqtree(tree, container)
+        loaded = load_iqtree(container, verify=True)
+        assert loaded.n_points == tree.n_points
+        assert not container.with_name(container.name + ".tmp").exists()
+
+    def test_partial_temp_file_is_itself_detected(self, tree, tmp_path):
+        """Even mistaking the debris for a container is safe."""
+        path = tmp_path / "fresh.iqt"
+        with pytest.raises(PowerLoss):
+            torn_save(tree, path, byte_budget=300)
+        assert not path.exists()
+        debris = tmp_path / "fresh.iqt.tmp"
+        with pytest.raises(StorageError):
+            load_iqtree(debris)
+
+
+class TestFsckCli:
+    def test_fsck_passes_on_fresh_container(self, container, capsys):
+        assert main(["fsck", str(container)]) == 0
+        out = capsys.readouterr().out
+        assert "status: clean" in out
+        for section in SECTIONS:
+            assert section in out
+
+    @pytest.mark.parametrize("section", ("meta", "index", "payload"))
+    def test_fsck_fails_naming_corrupt_section(
+        self, injector, container, section, capsys
+    ):
+        injector.flip_bit_in(section, position=8)
+        assert main(["fsck", str(container)]) == 1
+        out = capsys.readouterr().out
+        assert f"status: corrupt ({section})" in out
+
+    def test_fsck_reports_all_bad_sections(self, injector, container, capsys):
+        injector.flip_bit_in("meta", position=8)
+        injector.flip_bit_in("payload", position=8)
+        assert main(["fsck", str(container)]) == 1
+        out = capsys.readouterr().out
+        assert "corrupt (meta, payload)" in out
+
+
+class TestInjectorValidation:
+    def test_bad_offsets_rejected(self, injector):
+        with pytest.raises(StorageError):
+            injector.flip_bit(injector.size)
+        with pytest.raises(StorageError):
+            injector.truncate_to(injector.size + 1)
+        with pytest.raises(StorageError):
+            injector.tear(1.5)
+        with pytest.raises(StorageError):
+            injector.flip_bit_in("payload", position=10**9)
+
+    def test_unknown_section_rejected(self, injector):
+        with pytest.raises(KeyError):
+            injector.section_span("footer")

@@ -1,17 +1,48 @@
-"""Tests for saving/loading an IQ-tree to a real file."""
+"""Tests for saving/loading an IQ-tree to a real file (v2 + legacy)."""
 
 import numpy as np
 import pytest
 
-from repro.exceptions import StorageError
+from repro.exceptions import IntegrityError, StorageError
+from repro.core.optimizer import fixed_bits_partitions
 from repro.core.tree import IQTree
+from repro.costmodel.model import CostModel
+from repro.geometry.metrics import get_metric
 from repro.storage.disk import DiskModel, SimulatedDisk
-from repro.storage.persistence import load_iqtree, save_iqtree
+from repro.storage.persistence import (
+    MAGIC_V2,
+    load_iqtree,
+    save_iqtree,
+    section_spans,
+    serialize_iqtree,
+    verify_container,
+    write_legacy_v1,
+)
 
 
 @pytest.fixture
 def tree(uniform_points, small_disk):
     return IQTree.build(uniform_points[:800], disk=small_disk)
+
+
+def float64_tree(rng, n=300, dim=6):
+    """A tree over true float64 data (not float32-representable)."""
+    points = rng.random((n, dim))
+    disk = SimulatedDisk(DiskModel(block_size=512))
+    solution = fixed_bits_partitions(points, 512, 8)
+    metric = get_metric("euclidean")
+    cost_model = CostModel(
+        disk.model,
+        dim,
+        n,
+        fractal_dim=float(dim),
+        data_space_volume=1.0,
+        metric=metric,
+        k=1,
+    )
+    return IQTree(
+        points, solution, disk, metric, cost_model, None, True
+    )
 
 
 class TestRoundTrip:
@@ -28,6 +59,38 @@ class TestRoundTrip:
         assert loaded.cost_model.fractal_dim == pytest.approx(
             tree.cost_model.fractal_dim
         )
+
+    def test_points_bit_exact(self, tree, tmp_path):
+        path = tmp_path / "index.iqt"
+        save_iqtree(tree, path)
+        loaded = load_iqtree(path)
+        assert loaded.points.dtype == np.float64
+        assert loaded.points.tobytes() == tree.points.tobytes()
+
+    def test_float64_data_bit_exact(self, tmp_path, rng):
+        """v2 preserves coordinates v1 silently rounded to float32."""
+        tree = float64_tree(rng)
+        assert tree.points.astype(np.float32).astype(
+            np.float64
+        ).tobytes() != tree.points.tobytes()
+        path = tmp_path / "f64.iqt"
+        save_iqtree(tree, path)
+        loaded = load_iqtree(path, verify=True)
+        assert loaded.points.tobytes() == tree.points.tobytes()
+        q = rng.random(6)
+        a = tree.nearest(q, k=4)
+        b = loaded.nearest(q, k=4)
+        assert np.array_equal(a.ids, b.ids)
+        assert np.array_equal(a.distances, b.distances)
+
+    def test_legacy_v1_loses_float64_precision(self, tmp_path, rng):
+        """The v1 regression this PR fixes, pinned as a legacy fact."""
+        tree = float64_tree(rng)
+        path = tmp_path / "f64v1.iqt"
+        write_legacy_v1(tree, path)
+        with pytest.warns(UserWarning, match="float32"):
+            loaded = load_iqtree(path)
+        assert loaded.points.tobytes() != tree.points.tobytes()
 
     def test_queries_identical_after_reload(self, tree, tmp_path, rng):
         path = tmp_path / "index.iqt"
@@ -74,6 +137,17 @@ class TestRoundTrip:
             tree.nearest(q, k=4).distances,
         )
 
+    def test_insert_extended_mbrs_survive_reload(self, tree, tmp_path, rng):
+        """v2 stores page MBRs explicitly, so the insert-extended (not
+        re-tightened) bounds round-trip and the relaid files match."""
+        for _ in range(20):
+            tree.insert(rng.random(8))
+        path = tmp_path / "churned.iqt"
+        save_iqtree(tree, path)
+        loaded = load_iqtree(path, verify=True)
+        for j in range(tree.n_pages):
+            assert loaded.page_mbr(j) == tree.page_mbr(j)
+
     def test_custom_disk_on_load(self, tree, tmp_path):
         path = tmp_path / "index.iqt"
         save_iqtree(tree, path)
@@ -82,29 +156,89 @@ class TestRoundTrip:
         assert loaded.disk is disk
 
 
+class TestAtomicSave:
+    def test_no_temp_file_left_on_success(self, tree, tmp_path):
+        path = tmp_path / "index.iqt"
+        save_iqtree(tree, path)
+        assert [p.name for p in tmp_path.iterdir()] == ["index.iqt"]
+
+    def test_save_over_existing_container(self, tree, tmp_path, rng):
+        path = tmp_path / "index.iqt"
+        save_iqtree(tree, path)
+        tree.insert(rng.random(8))
+        save_iqtree(tree, path)
+        loaded = load_iqtree(path, verify=True)
+        assert loaded.n_points == tree.n_points
+
+    def test_fsync_optional(self, tree, tmp_path):
+        path = tmp_path / "index.iqt"
+        save_iqtree(tree, path, fsync=False)
+        assert verify_container(path).ok
+
+    def test_serialize_is_deterministic(self, tree):
+        assert serialize_iqtree(tree) == serialize_iqtree(tree)
+
+
+class TestVerifyFlag:
+    def test_verify_accepts_clean_container(self, tree, tmp_path):
+        path = tmp_path / "index.iqt"
+        save_iqtree(tree, path)
+        load_iqtree(path, verify=True)
+
+    def test_verify_requires_default_disk(self, tree, tmp_path):
+        path = tmp_path / "index.iqt"
+        save_iqtree(tree, path)
+        with pytest.raises(StorageError, match="disk=None"):
+            load_iqtree(
+                path, disk=SimulatedDisk(tree.disk.model), verify=True
+            )
+
+    def test_verify_rejected_for_legacy_v1(self, tree, tmp_path):
+        path = tmp_path / "v1.iqt"
+        write_legacy_v1(tree, path)
+        with pytest.raises(StorageError, match="v1"):
+            load_iqtree(path, verify=True)
+
+
+class TestLegacyV1:
+    def test_loads_with_precision_warning(self, tree, tmp_path, rng):
+        path = tmp_path / "v1.iqt"
+        write_legacy_v1(tree, path)
+        with pytest.warns(UserWarning, match="float32"):
+            loaded = load_iqtree(path)
+        # float32-canonical data is unharmed by the legacy format.
+        assert np.array_equal(loaded.points, tree.points)
+        q = rng.random(8)
+        assert np.array_equal(
+            loaded.nearest(q, k=3).ids, tree.nearest(q, k=3).ids
+        )
+
+    def test_v1_fsck_reports_legacy(self, tree, tmp_path):
+        path = tmp_path / "v1.iqt"
+        write_legacy_v1(tree, path)
+        report = verify_container(path)
+        assert report.version == 1
+        assert report.ok
+        assert "no checksum" in report.summary()
+
+    def test_v1_truncation_detected(self, tree, tmp_path):
+        path = tmp_path / "v1.iqt"
+        write_legacy_v1(tree, path)
+        raw = path.read_bytes()
+        path.write_bytes(raw[:-100])
+        with pytest.warns(UserWarning):
+            with pytest.raises(StorageError):
+                load_iqtree(path)
+        assert not verify_container(path).ok
+
+
 class TestValidation:
     def test_wrong_magic_rejected(self, tmp_path):
         path = tmp_path / "bogus.iqt"
         path.write_bytes(b"NOTATREE" + b"\x00" * 64)
         with pytest.raises(StorageError):
             load_iqtree(path)
-
-    def test_corrupt_header_rejected(self, tree, tmp_path):
-        path = tmp_path / "index.iqt"
-        save_iqtree(tree, path)
-        raw = bytearray(path.read_bytes())
-        raw[20] ^= 0xFF  # flip a byte inside the JSON header
-        path.write_bytes(bytes(raw))
-        with pytest.raises(StorageError):
-            load_iqtree(path)
-
-    def test_truncated_payload_rejected(self, tree, tmp_path):
-        path = tmp_path / "index.iqt"
-        save_iqtree(tree, path)
-        raw = path.read_bytes()
-        path.write_bytes(raw[: len(raw) - 100])
-        with pytest.raises(StorageError):
-            load_iqtree(path)
+        assert not verify_container(path).ok
 
     def test_mismatched_block_size_rejected(self, tree, tmp_path):
         path = tmp_path / "index.iqt"
@@ -112,3 +246,27 @@ class TestValidation:
         other = SimulatedDisk(DiskModel(block_size=4096))
         with pytest.raises(StorageError):
             load_iqtree(path, disk=other)
+
+    def test_trailing_garbage_rejected(self, tree, tmp_path):
+        path = tmp_path / "index.iqt"
+        save_iqtree(tree, path)
+        path.write_bytes(path.read_bytes() + b"\x00" * 8)
+        with pytest.raises(IntegrityError, match="trailing"):
+            load_iqtree(path)
+
+    def test_section_spans_cover_container(self, tree, tmp_path):
+        path = tmp_path / "index.iqt"
+        save_iqtree(tree, path)
+        raw = path.read_bytes()
+        spans = section_spans(raw)
+        assert raw[: len(MAGIC_V2)] == MAGIC_V2
+        assert spans["header"] == (0, 48)
+        assert spans["meta"][0] == 48
+        assert spans["payload"][1] == len(raw)
+        # Sections tile the file with no gaps.
+        assert spans["meta"][1] == spans["index"][0]
+        assert spans["index"][1] == spans["payload"][0]
+        assert (
+            spans["payload"][1] - spans["payload"][0]
+            == tree.n_points * tree.dim * 8
+        )
