@@ -1,0 +1,204 @@
+#!/usr/bin/env python
+"""Validate Prometheus text-exposition output read from stdin or a file.
+
+A zero-dependency linter for the subset of the exposition format that
+``python -m repro stats`` emits:
+
+* ``# HELP <name> <text>`` / ``# TYPE <name> <counter|gauge|histogram>``
+  pairs, HELP before TYPE, at most one of each per metric;
+* sample lines ``name{label="value",...} <number>`` whose metric name
+  matches the preceding TYPE block (histograms expose ``_bucket`` /
+  ``_sum`` / ``_count`` series);
+* metric and label names matching the Prometheus grammar, label values
+  with proper escaping, sample values parseable as floats (``+Inf``
+  allowed);
+* histogram invariants: cumulative, non-decreasing bucket counts, a
+  ``+Inf`` bucket equal to ``_count``.
+
+Exit status 0 when the input is clean, 1 with one diagnostic per line
+otherwise.  Usage::
+
+    python -m repro stats index.iqt | python scripts/lint_prometheus.py
+    python scripts/lint_prometheus.py dump.prom
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+
+METRIC_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r" (?P<value>\S+)$"
+)
+LABEL_PAIR_RE = re.compile(
+    r'\s*(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"\s*(?:,|$)'
+)
+TYPES = ("counter", "gauge", "histogram", "summary", "untyped")
+
+
+def _parse_value(text: str) -> float | None:
+    if text in ("+Inf", "-Inf", "NaN"):
+        return float(text.replace("Inf", "inf").replace("NaN", "nan"))
+    try:
+        return float(text)
+    except ValueError:
+        return None
+
+
+def _parse_labels(raw: str, errors: list[str], lineno: int) -> dict | None:
+    labels: dict[str, str] = {}
+    pos = 0
+    while pos < len(raw):
+        match = LABEL_PAIR_RE.match(raw, pos)
+        if match is None:
+            errors.append(f"line {lineno}: malformed label set {{{raw}}}")
+            return None
+        labels[match.group("key")] = match.group("value")
+        pos = match.end()
+    return labels
+
+
+def lint(text: str) -> list[str]:
+    """All format violations in ``text`` (empty list = clean)."""
+    errors: list[str] = []
+    helped: set[str] = set()
+    typed: dict[str, str] = {}
+    current: str | None = None  # metric of the open HELP/TYPE block
+    # histogram name -> {labelset-key -> [(le, count)]}, plus sums/counts
+    buckets: dict[str, dict[tuple, list[tuple[float, float]]]] = {}
+    counts: dict[str, dict[tuple, float]] = {}
+
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(" ", 3)
+            if len(parts) < 4 or not parts[3].strip():
+                errors.append(f"line {lineno}: HELP without text")
+                continue
+            name = parts[2]
+            if not METRIC_RE.match(name):
+                errors.append(f"line {lineno}: bad metric name {name!r}")
+            if name in helped:
+                errors.append(f"line {lineno}: duplicate HELP for {name}")
+            helped.add(name)
+            current = name
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4 or parts[3] not in TYPES:
+                errors.append(f"line {lineno}: malformed TYPE line")
+                continue
+            name = parts[2]
+            if name in typed:
+                errors.append(f"line {lineno}: duplicate TYPE for {name}")
+            if name not in helped:
+                errors.append(f"line {lineno}: TYPE for {name} before HELP")
+            typed[name] = parts[3]
+            current = name
+            continue
+        if line.startswith("#"):
+            continue  # comment
+        match = SAMPLE_RE.match(line)
+        if match is None:
+            errors.append(f"line {lineno}: unparseable sample {line!r}")
+            continue
+        name = match.group("name")
+        base = re.sub(r"_(bucket|sum|count)$", "", name)
+        metric = name if name in typed else base
+        if metric not in typed:
+            errors.append(
+                f"line {lineno}: sample {name} without a TYPE block"
+            )
+            continue
+        if metric != current:
+            errors.append(
+                f"line {lineno}: sample {name} outside its metric block"
+            )
+        kind = typed[metric]
+        if kind == "histogram" and name == metric:
+            errors.append(
+                f"line {lineno}: histogram {metric} must expose "
+                "_bucket/_sum/_count series"
+            )
+        labels = _parse_labels(match.group("labels") or "", errors, lineno)
+        if labels is None:
+            continue
+        for key in labels:
+            if not LABEL_RE.match(key):
+                errors.append(f"line {lineno}: bad label name {key!r}")
+        value = _parse_value(match.group("value"))
+        if value is None:
+            errors.append(
+                f"line {lineno}: bad sample value {match.group('value')!r}"
+            )
+            continue
+        if kind == "histogram":
+            series = {k: v for k, v in labels.items() if k != "le"}
+            key = tuple(sorted(series.items()))
+            if name.endswith("_bucket"):
+                if "le" not in labels:
+                    errors.append(
+                        f"line {lineno}: _bucket sample without le label"
+                    )
+                    continue
+                le = _parse_value(labels["le"])
+                if le is None:
+                    errors.append(
+                        f"line {lineno}: bad le value {labels['le']!r}"
+                    )
+                    continue
+                buckets.setdefault(metric, {}).setdefault(key, []).append(
+                    (le, value)
+                )
+            elif name.endswith("_count"):
+                counts.setdefault(metric, {})[key] = value
+
+    for metric, series in buckets.items():
+        for key, entries in series.items():
+            prev = -1.0
+            for le, count in entries:  # emitted in ascending le order
+                if count < prev:
+                    errors.append(
+                        f"{metric}{dict(key)}: bucket le={le} count "
+                        f"{count} below previous bucket ({prev})"
+                    )
+                prev = count
+            if not entries or entries[-1][0] != float("inf"):
+                errors.append(f"{metric}{dict(key)}: missing +Inf bucket")
+            elif metric in counts and key in counts[metric]:
+                if entries[-1][1] != counts[metric][key]:
+                    errors.append(
+                        f"{metric}{dict(key)}: +Inf bucket "
+                        f"{entries[-1][1]} != _count {counts[metric][key]}"
+                    )
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) > 1:
+        text = open(argv[1], encoding="utf-8").read()
+    else:
+        text = sys.stdin.read()
+    if not text.strip():
+        print("lint_prometheus: empty input", file=sys.stderr)
+        return 1
+    problems = lint(text)
+    for problem in problems:
+        print(f"lint_prometheus: {problem}", file=sys.stderr)
+    if not problems:
+        samples = sum(
+            1
+            for line in text.splitlines()
+            if line.strip() and not line.startswith("#")
+        )
+        print(f"lint_prometheus: OK ({samples} samples)")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -10,6 +10,8 @@ Usage::
     python -m repro info   index.iqt
     python -m repro fsck   index.iqt
     python -m repro validate index.iqt [--queries 10]
+    python -m repro stats  index.iqt --random 50 [--format prometheus]
+    python -m repro trace  index.iqt [--k 5] [--json]
 
 ``data.npy`` is any ``numpy.save``-ed ``(n, d)`` float array.
 """
@@ -17,10 +19,12 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 import numpy as np
 
+from repro import obs
 from repro.core.tree import IQTree
 from repro.storage.persistence import (
     load_iqtree,
@@ -171,6 +175,59 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stats(args: argparse.Namespace) -> int:
+    obs.registry.reset()
+    obs.drift.reset()
+    obs.enable()
+    try:
+        tree = load_iqtree(args.index)
+        queries = _random_queries(tree, args.random, args.seed)
+        engine = tree.query_engine(pool=args.pool)
+        engine.knn_batch(queries, k=args.k)
+        if args.format == "json":
+            payload = obs.registry.collect()
+            if args.drift:
+                payload["drift"] = obs.drift.report().to_dict()
+            print(json.dumps(payload, indent=2))
+        else:
+            sys.stdout.write(obs.registry.to_prometheus())
+            if args.drift:
+                print(f"\n{obs.drift.report().summary()}")
+    finally:
+        obs.disable()
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    tree = load_iqtree(args.index)
+    queries = _random_queries(tree, args.random, args.seed)
+    engine = tree.query_engine(pool=args.pool)
+    with obs.trace_query(engine, name=f"knn-batch k={args.k}") as tracer:
+        result = engine.knn_batch(queries, k=args.k)
+    if args.json:
+        print(tracer.to_json())
+        return 0
+    print(tracer.render())
+    root = tracer.root
+    own = sum((s.own_io for s in root.walk()), start=obs.SpanIO())
+    ledger = result.stats.io
+    print(
+        f"\nspan own-I/O sum: {own.elapsed * 1e3:.2f} ms, "
+        f"{own.seeks} seeks, {own.blocks_read} blocks"
+    )
+    print(
+        f"IOStats ledger:   {ledger.elapsed * 1e3:.2f} ms, "
+        f"{ledger.seeks} seeks, {ledger.blocks_read} blocks"
+    )
+    ok = (
+        abs(own.elapsed - ledger.elapsed) < 1e-9
+        and own.seeks == ledger.seeks
+        and own.blocks_read == ledger.blocks_read
+    )
+    print(f"attribution {'consistent' if ok else 'MISMATCH'}")
+    return 0 if ok else 1
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -259,6 +316,46 @@ def _build_parser() -> argparse.ArgumentParser:
     validate.add_argument("--k", type=int, default=1)
     validate.add_argument("--seed", type=int, default=0)
     validate.set_defaults(func=_cmd_validate)
+
+    stats = sub.add_parser(
+        "stats",
+        help="run a query workload and dump the metrics registry",
+    )
+    stats.add_argument("index")
+    stats.add_argument(
+        "--random", type=int, default=20, help="workload size"
+    )
+    stats.add_argument("--k", type=int, default=5)
+    stats.add_argument("--pool", type=int, default=None)
+    stats.add_argument("--seed", type=int, default=0)
+    stats.add_argument(
+        "--format",
+        choices=("prometheus", "json"),
+        default="prometheus",
+        help="output format (default: Prometheus text exposition)",
+    )
+    stats.add_argument(
+        "--drift",
+        action="store_true",
+        help="append the cost-model drift report",
+    )
+    stats.set_defaults(func=_cmd_stats)
+
+    trace = sub.add_parser(
+        "trace",
+        help="trace one query batch as a span tree with I/O attribution",
+    )
+    trace.add_argument("index")
+    trace.add_argument(
+        "--random", type=int, default=1, help="queries in the batch"
+    )
+    trace.add_argument("--k", type=int, default=5)
+    trace.add_argument("--pool", type=int, default=None)
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument(
+        "--json", action="store_true", help="emit the span tree as JSON"
+    )
+    trace.set_defaults(func=_cmd_trace)
     return parser
 
 

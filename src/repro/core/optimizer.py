@@ -31,6 +31,12 @@ from repro.exceptions import BuildError
 from repro.core.partition import Partition
 from repro.core.split import split_partition
 from repro.costmodel.model import CostModel
+from repro.obs.instruments import (
+    OPT_PAGES,
+    OPT_RUNS,
+    OPT_SPLITS,
+    REGISTRY,
+)
 from repro.quantization.capacity import EXACT_BITS
 
 __all__ = ["OptimizedPartition", "OptimizationTrace", "optimize_partitions"]
@@ -198,6 +204,11 @@ def optimize_partitions(
         n_initial=len(initial),
         n_final=len(solution),
     )
+    if REGISTRY.enabled:
+        OPT_RUNS.inc()
+        OPT_SPLITS.inc(step)
+        OPT_PAGES.set(len(initial), stage="initial")
+        OPT_PAGES.set(len(solution), stage="final")
     return solution, trace
 
 

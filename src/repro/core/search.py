@@ -34,6 +34,8 @@ from repro.costmodel.access_probability import (
 )
 from repro.core.tree import ExactStore, IQTree, PageHandle
 from repro.geometry.mbr import mindist_to_boxes
+from repro.obs.drift import MONITOR as _DRIFT
+from repro.obs.instruments import QUERY_SECONDS, REGISTRY
 from repro.storage.disk import IOStats
 from repro.storage.scheduler import cost_balance_window
 
@@ -183,13 +185,22 @@ def nearest_neighbors(
 
     ids, dists = best.sorted_results()
     io_after = io_snapshot(tree)
-    return NNResult(
+    result = NNResult(
         ids=ids,
         distances=dists,
         io=io_delta(io_before, io_after),
         pages_read=pages_read,
         refinements=exact.refinements,
     )
+    if REGISTRY.enabled:
+        QUERY_SECONDS.observe(result.io.elapsed)
+        _DRIFT.observe_query(
+            tree,
+            k,
+            actual_pages=result.pages_read,
+            actual_seconds=result.io.elapsed,
+        )
+    return result
 
 
 def range_search(tree: IQTree, query: np.ndarray, radius: float) -> RangeResult:
@@ -240,13 +251,18 @@ def range_search(tree: IQTree, query: np.ndarray, radius: float) -> RangeResult:
 
     order = np.argsort(found_dists, kind="stable")
     io_after = io_snapshot(tree)
-    return RangeResult(
+    result = RangeResult(
         ids=np.array(found_ids, dtype=np.int64)[order],
         distances=np.array(found_dists)[order],
         io=io_delta(io_before, io_after),
         pages_read=pages_read,
         refinements=exact.refinements,
     )
+    if REGISTRY.enabled:
+        # The cost model predicts kNN queries only, so range queries
+        # feed the latency histogram but not the drift monitor.
+        QUERY_SECONDS.observe(result.io.elapsed)
+    return result
 
 
 def browse_by_distance(tree: IQTree, query: np.ndarray):

@@ -31,6 +31,7 @@ from repro.costmodel.fractal import correlation_dimension
 from repro.costmodel.model import CostModel
 from repro.geometry.mbr import MBR
 from repro.geometry.metrics import get_metric
+from repro.obs.instruments import PAGES_DECODED, REFINEMENTS, REGISTRY
 from repro.quantization.capacity import EXACT_BITS
 from repro.quantization.grid import GridQuantizer
 from repro.storage.blockfile import BlockFile
@@ -517,6 +518,8 @@ class IQTree:
         contents, g, ids = serializer.decode_quantized_page(
             payload, self.dim
         )
+        if REGISTRY.enabled:
+            PAGES_DECODED.inc(bits=g)
         if g >= EXACT_BITS:
             return PageHandle(page, g, None, contents, ids)
         return PageHandle(page, g, contents, None, None)
@@ -581,6 +584,8 @@ class ExactStore:
             bytes(data[offset : offset + record]), 1, tree.dim
         )
         self.refinements += 1
+        if REGISTRY.enabled:
+            REFINEMENTS.inc()
         return coords[0], int(ids[0])
 
 

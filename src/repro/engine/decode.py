@@ -23,6 +23,8 @@ from typing import Iterable, Mapping
 import numpy as np
 
 from repro.core.tree import IQTree, PageHandle
+from repro.obs.instruments import PAGES_DECODED, REFINEMENTS, REGISTRY
+from repro.obs.tracing import span as obs_span
 from repro.quantization.bitpack import unpack_codes_bulk
 from repro.quantization.capacity import EXACT_BITS
 from repro.storage import serializer
@@ -51,9 +53,11 @@ class PageDecodeCache:
         )
         if not need:
             return
-        payloads = self._tree._quant_file.read_batched(need)
+        with obs_span("fetch", disk=self._tree.disk, pages=len(need)):
+            payloads = self._tree._quant_file.read_batched(need)
         self.pages_fetched += len(need)
-        self._decode_bulk(payloads)
+        with obs_span("decode", disk=self._tree.disk, pages=len(need)):
+            self._decode_bulk(payloads)
 
     def handle(self, page: int) -> PageHandle:
         """Decoded view of one loaded page."""
@@ -85,6 +89,8 @@ class PageDecodeCache:
                 self._handles[page] = PageHandle(
                     page, g, None, contents, ids
                 )
+                if REGISTRY.enabled:
+                    PAGES_DECODED.inc(bits=g)
             else:
                 body = payload[serializer.QUANT_PAGE_HEADER.size :]
                 grouped[bits].append((page, body, m))
@@ -95,6 +101,8 @@ class PageDecodeCache:
                 [m for _page, _body, m in entries],
                 dim,
             )
+            if REGISTRY.enabled:
+                PAGES_DECODED.inc(len(entries), bits=bits)
             for (page, _body, _m), codes in zip(entries, codes_list):
                 self._handles[page] = PageHandle(
                     page, bits, codes, None, None
@@ -136,7 +144,12 @@ class ExactBatchStore:
             blocks.update(range(b0, b1 + 1))
             spans.append(((page, local), b0, b1, offset))
         if blocks:
-            payloads = tree._exact_file.read_batched(sorted(blocks))
+            with obs_span(
+                "fetch-exact", disk=tree.disk, records=len(spans)
+            ):
+                payloads = tree._exact_file.read_batched(sorted(blocks))
+            if REGISTRY.enabled:
+                REFINEMENTS.inc(len(spans))
             for key, b0, b1, offset in spans:
                 data = b"".join(payloads[b] for b in range(b0, b1 + 1))
                 coords, ids = serializer.decode_exact_record(

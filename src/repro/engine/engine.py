@@ -49,6 +49,14 @@ from repro.core.tree import IQTree
 from repro.engine.decode import ExactBatchStore, PageDecodeCache
 from repro.engine.stats import BatchStats, QueryStats
 from repro.exceptions import SearchError
+from repro.obs.drift import MONITOR as _DRIFT
+from repro.obs.instruments import (
+    BATCH_QUERIES,
+    BATCHES,
+    QUERY_SECONDS,
+    REGISTRY,
+)
+from repro.obs.tracing import span as obs_span
 from repro.geometry.mbr import (
     maxdist_matrix,
     maxdist_to_boxes,
@@ -137,56 +145,71 @@ class QueryEngine:
         pool_before = self._pool_counters()
         metric = tree.metric
 
-        tree._charge_directory_scan()
-        dmin = mindist_matrix(queries, tree._lowers, tree._uppers, metric)
-        dmax = maxdist_matrix(queries, tree._lowers, tree._uppers, metric)
-        radii = self._guarantee_radii(dmax, k)
-        cand_mask = dmin <= radii[:, None]
+        with obs_span(
+            "directory-scan", disk=tree.disk, pages=tree.n_pages
+        ):
+            tree._charge_directory_scan()
+            dmin = mindist_matrix(
+                queries, tree._lowers, tree._uppers, metric
+            )
+            dmax = maxdist_matrix(
+                queries, tree._lowers, tree._uppers, metric
+            )
+        with obs_span("schedule", disk=tree.disk, queries=n_queries):
+            radii = self._guarantee_radii(dmax, k)
+            cand_mask = dmin <= radii[:, None]
 
         cache = PageDecodeCache(tree)
+        # "fetch" and "decode" spans open inside load().
         cache.load(np.flatnonzero(cand_mask.any(axis=0)))
 
-        # Phase 1 per query: point-level bounds; collect the refinement
-        # set (quantized points whose lower bound is within the k-th
-        # smallest upper bound).
-        exact_store = ExactBatchStore(tree)
-        plans = []
-        all_requests: set[tuple[int, int]] = set()
-        for i in range(n_queries):
-            plan = self._plan_knn_query(
-                queries[i], k, np.flatnonzero(cand_mask[i]), cache, metric
-            )
-            plans.append(plan)
-            all_requests.update(plan["refine"])
-
-        # Phase 2: one batched third-level fetch for every query.
-        points = exact_store.fetch_all(all_requests)
-
-        results = []
-        for i, plan in enumerate(plans):
-            best = KBest(k)
-            best.offer_many(plan["exact_dists"], plan["exact_ids"])
-            for key in plan["refine"]:
-                coords, pid = points[key]
-                best.offer(metric.distance(queries[i], coords), pid)
-            ids, dists = best.sorted_results()
-            results.append(
-                BatchQueryResult(
-                    ids=ids,
-                    distances=dists,
-                    stats=QueryStats(
-                        candidate_pages=int(cand_mask[i].sum()),
-                        candidate_points=plan["candidate_points"],
-                        refinements=len(plan["refine"]),
-                    ),
+        with obs_span("refine", disk=tree.disk) as refine_span:
+            # Phase 1 per query: point-level bounds; collect the
+            # refinement set (quantized points whose lower bound is
+            # within the k-th smallest upper bound).
+            exact_store = ExactBatchStore(tree)
+            plans = []
+            all_requests: set[tuple[int, int]] = set()
+            for i in range(n_queries):
+                plan = self._plan_knn_query(
+                    queries[i],
+                    k,
+                    np.flatnonzero(cand_mask[i]),
+                    cache,
+                    metric,
                 )
-            )
-        return BatchResult(
-            queries=results,
-            stats=self._batch_stats(
-                n_queries, before, pool_before, cache, exact_store
-            ),
+                plans.append(plan)
+                all_requests.update(plan["refine"])
+
+            # Phase 2: one batched third-level fetch for every query.
+            points = exact_store.fetch_all(all_requests)
+            if refine_span is not None:
+                refine_span.attrs["records"] = len(all_requests)
+
+            results = []
+            for i, plan in enumerate(plans):
+                best = KBest(k)
+                best.offer_many(plan["exact_dists"], plan["exact_ids"])
+                for key in plan["refine"]:
+                    coords, pid = points[key]
+                    best.offer(metric.distance(queries[i], coords), pid)
+                ids, dists = best.sorted_results()
+                results.append(
+                    BatchQueryResult(
+                        ids=ids,
+                        distances=dists,
+                        stats=QueryStats(
+                            candidate_pages=int(cand_mask[i].sum()),
+                            candidate_points=plan["candidate_points"],
+                            refinements=len(plan["refine"]),
+                        ),
+                    )
+                )
+        stats = self._batch_stats(
+            n_queries, before, pool_before, cache, exact_store
         )
+        self._observe_batch(stats, results, k=k)
+        return BatchResult(queries=results, stats=stats)
 
     def _plan_knn_query(self, query, k, pages, cache, metric) -> dict:
         """Bound every candidate point of one query; pick refinements."""
@@ -283,59 +306,68 @@ class QueryEngine:
         pool_before = self._pool_counters()
         metric = tree.metric
 
-        tree._charge_directory_scan()
-        dmin = mindist_matrix(queries, tree._lowers, tree._uppers, metric)
-        cand_mask = dmin <= radii[:, None]
+        with obs_span(
+            "directory-scan", disk=tree.disk, pages=tree.n_pages
+        ):
+            tree._charge_directory_scan()
+            dmin = mindist_matrix(
+                queries, tree._lowers, tree._uppers, metric
+            )
+        with obs_span("schedule", disk=tree.disk, queries=n_queries):
+            cand_mask = dmin <= radii[:, None]
 
         cache = PageDecodeCache(tree)
+        # "fetch" and "decode" spans open inside load().
         cache.load(np.flatnonzero(cand_mask.any(axis=0)))
 
-        exact_store = ExactBatchStore(tree)
-        plans = []
-        all_requests: set[tuple[int, int]] = set()
-        for i in range(n_queries):
-            plan = self._plan_range_query(
-                queries[i],
-                float(radii[i]),
-                np.flatnonzero(cand_mask[i]),
-                cache,
-                metric,
-            )
-            plans.append(plan)
-            all_requests.update(plan["refine"])
-
-        points = exact_store.fetch_all(all_requests)
-
-        results = []
-        for i, plan in enumerate(plans):
-            found_ids = list(plan["exact_ids"])
-            found_dists = list(plan["exact_dists"])
-            for key in plan["refine"]:
-                coords, pid = points[key]
-                dist = metric.distance(queries[i], coords)
-                if dist <= radii[i]:
-                    found_ids.append(pid)
-                    found_dists.append(dist)
-            order = np.argsort(found_dists, kind="stable")
-            results.append(
-                BatchQueryResult(
-                    ids=np.array(found_ids, dtype=np.int64)[order],
-                    distances=np.array(found_dists, dtype=np.float64)[
-                        order
-                    ],
-                    stats=QueryStats(
-                        candidate_pages=int(cand_mask[i].sum()),
-                        candidate_points=plan["candidate_points"],
-                        refinements=len(plan["refine"]),
-                    ),
+        with obs_span("refine", disk=tree.disk) as refine_span:
+            exact_store = ExactBatchStore(tree)
+            plans = []
+            all_requests: set[tuple[int, int]] = set()
+            for i in range(n_queries):
+                plan = self._plan_range_query(
+                    queries[i],
+                    float(radii[i]),
+                    np.flatnonzero(cand_mask[i]),
+                    cache,
+                    metric,
                 )
-            )
-        return BatchResult(
-            queries=results,
-            stats=self._batch_stats(
-                n_queries, before, pool_before, cache, exact_store
-            ),
+                plans.append(plan)
+                all_requests.update(plan["refine"])
+
+            points = exact_store.fetch_all(all_requests)
+            if refine_span is not None:
+                refine_span.attrs["records"] = len(all_requests)
+
+            results = []
+            for i, plan in enumerate(plans):
+                found_ids = list(plan["exact_ids"])
+                found_dists = list(plan["exact_dists"])
+                for key in plan["refine"]:
+                    coords, pid = points[key]
+                    dist = metric.distance(queries[i], coords)
+                    if dist <= radii[i]:
+                        found_ids.append(pid)
+                        found_dists.append(dist)
+                order = np.argsort(found_dists, kind="stable")
+                results.append(
+                    BatchQueryResult(
+                        ids=np.array(found_ids, dtype=np.int64)[order],
+                        distances=np.array(
+                            found_dists, dtype=np.float64
+                        )[order],
+                        stats=QueryStats(
+                            candidate_pages=int(cand_mask[i].sum()),
+                            candidate_points=plan["candidate_points"],
+                            refinements=len(plan["refine"]),
+                        ),
+                    )
+                )
+        stats = self._batch_stats(
+            n_queries, before, pool_before, cache, exact_store
         )
+        self._observe_batch(stats, results, k=None)
+        return BatchResult(queries=results, stats=stats)
 
     def _plan_range_query(
         self, query, radius, pages, cache, metric
@@ -396,3 +428,32 @@ class QueryEngine:
             pool_hits=hits,
             pool_misses=misses,
         )
+
+    def _observe_batch(
+        self,
+        stats: BatchStats,
+        results: list[BatchQueryResult],
+        k: int | None,
+    ) -> None:
+        """Feed registry instruments and the drift monitor (kNN only).
+
+        Physical I/O already landed in the registry through the
+        simulated disk; this records the engine-level view (batch and
+        per-query shape) plus predicted-vs-actual drift samples.  The
+        cost model predicts kNN queries, so range batches (``k=None``)
+        record no drift.
+        """
+        if not REGISTRY.enabled or stats.n_queries == 0:
+            return
+        BATCHES.inc()
+        BATCH_QUERIES.inc(stats.n_queries)
+        per_query_seconds = stats.io.elapsed / stats.n_queries
+        for result in results:
+            QUERY_SECONDS.observe(per_query_seconds)
+            if k is not None:
+                _DRIFT.observe_query(
+                    self.tree,
+                    k,
+                    actual_pages=result.stats.candidate_pages,
+                    actual_seconds=per_query_seconds,
+                )

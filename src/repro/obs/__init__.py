@@ -1,0 +1,66 @@
+"""``repro.obs`` -- zero-dependency telemetry for the IQ-tree stack.
+
+Three pieces, documented in :doc:`docs/observability.md`:
+
+* a process-wide **metrics registry** (:data:`registry`, from
+  :mod:`repro.obs.instruments`) of counters/gauges/histograms fed by
+  hooks in the storage, engine, optimizer, and persistence layers;
+  disabled by default, one-flag cheap until :func:`enable` is called;
+* a **tracing API** (:func:`trace_query` / :func:`span`) producing
+  nested spans with wall-clock and simulated-I/O attribution;
+* a **cost-model drift monitor** (:data:`drift`,
+  :class:`~repro.obs.drift.DriftMonitor`) recording predicted vs.
+  measured query cost per executed query.
+
+CLI frontends: ``python -m repro stats`` (registry dump, JSON or
+Prometheus text exposition) and ``python -m repro trace`` (span tree of
+one query).
+"""
+
+from repro.obs.drift import DriftMonitor, DriftReport, DriftSample
+from repro.obs.drift import MONITOR as drift
+from repro.obs.instruments import REGISTRY as registry
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.tracing import (
+    Span,
+    SpanIO,
+    Tracer,
+    active_tracer,
+    span,
+    trace_query,
+)
+
+__all__ = [
+    "registry",
+    "enable",
+    "disable",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Span",
+    "SpanIO",
+    "Tracer",
+    "span",
+    "trace_query",
+    "active_tracer",
+    "DriftMonitor",
+    "DriftReport",
+    "DriftSample",
+    "drift",
+]
+
+
+def enable() -> None:
+    """Turn the process-wide metrics registry on."""
+    registry.enable()
+
+
+def disable() -> None:
+    """Turn the process-wide metrics registry off (hooks become no-ops)."""
+    registry.disable()

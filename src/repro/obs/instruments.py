@@ -1,0 +1,147 @@
+"""The process-wide instrument catalogue.
+
+One :data:`REGISTRY` (disabled by default) and every named instrument
+the library's hooks write to.  Hooks in hot paths guard with
+``if REGISTRY.enabled:`` so a disabled registry costs one attribute
+check; everything funnels through this module so ``python -m repro
+stats`` and the tests see a single coherent catalogue.
+
+Accounting discipline (kept in sync with the tests in
+``tests/test_obs_registry.py``):
+
+* disk counters are fed **only** by
+  :meth:`repro.storage.disk.SimulatedDisk.read_blocks` -- the single
+  physical read path -- never by :class:`~repro.storage.disk.IOStats`
+  ledger arithmetic (``merged_with``/``reset``/snapshots), so ledger
+  bookkeeping in the query engine cannot double-count;
+* buffer-pool counters are fed only by :class:`~repro.storage.cache.
+  BufferPool` itself, so every caller (single-query, batched, planned)
+  shares one accounting path.
+"""
+
+from __future__ import annotations
+
+from repro.obs.registry import MetricsRegistry
+
+__all__ = ["REGISTRY"]
+
+#: The process-wide registry all library hooks write to.
+REGISTRY = MetricsRegistry(enabled=False)
+
+# ----------------------------------------------------------------------
+# Simulated disk (fed by SimulatedDisk.read_blocks only)
+# ----------------------------------------------------------------------
+DISK_SEEKS = REGISTRY.counter(
+    "iq_disk_seeks_total",
+    "Random positioning operations on the simulated disk",
+)
+DISK_BLOCKS_READ = REGISTRY.counter(
+    "iq_disk_blocks_read_total",
+    "Blocks transferred from the simulated disk (wanted or over-read)",
+)
+DISK_BLOCKS_OVERREAD = REGISTRY.counter(
+    "iq_disk_blocks_overread_total",
+    "Blocks transferred purely to bridge a gap between wanted blocks",
+)
+DISK_SIM_SECONDS = REGISTRY.counter(
+    "iq_disk_simulated_seconds_total",
+    "Simulated I/O time accrued by the disk model",
+)
+
+# ----------------------------------------------------------------------
+# Buffer pool
+# ----------------------------------------------------------------------
+POOL_HITS = REGISTRY.counter(
+    "iq_buffer_pool_hits_total", "Block lookups served from the pool"
+)
+POOL_MISSES = REGISTRY.counter(
+    "iq_buffer_pool_misses_total", "Block lookups that missed the pool"
+)
+POOL_EVICTIONS = REGISTRY.counter(
+    "iq_buffer_pool_evictions_total", "LRU evictions from the pool"
+)
+
+# ----------------------------------------------------------------------
+# Page scheduler (Section 2)
+# ----------------------------------------------------------------------
+SCHED_BATCH_PLANS = REGISTRY.counter(
+    "iq_scheduler_batched_plans_total",
+    "Optimal batched-fetch plans computed",
+)
+SCHED_PLANNED_RUNS = REGISTRY.counter(
+    "iq_scheduler_planned_runs_total",
+    "Sequential runs emitted by batched-fetch plans",
+)
+SCHED_WINDOWS = REGISTRY.counter(
+    "iq_scheduler_cost_balance_windows_total",
+    "Cost-balance windows evaluated (Section 2.1 NN scheduling)",
+)
+SCHED_WINDOW_BLOCKS = REGISTRY.histogram(
+    "iq_scheduler_window_blocks",
+    "Blocks per cost-balance window (1 = no speculative read)",
+    buckets=(1, 2, 4, 8, 16, 32, 64, 128),
+)
+
+# ----------------------------------------------------------------------
+# Query execution
+# ----------------------------------------------------------------------
+PAGES_DECODED = REGISTRY.counter(
+    "iq_pages_decoded_total",
+    "Quantized data pages decoded, by bit-width (label: bits)",
+)
+REFINEMENTS = REGISTRY.counter(
+    "iq_refinements_total",
+    "Third-level exact-coordinate look-ups",
+)
+QUERY_SECONDS = REGISTRY.histogram(
+    "iq_query_simulated_seconds",
+    "Simulated I/O time per query (batched queries report the "
+    "per-query share of their batch)",
+)
+BATCHES = REGISTRY.counter(
+    "iq_batches_total", "Query batches executed by the engine"
+)
+BATCH_QUERIES = REGISTRY.counter(
+    "iq_batch_queries_total", "Queries executed through the batch engine"
+)
+
+# ----------------------------------------------------------------------
+# Build / optimizer (Sections 3.4-3.6)
+# ----------------------------------------------------------------------
+OPT_RUNS = REGISTRY.counter(
+    "iq_optimizer_runs_total", "Optimal-quantization runs"
+)
+OPT_SPLITS = REGISTRY.counter(
+    "iq_optimizer_splits_total",
+    "Split-tree iterations performed by the optimizer",
+)
+OPT_PAGES = REGISTRY.gauge(
+    "iq_optimizer_pages",
+    "Page counts of the last optimizer run (label: stage = "
+    "initial | final)",
+)
+
+# ----------------------------------------------------------------------
+# Persistence
+# ----------------------------------------------------------------------
+CONTAINER_OPS = REGISTRY.counter(
+    "iq_container_operations_total",
+    "Container save/load/fsck outcomes (labels: op, outcome)",
+)
+
+# ----------------------------------------------------------------------
+# Cost-model drift (fed by repro.obs.drift.DriftMonitor)
+# ----------------------------------------------------------------------
+_DRIFT_BUCKETS = (0.01, 0.05, 0.1, 0.25, 0.5, 1.0, 2.0, 5.0, 10.0)
+DRIFT_PAGE_ERROR = REGISTRY.histogram(
+    "iq_costmodel_drift_page_relative_error",
+    "Relative error |actual - predicted| / predicted of the cost "
+    "model's per-query page-access prediction (eqs. 16-18)",
+    buckets=_DRIFT_BUCKETS,
+)
+DRIFT_TIME_ERROR = REGISTRY.histogram(
+    "iq_costmodel_drift_seconds_relative_error",
+    "Relative error of the cost model's per-query simulated-time "
+    "prediction (eq. 23)",
+    buckets=_DRIFT_BUCKETS,
+)

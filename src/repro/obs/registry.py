@@ -1,0 +1,370 @@
+"""A zero-dependency process-wide metrics registry.
+
+Three instrument kinds are provided -- monotonically increasing
+:class:`Counter`, last-value :class:`Gauge`, and fixed-boundary
+:class:`Histogram` -- all optionally labeled.  Instruments are created
+through (and owned by) a :class:`MetricsRegistry`, which exports the
+whole catalogue as a JSON-friendly dict (:meth:`MetricsRegistry.collect`)
+or in the Prometheus text exposition format
+(:meth:`MetricsRegistry.to_prometheus`).
+
+The registry carries a single :attr:`~MetricsRegistry.enabled` flag that
+gates *every* write: a disabled registry makes ``inc``/``set``/
+``observe`` early-return after one attribute check, so instrumentation
+threaded through hot paths costs next to nothing until someone turns it
+on (``python -m repro stats`` does, as do the observability tests).
+Hot call sites additionally guard with ``if REGISTRY.enabled:`` to skip
+the call entirely.
+
+Everything here is deliberately standalone: no imports from the rest of
+the package, so any layer (storage, engine, optimizer, persistence) can
+depend on it without cycles.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+]
+
+#: Default histogram boundaries (seconds-flavored, roughly logarithmic).
+DEFAULT_BUCKETS = (
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+)
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label_value(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _format_value(value: float) -> str:
+    """Prometheus-friendly number rendering (ints without a dot)."""
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    as_float = float(value)
+    if as_float.is_integer() and abs(as_float) < 1e15:
+        return str(int(as_float))
+    return repr(as_float)
+
+
+def _label_key(labels: dict[str, object]) -> tuple[tuple[str, str], ...]:
+    """Canonical hashable form of a label set (values coerced to str)."""
+    if not labels:
+        return ()
+    for name in labels:
+        if not _LABEL_RE.match(name):
+            raise ValueError(f"invalid label name: {name!r}")
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _render_labels(key: tuple[tuple[str, str], ...], extra: str = "") -> str:
+    parts = [f'{k}="{_escape_label_value(v)}"' for k, v in key]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+class _Instrument:
+    """Base class: a named instrument bound to one registry."""
+
+    kind = "untyped"
+
+    __slots__ = ("name", "help", "_registry")
+
+    def __init__(self, name: str, help: str, registry: "MetricsRegistry"):
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name: {name!r}")
+        self.name = name
+        self.help = help
+        self._registry = registry
+
+    def _reset(self) -> None:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class Counter(_Instrument):
+    """A monotonically increasing sum, optionally labeled."""
+
+    kind = "counter"
+
+    __slots__ = ("_values",)
+
+    def __init__(self, name, help, registry):
+        super().__init__(name, help, registry)
+        self._values: dict[tuple, float] = {}
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        """Add ``amount`` (must be non-negative) to the labeled series."""
+        if not self._registry.enabled:
+            return
+        if amount < 0:
+            raise ValueError("counters only go up")
+        key = _label_key(labels)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels) -> float:
+        """Current value of one labeled series (0 when never incremented)."""
+        return self._values.get(_label_key(labels), 0.0)
+
+    def _reset(self) -> None:
+        self._values.clear()
+
+    def _collect(self) -> list[dict]:
+        return [
+            {"labels": dict(key), "value": value}
+            for key, value in sorted(self._values.items())
+        ]
+
+    def _expose(self) -> Iterator[str]:
+        for key, value in sorted(self._values.items()):
+            yield f"{self.name}{_render_labels(key)} {_format_value(value)}"
+
+
+class Gauge(_Instrument):
+    """A value that can go up and down (last write wins)."""
+
+    kind = "gauge"
+
+    __slots__ = ("_values",)
+
+    def __init__(self, name, help, registry):
+        super().__init__(name, help, registry)
+        self._values: dict[tuple, float] = {}
+
+    def set(self, value: float, **labels) -> None:
+        """Set the labeled series to ``value``."""
+        if not self._registry.enabled:
+            return
+        self._values[_label_key(labels)] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        """Add ``amount`` (may be negative) to the labeled series."""
+        if not self._registry.enabled:
+            return
+        key = _label_key(labels)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels) -> float:
+        """Current value of one labeled series (0 when never set)."""
+        return self._values.get(_label_key(labels), 0.0)
+
+    def _reset(self) -> None:
+        self._values.clear()
+
+    _collect = Counter._collect
+    _expose = Counter._expose
+
+
+class Histogram(_Instrument):
+    """Bucketed distribution with fixed boundaries.
+
+    Boundaries are upper bucket bounds (``le`` semantics); an implicit
+    ``+Inf`` bucket always exists, so ``observe`` never drops a sample.
+    """
+
+    kind = "histogram"
+
+    __slots__ = ("buckets", "_series")
+
+    def __init__(self, name, help, registry, buckets=DEFAULT_BUCKETS):
+        super().__init__(name, help, registry)
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or any(
+            b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])
+        ):
+            raise ValueError("bucket bounds must be strictly increasing")
+        self.buckets = bounds
+        # label key -> [per-bucket counts..., +Inf count, sum, count]
+        self._series: dict[tuple, list] = {}
+
+    def observe(self, value: float, **labels) -> None:
+        """Record one sample."""
+        if not self._registry.enabled:
+            return
+        key = _label_key(labels)
+        series = self._series.get(key)
+        if series is None:
+            series = self._series[key] = (
+                [0] * (len(self.buckets) + 1) + [0.0, 0]
+            )
+        value = float(value)
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                series[i] += 1
+                break
+        else:
+            series[len(self.buckets)] += 1
+        series[-2] += value
+        series[-1] += 1
+
+    def count(self, **labels) -> int:
+        """Number of samples observed in one labeled series."""
+        series = self._series.get(_label_key(labels))
+        return 0 if series is None else int(series[-1])
+
+    def sum(self, **labels) -> float:
+        """Sum of samples observed in one labeled series."""
+        series = self._series.get(_label_key(labels))
+        return 0.0 if series is None else float(series[-2])
+
+    def _reset(self) -> None:
+        self._series.clear()
+
+    def _collect(self) -> list[dict]:
+        out = []
+        for key, series in sorted(self._series.items()):
+            buckets = {
+                _format_value(b): int(n)
+                for b, n in zip(self.buckets, series)
+            }
+            buckets["+Inf"] = int(series[len(self.buckets)])
+            out.append(
+                {
+                    "labels": dict(key),
+                    "buckets": buckets,
+                    "sum": float(series[-2]),
+                    "count": int(series[-1]),
+                }
+            )
+        return out
+
+    def _expose(self) -> Iterator[str]:
+        for key, series in sorted(self._series.items()):
+            cumulative = 0
+            for bound, n in zip(self.buckets, series):
+                cumulative += n
+                labels = _render_labels(
+                    key, f'le="{_format_value(bound)}"'
+                )
+                yield f"{self.name}_bucket{labels} {cumulative}"
+            cumulative += series[len(self.buckets)]
+            labels = _render_labels(key, 'le="+Inf"')
+            yield f"{self.name}_bucket{labels} {cumulative}"
+            plain = _render_labels(key)
+            yield f"{self.name}_sum{plain} {_format_value(series[-2])}"
+            yield f"{self.name}_count{plain} {series[-1]}"
+
+
+class MetricsRegistry:
+    """Owns a named set of instruments behind one enable flag."""
+
+    def __init__(self, enabled: bool = False):
+        self.enabled = bool(enabled)
+        self._instruments: dict[str, _Instrument] = {}
+
+    # ------------------------------------------------------------------
+    # Instrument creation (get-or-create, kind-checked)
+    # ------------------------------------------------------------------
+    def _register(self, cls, name, help, **kwargs):
+        existing = self._instruments.get(name)
+        if existing is not None:
+            if type(existing) is not cls:
+                raise ValueError(
+                    f"metric {name!r} already registered as "
+                    f"{existing.kind}, not {cls.kind}"
+                )
+            return existing
+        instrument = cls(name, help, self, **kwargs)
+        self._instruments[name] = instrument
+        return instrument
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        """Get or create a counter."""
+        return self._register(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        """Get or create a gauge."""
+        return self._register(Gauge, name, help)
+
+    def histogram(
+        self, name: str, help: str = "", buckets=DEFAULT_BUCKETS
+    ) -> Histogram:
+        """Get or create a histogram with fixed bucket boundaries."""
+        return self._register(Histogram, name, help, buckets=buckets)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def enable(self) -> None:
+        """Turn instrumentation on (writes start landing)."""
+        self.enabled = True
+
+    def disable(self) -> None:
+        """Turn instrumentation off (writes become cheap no-ops)."""
+        self.enabled = False
+
+    def reset(self) -> None:
+        """Zero every instrument's values (instruments stay registered)."""
+        for instrument in self._instruments.values():
+            instrument._reset()
+
+    # ------------------------------------------------------------------
+    # Introspection / export
+    # ------------------------------------------------------------------
+    def get(self, name: str) -> _Instrument:
+        """Look up one instrument by name (KeyError when absent)."""
+        return self._instruments[name]
+
+    def __iter__(self) -> Iterator[_Instrument]:
+        return iter(self._instruments.values())
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def collect(self) -> dict:
+        """The whole registry as a JSON-serializable dict."""
+        return {
+            name: {
+                "type": inst.kind,
+                "help": inst.help,
+                "samples": inst._collect(),
+            }
+            for name, inst in sorted(self._instruments.items())
+        }
+
+    def to_prometheus(self) -> str:
+        """The whole registry in Prometheus text exposition format."""
+        lines: list[str] = []
+        for name, inst in sorted(self._instruments.items()):
+            if inst.help:
+                lines.append(f"# HELP {name} {_escape_help(inst.help)}")
+            lines.append(f"# TYPE {name} {inst.kind}")
+            lines.extend(inst._expose())
+        return "\n".join(lines) + "\n"
+
+    def __repr__(self) -> str:
+        state = "enabled" if self.enabled else "disabled"
+        return f"MetricsRegistry({len(self)} instruments, {state})"

@@ -18,6 +18,12 @@ from __future__ import annotations
 from collections import OrderedDict
 
 from repro.exceptions import StorageError
+from repro.obs.instruments import (
+    POOL_EVICTIONS,
+    POOL_HITS,
+    POOL_MISSES,
+    REGISTRY,
+)
 from repro.storage.blockfile import BlockFile
 
 __all__ = ["BufferPool", "CachedBlockFile"]
@@ -50,8 +56,12 @@ class BufferPool:
         if address in self._resident:
             self._resident.move_to_end(address)
             self.hits += 1
+            if REGISTRY.enabled:
+                POOL_HITS.inc()
             return True
         self.misses += 1
+        if REGISTRY.enabled:
+            POOL_MISSES.inc()
         return False
 
     def peek(self, address: int) -> bool:
@@ -74,6 +84,11 @@ class BufferPool:
             raise StorageError("lookup counts must be non-negative")
         self.hits += hits
         self.misses += misses
+        if REGISTRY.enabled:
+            if hits:
+                POOL_HITS.inc(hits)
+            if misses:
+                POOL_MISSES.inc(misses)
 
     def admit(self, address: int) -> None:
         """Insert ``address``, evicting the least recently used block."""
@@ -84,6 +99,8 @@ class BufferPool:
             return
         if len(self._resident) >= self.capacity:
             self._resident.popitem(last=False)
+            if REGISTRY.enabled:
+                POOL_EVICTIONS.inc()
         self._resident[address] = None
 
     def invalidate(self, address: int) -> None:
@@ -101,7 +118,13 @@ class BufferPool:
 
     @property
     def hit_rate(self) -> float:
-        """Hits / lookups (0 when nothing was looked up)."""
+        """Fraction of charged lookups served from the pool.
+
+        Defined as ``hits / (hits + misses)``.  When no lookups have
+        been charged yet the rate is **0.0** by definition (a cold pool
+        has served nothing), never a zero-division error -- callers may
+        read it at any time, including on a freshly created pool.
+        """
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 

@@ -19,9 +19,16 @@ cheaper to read the gap than to seek over it (paper, Section 2).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.exceptions import StorageError
+from repro.obs.instruments import (
+    DISK_BLOCKS_OVERREAD,
+    DISK_BLOCKS_READ,
+    DISK_SEEKS,
+    DISK_SIM_SECONDS,
+    REGISTRY,
+)
 
 __all__ = ["DiskModel", "IOStats", "SimulatedDisk"]
 
@@ -48,10 +55,26 @@ class DiskModel:
     block_size: int = 8192
 
     def __post_init__(self) -> None:
-        if self.t_seek < 0 or self.t_xfer <= 0:
-            raise StorageError("t_seek must be >= 0 and t_xfer > 0")
+        """Reject degenerate models up front.
+
+        A zero or negative seek/transfer time would silently zero out
+        entire terms of the Section 3 cost model (and the drift monitor
+        comparing against it), so all three parameters must be strictly
+        positive.  Raises :class:`ValueError` -- the standard signal for
+        a bad constructor argument.
+        """
+        if self.t_seek <= 0:
+            raise ValueError(
+                f"t_seek must be positive, got {self.t_seek!r}"
+            )
+        if self.t_xfer <= 0:
+            raise ValueError(
+                f"t_xfer must be positive, got {self.t_xfer!r}"
+            )
         if self.block_size <= 0:
-            raise StorageError("block_size must be positive")
+            raise ValueError(
+                f"block_size must be positive, got {self.block_size!r}"
+            )
 
     @property
     def overread_window(self) -> float:
@@ -87,13 +110,19 @@ class IOStats:
         Subset of ``blocks_read`` transferred purely to bridge a gap.
     elapsed:
         Total simulated time in seconds.
+
+    The ledger is *pure bookkeeping*: none of its methods (including
+    :meth:`merged_with` and :meth:`reset`) touch the process-wide
+    metrics registry.  Registry disk counters are fed exclusively by
+    :meth:`SimulatedDisk.read_blocks`, the single physical read path,
+    so snapshot/delta/merge arithmetic in higher layers (e.g. the batch
+    query engine) can never double-count an I/O.
     """
 
     seeks: int = 0
     blocks_read: int = 0
     blocks_overread: int = 0
     elapsed: float = 0.0
-    _extra: dict = field(default_factory=dict)
 
     def add_seek(self, model: DiskModel, count: int = 1) -> None:
         """Record ``count`` random seeks."""
@@ -117,13 +146,27 @@ class IOStats:
         self.elapsed += blocks * model.t_xfer
 
     def merged_with(self, other: "IOStats") -> "IOStats":
-        """Return a new ledger with both ledgers' counters summed."""
+        """Return a new ledger with both ledgers' counters summed.
+
+        Carries every counter field, so merging and then resetting the
+        inputs round-trips exactly (no information lives outside the
+        four counters).
+        """
         return IOStats(
             seeks=self.seeks + other.seeks,
             blocks_read=self.blocks_read + other.blocks_read,
             blocks_overread=self.blocks_overread + other.blocks_overread,
             elapsed=self.elapsed + other.elapsed,
         )
+
+    def as_dict(self) -> dict:
+        """The four counters as a plain dict (JSON/trace export)."""
+        return {
+            "seeks": self.seeks,
+            "blocks_read": self.blocks_read,
+            "blocks_overread": self.blocks_overread,
+            "elapsed": self.elapsed,
+        }
 
     def reset(self) -> None:
         """Zero all counters."""
@@ -173,10 +216,21 @@ class SimulatedDisk:
         """
         if count <= 0:
             return
-        if start != self._head:
+        seeked = start != self._head
+        if seeked:
             self.stats.add_seek(self.model)
         self.stats.add_transfer(self.model, count, overread=overread)
         self._head = start + count
+        if REGISTRY.enabled:
+            # The one place physical reads feed the metrics registry;
+            # see the IOStats docstring for the accounting discipline.
+            if seeked:
+                DISK_SEEKS.inc()
+                DISK_SIM_SECONDS.inc(self.model.t_seek)
+            DISK_BLOCKS_READ.inc(count)
+            if overread:
+                DISK_BLOCKS_OVERREAD.inc(overread)
+            DISK_SIM_SECONDS.inc(count * self.model.t_xfer)
 
     def read_block(self, address: int) -> None:
         """Account a single-block read at ``address``."""

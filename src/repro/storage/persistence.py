@@ -60,6 +60,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.exceptions import IntegrityError, StorageError
+from repro.obs.instruments import CONTAINER_OPS, REGISTRY
 from repro.core.optimizer import OptimizedPartition
 from repro.core.partition import Partition
 from repro.core.tree import IQTree
@@ -222,7 +223,14 @@ def save_iqtree(tree: IQTree, path, *, fsync: bool = True) -> None:
     scratch files, same atomicity against process crashes (but not
     against power loss).
     """
-    _atomic_write(path, serialize_iqtree(tree), fsync=fsync)
+    try:
+        _atomic_write(path, serialize_iqtree(tree), fsync=fsync)
+    except Exception:
+        if REGISTRY.enabled:
+            CONTAINER_OPS.inc(op="save", outcome="error")
+        raise
+    if REGISTRY.enabled:
+        CONTAINER_OPS.inc(op="save", outcome="ok")
 
 
 # ----------------------------------------------------------------------
@@ -245,6 +253,24 @@ def load_iqtree(
     precision loss; they carry no checksums, so ``verify=True`` is
     rejected for them.
     """
+    try:
+        tree = _load_iqtree(path, disk, verify=verify)
+    except IntegrityError:
+        if REGISTRY.enabled:
+            CONTAINER_OPS.inc(op="load", outcome="corrupt")
+        raise
+    except Exception:
+        if REGISTRY.enabled:
+            CONTAINER_OPS.inc(op="load", outcome="error")
+        raise
+    if REGISTRY.enabled:
+        CONTAINER_OPS.inc(op="load", outcome="ok")
+    return tree
+
+
+def _load_iqtree(
+    path, disk: SimulatedDisk | None, *, verify: bool
+) -> IQTree:
     raw = Path(path).read_bytes()
     magic = raw[: len(MAGIC_V2)]
     if magic == MAGIC_V2:
@@ -503,6 +529,14 @@ def verify_container(path) -> FsckReport:
     checks every section independently and reports all of them -- the
     engine behind ``python -m repro fsck``.
     """
+    report = _verify_container(path)
+    if REGISTRY.enabled:
+        outcome = "ok" if report.ok else "corrupt"
+        CONTAINER_OPS.inc(op="fsck", outcome=outcome)
+    return report
+
+
+def _verify_container(path) -> FsckReport:
     raw = Path(path).read_bytes()
     if raw[: len(MAGIC_V1)] == MAGIC_V1:
         return _fsck_v1(raw, path)

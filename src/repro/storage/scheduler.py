@@ -20,6 +20,13 @@ from __future__ import annotations
 from typing import Callable, Iterator, Sequence
 
 from repro.exceptions import StorageError
+from repro.obs.instruments import (
+    REGISTRY,
+    SCHED_BATCH_PLANS,
+    SCHED_PLANNED_RUNS,
+    SCHED_WINDOW_BLOCKS,
+    SCHED_WINDOWS,
+)
 from repro.storage.disk import DiskModel
 
 __all__ = [
@@ -58,18 +65,25 @@ def plan_batched_fetch(
         return
     if any(b2 <= b1 for b1, b2 in zip(blocks, blocks[1:])):
         raise StorageError("block list must be strictly increasing")
+    if REGISTRY.enabled:
+        SCHED_BATCH_PLANS.inc()
     run_start = blocks[0]
     run_end = blocks[0]  # inclusive
     wanted = 1
+    runs = 0
     for block in blocks[1:]:
         gap = block - run_end - 1
         if gap == 0 or gap < overread_window:
             run_end = block
             wanted += 1
         else:
+            runs += 1
             yield run_start, run_end - run_start + 1, wanted
             run_start = run_end = block
             wanted = 1
+    runs += 1
+    if REGISTRY.enabled:
+        SCHED_PLANNED_RUNS.inc(runs)
     yield run_start, run_end - run_start + 1, wanted
 
 
@@ -165,4 +179,7 @@ def cost_balance_window(
 
     last = _scan(+1)
     first = _scan(-1)
+    if REGISTRY.enabled:
+        SCHED_WINDOWS.inc()
+        SCHED_WINDOW_BLOCKS.observe(last - first + 1)
     return first, last

@@ -1,0 +1,147 @@
+"""Cost-model drift monitor: deterministic percentile math, prediction
+caching, and the registry histogram feed."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.tree import IQTree
+from repro.obs.drift import DriftMonitor, DriftReport, DriftSample
+from repro.obs.instruments import (
+    DRIFT_PAGE_ERROR,
+    DRIFT_TIME_ERROR,
+    REGISTRY,
+)
+from repro.storage.disk import DiskModel, SimulatedDisk
+
+
+@pytest.fixture
+def live_registry():
+    REGISTRY.reset()
+    REGISTRY.enable()
+    try:
+        yield REGISTRY
+    finally:
+        REGISTRY.disable()
+        REGISTRY.reset()
+
+
+@pytest.fixture
+def tree(rng):
+    disk = SimulatedDisk(
+        DiskModel(t_seek=0.010, t_xfer=0.001, block_size=512)
+    )
+    return IQTree.build(rng.random((800, 6)), disk=disk)
+
+
+class TestDriftSample:
+    def test_relative_errors(self):
+        s = DriftSample(
+            predicted_pages=4.0,
+            actual_pages=5.0,
+            predicted_seconds=0.10,
+            actual_seconds=0.08,
+        )
+        assert s.page_error == pytest.approx(0.25)
+        assert s.time_error == pytest.approx(0.2)
+
+    def test_zero_prediction_does_not_divide_by_zero(self):
+        s = DriftSample(
+            predicted_pages=0.0,
+            actual_pages=1.0,
+            predicted_seconds=0.0,
+            actual_seconds=0.0,
+        )
+        assert s.page_error > 0
+        assert s.time_error == 0.0
+
+
+class TestDriftMonitorDeterministic:
+    def test_percentiles_over_known_workload(self):
+        """Errors 0.1, 0.2, ..., 1.0 give known percentile positions."""
+        monitor = DriftMonitor()
+        for i in range(1, 11):
+            monitor.record(
+                predicted_pages=10.0,
+                actual_pages=10.0 + i,  # error = i / 10
+                predicted_seconds=1.0,
+                actual_seconds=1.0 + i / 10,
+            )
+        report = monitor.report()
+        assert report.count == 10
+        assert report.page_error_mean == pytest.approx(0.55)
+        assert report.page_error_p50 == pytest.approx(0.55)
+        assert report.page_error_p90 == pytest.approx(0.91)
+        assert report.page_error_max == pytest.approx(1.0)
+        assert report.time_error_max == pytest.approx(1.0)
+
+    def test_empty_report(self):
+        report = DriftMonitor().report()
+        assert report == DriftReport(0, *([0.0] * 8))
+        assert "no samples" in report.summary()
+
+    def test_window_is_bounded(self):
+        monitor = DriftMonitor(capacity=3)
+        for i in range(10):
+            monitor.record(1.0, 1.0 + i, 1.0, 1.0)
+        assert len(monitor) == 3
+        assert monitor.samples[0].actual_pages == pytest.approx(8.0)
+
+    def test_reset(self):
+        monitor = DriftMonitor()
+        monitor.record(1.0, 2.0, 1.0, 2.0)
+        monitor.reset()
+        assert len(monitor) == 0
+
+    def test_to_dict_round_trips_summary_fields(self):
+        monitor = DriftMonitor()
+        monitor.record(1.0, 2.0, 1.0, 1.5)
+        payload = monitor.report().to_dict()
+        assert payload["count"] == 1
+        assert payload["page_error"]["max"] == pytest.approx(1.0)
+        assert payload["time_error"]["max"] == pytest.approx(0.5)
+
+
+class TestObserveQuery:
+    def test_records_against_tree_model(self, tree):
+        monitor = DriftMonitor()
+        sample = monitor.observe_query(
+            tree, k=3, actual_pages=4, actual_seconds=0.05
+        )
+        assert sample.predicted_pages > 0
+        assert sample.predicted_seconds > 0
+        assert len(monitor) == 1
+
+    def test_prediction_cached_per_layout_and_k(self, tree):
+        monitor = DriftMonitor()
+        monitor.observe_query(tree, 3, 4, 0.05)
+        monitor.observe_query(tree, 3, 5, 0.06)
+        assert len(monitor._predictions) == 1
+        monitor.observe_query(tree, 5, 5, 0.06)
+        assert len(monitor._predictions) == 2
+
+    def test_query_paths_feed_monitor_and_histograms(
+        self, tree, rng, live_registry
+    ):
+        from repro import obs
+        from repro.core.search import nearest_neighbors
+
+        obs.drift.reset()
+        engine = tree.query_engine()
+        batch = engine.knn_batch(rng.random((4, 6)), k=2)
+        assert len(batch.queries) == 4
+        nearest_neighbors(tree, rng.random(6), k=2)
+        assert len(obs.drift) == 5
+        assert DRIFT_PAGE_ERROR.count() == 5
+        assert DRIFT_TIME_ERROR.count() == 5
+        obs.drift.reset()
+
+    def test_disabled_registry_records_no_histograms(self, tree, rng):
+        from repro import obs
+
+        assert not REGISTRY.enabled
+        obs.drift.reset()
+        before = DRIFT_PAGE_ERROR.count()
+        tree.query_engine().knn_batch(rng.random((3, 6)), k=2)
+        assert DRIFT_PAGE_ERROR.count() == before
+        assert len(obs.drift) == 0  # monitor only fed when enabled

@@ -1,0 +1,157 @@
+"""Query tracing: span nesting, exact simulated-I/O attribution, and
+the no-op fast path when nobody is tracing."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.tree import IQTree
+from repro.obs.tracing import (
+    Span,
+    SpanIO,
+    Tracer,
+    _NULL_SPAN,
+    active_tracer,
+    span,
+    trace_query,
+)
+from repro.storage.disk import DiskModel, SimulatedDisk
+
+
+@pytest.fixture
+def tree(rng):
+    disk = SimulatedDisk(
+        DiskModel(t_seek=0.010, t_xfer=0.001, block_size=512)
+    )
+    return IQTree.build(rng.random((800, 6)), disk=disk)
+
+
+class TestSpanIO:
+    def test_arithmetic(self):
+        a = SpanIO(seeks=2, blocks_read=5, blocks_overread=1, elapsed=0.5)
+        b = SpanIO(seeks=1, blocks_read=2, blocks_overread=0, elapsed=0.2)
+        assert (a - b).seeks == 1
+        assert (a + b).blocks_read == 7
+        assert (a - b).elapsed == pytest.approx(0.3)
+
+
+class TestTracerStructure:
+    def test_nesting(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            with tracer.span("a"):
+                with tracer.span("a1"):
+                    pass
+            with tracer.span("b"):
+                pass
+        root = tracer.root
+        assert [c.name for c in root.children] == ["a", "b"]
+        assert root.children[0].children[0].name == "a1"
+        assert root.find("a1") is root.children[0].children[0]
+        assert root.find("missing") is None
+
+    def test_wall_clock_recorded(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            pass
+        assert tracer.root.wall_seconds >= 0.0
+
+    def test_json_round_trip(self):
+        tracer = Tracer()
+        with tracer.span("root", queries=3):
+            with tracer.span("child"):
+                pass
+        payload = json.loads(tracer.to_json())
+        assert payload["spans"][0]["name"] == "root"
+        assert payload["spans"][0]["attrs"] == {"queries": 3}
+        assert payload["spans"][0]["children"][0]["name"] == "child"
+
+    def test_render_lists_all_spans(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            with tracer.span("child"):
+                pass
+        rendered = tracer.render()
+        assert "root" in rendered and "child" in rendered
+
+
+class TestAmbientSpan:
+    def test_null_span_outside_trace_query(self):
+        assert active_tracer() is None
+        assert span("anything") is _NULL_SPAN
+        with span("anything") as node:
+            assert node is None
+
+    def test_active_inside_trace_query(self, tree):
+        with trace_query(tree) as tracer:
+            assert active_tracer() is tracer
+            with span("inner") as node:
+                assert isinstance(node, Span)
+        assert active_tracer() is None
+        assert tracer.root.children[0].name == "inner"
+
+    def test_tracer_popped_on_error(self, tree):
+        with pytest.raises(RuntimeError):
+            with trace_query(tree):
+                raise RuntimeError("boom")
+        assert active_tracer() is None
+
+
+class TestIOAttribution:
+    def test_engine_spans_sum_to_batch_total(self, tree, rng):
+        """Acceptance: per-span own I/O sums to the IOStats ledger."""
+        engine = tree.query_engine()
+        queries = rng.random((4, 6))
+        with trace_query(engine) as tracer:
+            batch = engine.knn_batch(queries, k=3)
+        root = tracer.root
+        own = SpanIO()
+        for node in root.walk():
+            own = own + node.own_io
+        ledger = batch.stats.io
+        assert own.seeks == ledger.seeks == root.io.seeks
+        assert own.blocks_read == ledger.blocks_read
+        assert own.blocks_overread == ledger.blocks_overread
+        assert own.elapsed == pytest.approx(ledger.elapsed, abs=1e-12)
+
+    def test_engine_emits_expected_span_chain(self, tree, rng):
+        engine = tree.query_engine()
+        with trace_query(engine) as tracer:
+            engine.knn_batch(rng.random((2, 6)), k=2)
+        names = [c.name for c in tracer.root.children]
+        assert names[:2] == ["directory-scan", "schedule"]
+        assert "refine" in names
+        # Cold tree: the candidate pages must actually be fetched.
+        assert "fetch" in names and "decode" in names
+
+    def test_directory_scan_io_positive(self, tree, rng):
+        engine = tree.query_engine()
+        with trace_query(engine) as tracer:
+            engine.knn_batch(rng.random((2, 6)), k=2)
+        scan = tracer.root.find("directory-scan")
+        assert scan.io.blocks_read >= 1
+
+    def test_range_batch_traces_too(self, tree, rng):
+        engine = tree.query_engine()
+        with trace_query(engine) as tracer:
+            batch = engine.range_batch(rng.random((3, 6)), radius=0.4)
+        own = SpanIO()
+        for node in tracer.root.walk():
+            own = own + node.own_io
+        assert own.elapsed == pytest.approx(
+            batch.stats.io.elapsed, abs=1e-12
+        )
+
+    def test_disk_none_records_zero_io(self):
+        with trace_query(None) as tracer:
+            with span("inner"):
+                pass
+        assert tracer.root.io == SpanIO()
+
+    def test_untraced_run_unaffected(self, tree, rng):
+        """Running without trace_query must not create spans anywhere."""
+        engine = tree.query_engine()
+        engine.knn_batch(rng.random((2, 6)), k=2)
+        assert active_tracer() is None

@@ -56,6 +56,17 @@ class TestBufferPool:
         assert pool.hits == 1 and pool.misses == 1
         assert pool.hit_rate == pytest.approx(0.5)
 
+    def test_hit_rate_defined_on_cold_pool(self):
+        # Regression: hit_rate is 0.0 by definition before any charged
+        # lookup -- never a ZeroDivisionError, readable at any time.
+        pool = BufferPool(4)
+        assert pool.hit_rate == 0.0
+        assert "hit_rate=0.00" in repr(pool)
+        pool.admit(1)  # admissions alone charge no lookups
+        assert pool.hit_rate == 0.0
+        pool.record()  # zero-count charge keeps it well-defined
+        assert pool.hit_rate == 0.0
+
     def test_invalidate(self):
         pool = BufferPool(4)
         pool.admit(1)

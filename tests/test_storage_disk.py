@@ -26,12 +26,18 @@ class TestDiskModel:
         assert model.random_read_time(3) == pytest.approx(0.033)
 
     def test_validation(self):
-        with pytest.raises(StorageError):
+        with pytest.raises(ValueError, match="t_xfer must be positive"):
             DiskModel(t_xfer=0.0)
-        with pytest.raises(StorageError):
+        with pytest.raises(ValueError, match="t_seek must be positive"):
             DiskModel(t_seek=-1.0)
-        with pytest.raises(StorageError):
+        with pytest.raises(ValueError, match="t_seek must be positive"):
+            DiskModel(t_seek=0.0)
+        with pytest.raises(
+            ValueError, match="block_size must be positive"
+        ):
             DiskModel(block_size=0)
+        with pytest.raises(ValueError, match="got -4"):
+            DiskModel(block_size=-4)
 
     def test_frozen(self):
         model = DiskModel()
