@@ -1,0 +1,166 @@
+"""Fault-tolerance overhead -- the pristine read path must stay ~free.
+
+The read-path fault layer (``repro.storage.runtime_faults``) guards
+everything behind two cheap checks: ``disk.fault_injector is None`` on
+every timed block delivery and ``tree._fault_ctx is None`` at the query
+layer.  With no injector installed and no fault context attached, a
+query must cost the same as it did before the layer existed: no CRC is
+computed, no quarantine is consulted, no payload is routed through a
+filter.
+
+This bench times the same kNN batch workload twice: once with the
+shipped code (no injector, no context -- the production default) and
+once with the hottest read methods monkeypatched back to pristine,
+guard-free versions.  The relative overhead must stay under
+``IQ_CHAOS_OVERHEAD_THRESHOLD`` (default 0.05, i.e. 5%).  CI runs this
+in smoke mode with a laxer threshold because shared runners time
+noisily.  Min-of-N timing suppresses scheduler noise.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from benchmarks.conftest import scaled
+from repro.core.tree import IQTree
+from repro.datasets import make_workload, uniform
+from repro.engine.engine import QueryEngine
+from repro.experiments.harness import experiment_disk
+from repro.storage.blockfile import BlockFile
+from repro.storage.cache import BufferPool
+
+REPS = 5
+BATCHES = 6
+BATCH_SIZE = 16
+K = 5
+
+
+def _threshold() -> float:
+    return float(os.environ.get("IQ_CHAOS_OVERHEAD_THRESHOLD", "0.05"))
+
+
+@pytest.fixture(scope="module")
+def workload():
+    data, queries = make_workload(
+        uniform,
+        n=scaled(8_000),
+        n_queries=BATCHES * BATCH_SIZE,
+        seed=13,
+        dim=8,
+    )
+    tree = IQTree.build(data, disk=experiment_disk())
+    return tree, queries
+
+
+def _run(tree, queries) -> None:
+    engine = QueryEngine(tree, pool=BufferPool(128))
+    for i in range(BATCHES):
+        batch = queries[i * BATCH_SIZE : (i + 1) * BATCH_SIZE]
+        engine.knn_batch(batch, k=K)
+
+
+def _time(tree, queries) -> float:
+    best = float("inf")
+    for _ in range(REPS):
+        t0 = time.perf_counter()
+        _run(tree, queries)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+# ----------------------------------------------------------------------
+# Pristine (guard-free) copies of the read methods the fault layer
+# touched: the shipped implementations minus the injector branch.
+# ----------------------------------------------------------------------
+def _pristine_read_block(self, index):
+    self._check_index(index)
+    self._disk.read_blocks(self._address(index), 1)
+    return self._blocks[index]
+
+
+def _pristine_read_run(self, start, count, wanted=-1):
+    self._check_index(start)
+    if count <= 0:
+        raise AssertionError("run length must be positive")
+    self._check_index(start + count - 1)
+    overread = 0 if wanted < 0 else max(0, count - wanted)
+    self._disk.read_blocks(self._address(start), count, overread=overread)
+    return self._blocks[start : start + count]
+
+
+def _patch_pristine(monkeypatch) -> None:
+    monkeypatch.setattr(BlockFile, "read_block", _pristine_read_block)
+    monkeypatch.setattr(BlockFile, "read_run", _pristine_read_run)
+    monkeypatch.setattr(
+        QueryEngine, "_fault_counters", lambda self: (0, 0, 0, 0)
+    )
+
+
+def test_no_faults_read_path_overhead(workload, monkeypatch):
+    tree, queries = workload
+    assert tree.disk.fault_injector is None
+    assert tree._fault_ctx is None
+
+    guarded = _time(tree, queries)
+    with monkeypatch.context() as patched:
+        _patch_pristine(patched)
+        pristine = _time(tree, queries)
+
+    overhead = (guarded - pristine) / pristine
+    threshold = _threshold()
+    print(
+        f"\nno-faults read-path overhead: {overhead * 100:+.2f}% "
+        f"(pristine {pristine * 1e3:.1f} ms, "
+        f"guarded {guarded * 1e3:.1f} ms, "
+        f"threshold {threshold * 100:.0f}%)"
+    )
+    assert overhead < threshold, (
+        f"fault-tolerance guards cost {overhead * 100:.1f}% "
+        f"(> {threshold * 100:.0f}%) with no injector installed; a "
+        "hot-path check is doing real work in the pristine case"
+    )
+
+
+def test_injector_cost_reported_not_asserted(workload):
+    """Informational: what an installed (observing) injector costs.
+
+    Installing an injector turns on per-block delivery filtering and
+    CRC verification -- that price is expected and only paid when a
+    chaos schedule is active.
+    """
+    from repro.storage.faults import ReadFaultInjector
+
+    tree, queries = workload
+    plain = _time(tree, queries)
+    tree.disk.install_fault_injector(ReadFaultInjector())
+    try:
+        observed = _time(tree, queries)
+    finally:
+        tree.disk.clear_fault_injector()
+    print(
+        f"\nobserver-injector cost: "
+        f"{(observed - plain) / plain * 100:+.2f}% "
+        f"(plain {plain * 1e3:.1f} ms, observed {observed * 1e3:.1f} ms)"
+    )
+    assert observed > 0  # smoke: the filtered run completed
+
+
+def test_results_identical_with_and_without_guards(workload, monkeypatch):
+    """The guards are accounting-invisible, not just cheap."""
+    import numpy as np
+
+    tree, queries = workload
+    engine = QueryEngine(tree)
+    batch = queries[:BATCH_SIZE]
+    shipped = engine.knn_batch(batch, k=K)
+    with monkeypatch.context() as patched:
+        _patch_pristine(patched)
+        pristine = engine.knn_batch(batch, k=K)
+    for a, b in zip(shipped.queries, pristine.queries):
+        assert np.array_equal(a.ids, b.ids)
+        assert np.allclose(a.distances, b.distances)
+    assert shipped.stats.io.blocks_read == pristine.stats.io.blocks_read
+    assert shipped.stats.io.seeks == pristine.stats.io.seeks

@@ -12,6 +12,7 @@ Usage::
     python -m repro validate index.iqt [--queries 10]
     python -m repro stats  index.iqt --random 50 [--format prometheus]
     python -m repro trace  index.iqt [--k 5] [--json]
+    python -m repro chaos  index.iqt [--kinds transient] [--levels exact]
 
 ``data.npy`` is any ``numpy.save``-ed ``(n, d)`` float array.
 """
@@ -40,7 +41,8 @@ def _cmd_build(args: argparse.Namespace) -> int:
     tree = IQTree.build(
         data,
         metric=args.metric,
-        optimize=not args.no_optimize,
+        optimize=not args.no_optimize and args.bits is None,
+        fixed_bits=args.bits,
         fractal_dim=None if args.uniform_model else "auto",
     )
     save_iqtree(tree, args.index)
@@ -228,6 +230,177 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+_CHAOS_KINDS = ("transient", "persistent", "corrupt")
+_CHAOS_LEVELS = ("quantized", "exact")
+
+
+def _chaos_schedule(injector, kind: str, address: int) -> None:
+    if kind == "transient":
+        injector.fail_once(address)
+    elif kind == "persistent":
+        injector.fail_always(address)
+    else:  # corrupt: silent payload damage, caught by the CRC sidecar
+        injector.corrupt_always(address)
+
+
+def _chaos_check(tree, query, result, base, kind: str) -> list[str]:
+    """Verify one degraded-mode result against the robustness contract."""
+    problems: list[str] = []
+    metric = tree.metric
+    if kind == "transient" and result.degraded:
+        problems.append("transient fault did not retry to an exact answer")
+    if not result.degraded:
+        same = result.ids.tolist() == base.ids.tolist() and np.allclose(
+            result.distances, base.distances, atol=1e-9
+        )
+        if not same:
+            problems.append("non-degraded result differs from baseline")
+        return problems
+    intervals = result.intervals or {}
+    for pos, pid in enumerate(result.ids.tolist()):
+        true_dist = metric.distance(query, tree.points[pid])
+        if result.certain is not None and result.certain[pos]:
+            if abs(result.distances[pos] - true_dist) > 1e-9:
+                problems.append(
+                    f"certain result {pid} reports a wrong distance"
+                )
+        elif pid in intervals:
+            lo, hi = intervals[pid]
+            if not (lo - 1e-9 <= true_dist <= hi + 1e-9):
+                problems.append(
+                    f"interval [{lo:.4f}, {hi:.4f}] of point {pid} "
+                    f"misses its true distance {true_dist:.4f}"
+                )
+    return problems
+
+
+def _chaos_run(
+    tree, queries, k, radius, kind, level, address, policy, baseline
+):
+    """Execute the query workload under one fault schedule."""
+    from repro.storage.faults import ReadFaultInjector
+
+    injector = ReadFaultInjector()
+    _chaos_schedule(injector, kind, address)
+    tree.disk.install_fault_injector(injector)
+    ctx = tree.use_fault_tolerance(policy)
+    problems: list[str] = []
+    degraded = lost = 0
+    try:
+        for i, query in enumerate(queries):
+            result = tree.nearest(query, k=k)
+            problems.extend(
+                _chaos_check(tree, query, result, baseline[("knn", i)], kind)
+            )
+            degraded += bool(result.degraded)
+            lost += len(result.lost_pages)
+            if radius is not None:
+                rresult = tree.range_query(query, radius)
+                problems.extend(
+                    _chaos_check(
+                        tree, query, rresult, baseline[("range", i)], kind
+                    )
+                )
+                degraded += bool(rresult.degraded)
+                lost += len(rresult.lost_pages)
+    except Exception as exc:  # noqa: BLE001 -- no schedule may crash
+        problems.append(f"workload crashed: {type(exc).__name__}: {exc}")
+    finally:
+        tree.disk.clear_fault_injector()
+        tree.clear_fault_tolerance()
+    if kind == "transient" and ctx.retries == 0:
+        problems.append("transient schedule never triggered a retry")
+    if kind != "transient" and not (degraded or lost):
+        problems.append(f"{kind} schedule degraded no result")
+    counters = (ctx.retries, ctx.quarantined, ctx.degraded_results, ctx.lost_pages)
+    return problems, degraded, lost, counters
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.core.search import locate_address
+    from repro.storage.faults import ReadFaultInjector, RetryPolicy
+
+    tree = load_iqtree(args.index)
+    queries = _random_queries(tree, args.random, args.seed)
+    k = min(args.k, tree.n_points)
+    kinds = [s for s in args.kinds.split(",") if s]
+    levels = [s for s in args.levels.split(",") if s]
+    for kind in kinds:
+        if kind not in _CHAOS_KINDS:
+            raise SystemExit(f"unknown fault kind {kind!r}")
+    for level in levels:
+        if level not in _CHAOS_LEVELS:
+            raise SystemExit(f"unknown level {level!r}")
+    policy = RetryPolicy(max_attempts=args.retries, backoff_seeks=1)
+
+    # Baseline answers on the pristine tree, keyed by query position.
+    baseline: dict[tuple[str, int], object] = {}
+    for i, query in enumerate(queries):
+        baseline[("knn", i)] = tree.nearest(query, k=k)
+        if args.radius is not None:
+            baseline[("range", i)] = tree.range_query(query, args.radius)
+
+    # Oracle pass: a schedule-free injector observes every timed read,
+    # telling us which addresses each level actually touches.
+    observer = ReadFaultInjector()
+    tree.disk.install_fault_injector(observer)
+    for query in queries:
+        tree.nearest(query, k=k)
+        if args.radius is not None:
+            tree.range_query(query, args.radius)
+    tree.disk.clear_fault_injector()
+    victims: dict[str, int] = {}
+    for address in sorted(observer.attempts_seen):
+        level, _local = locate_address(tree, address)
+        if level is not None:
+            victims.setdefault(level, address)
+
+    print(
+        f"chaos: {len(queries)} queries, k={k}"
+        + (f", radius={args.radius}" if args.radius is not None else "")
+        + f", retry limit {policy.max_attempts}"
+    )
+    failed = False
+    for level in levels:
+        if level not in victims:
+            print(f"  {level:9s}: no reads observed, skipping")
+            continue
+        address = victims[level]
+        for kind in kinds:
+            problems, degraded, lost, counters = _chaos_run(
+                tree, queries, k, args.radius, kind, level, address,
+                policy, baseline,
+            )
+            verdict = "FAIL" if problems else "ok"
+            print(
+                f"  {kind:10s} x {level:9s} (block {address}): "
+                f"{verdict}  retries={counters[0]} "
+                f"quarantined={counters[1]} degraded={counters[2]} "
+                f"lost_pages={counters[3]} "
+                f"[{degraded} degraded / {lost} lost-page reports]"
+            )
+            for problem in problems:
+                failed = True
+                print(f"      !! {problem}")
+
+    # A chaos run must not poison later fault-free queries.
+    clean_problems: list[str] = []
+    for i, query in enumerate(queries):
+        result = tree.nearest(query, k=k)
+        clean_problems.extend(
+            _chaos_check(tree, query, result, baseline[("knn", i)], "transient")
+        )
+    if clean_problems:
+        failed = True
+        print("post-chaos pristine check: FAIL")
+        for problem in clean_problems:
+            print(f"      !! {problem}")
+    else:
+        print("post-chaos pristine check: ok (matches baseline)")
+    print(f"chaos verdict: {'FAIL' if failed else 'PASS'}")
+    return 1 if failed else 0
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -243,6 +416,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "--no-optimize",
         action="store_true",
         help="store exact pages (skip the quantization optimizer)",
+    )
+    build.add_argument(
+        "--bits",
+        type=int,
+        default=None,
+        help="quantize every page at this resolution (skips the optimizer)",
     )
     build.add_argument(
         "--uniform-model",
@@ -356,6 +535,37 @@ def _build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="emit the span tree as JSON"
     )
     trace.set_defaults(func=_cmd_trace)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="inject read faults and verify the degraded-result contract",
+    )
+    chaos.add_argument("index")
+    chaos.add_argument(
+        "--random", type=int, default=8, help="queries per schedule"
+    )
+    chaos.add_argument("--k", type=int, default=3)
+    chaos.add_argument(
+        "--radius",
+        type=float,
+        default=None,
+        help="also run range queries with this radius",
+    )
+    chaos.add_argument(
+        "--kinds",
+        default=",".join(_CHAOS_KINDS),
+        help="comma-separated fault kinds (transient,persistent,corrupt)",
+    )
+    chaos.add_argument(
+        "--levels",
+        default=",".join(_CHAOS_LEVELS),
+        help="comma-separated victim levels (quantized,exact)",
+    )
+    chaos.add_argument(
+        "--retries", type=int, default=3, help="retry budget per read"
+    )
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.set_defaults(func=_cmd_chaos)
     return parser
 
 

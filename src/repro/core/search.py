@@ -27,16 +27,32 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.exceptions import SearchError
+from repro.exceptions import (
+    IntegrityError,
+    QueryDataError,
+    ReadFaultError,
+    SearchError,
+    StorageError,
+)
 from repro.costmodel.access_probability import (
     PageView,
     access_probabilities,
 )
 from repro.core.tree import ExactStore, IQTree, PageHandle
-from repro.geometry.mbr import mindist_to_boxes
+from repro.geometry.mbr import maxdist_to_boxes, mindist_to_boxes
 from repro.obs.drift import MONITOR as _DRIFT
-from repro.obs.instruments import QUERY_SECONDS, REGISTRY
+from repro.obs.instruments import (
+    DEGRADED_RESULTS,
+    LOST_PAGES,
+    QUERY_SECONDS,
+    REGISTRY,
+)
 from repro.storage.disk import IOStats
+from repro.storage.runtime_faults import (
+    LostPage,
+    fault_address,
+    fetch_with_quarantine,
+)
 from repro.storage.scheduler import cost_balance_window
 
 __all__ = [
@@ -50,7 +66,60 @@ __all__ = [
     "checked_queries",
     "io_snapshot",
     "io_delta",
+    "next_query_id",
+    "locate_address",
+    "raise_query_error",
 ]
+
+#: Monotone query ids used to label QueryDataError context; shared with
+#: the batch engine so every query on this process has a distinct id.
+_QUERY_IDS = itertools.count(1)
+
+
+def next_query_id() -> int:
+    """Allocate a process-unique query id (error/trace context)."""
+    return next(_QUERY_IDS)
+
+
+def locate_address(tree, address: int) -> tuple[str | None, int | None]:
+    """Map a disk address to ``(level_name, file-local block)``.
+
+    Returns ``(None, None)`` when the address belongs to none of the
+    tree's three level files (or the tree is mid-relayout).
+    """
+    for level, slot in (
+        ("directory", "_dir_file"),
+        ("quantized", "_quant_file"),
+        ("exact", "_exact_file"),
+    ):
+        file = getattr(tree, slot, None)
+        if file is None or not file.sealed:
+            continue
+        base = file.extent_start
+        if base <= address < base + file.n_blocks:
+            return level, address - base
+    return None, None
+
+
+def raise_query_error(exc: StorageError, tree, query_id: int):
+    """Re-raise a mid-query storage failure as a QueryDataError.
+
+    Keeps the original as ``__cause__`` and attaches query id, level
+    name, and file-local block index so callers can tell data loss and
+    corruption apart from API misuse (both are SearchError subclasses).
+    """
+    address = fault_address(exc)
+    level = block = None
+    if address is not None:
+        level, block = locate_address(tree, address)
+    where = f"the {level} level" if level else "index data"
+    detail = f" (block {block})" if block is not None else ""
+    raise QueryDataError(
+        f"query {query_id} aborted: could not read {where}{detail}: {exc}",
+        query_id=query_id,
+        level=level,
+        block=block,
+    ) from exc
 
 _PAGE = 0
 _POINT = 1
@@ -72,6 +141,21 @@ class NNResult:
         Number of quantized data pages processed.
     refinements:
         Number of third-level exact look-ups performed.
+    certain:
+        Per-result exactness mask aligned with ``ids`` (``None`` unless
+        the query degraded).  ``certain[i]`` is False when result ``i``
+        carries a quantization interval instead of an exact distance.
+    intervals:
+        For each uncertain result id, the ``(mindist, maxdist)`` cell
+        interval that provably contains its true distance; the reported
+        ``distances`` entry is the conservative ``maxdist``.
+    lost_pages:
+        :class:`~repro.storage.runtime_faults.LostPage` records for
+        second-level pages the query could not read at all -- any of
+        their points could have been an answer (recall bound).
+    degraded:
+        True when any fallback fired (``certain``/``intervals``/
+        ``lost_pages`` carry the details).
     """
 
     ids: np.ndarray
@@ -79,17 +163,31 @@ class NNResult:
     io: IOStats
     pages_read: int
     refinements: int
+    certain: np.ndarray | None = None
+    intervals: dict[int, tuple[float, float]] | None = None
+    lost_pages: tuple = ()
+    degraded: bool = False
 
 
 @dataclass
 class RangeResult:
-    """Result of a range query (all points within a radius)."""
+    """Result of a range query (all points within a radius).
+
+    The degraded-mode fields mirror :class:`NNResult`; an uncertain
+    range result is a *possible* member (its cell interval overlaps the
+    radius) reported at its conservative ``maxdist``, which may exceed
+    the radius.
+    """
 
     ids: np.ndarray
     distances: np.ndarray
     io: IOStats
     pages_read: int
     refinements: int
+    certain: np.ndarray | None = None
+    intervals: dict[int, tuple[float, float]] | None = None
+    lost_pages: tuple = ()
+    degraded: bool = False
 
 
 class KBest:
@@ -132,7 +230,10 @@ def nearest_neighbors(
     """Exact k-NN search on an IQ-tree.
 
     See the module docstring for the algorithm; ``scheduler`` selects the
-    page-access strategy.
+    page-access strategy.  With a fault context attached
+    (``tree.use_fault_tolerance()``), unreadable data degrades the
+    result instead of aborting it; without one, any storage failure
+    surfaces as :class:`~repro.exceptions.QueryDataError`.
     """
     if k < 1:
         raise SearchError("k must be at least 1")
@@ -142,7 +243,17 @@ def nearest_neighbors(
     if k > tree.n_points:
         raise SearchError(f"k={k} exceeds the {tree.n_points} stored points")
     query = checked_query(tree, query)
+    query_id = next_query_id()
+    try:
+        return _nearest_impl(tree, query, k, scheduler)
+    except StorageError as exc:
+        raise_query_error(exc, tree, query_id)
 
+
+def _nearest_impl(
+    tree: IQTree, query: np.ndarray, k: int, scheduler: str
+) -> NNResult:
+    ctx = tree._fault_ctx
     io_before = io_snapshot(tree)
     tree._charge_directory_scan()
 
@@ -156,6 +267,38 @@ def nearest_neighbors(
     exact = ExactStore(tree)
     pages_read = 0
 
+    # Degraded-mode state; stays empty on the pristine path.
+    intervals: dict[int, tuple[float, float]] = {}
+    lost_pages: list[LostPage] = []
+    handles_by_page: dict[int, PageHandle] = {}
+    quarantined_local: set[int] = (
+        set(ctx.quarantine.local_indices(tree._quant_file))
+        if ctx is not None
+        else set()
+    )
+
+    def lose_page(page: int) -> None:
+        """Record a second-level page as unreadable (partition lost)."""
+        processed[page] = True
+        lost_pages.append(
+            LostPage(
+                page=int(page),
+                n_points=int(tree._counts[page]),
+                mindist=float(page_mindists[page]),
+                maxdist=float(
+                    maxdist_to_boxes(
+                        query,
+                        tree._lowers[page : page + 1],
+                        tree._uppers[page : page + 1],
+                        metric,
+                    )[0]
+                ),
+            )
+        )
+        ctx.lost_pages += 1
+        if REGISTRY.enabled:
+            LOST_PAGES.inc()
+
     tie = itertools.count()
     heap: list[tuple] = [
         (float(page_mindists[i]), next(tie), _PAGE, i, 0)
@@ -166,24 +309,51 @@ def nearest_neighbors(
     while heap and heap[0][0] <= best.bound():
         dist, _t, kind, page, local = heapq.heappop(heap)
         if kind == _POINT:
-            coords, pid = exact.fetch(page, local)
-            best.offer(metric.distance(query, coords), pid)
+            if ctx is None:
+                coords, pid = exact.fetch(page, local)
+                best.offer(metric.distance(query, coords), pid)
+            else:
+                _refine_degraded(
+                    tree, ctx, exact, query, page, local,
+                    best, intervals, handles_by_page,
+                )
             continue
         if processed[page]:
             continue
-        if scheduler == "standard":
-            handles = [tree._read_page(page)]
+        if ctx is None:
+            if scheduler == "standard":
+                handles = [tree._read_page(page)]
+            else:
+                handles = _read_window(
+                    tree, query, page, page_mindists, processed,
+                    best.bound(), k,
+                )
         else:
-            handles = _read_window(
-                tree, query, page, page_mindists, processed,
-                best.bound(), k,
+            if page in quarantined_local:
+                lose_page(page)
+                continue
+            handles = _load_pages_degraded(
+                tree, ctx, query, page, page_mindists, processed,
+                best.bound(), k, scheduler, quarantined_local, lose_page,
             )
         for handle in handles:
             processed[handle.index] = True
             pages_read += 1
+            if ctx is not None and handle.codes is not None:
+                handles_by_page[handle.index] = handle
             _process_page(tree, query, handle, best, heap, tie)
 
     ids, dists = best.sorted_results()
+    degraded = bool(intervals or lost_pages)
+    certain = None
+    result_intervals = None
+    if degraded:
+        certain = np.array(
+            [pid not in intervals for pid in ids.tolist()], dtype=bool
+        )
+        result_intervals = {
+            pid: intervals[pid] for pid in ids.tolist() if pid in intervals
+        }
     io_after = io_snapshot(tree)
     result = NNResult(
         ids=ids,
@@ -191,6 +361,10 @@ def nearest_neighbors(
         io=io_delta(io_before, io_after),
         pages_read=pages_read,
         refinements=exact.refinements,
+        certain=certain,
+        intervals=result_intervals,
+        lost_pages=tuple(lost_pages),
+        degraded=degraded,
     )
     if REGISTRY.enabled:
         QUERY_SECONDS.observe(result.io.elapsed)
@@ -217,7 +391,15 @@ def range_search(tree: IQTree, query: np.ndarray, radius: float) -> RangeResult:
         raise SearchError("radius must be non-negative")
     tree._ensure_clean()
     query = checked_query(tree, query)
+    query_id = next_query_id()
+    try:
+        return _range_impl(tree, query, radius)
+    except StorageError as exc:
+        raise_query_error(exc, tree, query_id)
 
+
+def _range_impl(tree: IQTree, query: np.ndarray, radius: float) -> RangeResult:
+    ctx = tree._fault_ctx
     io_before = io_snapshot(tree)
     tree._charge_directory_scan()
     metric = tree.metric
@@ -228,10 +410,33 @@ def range_search(tree: IQTree, query: np.ndarray, radius: float) -> RangeResult:
     exact = ExactStore(tree)
     found_ids: list[int] = []
     found_dists: list[float] = []
+    intervals: dict[int, tuple[float, float]] = {}
+    lost_pages: list[LostPage] = []
     pages_read = 0
 
-    payloads = tree._quant_file.read_batched(candidates.tolist())
+    if ctx is None:
+        payloads = tree._quant_file.read_batched(candidates.tolist())
+    else:
+        payloads, lost_local = fetch_with_quarantine(
+            tree._quant_file, tree.disk, ctx, candidates.tolist()
+        )
+        for page in lost_local:
+            # Membership of every point in the page is unknowable;
+            # maxdist is irrelevant for a radius predicate.
+            lost_pages.append(
+                LostPage(
+                    page=int(page),
+                    n_points=int(tree._counts[page]),
+                    mindist=float(page_mindists[page]),
+                    maxdist=float("inf"),
+                )
+            )
+            ctx.lost_pages += 1
+            if REGISTRY.enabled:
+                LOST_PAGES.inc()
     for page in candidates.tolist():
+        if page not in payloads:
+            continue  # lost page, reported above
         handle = tree._decode_page_payload(page, payloads[page])
         pages_read += 1
         if handle.points is not None:
@@ -242,21 +447,60 @@ def range_search(tree: IQTree, query: np.ndarray, radius: float) -> RangeResult:
             continue
         quantizer = tree._quantizer_for(page)
         lower_b = quantizer.cell_mindist(query, handle.codes, metric)
+        upper_b = None
         for local in np.flatnonzero(lower_b <= radius):
-            coords, pid = exact.fetch(page, int(local))
+            if ctx is None:
+                coords, pid = exact.fetch(page, int(local))
+            else:
+                try:
+                    coords, pid = exact.fetch(page, int(local))
+                except (ReadFaultError, IntegrityError) as exc:
+                    if fault_address(exc) is None:
+                        raise
+                    if upper_b is None:
+                        upper_b = quantizer.cell_maxdist(
+                            query, handle.codes, metric
+                        )
+                    # Possible member: cell overlaps the radius but the
+                    # exact record is gone.  Include it flagged
+                    # uncertain at the conservative maxdist.
+                    pid = int(tree._part_ids[page][local])
+                    lo = float(lower_b[local])
+                    hi = float(upper_b[local])
+                    found_ids.append(pid)
+                    found_dists.append(hi)
+                    intervals[pid] = (lo, hi)
+                    ctx.degraded_results += 1
+                    if REGISTRY.enabled:
+                        DEGRADED_RESULTS.inc()
+                    continue
             dist = metric.distance(query, coords)
             if dist <= radius:
                 found_ids.append(pid)
                 found_dists.append(dist)
 
     order = np.argsort(found_dists, kind="stable")
+    ids_sorted = np.array(found_ids, dtype=np.int64)[order]
+    degraded = bool(intervals or lost_pages)
+    certain = None
+    result_intervals = None
+    if degraded:
+        certain = np.array(
+            [pid not in intervals for pid in ids_sorted.tolist()],
+            dtype=bool,
+        )
+        result_intervals = dict(intervals)
     io_after = io_snapshot(tree)
     result = RangeResult(
-        ids=np.array(found_ids, dtype=np.int64)[order],
+        ids=ids_sorted,
         distances=np.array(found_dists)[order],
         io=io_delta(io_before, io_after),
         pages_read=pages_read,
         refinements=exact.refinements,
+        certain=certain,
+        intervals=result_intervals,
+        lost_pages=tuple(lost_pages),
+        degraded=degraded,
     )
     if REGISTRY.enabled:
         # The cost model predicts kNN queries only, so range queries
@@ -277,8 +521,19 @@ def browse_by_distance(tree: IQTree, query: np.ndarray):
 
     Uses the standard (one random read per pivot page) access strategy:
     speculative pre-reading needs a pruning bound, and an open-ended
-    ranking has none.
+    ranking has none.  Browsing has no degraded mode (an open-ended
+    ranking cannot bound what a lost page would have contributed); any
+    storage failure surfaces as
+    :class:`~repro.exceptions.QueryDataError`.
     """
+    query_id = next_query_id()
+    try:
+        yield from _browse_impl(tree, query)
+    except StorageError as exc:
+        raise_query_error(exc, tree, query_id)
+
+
+def _browse_impl(tree: IQTree, query: np.ndarray):
     tree._ensure_clean()
     query = checked_query(tree, query)
     tree._charge_directory_scan()
@@ -343,21 +598,23 @@ def _process_page(tree, query, handle: PageHandle, best, heap, tie) -> None:
         )
 
 
-def _read_window(
+def _plan_window(
     tree: IQTree,
     query: np.ndarray,
     pivot: int,
     page_mindists: np.ndarray,
     processed: np.ndarray,
     bound: float,
-    k: int = 1,
-) -> list[PageHandle]:
-    """Cost-balance page fetch around the pivot (Section 2.1).
+    k: int,
+    forbidden: frozenset[int] = frozenset(),
+) -> tuple[int, int, list[int]]:
+    """Plan the cost-balance window around a pivot (Section 2.1).
 
     Builds the pending-page snapshot, evaluates access probabilities for
-    file-order neighbors of the pivot, extends the transfer while the
-    cumulated cost balance stays favorable, reads the chosen run in one
-    sequential transfer, and returns the decoded pending pages.
+    file-order neighbors of the pivot, and extends the transfer while
+    the cumulated cost balance stays favorable.  ``forbidden`` blocks
+    (quarantined pages) stop the speculative scan.  Returns ``(first,
+    last, to_process)``.
     """
     n_pages = tree.n_pages
     pending = ~processed
@@ -385,16 +642,137 @@ def _read_window(
         )
 
     first, last = cost_balance_window(
-        pivot, n_pages, probability, tree.disk.model
+        pivot, n_pages, probability, tree.disk.model, forbidden=forbidden
     )
     to_process = [
         j for j in range(first, last + 1) if not processed[j] and pending[j]
     ]
+    return first, last, to_process
+
+
+def _read_window(
+    tree: IQTree,
+    query: np.ndarray,
+    pivot: int,
+    page_mindists: np.ndarray,
+    processed: np.ndarray,
+    bound: float,
+    k: int = 1,
+) -> list[PageHandle]:
+    """Plan and execute one cost-balance page fetch (pristine path)."""
+    first, last, to_process = _plan_window(
+        tree, query, pivot, page_mindists, processed, bound, k
+    )
     payloads = tree._read_page_run(first, last, wanted=len(to_process))
     return [
         tree._decode_page_payload(j, payloads[j - first])
         for j in to_process
     ]
+
+
+def _load_pages_degraded(
+    tree: IQTree,
+    ctx,
+    query: np.ndarray,
+    pivot: int,
+    page_mindists: np.ndarray,
+    processed: np.ndarray,
+    bound: float,
+    k: int,
+    scheduler: str,
+    quarantined_local: set[int],
+    lose_page,
+) -> list[PageHandle]:
+    """Load a pivot's pages under the fault context.
+
+    The optimized scheduler first tries the planned sequential window
+    (quarantined pages already split it); if the transfer itself faults
+    out its retries, the wanted pages are re-read one by one so a single
+    dead block costs exactly one partition, not the whole window.
+    Unreadable pages are reported through ``lose_page`` and
+    ``quarantined_local`` is kept in sync with the context's quarantine.
+    """
+    if scheduler == "standard":
+        to_process = [pivot]
+    else:
+        first, last, to_process = _plan_window(
+            tree, query, pivot, page_mindists, processed, bound, k,
+            forbidden=frozenset(quarantined_local),
+        )
+        try:
+            payloads = ctx.run(
+                lambda: tree._read_page_run(
+                    first, last, wanted=len(to_process)
+                ),
+                tree.disk,
+            )
+            return [
+                tree._decode_page_payload(j, payloads[j - first])
+                for j in to_process
+            ]
+        except (ReadFaultError, IntegrityError) as exc:
+            if fault_address(exc) is None:
+                raise
+            quarantined_local.update(
+                ctx.quarantine.local_indices(tree._quant_file)
+            )
+    handles: list[PageHandle] = []
+    for j in to_process:
+        if j in quarantined_local:
+            lose_page(j)
+            continue
+        try:
+            handles.append(
+                ctx.run(lambda j=j: tree._read_page(j), tree.disk)
+            )
+        except (ReadFaultError, IntegrityError) as exc:
+            if fault_address(exc) is None:
+                raise
+            quarantined_local.update(
+                ctx.quarantine.local_indices(tree._quant_file)
+            )
+            lose_page(j)
+    return handles
+
+
+def _refine_degraded(
+    tree: IQTree,
+    ctx,
+    exact: ExactStore,
+    query: np.ndarray,
+    page: int,
+    local: int,
+    best: "KBest",
+    intervals: dict[int, tuple[float, float]],
+    handles_by_page: dict[int, PageHandle],
+) -> None:
+    """Refine one point, falling back to its cell interval on failure.
+
+    The fallback offers the point at its cell *maxdist* -- a sound upper
+    bound on the true distance, so KBest pruning stays conservative --
+    and records the full ``[mindist, maxdist]`` interval, which provably
+    contains the exact distance (grid-cell containment, paper Section
+    3.2).
+    """
+    metric = tree.metric
+    try:
+        coords, pid = exact.fetch(page, local)
+    except (ReadFaultError, IntegrityError) as exc:
+        if fault_address(exc) is None:
+            raise
+        handle = handles_by_page[page]
+        quantizer = tree._quantizer_for(page)
+        code = handle.codes[local : local + 1]
+        lo = float(quantizer.cell_mindist(query, code, metric)[0])
+        hi = float(quantizer.cell_maxdist(query, code, metric)[0])
+        pid = int(tree._part_ids[page][local])
+        best.offer(hi, pid)
+        intervals[pid] = (lo, hi)
+        ctx.degraded_results += 1
+        if REGISTRY.enabled:
+            DEGRADED_RESULTS.inc()
+        return
+    best.offer(metric.distance(query, coords), pid)
 
 
 def checked_query(tree: IQTree, query) -> np.ndarray:

@@ -86,6 +86,9 @@ class IQTree:
         self._dirty = True
         self._id_to_partition: dict[int, int] = {}
         self._pool = None
+        #: optional FaultContext (retry policy + quarantine) consulted
+        #: by the query paths; None = fail-fast on any StorageError.
+        self._fault_ctx = None
         self._layout()
 
     # ------------------------------------------------------------------
@@ -498,6 +501,8 @@ class IQTree:
         else:
             pool = BufferPool(int(pool_or_capacity))
         self._pool = pool
+        if self._fault_ctx is not None:
+            self._fault_ctx.pool = pool
         # Wrap the live files in place; re-layouts re-wrap automatically.
         if not self._dirty:
             for slot in ("_dir_file", "_quant_file", "_exact_file"):
@@ -506,6 +511,38 @@ class IQTree:
                     current = current._file
                 setattr(self, slot, CachedBlockFile(current, pool))
         return pool
+
+    # ------------------------------------------------------------------
+    # Fault tolerance (repro.storage.runtime_faults)
+    # ------------------------------------------------------------------
+    def use_fault_tolerance(self, policy=None):
+        """Attach a fresh fault-tolerance context to the query paths.
+
+        ``policy`` is an optional
+        :class:`~repro.storage.runtime_faults.RetryPolicy`.  With a
+        context attached, queries retry faulted reads, quarantine blocks
+        proven unreadable, and degrade to quantization-interval results
+        instead of raising (see ``docs/robustness.md``).  Returns the
+        :class:`~repro.storage.runtime_faults.FaultContext` so callers
+        can inspect its quarantine and counters.
+        """
+        from repro.storage.runtime_faults import FaultContext
+
+        self._fault_ctx = FaultContext(policy=policy, pool=self._pool)
+        return self._fault_ctx
+
+    def clear_fault_tolerance(self) -> None:
+        """Drop the fault context: queries fail fast again.
+
+        Also discards the quarantine, so a past fault schedule cannot
+        influence later fault-free queries.
+        """
+        self._fault_ctx = None
+
+    @property
+    def fault_context(self):
+        """The attached FaultContext, or None."""
+        return self._fault_ctx
 
     # ------------------------------------------------------------------
     # Internal I/O helpers used by the search algorithms
@@ -577,7 +614,7 @@ class ExactStore:
         data = bytearray()
         for b in range(b0, b1 + 1):
             if b not in self._cache:
-                self._cache[b] = tree._exact_file.read_block(b)
+                self._cache[b] = self._read_block(b)
             data += self._cache[b]
         offset = start - (b0 - first_block) * block_size
         coords, ids = serializer.decode_exact_record(
@@ -587,6 +624,27 @@ class ExactStore:
         if REGISTRY.enabled:
             REFINEMENTS.inc()
         return coords[0], int(ids[0])
+
+    def _read_block(self, b: int) -> bytes:
+        """One third-level block read, via the fault context if attached.
+
+        Already-quarantined blocks fail immediately (no pointless
+        retries); fresh faults go through the retry policy.
+        """
+        tree = self._tree
+        ctx = tree._fault_ctx
+        if ctx is None:
+            return tree._exact_file.read_block(b)
+        address = tree._exact_file.extent_start + b
+        if address in ctx.quarantine:
+            from repro.exceptions import PersistentReadError
+
+            raise PersistentReadError(
+                f"exact block {b} is quarantined", address=address
+            )
+        return ctx.run(
+            lambda: tree._exact_file.read_block(b), tree.disk
+        )
 
 
 __all__.append("ExactStore")

@@ -28,12 +28,18 @@ from repro.obs.tracing import span as obs_span
 from repro.quantization.bitpack import unpack_codes_bulk
 from repro.quantization.capacity import EXACT_BITS
 from repro.storage import serializer
+from repro.storage.runtime_faults import fetch_with_quarantine
 
 __all__ = ["PageDecodeCache", "ExactBatchStore"]
 
 
 class PageDecodeCache:
-    """Fetch + decode quantized pages at most once per batch."""
+    """Fetch + decode quantized pages at most once per batch.
+
+    With a fault context attached to the tree, unreadable pages land in
+    :attr:`lost_pages` instead of aborting the batch; the engine reports
+    them per affected query.
+    """
 
     def __init__(self, tree: IQTree):
         self._tree = tree
@@ -41,6 +47,9 @@ class PageDecodeCache:
         self._bounds: dict[int, tuple[np.ndarray, np.ndarray]] = {}
         #: unique pages fetched from the quantized level so far
         self.pages_fetched = 0
+        #: pages that could not be read (quarantined), in request order
+        self.lost_pages: list[int] = []
+        self._lost: set[int] = set()
 
     def load(self, pages: Iterable[int]) -> None:
         """Ensure all ``pages`` are fetched and decoded.
@@ -49,15 +58,33 @@ class PageDecodeCache:
         decoded for an earlier query of the batch are reused.
         """
         need = sorted(
-            {int(p) for p in pages} - self._handles.keys()
+            {int(p) for p in pages} - self._handles.keys() - self._lost
         )
         if not need:
             return
-        with obs_span("fetch", disk=self._tree.disk, pages=len(need)):
-            payloads = self._tree._quant_file.read_batched(need)
-        self.pages_fetched += len(need)
-        with obs_span("decode", disk=self._tree.disk, pages=len(need)):
+        ctx = self._tree._fault_ctx
+        with obs_span(
+            "fetch", disk=self._tree.disk, pages=len(need)
+        ) as fetch_span:
+            if ctx is None:
+                payloads = self._tree._quant_file.read_batched(need)
+            else:
+                payloads, lost = fetch_with_quarantine(
+                    self._tree._quant_file, self._tree.disk, ctx, need
+                )
+                if lost:
+                    self.lost_pages.extend(lost)
+                    self._lost.update(lost)
+                    if fetch_span is not None:
+                        fetch_span.attrs["degraded"] = True
+                        fetch_span.attrs["lost_pages"] = len(lost)
+        self.pages_fetched += len(payloads)
+        with obs_span("decode", disk=self._tree.disk, pages=len(payloads)):
             self._decode_bulk(payloads)
+
+    def is_lost(self, page: int) -> bool:
+        """Whether ``page`` was requested but could not be read."""
+        return page in self._lost
 
     def handle(self, page: int) -> PageHandle:
         """Decoded view of one loaded page."""
@@ -110,13 +137,21 @@ class PageDecodeCache:
 
 
 class ExactBatchStore:
-    """Batched third-level reader shared by all queries of a batch."""
+    """Batched third-level reader shared by all queries of a batch.
+
+    With a fault context attached, records whose backing blocks could
+    not be read are collected in :attr:`failed` (and omitted from the
+    returned mapping) instead of aborting the batch; the engine falls
+    back to the cell interval for those points.
+    """
 
     def __init__(self, tree: IQTree):
         self._tree = tree
         self._points: dict[tuple[int, int], tuple[np.ndarray, int]] = {}
         #: unique point records fetched so far
         self.refinements = 0
+        #: (page, local) keys whose third-level blocks are unreadable
+        self.failed: set[tuple[int, int]] = set()
 
     def fetch_all(
         self, requests: Iterable[tuple[int, int]]
@@ -144,20 +179,38 @@ class ExactBatchStore:
             blocks.update(range(b0, b1 + 1))
             spans.append(((page, local), b0, b1, offset))
         if blocks:
+            ctx = tree._fault_ctx
             with obs_span(
                 "fetch-exact", disk=tree.disk, records=len(spans)
-            ):
-                payloads = tree._exact_file.read_batched(sorted(blocks))
-            if REGISTRY.enabled:
-                REFINEMENTS.inc(len(spans))
+            ) as fetch_span:
+                if ctx is None:
+                    payloads = tree._exact_file.read_batched(sorted(blocks))
+                else:
+                    payloads, lost = fetch_with_quarantine(
+                        tree._exact_file, tree.disk, ctx, sorted(blocks)
+                    )
+                    if lost and fetch_span is not None:
+                        fetch_span.attrs["degraded"] = True
+                        fetch_span.attrs["lost_blocks"] = len(lost)
+            decoded = 0
             for key, b0, b1, offset in spans:
+                if any(b not in payloads for b in range(b0, b1 + 1)):
+                    self.failed.add(key)
+                    continue
                 data = b"".join(payloads[b] for b in range(b0, b1 + 1))
                 coords, ids = serializer.decode_exact_record(
                     data[offset : offset + record], 1, tree.dim
                 )
                 self._points[key] = (coords[0], int(ids[0]))
-            self.refinements += len(spans)
-        return {key: self._points[key] for key in set(requests)}
+                decoded += 1
+            if REGISTRY.enabled and decoded:
+                REFINEMENTS.inc(decoded)
+            self.refinements += decoded
+        return {
+            key: self._points[key]
+            for key in set(requests)
+            if key in self._points
+        }
 
     def get(self, page: int, local: int) -> tuple[np.ndarray, int]:
         """A record previously fetched via :meth:`fetch_all`."""

@@ -44,15 +44,19 @@ from repro.core.search import (
     checked_queries,
     io_delta,
     io_snapshot,
+    next_query_id,
+    raise_query_error,
 )
 from repro.core.tree import IQTree
 from repro.engine.decode import ExactBatchStore, PageDecodeCache
 from repro.engine.stats import BatchStats, QueryStats
-from repro.exceptions import SearchError
+from repro.exceptions import SearchError, StorageError
 from repro.obs.drift import MONITOR as _DRIFT
 from repro.obs.instruments import (
     BATCH_QUERIES,
     BATCHES,
+    DEGRADED_RESULTS,
+    LOST_PAGES,
     QUERY_SECONDS,
     REGISTRY,
 )
@@ -64,6 +68,7 @@ from repro.geometry.mbr import (
     mindist_to_boxes,
 )
 from repro.storage.cache import BufferPool
+from repro.storage.runtime_faults import LostPage
 
 __all__ = [
     "QueryEngine",
@@ -78,12 +83,20 @@ class BatchQueryResult:
 
     ``ids``/``distances`` are sorted ascending by distance, exactly as
     the single-query search APIs return them; ``stats`` records the
-    logical work this query caused.
+    logical work this query caused.  The degraded-mode fields mirror
+    :class:`~repro.core.search.NNResult`: ``certain`` flags which
+    results are exact, ``intervals`` carries the ``(mindist, maxdist)``
+    bound of each uncertain result, and ``lost_pages`` reports
+    second-level pages this query could not read at all.
     """
 
     ids: np.ndarray
     distances: np.ndarray
     stats: QueryStats
+    certain: np.ndarray | None = None
+    intervals: dict[int, tuple[float, float]] | None = None
+    lost_pages: tuple = ()
+    degraded: bool = False
 
 
 @dataclass
@@ -130,7 +143,14 @@ class QueryEngine:
     # kNN batches
     # ------------------------------------------------------------------
     def knn_batch(self, queries: np.ndarray, k: int = 1) -> BatchResult:
-        """Exact k-nearest-neighbor search for a batch of queries."""
+        """Exact k-nearest-neighbor search for a batch of queries.
+
+        With a fault context attached to the tree
+        (``tree.use_fault_tolerance()``), unreadable data degrades the
+        affected results (see :class:`BatchQueryResult`) instead of
+        aborting the batch; without one, storage failures surface as
+        :class:`~repro.exceptions.QueryDataError`.
+        """
         tree = self.tree
         if k < 1:
             raise SearchError("k must be at least 1")
@@ -140,9 +160,19 @@ class QueryEngine:
                 f"k={k} exceeds the {tree.n_points} stored points"
             )
         queries = checked_queries(tree, queries)
+        batch_id = next_query_id()
+        try:
+            return self._knn_batch_impl(queries, k)
+        except StorageError as exc:
+            raise_query_error(exc, tree, batch_id)
+
+    def _knn_batch_impl(self, queries: np.ndarray, k: int) -> BatchResult:
+        tree = self.tree
+        ctx = tree._fault_ctx
         n_queries = queries.shape[0]
         before = io_snapshot(tree)
         pool_before = self._pool_counters()
+        fault_before = self._fault_counters()
         metric = tree.metric
 
         with obs_span(
@@ -169,12 +199,24 @@ class QueryEngine:
             # within the k-th smallest upper bound).
             exact_store = ExactBatchStore(tree)
             plans = []
+            lost_for: list[list[int]] = []
             all_requests: set[tuple[int, int]] = set()
             for i in range(n_queries):
+                cand = np.flatnonzero(cand_mask[i])
+                if ctx is not None and cache.lost_pages:
+                    lost_for.append(
+                        [p for p in cand.tolist() if cache.is_lost(p)]
+                    )
+                    cand = np.array(
+                        [p for p in cand.tolist() if not cache.is_lost(p)],
+                        dtype=np.int64,
+                    )
+                else:
+                    lost_for.append([])
                 plan = self._plan_knn_query(
                     queries[i],
                     k,
-                    np.flatnonzero(cand_mask[i]),
+                    cand,
                     cache,
                     metric,
                 )
@@ -182,6 +224,7 @@ class QueryEngine:
                 all_requests.update(plan["refine"])
 
             # Phase 2: one batched third-level fetch for every query.
+            # Unreadable records are simply absent from the mapping.
             points = exact_store.fetch_all(all_requests)
             if refine_span is not None:
                 refine_span.attrs["records"] = len(all_requests)
@@ -189,24 +232,44 @@ class QueryEngine:
             results = []
             for i, plan in enumerate(plans):
                 best = KBest(k)
+                intervals: dict[int, tuple[float, float]] = {}
                 best.offer_many(plan["exact_dists"], plan["exact_ids"])
                 for key in plan["refine"]:
-                    coords, pid = points[key]
-                    best.offer(metric.distance(queries[i], coords), pid)
+                    if key in points:
+                        coords, pid = points[key]
+                        best.offer(
+                            metric.distance(queries[i], coords), pid
+                        )
+                    else:
+                        pid, hi = self._degrade_to_interval(
+                            queries[i], key, cache, metric, intervals
+                        )
+                        best.offer(hi, pid)
                 ids, dists = best.sorted_results()
+                lost_records = tuple(
+                    LostPage(
+                        page=int(p),
+                        n_points=int(tree._counts[p]),
+                        mindist=float(dmin[i, p]),
+                        maxdist=float(dmax[i, p]),
+                    )
+                    for p in lost_for[i]
+                )
                 results.append(
-                    BatchQueryResult(
-                        ids=ids,
-                        distances=dists,
-                        stats=QueryStats(
+                    self._assemble_result(
+                        ids, dists, intervals, lost_records,
+                        QueryStats(
                             candidate_pages=int(cand_mask[i].sum()),
                             candidate_points=plan["candidate_points"],
                             refinements=len(plan["refine"]),
                         ),
                     )
                 )
+            if refine_span is not None and any(r.degraded for r in results):
+                refine_span.attrs["degraded"] = True
         stats = self._batch_stats(
-            n_queries, before, pool_before, cache, exact_store
+            n_queries, before, pool_before, fault_before, cache,
+            exact_store,
         )
         self._observe_batch(stats, results, k=k)
         return BatchResult(queries=results, stats=stats)
@@ -262,6 +325,69 @@ class QueryEngine:
             "candidate_points": candidate_points,
         }
 
+    def _degrade_to_interval(
+        self, query, key, cache, metric, intervals
+    ) -> tuple[int, float]:
+        """Fall back to a point's cell interval (record unreadable).
+
+        Returns the point's id and its cell maxdist -- a sound upper
+        bound on the true distance, so ranking on it stays conservative
+        -- and records the full ``[mindist, maxdist]`` interval (which
+        provably contains the exact distance) for the caller.
+        """
+        page, local = key
+        lo_box, up_box = cache.cell_bounds(page)
+        lo = float(
+            mindist_to_boxes(
+                query, lo_box[local : local + 1],
+                up_box[local : local + 1], metric,
+            )[0]
+        )
+        hi = float(
+            maxdist_to_boxes(
+                query, lo_box[local : local + 1],
+                up_box[local : local + 1], metric,
+            )[0]
+        )
+        pid = int(self.tree._part_ids[page][local])
+        intervals[pid] = (lo, hi)
+        self.tree._fault_ctx.degraded_results += 1
+        if REGISTRY.enabled:
+            DEGRADED_RESULTS.inc()
+        return pid, hi
+
+    def _assemble_result(
+        self, ids, dists, intervals, lost_records, stats
+    ) -> BatchQueryResult:
+        """Build one BatchQueryResult, attaching degraded-mode fields."""
+        degraded = bool(intervals or lost_records)
+        certain = None
+        result_intervals = None
+        if degraded:
+            certain = np.array(
+                [pid not in intervals for pid in ids.tolist()],
+                dtype=bool,
+            )
+            result_intervals = {
+                pid: intervals[pid]
+                for pid in ids.tolist()
+                if pid in intervals
+            }
+            if lost_records:
+                ctx = self.tree._fault_ctx
+                ctx.lost_pages += len(lost_records)
+                if REGISTRY.enabled:
+                    LOST_PAGES.inc(len(lost_records))
+        return BatchQueryResult(
+            ids=ids,
+            distances=dists,
+            stats=stats,
+            certain=certain,
+            intervals=result_intervals,
+            lost_pages=lost_records,
+            degraded=degraded,
+        )
+
     def _guarantee_radii(self, dmax: np.ndarray, k: int) -> np.ndarray:
         """Per-query radius guaranteed to contain at least k points.
 
@@ -291,7 +417,11 @@ class QueryEngine:
         """Range search (all points within a radius) for a batch.
 
         ``radius`` is one scalar shared by every query or an array of
-        per-query radii, shape ``(q,)``.
+        per-query radii, shape ``(q,)``.  Degraded-mode semantics match
+        :meth:`knn_batch`: uncertain points whose cell overlaps the
+        radius are *included* (marked via ``certain``/``intervals``),
+        and wholly lost pages are reported with an infinite maxdist
+        because their contribution cannot be bounded.
         """
         tree = self.tree
         tree._ensure_clean()
@@ -302,8 +432,21 @@ class QueryEngine:
         )
         if np.any(radii < 0) or not np.all(np.isfinite(radii)):
             raise SearchError("radius must be non-negative and finite")
+        batch_id = next_query_id()
+        try:
+            return self._range_batch_impl(queries, radii)
+        except StorageError as exc:
+            raise_query_error(exc, tree, batch_id)
+
+    def _range_batch_impl(
+        self, queries: np.ndarray, radii: np.ndarray
+    ) -> BatchResult:
+        tree = self.tree
+        ctx = tree._fault_ctx
+        n_queries = queries.shape[0]
         before = io_snapshot(tree)
         pool_before = self._pool_counters()
+        fault_before = self._fault_counters()
         metric = tree.metric
 
         with obs_span(
@@ -323,12 +466,24 @@ class QueryEngine:
         with obs_span("refine", disk=tree.disk) as refine_span:
             exact_store = ExactBatchStore(tree)
             plans = []
+            lost_for: list[list[int]] = []
             all_requests: set[tuple[int, int]] = set()
             for i in range(n_queries):
+                cand = np.flatnonzero(cand_mask[i])
+                if ctx is not None and cache.lost_pages:
+                    lost_for.append(
+                        [p for p in cand.tolist() if cache.is_lost(p)]
+                    )
+                    cand = np.array(
+                        [p for p in cand.tolist() if not cache.is_lost(p)],
+                        dtype=np.int64,
+                    )
+                else:
+                    lost_for.append([])
                 plan = self._plan_range_query(
                     queries[i],
                     float(radii[i]),
-                    np.flatnonzero(cand_mask[i]),
+                    cand,
                     cache,
                     metric,
                 )
@@ -343,28 +498,53 @@ class QueryEngine:
             for i, plan in enumerate(plans):
                 found_ids = list(plan["exact_ids"])
                 found_dists = list(plan["exact_dists"])
+                intervals: dict[int, tuple[float, float]] = {}
                 for key in plan["refine"]:
-                    coords, pid = points[key]
-                    dist = metric.distance(queries[i], coords)
-                    if dist <= radii[i]:
+                    if key in points:
+                        coords, pid = points[key]
+                        dist = metric.distance(queries[i], coords)
+                        if dist <= radii[i]:
+                            found_ids.append(pid)
+                            found_dists.append(dist)
+                    else:
+                        # Unreadable record whose cell overlaps the
+                        # ball: include it conservatively at its cell
+                        # maxdist, flagged uncertain.
+                        pid, hi = self._degrade_to_interval(
+                            queries[i], key, cache, metric, intervals
+                        )
                         found_ids.append(pid)
-                        found_dists.append(dist)
+                        found_dists.append(hi)
                 order = np.argsort(found_dists, kind="stable")
+                # A lost page may hold any number of in-range points;
+                # its contribution cannot be bounded from above.
+                lost_records = tuple(
+                    LostPage(
+                        page=int(p),
+                        n_points=int(tree._counts[p]),
+                        mindist=float(dmin[i, p]),
+                        maxdist=float("inf"),
+                    )
+                    for p in lost_for[i]
+                )
                 results.append(
-                    BatchQueryResult(
-                        ids=np.array(found_ids, dtype=np.int64)[order],
-                        distances=np.array(
-                            found_dists, dtype=np.float64
-                        )[order],
-                        stats=QueryStats(
+                    self._assemble_result(
+                        np.array(found_ids, dtype=np.int64)[order],
+                        np.array(found_dists, dtype=np.float64)[order],
+                        intervals,
+                        lost_records,
+                        QueryStats(
                             candidate_pages=int(cand_mask[i].sum()),
                             candidate_points=plan["candidate_points"],
                             refinements=len(plan["refine"]),
                         ),
                     )
                 )
+            if refine_span is not None and any(r.degraded for r in results):
+                refine_span.attrs["degraded"] = True
         stats = self._batch_stats(
-            n_queries, before, pool_before, cache, exact_store
+            n_queries, before, pool_before, fault_before, cache,
+            exact_store,
         )
         self._observe_batch(stats, results, k=None)
         return BatchResult(queries=results, stats=stats)
@@ -408,8 +588,20 @@ class QueryEngine:
             return (0, 0)
         return (self.pool.hits, self.pool.misses)
 
+    def _fault_counters(self) -> tuple[int, int, int, int]:
+        ctx = self.tree._fault_ctx
+        if ctx is None:
+            return (0, 0, 0, 0)
+        return (
+            ctx.retries,
+            ctx.quarantined,
+            ctx.degraded_results,
+            ctx.lost_pages,
+        )
+
     def _batch_stats(
-        self, n_queries, before, pool_before, cache, exact_store
+        self, n_queries, before, pool_before, fault_before, cache,
+        exact_store,
     ) -> BatchStats:
         tree = self.tree
         io = io_delta(before, io_snapshot(tree))
@@ -418,6 +610,7 @@ class QueryEngine:
         else:
             hits = self.pool.hits - pool_before[0]
             misses = self.pool.misses - pool_before[1]
+        fault_after = self._fault_counters()
         return BatchStats(
             n_queries=n_queries,
             io=io,
@@ -427,6 +620,10 @@ class QueryEngine:
             * tree.disk.model.block_size,
             pool_hits=hits,
             pool_misses=misses,
+            retries=fault_after[0] - fault_before[0],
+            quarantined=fault_after[1] - fault_before[1],
+            degraded_results=fault_after[2] - fault_before[2],
+            lost_pages=fault_after[3] - fault_before[3],
         )
 
     def _observe_batch(

@@ -56,6 +56,11 @@ class BatchStats:
     pool_hits, pool_misses:
         Buffer-pool lookups charged during the batch (both zero when no
         pool is attached).
+    retries, quarantined, degraded_results, lost_pages:
+        Fault-tolerance activity during this batch (all zero without an
+        attached fault context): reads retried after a fault, blocks
+        newly quarantined, results degraded to a quantization interval,
+        and per-query lost-page reports.
     """
 
     n_queries: int
@@ -65,6 +70,15 @@ class BatchStats:
     bytes_transferred: int
     pool_hits: int = 0
     pool_misses: int = 0
+    retries: int = 0
+    quarantined: int = 0
+    degraded_results: int = 0
+    lost_pages: int = 0
+
+    @property
+    def degraded(self) -> bool:
+        """True when any result of the batch is not exact."""
+        return bool(self.degraded_results or self.lost_pages)
 
     @property
     def pool_hit_rate(self) -> float:

@@ -22,16 +22,51 @@ class PageOverflowError(StorageError):
 
 
 class IntegrityError(StorageError):
-    """A persisted container failed an integrity check.
+    """Stored data failed an integrity check.
 
     ``section`` names the container section ("header", "meta", "index",
     "payload") whose verification failed, so callers and the ``fsck``
-    tool can report exactly what is corrupt.
+    tool can report exactly what is corrupt.  ``block`` carries the disk
+    address of a live block whose per-block CRC sidecar did not match on
+    a timed read (runtime corruption); exactly one of the two is set.
     """
 
-    def __init__(self, message: str, section: str | None = None):
+    def __init__(
+        self,
+        message: str,
+        section: str | None = None,
+        block: int | None = None,
+    ):
         super().__init__(message)
         self.section = section
+        self.block = block
+
+
+class ReadFaultError(StorageError):
+    """A timed block read failed (simulated media error).
+
+    ``address`` is the disk address that faulted and ``attempt`` the
+    0-based read attempt that hit the fault, so retry layers can
+    quarantine the exact block and tests can assert the schedule fired.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        address: int | None = None,
+        attempt: int | None = None,
+    ):
+        super().__init__(message)
+        self.address = address
+        self.attempt = attempt
+
+
+class TransientReadError(ReadFaultError):
+    """A read fault that clears on its own (a retry may succeed)."""
+
+
+class PersistentReadError(ReadFaultError):
+    """A read fault that never clears (retrying is futile)."""
 
 
 class QuantizationError(ReproError):
@@ -48,3 +83,26 @@ class BuildError(ReproError):
 
 class SearchError(ReproError):
     """Query execution failed (bad k, dimension mismatch...)."""
+
+
+class QueryDataError(SearchError):
+    """A query failed because index data could not be read.
+
+    Distinguishes data-loss/corruption failures from API misuse (both
+    surface as :class:`SearchError` to callers of the query APIs).  The
+    low-level :class:`StorageError` is chained as ``__cause__``;
+    ``query_id``, ``level`` ("directory", "quantized", "exact"), and
+    ``block`` (file-local block index) locate the failure.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        query_id: int | None = None,
+        level: str | None = None,
+        block: int | None = None,
+    ):
+        super().__init__(message)
+        self.query_id = query_id
+        self.level = level
+        self.block = block

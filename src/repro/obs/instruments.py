@@ -9,11 +9,13 @@ stats`` and the tests see a single coherent catalogue.
 Accounting discipline (kept in sync with the tests in
 ``tests/test_obs_registry.py``):
 
-* disk counters are fed **only** by
-  :meth:`repro.storage.disk.SimulatedDisk.read_blocks` -- the single
-  physical read path -- never by :class:`~repro.storage.disk.IOStats`
-  ledger arithmetic (``merged_with``/``reset``/snapshots), so ledger
-  bookkeeping in the query engine cannot double-count;
+* disk counters are fed **only** by the physical charge points on
+  :class:`~repro.storage.disk.SimulatedDisk`
+  (:meth:`~repro.storage.disk.SimulatedDisk.read_blocks` and the retry
+  backoff :meth:`~repro.storage.disk.SimulatedDisk.charge_backoff`) --
+  never by :class:`~repro.storage.disk.IOStats` ledger arithmetic
+  (``merged_with``/``reset``/snapshots), so ledger bookkeeping in the
+  query engine cannot double-count;
 * buffer-pool counters are fed only by :class:`~repro.storage.cache.
   BufferPool` itself, so every caller (single-query, batched, planned)
   shares one accounting path.
@@ -119,6 +121,32 @@ OPT_PAGES = REGISTRY.gauge(
     "iq_optimizer_pages",
     "Page counts of the last optimizer run (label: stage = "
     "initial | final)",
+)
+
+# ----------------------------------------------------------------------
+# Read-path fault tolerance (repro.storage.runtime_faults)
+# ----------------------------------------------------------------------
+READ_FAULTS = REGISTRY.counter(
+    "iq_read_faults_total",
+    "Injected read faults observed on the timed read path "
+    "(label: kind = transient | persistent | corrupt)",
+)
+FAULT_RETRIES = REGISTRY.counter(
+    "iq_read_retries_total",
+    "Timed reads retried after a fault (backoff charged as seeks)",
+)
+FAULT_QUARANTINES = REGISTRY.counter(
+    "iq_quarantined_blocks_total",
+    "Block addresses quarantined after a permanent read failure",
+)
+DEGRADED_RESULTS = REGISTRY.counter(
+    "iq_degraded_results_total",
+    "Query results returned with a quantization interval instead of an "
+    "exact distance",
+)
+LOST_PAGES = REGISTRY.counter(
+    "iq_lost_pages_total",
+    "Second-level pages reported lost to a query (partition skipped)",
 )
 
 # ----------------------------------------------------------------------

@@ -18,7 +18,11 @@ hardware-independent build:
   files for saving/loading an IQ-tree on the host filesystem.
 * :mod:`repro.storage.faults` -- deterministic fault injection
   (truncation, torn writes, bit flips) used to prove the persistence
-  layer detects every corruption mode.
+  layer detects every corruption mode; also the shared fault vocabulary
+  re-exporting the runtime adversary.
+* :mod:`repro.storage.runtime_faults` -- fault injection on the live
+  (timed) read path plus the defenses: retry policy, page quarantine,
+  and the fetch loop degraded-mode queries are built on.
 """
 
 from repro.storage.disk import DiskModel, IOStats, SimulatedDisk

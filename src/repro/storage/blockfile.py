@@ -7,15 +7,28 @@ paper's query-time experiments); reads are charged to the disk ledger.
 
 Pages larger than one block (the X-tree's supernodes, variable-size exact
 data runs) are supported by multi-block records.
+
+Every block carries a CRC32 sidecar entry (kept in memory next to the
+payload, never charged as I/O).  While a
+:class:`~repro.storage.runtime_faults.ReadFaultInjector` is installed on
+the disk, every timed read re-verifies the delivered payload against the
+sidecar, so silently corrupted bytes surface as
+:class:`~repro.exceptions.IntegrityError` instead of garbage results.
+The pristine path (no injector) skips verification entirely -- one
+attribute check -- so fault tolerance costs nothing when unused.
 """
 
 from __future__ import annotations
 
 import zlib
-from typing import Sequence
+from typing import Iterable, Sequence
 
-from repro.exceptions import StorageError
+from repro.exceptions import IntegrityError, StorageError
 from repro.storage.disk import SimulatedDisk
+
+
+def _crc(payload: bytes) -> int:
+    return zlib.crc32(payload) & 0xFFFFFFFF
 
 __all__ = ["BlockFile"]
 
@@ -35,6 +48,9 @@ class BlockFile:
         self._disk = disk
         self.name = name
         self._blocks: list[bytes] = []
+        #: per-block CRC32 sidecar, maintained on every write path and
+        #: checked on timed reads while a fault injector is installed.
+        self._crcs: list[int] = []
         self._extent_start: int | None = None
 
     # ------------------------------------------------------------------
@@ -53,6 +69,7 @@ class BlockFile:
                 f"{self.block_size}"
             )
         self._blocks.append(bytes(payload))
+        self._crcs.append(_crc(self._blocks[-1]))
         return len(self._blocks) - 1
 
     def append_record(self, payload: bytes) -> tuple[int, int]:
@@ -67,6 +84,7 @@ class BlockFile:
         size = self.block_size
         for offset in range(0, len(payload), size):
             self._blocks.append(bytes(payload[offset : offset + size]))
+            self._crcs.append(_crc(self._blocks[-1]))
         return first, len(self._blocks) - first
 
     def seal(self) -> None:
@@ -94,7 +112,9 @@ class BlockFile:
         """Read one block with a (possibly sequential) timed access."""
         self._check_index(index)
         self._disk.read_blocks(self._address(index), 1)
-        return self._blocks[index]
+        if self._disk.fault_injector is None:
+            return self._blocks[index]
+        return self._deliver(index)
 
     def read_run(self, start: int, count: int, wanted: int = -1) -> list[bytes]:
         """Read ``count`` consecutive blocks in one sequential transfer.
@@ -108,7 +128,9 @@ class BlockFile:
         self._check_index(start + count - 1)
         overread = 0 if wanted < 0 else max(0, count - wanted)
         self._disk.read_blocks(self._address(start), count, overread=overread)
-        return self._blocks[start : start + count]
+        if self._disk.fault_injector is None:
+            return self._blocks[start : start + count]
+        return [self._deliver(i) for i in range(start, start + count)]
 
     def read_record(self, first_block: int, n_blocks: int) -> bytes:
         """Read a multi-block record as one sequential transfer."""
@@ -121,23 +143,33 @@ class BlockFile:
             return []
         return self.read_run(0, len(self._blocks))
 
-    def read_batched(self, indices: Sequence[int]) -> dict[int, bytes]:
+    def read_batched(
+        self, indices: Sequence[int], avoid: Iterable[int] = frozenset()
+    ) -> dict[int, bytes]:
         """Fetch a known set of blocks with the optimal Section 2 strategy.
 
         Gaps shorter than the over-read window are read through instead of
         seeking; returns a mapping from block index to payload.
+
+        ``avoid`` lists file-local block indices (e.g. quarantined pages)
+        that must not be touched: they are dropped from the wanted set
+        and never read through as gap fill -- runs split around them.
         """
         from repro.storage.scheduler import plan_batched_fetch
 
-        indices = sorted(set(indices))
+        avoid = frozenset(avoid)
+        wanted_set = set(indices) - avoid
+        indices = sorted(wanted_set)
         for index in indices:
             self._check_index(index)
         result: dict[int, bytes] = {}
         window = self._disk.model.overread_window
-        for start, count, wanted in plan_batched_fetch(indices, window):
+        for start, count, wanted in plan_batched_fetch(
+            indices, window, forbidden=avoid
+        ):
             payload = self.read_run(start, count, wanted=wanted)
             for offset, block in enumerate(payload):
-                if start + offset in indices:
+                if start + offset in wanted_set:
                     result[start + offset] = block
         return result
 
@@ -155,6 +187,7 @@ class BlockFile:
         if len(payload) > self.block_size:
             raise StorageError("payload exceeds block size")
         self._blocks[index] = bytes(payload)
+        self._crcs[index] = _crc(self._blocks[index])
 
     def content_crc32(self) -> int:
         """CRC32 over every block payload, in file order (untimed).
@@ -190,6 +223,16 @@ class BlockFile:
             raise StorageError("file not sealed yet")
         return self._extent_start
 
+    @property
+    def sealed(self) -> bool:
+        """Whether the file has a fixed extent on the disk."""
+        return self._extent_start is not None
+
+    @property
+    def disk(self) -> SimulatedDisk:
+        """The simulated disk this file lives on."""
+        return self._disk
+
     def __len__(self) -> int:
         return len(self._blocks)
 
@@ -203,6 +246,27 @@ class BlockFile:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+    def _deliver(self, index: int) -> bytes:
+        """Deliver one just-transferred block through the fault injector.
+
+        The injector may raise a :class:`~repro.exceptions.ReadFaultError`
+        (media error) or substitute corrupted bytes; delivered payloads
+        are then verified against the CRC sidecar, so silent corruption
+        surfaces as :class:`~repro.exceptions.IntegrityError` carrying
+        the faulted disk address.
+        """
+        address = self._address(index)
+        payload = self._disk.fault_injector.filter_read(
+            address, self._blocks[index]
+        )
+        if _crc(payload) != self._crcs[index]:
+            raise IntegrityError(
+                f"CRC sidecar mismatch for block {index} of file "
+                f"{self.name!r} (disk address {address})",
+                block=address,
+            )
+        return payload
+
     def _address(self, index: int) -> int:
         if self._extent_start is None:
             raise StorageError(

@@ -179,13 +179,15 @@ class CachedBlockFile:
             first, last = missing[0], missing[-1]
             fetch_count = last - first + 1
             fetch_wanted = len(missing) if wanted >= 0 else -1
+            # Transfer before charging: if the read faults, the ledger
+            # must not claim misses (or hits) that were never served.
+            self._file.read_run(first, fetch_count, wanted=fetch_wanted)
             self.pool.record(misses=fetch_count)
+            for i in range(first, last + 1):
+                self.pool.admit(base + i)
             for i in indices:
                 if i < first or i > last:  # resident by construction
                     self.pool.lookup(base + i)
-            self._file.read_run(first, fetch_count, wanted=fetch_wanted)
-            for i in range(first, last + 1):
-                self.pool.admit(base + i)
         else:
             for i in indices:
                 self.pool.lookup(base + i)
@@ -197,29 +199,62 @@ class CachedBlockFile:
             return []
         return self.read_run(0, self._file.n_blocks)
 
-    def read_batched(self, indices) -> dict[int, bytes]:
+    def read_batched(self, indices, avoid=frozenset()) -> dict[int, bytes]:
         """Optimal batched fetch of the non-resident subset.
 
         Planning peeks the pool without side effects; each requested
         block is then charged exactly once (hit when served from the
-        pool, miss when part of the batched disk fetch).
+        pool, miss when part of the batched disk fetch).  The plan is
+        executed run by run, charging and admitting only after each
+        transfer succeeds: if one run faults mid-plan, earlier runs are
+        fully accounted (they did happen), the failing and later runs
+        leave no trace, and pool hits are only charged once every
+        transfer has completed -- the ledger never claims service that
+        was not rendered.
+
+        ``avoid`` lists file-local indices (quarantined pages) excluded
+        from the request and from gap over-reads.
         """
+        from repro.storage.scheduler import plan_batched_fetch
+
         base = self._file.extent_start
-        indices = sorted(set(indices))
+        avoid = frozenset(avoid)
+        indices = sorted(set(indices) - avoid)
         missing = [i for i in indices if not self.pool.peek(base + i)]
         if missing:
             missing_set = set(missing)
-            self.pool.record(misses=len(missing))
+            window = self._file.disk.model.overread_window
+            for start, count, wanted in plan_batched_fetch(
+                missing, window, forbidden=avoid
+            ):
+                self._file.read_run(start, count, wanted=wanted)
+                self.pool.record(misses=wanted)
+                for i in range(start, start + count):
+                    if i in missing_set:
+                        self.pool.admit(base + i)
             for i in indices:
                 if i not in missing_set:
                     self.pool.lookup(base + i)
-            self._file.read_batched(missing)
-            for i in missing:
-                self.pool.admit(base + i)
         else:
             for i in indices:
                 self.pool.lookup(base + i)
         return {i: self._file.peek_block(i) for i in indices}
+
+    # ------------------------------------------------------------------
+    # Writes that must keep the pool coherent
+    # ------------------------------------------------------------------
+    def replace_block(self, index: int, payload: bytes) -> None:
+        """Overwrite a block and invalidate its pool residency.
+
+        Without the invalidation a later timed read charges a pool
+        "hit" -- zero simulated I/O -- for bytes that changed underneath
+        (dynamic maintenance rewrites pages in place), as if the stale
+        cached copy were still servable.  The rewritten block must pay
+        a real transfer on its next read.
+        """
+        self._file.replace_block(index, payload)
+        if self._file.sealed:
+            self.pool.invalidate(self._file.extent_start + index)
 
     # ------------------------------------------------------------------
     # Pass-through

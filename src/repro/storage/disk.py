@@ -114,9 +114,11 @@ class IOStats:
     The ledger is *pure bookkeeping*: none of its methods (including
     :meth:`merged_with` and :meth:`reset`) touch the process-wide
     metrics registry.  Registry disk counters are fed exclusively by
-    :meth:`SimulatedDisk.read_blocks`, the single physical read path,
-    so snapshot/delta/merge arithmetic in higher layers (e.g. the batch
-    query engine) can never double-count an I/O.
+    the physical charge points on :class:`SimulatedDisk`
+    (:meth:`SimulatedDisk.read_blocks` and
+    :meth:`SimulatedDisk.charge_backoff`), so snapshot/delta/merge
+    arithmetic in higher layers (e.g. the batch query engine) can never
+    double-count an I/O.
     """
 
     seeks: int = 0
@@ -193,6 +195,25 @@ class SimulatedDisk:
         self.stats = IOStats()
         self._head = -1  # unknown position: the first read pays a seek
         self._next_extent_start = 0
+        #: optional ReadFaultInjector consulted by every timed BlockFile
+        #: read over this disk (None = pristine fast path).
+        self.fault_injector = None
+
+    # ------------------------------------------------------------------
+    # Fault injection (repro.storage.runtime_faults)
+    # ------------------------------------------------------------------
+    def install_fault_injector(self, injector) -> None:
+        """Route every timed read over this disk through ``injector``.
+
+        Installing an injector also turns on per-block CRC verification
+        in the block files on this disk, so silently corrupted payloads
+        surface as :class:`~repro.exceptions.IntegrityError`.
+        """
+        self.fault_injector = injector
+
+    def clear_fault_injector(self) -> None:
+        """Return to the pristine (unchecked, unfaulted) read path."""
+        self.fault_injector = None
 
     # ------------------------------------------------------------------
     # Extent allocation (one extent per file)
@@ -235,6 +256,24 @@ class SimulatedDisk:
     def read_block(self, address: int) -> None:
         """Account a single-block read at ``address``."""
         self.read_blocks(address, 1)
+
+    def charge_backoff(self, seeks: int) -> None:
+        """Charge a retry backoff of ``seeks`` random seeks.
+
+        Simulated backoff between read retries is modelled as extra
+        positioning operations (the head re-settles on the target
+        track).  Goes through the same ledger *and* registry feed as a
+        physical seek so span attribution and the metrics discipline
+        (registry disk counters mirror the ledger) both stay exact; the
+        head is parked because the interrupted transfer lost position.
+        """
+        if seeks <= 0:
+            return
+        self.stats.add_seek(self.model, seeks)
+        self._head = -1
+        if REGISTRY.enabled:
+            DISK_SEEKS.inc(seeks)
+            DISK_SIM_SECONDS.inc(seeks * self.model.t_seek)
 
     @property
     def head(self) -> int:

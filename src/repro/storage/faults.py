@@ -17,6 +17,13 @@ rename; the destination container must come through untouched.
 
 Everything here is deterministic: faults are aimed at explicit offsets,
 not sampled, so a failing corruption mode reproduces exactly.
+
+This module is also the *shared fault vocabulary*: the runtime
+read-path adversary (:mod:`repro.storage.runtime_faults`) and the
+container adversary both import from here, and the runtime names
+(:class:`~repro.storage.runtime_faults.ReadFaultInjector`,
+:class:`~repro.storage.runtime_faults.RetryPolicy`, ...) are re-exported
+lazily so tests composing both layers need a single import.
 """
 
 from __future__ import annotations
@@ -26,7 +33,59 @@ from pathlib import Path
 from repro.exceptions import StorageError
 from repro.storage import persistence
 
-__all__ = ["FaultInjector", "PowerLoss", "torn_save"]
+__all__ = [
+    "FaultInjector",
+    "PowerLoss",
+    "corrupt_bytes",
+    "torn_save",
+    # lazily re-exported from repro.storage.runtime_faults
+    "FaultContext",
+    "LostPage",
+    "QuarantineList",
+    "ReadFaultInjector",
+    "RetryPolicy",
+    "fetch_with_quarantine",
+]
+
+#: Runtime-fault names served by module __getattr__ (lazy to avoid a
+#: circular import: runtime_faults itself imports corrupt_bytes).
+_RUNTIME_NAMES = frozenset(
+    {
+        "FaultContext",
+        "LostPage",
+        "QuarantineList",
+        "ReadFaultInjector",
+        "RetryPolicy",
+        "fetch_with_quarantine",
+    }
+)
+
+
+def __getattr__(name: str):
+    if name in _RUNTIME_NAMES:
+        from repro.storage import runtime_faults
+
+        return getattr(runtime_faults, name)
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}"
+    )
+
+
+def corrupt_bytes(payload: bytes, salt: int = 0) -> bytes:
+    """Flip one byte of ``payload`` deterministically.
+
+    The byte at offset ``salt % len(payload)`` is XORed with ``0xFF``,
+    so the corruption is always detectable by a CRC yet reproduces
+    exactly for a given ``(payload, salt)``.  An empty payload corrupts
+    to one spurious byte (still a CRC mismatch).  Both the container
+    adversary and the runtime read-path adversary use this to model
+    silent bit rot with one shared definition.
+    """
+    if not payload:
+        return b"\xff"
+    raw = bytearray(payload)
+    raw[salt % len(raw)] ^= 0xFF
+    return bytes(raw)
 
 
 class PowerLoss(RuntimeError):

@@ -38,7 +38,9 @@ __all__ = [
 
 
 def plan_batched_fetch(
-    sorted_blocks: Sequence[int], overread_window: float
+    sorted_blocks: Sequence[int],
+    overread_window: float,
+    forbidden: frozenset[int] = frozenset(),
 ) -> Iterator[tuple[int, int, int]]:
     """Group a sorted list of wanted blocks into sequential runs.
 
@@ -51,6 +53,11 @@ def plan_batched_fetch(
         two wanted blocks is over-read iff ``gap < v`` (equivalently
         ``gap * t_xfer < t_seek``, the paper's condition with
         ``gap = p_{i+1} - p_i - 1``).
+    forbidden:
+        Block indices that must not be transferred at all (quarantined
+        pages).  Requesting one is an error; a gap containing one is
+        never read through, regardless of the window -- the plan splits
+        into two runs around it.
 
     Yields
     ------
@@ -65,6 +72,12 @@ def plan_batched_fetch(
         return
     if any(b2 <= b1 for b1, b2 in zip(blocks, blocks[1:])):
         raise StorageError("block list must be strictly increasing")
+    if forbidden:
+        for block in blocks:
+            if block in forbidden:
+                raise StorageError(
+                    f"wanted block {block} is forbidden (quarantined)"
+                )
     if REGISTRY.enabled:
         SCHED_BATCH_PLANS.inc()
     run_start = blocks[0]
@@ -73,7 +86,10 @@ def plan_batched_fetch(
     runs = 0
     for block in blocks[1:]:
         gap = block - run_end - 1
-        if gap == 0 or gap < overread_window:
+        blocked = forbidden and any(
+            b in forbidden for b in range(run_end + 1, block)
+        )
+        if (gap == 0 or gap < overread_window) and not blocked:
             run_end = block
             wanted += 1
         else:
@@ -127,6 +143,7 @@ def cost_balance_window(
     n_blocks: int,
     access_probability: Callable[[int], float],
     model: DiskModel,
+    forbidden: frozenset[int] = frozenset(),
 ) -> tuple[int, int]:
     """Choose the run of blocks to read around a pivot (Section 2.1).
 
@@ -143,6 +160,10 @@ def cost_balance_window(
         (0 for already-processed or pruned blocks).
     model:
         Disk timing parameters.
+    forbidden:
+        Block indices that must not be transferred (quarantined pages).
+        The speculative scan in each direction stops at the first
+        forbidden block; the pivot itself must not be forbidden.
 
     Returns
     -------
@@ -160,13 +181,17 @@ def cost_balance_window(
     """
     if not 0 <= pivot < n_blocks:
         raise StorageError("pivot outside the file")
+    if pivot in forbidden:
+        raise StorageError(
+            f"pivot block {pivot} is forbidden (quarantined)"
+        )
     first = last = pivot
 
     def _scan(direction: int) -> int:
         accepted = pivot
         balance = 0.0
         i = pivot + direction
-        while 0 <= i < n_blocks and balance < model.t_seek:
+        while 0 <= i < n_blocks and i not in forbidden and balance < model.t_seek:
             prob = access_probability(i)
             if not 0.0 <= prob <= 1.0:
                 raise StorageError("access probability must be in [0, 1]")

@@ -86,6 +86,45 @@ class TestMaintenanceWithPool:
         assert victim not in res.ids
 
 
+class TestReplaceBlockInvalidation:
+    def _cached_file(self):
+        from repro.storage.blockfile import BlockFile
+        from repro.storage.cache import BufferPool, CachedBlockFile
+        from repro.storage.disk import DiskModel, SimulatedDisk
+
+        disk = SimulatedDisk(
+            DiskModel(t_seek=0.01, t_xfer=0.001, block_size=64)
+        )
+        f = BlockFile(disk)
+        for i in range(8):
+            f.append_block(bytes([i]) * 4)
+        f.seal()
+        return CachedBlockFile(f, BufferPool(8)), disk
+
+    def test_replace_evicts_resident_block(self):
+        # Regression: replace_block used to leave the old address
+        # resident in the pool, so the next read of the rewritten block
+        # was charged as a hit (free) even though its bytes changed --
+        # cache accounting drifting from physical reality.
+        cached, disk = self._cached_file()
+        cached.read_block(3)
+        address = cached._file.extent_start + 3
+        assert cached.pool.peek(address)
+        cached.replace_block(3, b"new!")
+        assert not cached.pool.peek(address)
+        before = disk.stats.blocks_read
+        assert cached.read_block(3) == b"new!"
+        assert disk.stats.blocks_read == before + 1  # a real transfer
+        assert cached.pool.misses == 2 and cached.pool.hits == 0
+
+    def test_replace_of_nonresident_block_is_noop_on_pool(self):
+        cached, _disk = self._cached_file()
+        cached.read_block(1)
+        cached.replace_block(5, b"x")  # 5 never admitted
+        address = cached._file.extent_start + 1
+        assert cached.pool.peek(address)  # unrelated residency kept
+
+
 class TestPersistenceWithPool:
     def test_pooled_tree_saves_and_reloads(self, workload, tmp_path):
         data, queries = workload

@@ -148,3 +148,61 @@ class TestValidate:
         )
         out = capsys.readouterr().out
         assert "pages" in out and "refinements" in out
+
+
+class TestChaos:
+    @pytest.fixture
+    def quantized_index(self, tmp_path, data_file):
+        # Fixed-bit quantization guarantees third-level refinements, so
+        # the chaos matrix can target both the quantized and exact
+        # levels.
+        path = tmp_path / "quantized.iqt"
+        assert (
+            main(["build", str(data_file), str(path), "--bits", "5"]) == 0
+        )
+        return path
+
+    def test_full_matrix_passes(self, quantized_index, capsys):
+        assert (
+            main(
+                [
+                    "chaos",
+                    str(quantized_index),
+                    "--random",
+                    "4",
+                    "--k",
+                    "3",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "chaos verdict: PASS" in out
+        assert "post-chaos pristine check: ok" in out
+        for kind in ("transient", "persistent", "corrupt"):
+            assert kind in out
+
+    def test_single_cell_smoke(self, quantized_index, capsys):
+        assert (
+            main(
+                [
+                    "chaos",
+                    str(quantized_index),
+                    "--random",
+                    "3",
+                    "--kinds",
+                    "transient",
+                    "--levels",
+                    "exact",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "transient" in out and "exact" in out
+
+    def test_unknown_kind_rejected(self, quantized_index):
+        with pytest.raises(SystemExit):
+            main(
+                ["chaos", str(quantized_index), "--kinds", "gamma-ray"]
+            )

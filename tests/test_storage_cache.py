@@ -217,6 +217,53 @@ def disk_address(cached, index):
     return cached._file.extent_start + index
 
 
+class TestBatchedPartialFailure:
+    """A failing batched read must not corrupt the hit/miss ledger."""
+
+    def test_failed_run_charges_nothing(self, cached, disk):
+        from repro.storage.faults import ReadFaultInjector
+
+        cached.read_block(10)  # resident: would be the batch's one hit
+        assert (cached.pool.hits, cached.pool.misses) == (0, 1)
+        injector = ReadFaultInjector()
+        injector.fail_always(disk_address(cached, 12))
+        disk.install_fault_injector(injector)
+        with pytest.raises(StorageError):
+            cached.read_batched([9, 10, 11, 12, 13])
+        # The single run 9..13 never completed: no misses charged for
+        # it, and the resident hit is only charged on full success.
+        assert (cached.pool.hits, cached.pool.misses) == (0, 1)
+        disk.clear_fault_injector()
+        result = cached.read_batched([9, 10, 11, 12, 13])
+        assert set(result) == {9, 10, 11, 12, 13}
+        assert (cached.pool.hits, cached.pool.misses) == (1, 5)
+
+    def test_completed_runs_stay_charged(self, cached, disk):
+        from repro.storage.faults import ReadFaultInjector
+
+        injector = ReadFaultInjector()
+        injector.fail_always(disk_address(cached, 15))
+        disk.install_fault_injector(injector)
+        # Blocks 0 and 15 are farther apart than the overread window
+        # (v = 10), so the plan is two runs; the first completes and is
+        # charged, the second fails after the charge point.
+        with pytest.raises(StorageError):
+            cached.read_batched([0, 15])
+        assert (cached.pool.hits, cached.pool.misses) == (0, 1)
+        # The completed run's block really is resident and servable.
+        assert cached.pool.peek(disk_address(cached, 0))
+        assert not cached.pool.peek(disk_address(cached, 15))
+
+    def test_avoid_excludes_blocks_from_plan(self, cached, disk):
+        before = disk.stats.blocks_read
+        result = cached.read_batched([3, 4, 5], avoid={4})
+        assert set(result) == {3, 5}
+        assert not cached.pool.peek(disk_address(cached, 4))
+        # 3 and 5 merge across the forbidden gap only by re-reading 4,
+        # which `avoid` forbids: two separate single-block transfers.
+        assert disk.stats.blocks_read - before == 2
+
+
 class TestGetattrGuard:
     def test_missing_attribute_raises_cleanly(self, cached):
         with pytest.raises(AttributeError, match="no_such_attr"):
