@@ -6,6 +6,7 @@ Usage::
     python -m repro query  index.iqt --point 0.1,0.2,... [--k 5]
     python -m repro query  index.iqt --random 3 [--k 5]
     python -m repro batch  index.iqt --random 50 [--k 5] [--pool 256]
+    python -m repro batch  index.iqt --random 50 --workers 4 [--decode-cache 4194304]
     python -m repro batch  index.iqt --random 50 --radius 0.2 [--compare]
     python -m repro info   index.iqt
     python -m repro fsck   index.iqt
@@ -92,7 +93,11 @@ def _random_queries(tree, count: int, seed: int) -> np.ndarray:
 def _cmd_batch(args: argparse.Namespace) -> int:
     tree = load_iqtree(args.index)
     queries = _random_queries(tree, args.random, args.seed)
-    engine = tree.query_engine(pool=args.pool)
+    engine = tree.query_engine(
+        pool=args.pool,
+        workers=args.workers,
+        decode_cache=args.decode_cache,
+    )
     if args.radius is not None:
         result = engine.range_batch(queries, args.radius)
         kind = f"range r={args.radius}"
@@ -101,7 +106,8 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         kind = f"{args.k}-NN"
     stats = result.stats
     print(
-        f"batch of {stats.n_queries} {kind} queries: "
+        f"batch of {stats.n_queries} {kind} queries "
+        f"({stats.workers} worker{'s' if stats.workers != 1 else ''}): "
         f"{stats.io.elapsed * 1e3:.2f} ms simulated "
         f"({stats.mean_time * 1e3:.3f} ms/query), "
         f"{stats.io.seeks} seeks, {stats.pages_read} pages, "
@@ -113,6 +119,12 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             f"buffer pool: {stats.pool_hits} hits / "
             f"{stats.pool_misses} misses "
             f"(hit rate {stats.pool_hit_rate:.2f})"
+        )
+    if stats.decoded_pages_reused:
+        print(
+            f"decoded-page cache: {stats.decoded_pages_reused} pages "
+            f"reused, {stats.pages_read} fetched "
+            f"(reuse rate {stats.decode_reuse_rate:.2f})"
         )
     if args.compare:
         seq = load_iqtree(args.index)
@@ -467,6 +479,20 @@ def _build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="buffer pool capacity in blocks (default: no pool)",
+    )
+    batch.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker threads for the per-query phases (default: 1)",
+    )
+    batch.add_argument(
+        "--decode-cache",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="cross-batch decoded-page cache budget in bytes "
+        "(default: no decoded cache)",
     )
     batch.add_argument("--seed", type=int, default=0)
     batch.add_argument(

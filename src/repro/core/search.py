@@ -62,6 +62,7 @@ __all__ = [
     "nearest_neighbors",
     "range_search",
     "browse_by_distance",
+    "certain_mask",
     "checked_query",
     "checked_queries",
     "io_snapshot",
@@ -214,14 +215,45 @@ class KBest:
             heapq.heapreplace(self._heap, (-dist, point_id))
 
     def offer_many(self, dists: np.ndarray, ids: np.ndarray) -> None:
+        """Offer a whole candidate array (same result as offer() in a
+        loop, including first-offered-wins tie behavior).
+
+        Candidates that provably cannot enter the heap are dropped in
+        one vectorized pass before the (now tiny) sequential offers:
+        with ``n > k`` offered distances, anything above the k-th
+        smallest *of this array* loses to k strictly smaller offers
+        (replacement is strict ``<``), and once the heap is full,
+        anything at or above the current bound is dead on arrival --
+        and stays dead, because the bound never increases.
+        """
+        dists = np.asarray(dists, dtype=np.float64)
+        ids = np.asarray(ids)
+        if dists.size == 0:
+            return
+        keep = None
+        if dists.size > self.k:
+            kth = np.partition(dists, self.k - 1)[self.k - 1]
+            keep = dists <= kth
+        bound = self.bound()
+        if np.isfinite(bound):
+            below = dists < bound
+            keep = below if keep is None else keep & below
+        if keep is not None:
+            dists = dists[keep]
+            ids = ids[keep]
         for dist, pid in zip(dists, ids):
             self.offer(float(dist), int(pid))
 
     def sorted_results(self) -> tuple[np.ndarray, np.ndarray]:
-        pairs = sorted((-nd, pid) for nd, pid in self._heap)
-        dists = np.array([p[0] for p in pairs])
-        ids = np.array([p[1] for p in pairs], dtype=np.int64)
-        return ids, dists
+        """Drain the heap into ``(ids, dists)`` ascending by
+        ``(distance, id)`` -- one vectorized lexsort, no tuple rebuild."""
+        if not self._heap:
+            return np.empty(0, dtype=np.int64), np.empty(0)
+        neg_dists, heap_ids = zip(*self._heap)
+        dists = -np.asarray(neg_dists, dtype=np.float64)
+        ids = np.asarray(heap_ids, dtype=np.int64)
+        order = np.lexsort((ids, dists))
+        return ids[order], dists[order]
 
 
 def nearest_neighbors(
@@ -320,7 +352,12 @@ def _nearest_impl(
             continue
         if processed[page]:
             continue
-        if ctx is None:
+        cached = tree._cached_handle(page)
+        if cached is not None:
+            # Decoded-cache hit: the pivot costs no I/O at all, so no
+            # speculative window is planned around it.
+            handles = [cached]
+        elif ctx is None:
             if scheduler == "standard":
                 handles = [tree._read_page(page)]
             else:
@@ -348,9 +385,7 @@ def _nearest_impl(
     certain = None
     result_intervals = None
     if degraded:
-        certain = np.array(
-            [pid not in intervals for pid in ids.tolist()], dtype=bool
-        )
+        certain = _certain_mask(ids, intervals)
         result_intervals = {
             pid: intervals[pid] for pid in ids.tolist() if pid in intervals
         }
@@ -408,17 +443,28 @@ def _range_impl(tree: IQTree, query: np.ndarray, radius: float) -> RangeResult:
     )
     candidates = np.flatnonzero(page_mindists <= radius)
     exact = ExactStore(tree)
-    found_ids: list[int] = []
-    found_dists: list[float] = []
+    id_runs: list[np.ndarray] = []
+    dist_runs: list[np.ndarray] = []
     intervals: dict[int, tuple[float, float]] = {}
     lost_pages: list[LostPage] = []
     pages_read = 0
 
+    # Pages resident in the decoded cache need no fetch at all; only
+    # the rest go into the batched transfer.
+    cached_handles: dict[int, PageHandle] = {}
+    to_fetch: list[int] = []
+    for page in candidates.tolist():
+        handle = tree._cached_handle(page)
+        if handle is not None:
+            cached_handles[page] = handle
+        else:
+            to_fetch.append(page)
+
     if ctx is None:
-        payloads = tree._quant_file.read_batched(candidates.tolist())
+        payloads = tree._quant_file.read_batched(to_fetch)
     else:
         payloads, lost_local = fetch_with_quarantine(
-            tree._quant_file, tree.disk, ctx, candidates.tolist()
+            tree._quant_file, tree.disk, ctx, to_fetch
         )
         for page in lost_local:
             # Membership of every point in the page is unknowable;
@@ -435,19 +481,23 @@ def _range_impl(tree: IQTree, query: np.ndarray, radius: float) -> RangeResult:
             if REGISTRY.enabled:
                 LOST_PAGES.inc()
     for page in candidates.tolist():
-        if page not in payloads:
-            continue  # lost page, reported above
-        handle = tree._decode_page_payload(page, payloads[page])
+        handle = cached_handles.get(page)
+        if handle is None:
+            if page not in payloads:
+                continue  # lost page, reported above
+            handle = tree._decode_page_payload(page, payloads[page])
         pages_read += 1
         if handle.points is not None:
             dists = metric.distances(query, handle.points)
             inside = dists <= radius
-            found_ids.extend(handle.ids[inside].tolist())
-            found_dists.extend(dists[inside].tolist())
+            id_runs.append(handle.ids[inside].astype(np.int64, copy=False))
+            dist_runs.append(dists[inside].astype(np.float64, copy=False))
             continue
         quantizer = tree._quantizer_for(page)
         lower_b = quantizer.cell_mindist(query, handle.codes, metric)
         upper_b = None
+        page_ids: list[int] = []
+        page_dists: list[float] = []
         for local in np.flatnonzero(lower_b <= radius):
             if ctx is None:
                 coords, pid = exact.fetch(page, int(local))
@@ -467,8 +517,8 @@ def _range_impl(tree: IQTree, query: np.ndarray, radius: float) -> RangeResult:
                     pid = int(tree._part_ids[page][local])
                     lo = float(lower_b[local])
                     hi = float(upper_b[local])
-                    found_ids.append(pid)
-                    found_dists.append(hi)
+                    page_ids.append(pid)
+                    page_dists.append(hi)
                     intervals[pid] = (lo, hi)
                     ctx.degraded_results += 1
                     if REGISTRY.enabled:
@@ -476,24 +526,30 @@ def _range_impl(tree: IQTree, query: np.ndarray, radius: float) -> RangeResult:
                     continue
             dist = metric.distance(query, coords)
             if dist <= radius:
-                found_ids.append(pid)
-                found_dists.append(dist)
+                page_ids.append(pid)
+                page_dists.append(dist)
+        if page_ids:
+            id_runs.append(np.array(page_ids, dtype=np.int64))
+            dist_runs.append(np.array(page_dists, dtype=np.float64))
 
+    if id_runs:
+        found_ids = np.concatenate(id_runs)
+        found_dists = np.concatenate(dist_runs)
+    else:
+        found_ids = np.empty(0, dtype=np.int64)
+        found_dists = np.empty(0)
     order = np.argsort(found_dists, kind="stable")
-    ids_sorted = np.array(found_ids, dtype=np.int64)[order]
+    ids_sorted = found_ids[order]
     degraded = bool(intervals or lost_pages)
     certain = None
     result_intervals = None
     if degraded:
-        certain = np.array(
-            [pid not in intervals for pid in ids_sorted.tolist()],
-            dtype=bool,
-        )
+        certain = certain_mask(ids_sorted, intervals)
         result_intervals = dict(intervals)
     io_after = io_snapshot(tree)
     result = RangeResult(
         ids=ids_sorted,
-        distances=np.array(found_dists)[order],
+        distances=found_dists[order],
         io=io_delta(io_before, io_after),
         pages_read=pages_read,
         refinements=exact.refinements,
@@ -773,6 +829,23 @@ def _refine_degraded(
             DEGRADED_RESULTS.inc()
         return
     best.offer(metric.distance(query, coords), pid)
+
+
+def certain_mask(
+    ids: np.ndarray, intervals: dict[int, tuple[float, float]]
+) -> np.ndarray:
+    """Exactness mask aligned with ``ids``: False where the id carries
+    a quantization interval.  One vectorized membership test instead of
+    a per-result Python dict probe."""
+    if not intervals:
+        return np.ones(ids.size, dtype=bool)
+    uncertain = np.fromiter(
+        intervals.keys(), dtype=np.int64, count=len(intervals)
+    )
+    return ~np.isin(ids, uncertain)
+
+
+_certain_mask = certain_mask
 
 
 def checked_query(tree: IQTree, query) -> np.ndarray:

@@ -89,6 +89,9 @@ class IQTree:
         #: optional FaultContext (retry policy + quarantine) consulted
         #: by the query paths; None = fail-fast on any StorageError.
         self._fault_ctx = None
+        #: optional DecodedPageCache serving decoded quantized pages
+        #: across batches and single queries (see use_decoded_cache).
+        self._decoded_cache = None
         self._layout()
 
     # ------------------------------------------------------------------
@@ -290,6 +293,10 @@ class IQTree:
         self._exact_firsts = decoded["exact_firsts"]
         self._exact_blocks = decoded["exact_counts"]
         self._part_ids = part_ids
+        if self._decoded_cache is not None:
+            # Page indices were just reassigned wholesale; every cached
+            # decode is addressed by a now-meaningless key.
+            self._decoded_cache.clear()
         self._dirty = False
 
     def _ensure_clean(self) -> None:
@@ -391,16 +398,21 @@ class IQTree:
             self.nearest(q, k=k, scheduler=scheduler) for q in queries
         ]
 
-    def query_engine(self, pool=None):
+    def query_engine(self, pool=None, workers: int = 1, decode_cache=None):
         """A :class:`~repro.engine.QueryEngine` serving this tree.
 
         ``pool`` is an optional shared buffer pool (or integer capacity
         in blocks) attached via :meth:`use_buffer_pool`; when omitted,
         the engine uses whatever pool is already attached, if any.
+        ``workers`` sizes the engine's thread pool; ``decode_cache`` is
+        an optional :class:`~repro.engine.DecodedPageCache` (or byte
+        budget) attached via :meth:`use_decoded_cache`.
         """
         from repro.engine import QueryEngine
 
-        return QueryEngine(self, pool=pool)
+        return QueryEngine(
+            self, pool=pool, workers=workers, decode_cache=decode_cache
+        )
 
     def browse(self, query: np.ndarray):
         """Incremental distance browsing: yields ``(id, distance)`` in
@@ -512,6 +524,34 @@ class IQTree:
                 setattr(self, slot, CachedBlockFile(current, pool))
         return pool
 
+    def use_decoded_cache(self, cache_or_budget) -> "object":
+        """Attach a cross-batch decoded-page cache to the query paths.
+
+        Accepts a :class:`~repro.engine.page_cache.DecodedPageCache`
+        or an integer byte budget.  Returns the cache.  With one
+        attached, quantized pages are decoded once and served from
+        memory until evicted (LRU over the byte budget) or invalidated
+        -- `replace_block` rewrites are caught by the per-block CRC
+        sidecar, structural re-layouts clear the cache wholesale, and
+        quarantined pages are bypassed (see ``docs/performance.md``).
+        """
+        from repro.engine.page_cache import DecodedPageCache
+
+        if isinstance(cache_or_budget, DecodedPageCache):
+            self._decoded_cache = cache_or_budget
+        else:
+            self._decoded_cache = DecodedPageCache(int(cache_or_budget))
+        return self._decoded_cache
+
+    def clear_decoded_cache(self) -> None:
+        """Detach the decoded-page cache: every read decodes again."""
+        self._decoded_cache = None
+
+    @property
+    def decoded_cache(self):
+        """The attached DecodedPageCache, or None."""
+        return self._decoded_cache
+
     # ------------------------------------------------------------------
     # Fault tolerance (repro.storage.runtime_faults)
     # ------------------------------------------------------------------
@@ -558,11 +598,36 @@ class IQTree:
         if REGISTRY.enabled:
             PAGES_DECODED.inc(bits=g)
         if g >= EXACT_BITS:
-            return PageHandle(page, g, None, contents, ids)
-        return PageHandle(page, g, contents, None, None)
+            handle = PageHandle(page, g, None, contents, ids)
+        else:
+            handle = PageHandle(page, g, contents, None, None)
+        if self._decoded_cache is not None:
+            self._decoded_cache.put(self, page, handle)
+        return handle
+
+    def _cached_handle(self, page: int) -> PageHandle | None:
+        """Decoded view of ``page`` from the decoded-page cache, if any.
+
+        Quarantined pages always miss: a poisoned block must go through
+        the (failing) read path so it is reported lost, never served
+        from a pre-fault decode.
+        """
+        cache = self._decoded_cache
+        if cache is None:
+            return None
+        if self._fault_ctx is not None:
+            if self._quant_file.extent_start + page in (
+                self._fault_ctx.quarantine
+            ):
+                return None
+        entry = cache.get(self, page)
+        return None if entry is None else entry.handle
 
     def _read_page(self, page: int) -> PageHandle:
         """Random single-page read (the standard strategy)."""
+        cached = self._cached_handle(page)
+        if cached is not None:
+            return cached
         return self._decode_page_payload(
             page, self._quant_file.read_block(page)
         )

@@ -4,9 +4,18 @@ Public entry point is :class:`QueryEngine`, which runs batches of kNN
 and range queries against one IQ-tree while sharing page fetches,
 decodes, and third-level refinements across the batch, optionally
 through a shared :class:`~repro.storage.cache.BufferPool`.
+
+Two further amortization/serving layers live here as well:
+:class:`DecodedPageCache` keeps decoded quantized pages (and their
+derived cell bounds) resident *across* batches under a byte budget, and
+:class:`WorkerPool` shards the per-query CPU phases of a batch over
+threads while keeping results, I/O ledgers, and observability counters
+bit-identical to serial execution.
 """
 
+from repro.engine.concurrent import WorkerPool
 from repro.engine.engine import BatchQueryResult, BatchResult, QueryEngine
+from repro.engine.page_cache import DecodedPageCache
 from repro.engine.stats import BatchStats, QueryStats
 
 __all__ = [
@@ -15,4 +24,6 @@ __all__ = [
     "BatchQueryResult",
     "BatchStats",
     "QueryStats",
+    "DecodedPageCache",
+    "WorkerPool",
 ]

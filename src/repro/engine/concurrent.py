@@ -1,0 +1,135 @@
+"""Deterministic worker-pool execution for the batch query engine.
+
+:class:`WorkerPool` shards a batch's per-query work across threads.  The
+engine keeps every *simulated-I/O charge* on its coordinator thread (the
+directory scan, the batched page fetch, the batched third-level fetch),
+so workers only run pure CPU work -- per-query candidate bounding and
+result assembly over read-only precomputed state, where the numpy
+kernels release the GIL.  That division of labor is what makes the
+parallel engine *deterministic*: the simulated-cost ledger and every
+observability counter come out bit-identical for any worker count,
+which the equivalence tests pin.
+
+Sharding is contiguous and balanced: ``q`` items over ``w`` workers
+become at most ``w`` runs of ``ceil``/``floor`` sizes in original order.
+Each shard gets its own :class:`~repro.storage.disk.IOStats` ledger;
+after the barrier the shard results are concatenated in shard order and
+the ledgers are merged in shard order through
+:meth:`~repro.storage.disk.IOStats.merged_with`, so even a worker
+function that *does* charge its ledger aggregates reproducibly.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor, wait
+from typing import Callable, Sequence, TypeVar
+
+from repro.exceptions import SearchError
+from repro.storage.disk import IOStats
+
+__all__ = ["WorkerPool"]
+
+T = TypeVar("T")
+
+
+class WorkerPool:
+    """A fixed-size thread pool with deterministic sharded mapping.
+
+    Parameters
+    ----------
+    workers:
+        Number of worker threads (at least 1).  With one worker every
+        shard runs inline on the calling thread -- no executor, no
+        thread hop -- so ``workers=1`` is exactly the serial engine.
+
+    The underlying executor is created lazily on first parallel use and
+    reused across batches; :meth:`close` (or use as a context manager)
+    shuts it down.
+    """
+
+    def __init__(self, workers: int = 1):
+        if workers < 1:
+            raise SearchError("workers must be at least 1")
+        self.workers = int(workers)
+        self._executor: ThreadPoolExecutor | None = None
+
+    # ------------------------------------------------------------------
+    # Sharded mapping
+    # ------------------------------------------------------------------
+    def shard(self, items: Sequence[T]) -> list[Sequence[T]]:
+        """Split ``items`` into at most ``workers`` contiguous runs.
+
+        Sizes differ by at most one and earlier shards get the extra
+        element, so the split is a pure function of ``(len(items),
+        workers)`` -- the same inputs always produce the same shards.
+        """
+        n = len(items)
+        n_shards = min(self.workers, n)
+        if n_shards <= 1:
+            return [items] if n else []
+        base, extra = divmod(n, n_shards)
+        shards = []
+        start = 0
+        for s in range(n_shards):
+            size = base + (1 if s < extra else 0)
+            shards.append(items[start : start + size])
+            start += size
+        return shards
+
+    def map_sharded(
+        self,
+        fn: Callable[[Sequence[T], IOStats], list],
+        items: Sequence[T],
+    ) -> tuple[list, IOStats]:
+        """Run ``fn(shard, ledger)`` over contiguous shards of ``items``.
+
+        Returns ``(results, merged)`` where ``results`` is the
+        concatenation of every shard's returned list *in shard order*
+        (i.e. original item order) and ``merged`` is the shard ledgers
+        merged in the same order.  A worker exception propagates after
+        all shards have settled, so no shard is silently dropped.
+        """
+        shards = self.shard(list(items))
+        ledgers = [IOStats() for _ in shards]
+        if len(shards) <= 1:
+            outputs = [fn(s, led) for s, led in zip(shards, ledgers)]
+        else:
+            executor = self._ensure_executor()
+            futures = [
+                executor.submit(fn, s, led)
+                for s, led in zip(shards, ledgers)
+            ]
+            wait(futures)
+            outputs = [f.result() for f in futures]
+        merged = IOStats()
+        for ledger in ledgers:
+            merged = merged.merged_with(ledger)
+        return [r for out in outputs for r in out], merged
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def _ensure_executor(self) -> ThreadPoolExecutor:
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=self.workers,
+                thread_name_prefix="iq-worker",
+            )
+        return self._executor
+
+    def close(self) -> None:
+        """Shut the executor down (idempotent; pool stays usable --
+        the next parallel call recreates the threads)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "live" if self._executor is not None else "idle"
+        return f"WorkerPool(workers={self.workers}, {state})"

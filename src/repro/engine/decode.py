@@ -39,14 +39,26 @@ class PageDecodeCache:
     With a fault context attached to the tree, unreadable pages land in
     :attr:`lost_pages` instead of aborting the batch; the engine reports
     them per affected query.
+
+    When the tree carries a
+    :class:`~repro.engine.page_cache.DecodedPageCache` (or one is passed
+    as ``shared``), already-decoded pages are served from it without
+    touching the disk, and freshly decoded pages (plus their derived
+    cell bounds) are published back -- the cross-batch amortization
+    layer.  Quarantined pages bypass the shared cache entirely: a
+    poisoned block must be reported lost, never served from a pre-fault
+    decode, and losing a page also drops its shared entry.
     """
 
-    def __init__(self, tree: IQTree):
+    def __init__(self, tree: IQTree, shared=None):
         self._tree = tree
+        self._shared = tree._decoded_cache if shared is None else shared
         self._handles: dict[int, PageHandle] = {}
         self._bounds: dict[int, tuple[np.ndarray, np.ndarray]] = {}
         #: unique pages fetched from the quantized level so far
         self.pages_fetched = 0
+        #: unique pages served decoded from the shared cross-batch cache
+        self.pages_cached = 0
         #: pages that could not be read (quarantined), in request order
         self.lost_pages: list[int] = []
         self._lost: set[int] = set()
@@ -55,7 +67,8 @@ class PageDecodeCache:
         """Ensure all ``pages`` are fetched and decoded.
 
         Missing pages are read in one batched transfer; pages already
-        decoded for an earlier query of the batch are reused.
+        decoded for an earlier query of the batch -- or resident in the
+        shared cross-batch cache -- are reused without new I/O.
         """
         need = sorted(
             {int(p) for p in pages} - self._handles.keys() - self._lost
@@ -63,6 +76,30 @@ class PageDecodeCache:
         if not need:
             return
         ctx = self._tree._fault_ctx
+        shared = self._shared
+        if shared is not None:
+            quarantined = (
+                ctx.quarantine.local_indices(self._tree._quant_file)
+                if ctx is not None
+                else frozenset()
+            )
+            remaining = []
+            for page in need:
+                entry = (
+                    None
+                    if page in quarantined
+                    else shared.get(self._tree, page)
+                )
+                if entry is None:
+                    remaining.append(page)
+                    continue
+                self._handles[page] = entry.handle
+                if entry.bounds is not None:
+                    self._bounds[page] = entry.bounds
+                self.pages_cached += 1
+            need = remaining
+            if not need:
+                return
         with obs_span(
             "fetch", disk=self._tree.disk, pages=len(need)
         ) as fetch_span:
@@ -75,12 +112,18 @@ class PageDecodeCache:
                 if lost:
                     self.lost_pages.extend(lost)
                     self._lost.update(lost)
+                    if shared is not None:
+                        for page in lost:
+                            shared.invalidate(page)
                     if fetch_span is not None:
                         fetch_span.attrs["degraded"] = True
                         fetch_span.attrs["lost_pages"] = len(lost)
         self.pages_fetched += len(payloads)
         with obs_span("decode", disk=self._tree.disk, pages=len(payloads)):
             self._decode_bulk(payloads)
+        if shared is not None:
+            for page in payloads:
+                shared.put(self._tree, page, self._handles[page])
 
     def is_lost(self, page: int) -> bool:
         """Whether ``page`` was requested but could not be read."""
@@ -99,8 +142,22 @@ class PageDecodeCache:
         if page not in self._bounds:
             handle = self._handles[page]
             quantizer = self._tree._quantizer_for(page)
-            self._bounds[page] = quantizer.cell_bounds(handle.codes)
+            bounds = quantizer.cell_bounds(handle.codes)
+            self._bounds[page] = bounds
+            if self._shared is not None:
+                self._shared.set_bounds(page, bounds)
         return self._bounds[page]
+
+    def ensure_bounds(self) -> None:
+        """Precompute cell bounds of every loaded quantized page.
+
+        The engine calls this on its coordinator thread before fanning
+        per-query planning out to workers, so the worker functions only
+        *read* this cache -- no lazy fills racing across threads.
+        """
+        for page, handle in self._handles.items():
+            if handle.codes is not None:
+                self.cell_bounds(page)
 
     def _decode_bulk(self, payloads: Mapping[int, bytes]) -> None:
         dim = self._tree.dim

@@ -30,7 +30,19 @@ with :func:`repro.core.search.nearest_neighbors` / ``range_search``.
 
 An optional shared :class:`~repro.storage.cache.BufferPool` spans
 batches (and possibly several indexes), so hot directory and data
-blocks stay resident across calls.
+blocks stay resident across calls; an optional
+:class:`~repro.engine.page_cache.DecodedPageCache` extends the
+amortization one level up, keeping *decoded* pages (and their cell
+bounds) resident across batches under a byte budget.
+
+With ``workers > 1`` the per-query phases -- candidate bounding and
+result assembly -- are sharded across a
+:class:`~repro.engine.concurrent.WorkerPool`.  Every simulated-I/O
+charge (directory scan, page fetch, third-level fetch) and every
+side effect on shared state (fault-context counters, registry
+instruments) stays on the coordinator thread and is applied in query
+order, so results, the I/O ledger, and the observability counters are
+bit-identical for any worker count.
 """
 
 from __future__ import annotations
@@ -41,6 +53,7 @@ import numpy as np
 
 from repro.core.search import (
     KBest,
+    certain_mask,
     checked_queries,
     io_delta,
     io_snapshot,
@@ -48,6 +61,7 @@ from repro.core.search import (
     raise_query_error,
 )
 from repro.core.tree import IQTree
+from repro.engine.concurrent import WorkerPool
 from repro.engine.decode import ExactBatchStore, PageDecodeCache
 from repro.engine.stats import BatchStats, QueryStats
 from repro.exceptions import SearchError, StorageError
@@ -68,6 +82,7 @@ from repro.geometry.mbr import (
     mindist_to_boxes,
 )
 from repro.storage.cache import BufferPool
+from repro.storage.disk import IOStats
 from repro.storage.runtime_faults import LostPage
 
 __all__ = [
@@ -130,14 +145,49 @@ class QueryEngine:
         integer capacity in blocks.  When omitted, a pool already
         attached to the tree is used; when the tree has none, reads go
         straight to the simulated disk.
+    workers:
+        Worker threads the per-query phases shard over (default 1 =
+        serial).  Any count yields identical results, ledgers, and
+        counters; see the module docstring.
+    decode_cache:
+        Optional cross-batch decoded-page cache: a
+        :class:`~repro.engine.page_cache.DecodedPageCache` or an
+        integer byte budget, attached to the tree via
+        :meth:`~repro.core.tree.IQTree.use_decoded_cache`.  When
+        omitted, a cache already attached to the tree is used.
     """
 
-    def __init__(self, tree: IQTree, pool: BufferPool | int | None = None):
+    def __init__(
+        self,
+        tree: IQTree,
+        pool: BufferPool | int | None = None,
+        workers: int = 1,
+        decode_cache=None,
+    ):
         self.tree = tree
         if pool is not None:
             self.pool = tree.use_buffer_pool(pool)
         else:
             self.pool = tree._pool
+        if decode_cache is not None:
+            self.decode_cache = tree.use_decoded_cache(decode_cache)
+        else:
+            self.decode_cache = tree._decoded_cache
+        self._worker_pool = WorkerPool(workers)
+        self.workers = self._worker_pool.workers
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut the worker threads down (the engine stays usable)."""
+        self._worker_pool.close()
+
+    def __enter__(self) -> "QueryEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # kNN batches
@@ -190,86 +240,108 @@ class QueryEngine:
             cand_mask = dmin <= radii[:, None]
 
         cache = PageDecodeCache(tree)
-        # "fetch" and "decode" spans open inside load().
+        # "fetch" and "decode" spans open inside load(); all simulated
+        # I/O of the batch happens here and in fetch_all below, on this
+        # coordinator thread.
         cache.load(np.flatnonzero(cand_mask.any(axis=0)))
+        cache.ensure_bounds()
 
         with obs_span("refine", disk=tree.disk) as refine_span:
-            # Phase 1 per query: point-level bounds; collect the
-            # refinement set (quantized points whose lower bound is
-            # within the k-th smallest upper bound).
-            exact_store = ExactBatchStore(tree)
-            plans = []
-            lost_for: list[list[int]] = []
+            # Phase 1 (workers, pure): per-query point-level bounds;
+            # collect the refinement set (quantized points whose lower
+            # bound is within the k-th smallest upper bound).
+            def plan_shard(indices, _ledger):
+                out = []
+                for i in indices:
+                    cand = np.flatnonzero(cand_mask[i])
+                    if ctx is not None and cache.lost_pages:
+                        lost = [
+                            p for p in cand.tolist() if cache.is_lost(p)
+                        ]
+                        cand = np.array(
+                            [
+                                p
+                                for p in cand.tolist()
+                                if not cache.is_lost(p)
+                            ],
+                            dtype=np.int64,
+                        )
+                    else:
+                        lost = []
+                    plan = self._plan_knn_query(
+                        queries[i], k, cand, cache, metric
+                    )
+                    plan["lost"] = lost
+                    plan["candidate_pages"] = int(cand_mask[i].sum())
+                    out.append(plan)
+                return out
+
+            plans, plan_io = self._worker_pool.map_sharded(
+                plan_shard, range(n_queries)
+            )
             all_requests: set[tuple[int, int]] = set()
-            for i in range(n_queries):
-                cand = np.flatnonzero(cand_mask[i])
-                if ctx is not None and cache.lost_pages:
-                    lost_for.append(
-                        [p for p in cand.tolist() if cache.is_lost(p)]
-                    )
-                    cand = np.array(
-                        [p for p in cand.tolist() if not cache.is_lost(p)],
-                        dtype=np.int64,
-                    )
-                else:
-                    lost_for.append([])
-                plan = self._plan_knn_query(
-                    queries[i],
-                    k,
-                    cand,
-                    cache,
-                    metric,
-                )
-                plans.append(plan)
+            for plan in plans:
                 all_requests.update(plan["refine"])
 
-            # Phase 2: one batched third-level fetch for every query.
-            # Unreadable records are simply absent from the mapping.
+            # Phase 2 (coordinator): one batched third-level fetch for
+            # every query.  Unreadable records are absent from the map.
+            exact_store = ExactBatchStore(tree)
             points = exact_store.fetch_all(all_requests)
             if refine_span is not None:
                 refine_span.attrs["records"] = len(all_requests)
 
-            results = []
-            for i, plan in enumerate(plans):
-                best = KBest(k)
-                intervals: dict[int, tuple[float, float]] = {}
-                best.offer_many(plan["exact_dists"], plan["exact_ids"])
-                for key in plan["refine"]:
-                    if key in points:
-                        coords, pid = points[key]
-                        best.offer(
-                            metric.distance(queries[i], coords), pid
-                        )
-                    else:
-                        pid, hi = self._degrade_to_interval(
-                            queries[i], key, cache, metric, intervals
-                        )
-                        best.offer(hi, pid)
-                ids, dists = best.sorted_results()
-                lost_records = tuple(
-                    LostPage(
-                        page=int(p),
-                        n_points=int(tree._counts[p]),
-                        mindist=float(dmin[i, p]),
-                        maxdist=float(dmax[i, p]),
+            # Phase 3 (workers, pure): per-query result assembly.
+            def assemble_shard(indices, _ledger):
+                out = []
+                for i in indices:
+                    plan = plans[i]
+                    best = KBest(k)
+                    intervals: dict[int, tuple[float, float]] = {}
+                    best.offer_many(
+                        plan["exact_dists"], plan["exact_ids"]
                     )
-                    for p in lost_for[i]
-                )
-                results.append(
-                    self._assemble_result(
+                    dist_of = self._refined_distances(
+                        queries[i], plan["refine"], points, metric
+                    )
+                    for key in plan["refine"]:
+                        if key in dist_of:
+                            best.offer(dist_of[key], points[key][1])
+                        else:
+                            pid, lo, hi = self._interval_for(
+                                queries[i], key, cache, metric
+                            )
+                            intervals[pid] = (lo, hi)
+                            best.offer(hi, pid)
+                    ids, dists = best.sorted_results()
+                    lost_records = tuple(
+                        LostPage(
+                            page=int(p),
+                            n_points=int(tree._counts[p]),
+                            mindist=float(dmin[i, p]),
+                            maxdist=float(dmax[i, p]),
+                        )
+                        for p in plan["lost"]
+                    )
+                    result = self._assemble_result(
                         ids, dists, intervals, lost_records,
                         QueryStats(
-                            candidate_pages=int(cand_mask[i].sum()),
+                            candidate_pages=plan["candidate_pages"],
                             candidate_points=plan["candidate_points"],
                             refinements=len(plan["refine"]),
                         ),
                     )
-                )
+                    out.append((result, len(intervals)))
+                return out
+
+            assembled, assemble_io = self._worker_pool.map_sharded(
+                assemble_shard, range(n_queries)
+            )
+            results = self._apply_degraded_effects(assembled)
             if refine_span is not None and any(r.degraded for r in results):
                 refine_span.attrs["degraded"] = True
         stats = self._batch_stats(
             n_queries, before, pool_before, fault_before, cache,
-            exact_store,
+            exact_store, plan_io.merged_with(assemble_io),
         )
         self._observe_batch(stats, results, k=k)
         return BatchResult(queries=results, stats=stats)
@@ -325,15 +397,31 @@ class QueryEngine:
             "candidate_points": candidate_points,
         }
 
-    def _degrade_to_interval(
-        self, query, key, cache, metric, intervals
-    ) -> tuple[int, float]:
-        """Fall back to a point's cell interval (record unreadable).
+    @staticmethod
+    def _refined_distances(query, refine, points, metric) -> dict:
+        """Exact distances of one query's available refinements.
 
-        Returns the point's id and its cell maxdist -- a sound upper
-        bound on the true distance, so ranking on it stays conservative
-        -- and records the full ``[mindist, maxdist]`` interval (which
-        provably contains the exact distance) for the caller.
+        One vectorized ``metric.distances`` call over the fetched
+        records (bitwise identical to per-point ``metric.distance``:
+        the reduction runs over the same axis in the same order).
+        """
+        avail = [key for key in refine if key in points]
+        if not avail:
+            return {}
+        coords = np.array([points[key][0] for key in avail])
+        dists = metric.distances(query, coords)
+        return {key: float(d) for key, d in zip(avail, dists)}
+
+    def _interval_for(
+        self, query, key, cache, metric
+    ) -> tuple[int, float, float]:
+        """A point's cell interval (its record was unreadable).
+
+        Pure: returns ``(id, mindist, maxdist)`` -- the interval
+        provably contains the exact distance, and ``maxdist`` is a
+        sound conservative ranking distance.  Fault-context counters
+        and registry instruments are applied later, on the coordinator,
+        in query order (:meth:`_apply_degraded_effects`).
         """
         page, local = key
         lo_box, up_box = cache.cell_bounds(page)
@@ -349,35 +437,26 @@ class QueryEngine:
                 up_box[local : local + 1], metric,
             )[0]
         )
-        pid = int(self.tree._part_ids[page][local])
-        intervals[pid] = (lo, hi)
-        self.tree._fault_ctx.degraded_results += 1
-        if REGISTRY.enabled:
-            DEGRADED_RESULTS.inc()
-        return pid, hi
+        return int(self.tree._part_ids[page][local]), lo, hi
 
     def _assemble_result(
         self, ids, dists, intervals, lost_records, stats
     ) -> BatchQueryResult:
-        """Build one BatchQueryResult, attaching degraded-mode fields."""
+        """Build one BatchQueryResult, attaching degraded-mode fields.
+
+        Pure (safe on worker threads): shared-state side effects happen
+        in :meth:`_apply_degraded_effects` on the coordinator.
+        """
         degraded = bool(intervals or lost_records)
         certain = None
         result_intervals = None
         if degraded:
-            certain = np.array(
-                [pid not in intervals for pid in ids.tolist()],
-                dtype=bool,
-            )
+            certain = certain_mask(ids, intervals)
             result_intervals = {
                 pid: intervals[pid]
                 for pid in ids.tolist()
                 if pid in intervals
             }
-            if lost_records:
-                ctx = self.tree._fault_ctx
-                ctx.lost_pages += len(lost_records)
-                if REGISTRY.enabled:
-                    LOST_PAGES.inc(len(lost_records))
         return BatchQueryResult(
             ids=ids,
             distances=dists,
@@ -387,6 +466,31 @@ class QueryEngine:
             lost_pages=lost_records,
             degraded=degraded,
         )
+
+    def _apply_degraded_effects(
+        self, assembled: list[tuple[BatchQueryResult, int]]
+    ) -> list[BatchQueryResult]:
+        """Apply each query's degraded-mode side effects, in query order.
+
+        Workers return pure results plus the count of interval
+        fallbacks they computed; this coordinator pass feeds the fault
+        context's session counters and the registry instruments exactly
+        as the serial engine did, so counter values cannot depend on
+        thread scheduling.
+        """
+        ctx = self.tree._fault_ctx
+        results = []
+        for result, n_intervals in assembled:
+            if n_intervals:
+                ctx.degraded_results += n_intervals
+                if REGISTRY.enabled:
+                    DEGRADED_RESULTS.inc(n_intervals)
+            if result.lost_pages:
+                ctx.lost_pages += len(result.lost_pages)
+                if REGISTRY.enabled:
+                    LOST_PAGES.inc(len(result.lost_pages))
+            results.append(result)
+        return results
 
     def _guarantee_radii(self, dmax: np.ndarray, k: int) -> np.ndarray:
         """Per-query radius guaranteed to contain at least k points.
@@ -462,89 +566,120 @@ class QueryEngine:
         cache = PageDecodeCache(tree)
         # "fetch" and "decode" spans open inside load().
         cache.load(np.flatnonzero(cand_mask.any(axis=0)))
+        cache.ensure_bounds()
 
         with obs_span("refine", disk=tree.disk) as refine_span:
-            exact_store = ExactBatchStore(tree)
-            plans = []
-            lost_for: list[list[int]] = []
+            def plan_shard(indices, _ledger):
+                out = []
+                for i in indices:
+                    cand = np.flatnonzero(cand_mask[i])
+                    if ctx is not None and cache.lost_pages:
+                        lost = [
+                            p for p in cand.tolist() if cache.is_lost(p)
+                        ]
+                        cand = np.array(
+                            [
+                                p
+                                for p in cand.tolist()
+                                if not cache.is_lost(p)
+                            ],
+                            dtype=np.int64,
+                        )
+                    else:
+                        lost = []
+                    plan = self._plan_range_query(
+                        queries[i], float(radii[i]), cand, cache, metric
+                    )
+                    plan["lost"] = lost
+                    plan["candidate_pages"] = int(cand_mask[i].sum())
+                    out.append(plan)
+                return out
+
+            plans, plan_io = self._worker_pool.map_sharded(
+                plan_shard, range(n_queries)
+            )
             all_requests: set[tuple[int, int]] = set()
-            for i in range(n_queries):
-                cand = np.flatnonzero(cand_mask[i])
-                if ctx is not None and cache.lost_pages:
-                    lost_for.append(
-                        [p for p in cand.tolist() if cache.is_lost(p)]
-                    )
-                    cand = np.array(
-                        [p for p in cand.tolist() if not cache.is_lost(p)],
-                        dtype=np.int64,
-                    )
-                else:
-                    lost_for.append([])
-                plan = self._plan_range_query(
-                    queries[i],
-                    float(radii[i]),
-                    cand,
-                    cache,
-                    metric,
-                )
-                plans.append(plan)
+            for plan in plans:
                 all_requests.update(plan["refine"])
 
+            exact_store = ExactBatchStore(tree)
             points = exact_store.fetch_all(all_requests)
             if refine_span is not None:
                 refine_span.attrs["records"] = len(all_requests)
 
-            results = []
-            for i, plan in enumerate(plans):
-                found_ids = list(plan["exact_ids"])
-                found_dists = list(plan["exact_dists"])
-                intervals: dict[int, tuple[float, float]] = {}
-                for key in plan["refine"]:
-                    if key in points:
-                        coords, pid = points[key]
-                        dist = metric.distance(queries[i], coords)
-                        if dist <= radii[i]:
-                            found_ids.append(pid)
-                            found_dists.append(dist)
-                    else:
-                        # Unreadable record whose cell overlaps the
-                        # ball: include it conservatively at its cell
-                        # maxdist, flagged uncertain.
-                        pid, hi = self._degrade_to_interval(
-                            queries[i], key, cache, metric, intervals
-                        )
-                        found_ids.append(pid)
-                        found_dists.append(hi)
-                order = np.argsort(found_dists, kind="stable")
-                # A lost page may hold any number of in-range points;
-                # its contribution cannot be bounded from above.
-                lost_records = tuple(
-                    LostPage(
-                        page=int(p),
-                        n_points=int(tree._counts[p]),
-                        mindist=float(dmin[i, p]),
-                        maxdist=float("inf"),
+            def assemble_shard(indices, _ledger):
+                out = []
+                for i in indices:
+                    plan = plans[i]
+                    intervals: dict[int, tuple[float, float]] = {}
+                    ref_ids: list[int] = []
+                    ref_dists: list[float] = []
+                    dist_of = self._refined_distances(
+                        queries[i], plan["refine"], points, metric
                     )
-                    for p in lost_for[i]
-                )
-                results.append(
-                    self._assemble_result(
-                        np.array(found_ids, dtype=np.int64)[order],
-                        np.array(found_dists, dtype=np.float64)[order],
+                    for key in plan["refine"]:
+                        if key in dist_of:
+                            dist = dist_of[key]
+                            if dist <= radii[i]:
+                                ref_ids.append(points[key][1])
+                                ref_dists.append(dist)
+                        else:
+                            # Unreadable record whose cell overlaps the
+                            # ball: include it conservatively at its
+                            # cell maxdist, flagged uncertain.
+                            pid, lo, hi = self._interval_for(
+                                queries[i], key, cache, metric
+                            )
+                            intervals[pid] = (lo, hi)
+                            ref_ids.append(pid)
+                            ref_dists.append(hi)
+                    found_ids = np.concatenate(
+                        [
+                            plan["exact_ids"],
+                            np.array(ref_ids, dtype=np.int64),
+                        ]
+                    )
+                    found_dists = np.concatenate(
+                        [
+                            plan["exact_dists"],
+                            np.array(ref_dists, dtype=np.float64),
+                        ]
+                    )
+                    order = np.argsort(found_dists, kind="stable")
+                    # A lost page may hold any number of in-range
+                    # points; its contribution cannot be bounded.
+                    lost_records = tuple(
+                        LostPage(
+                            page=int(p),
+                            n_points=int(tree._counts[p]),
+                            mindist=float(dmin[i, p]),
+                            maxdist=float("inf"),
+                        )
+                        for p in plan["lost"]
+                    )
+                    result = self._assemble_result(
+                        found_ids[order],
+                        found_dists[order],
                         intervals,
                         lost_records,
                         QueryStats(
-                            candidate_pages=int(cand_mask[i].sum()),
+                            candidate_pages=plan["candidate_pages"],
                             candidate_points=plan["candidate_points"],
                             refinements=len(plan["refine"]),
                         ),
                     )
-                )
+                    out.append((result, len(intervals)))
+                return out
+
+            assembled, assemble_io = self._worker_pool.map_sharded(
+                assemble_shard, range(n_queries)
+            )
+            results = self._apply_degraded_effects(assembled)
             if refine_span is not None and any(r.degraded for r in results):
                 refine_span.attrs["degraded"] = True
         stats = self._batch_stats(
             n_queries, before, pool_before, fault_before, cache,
-            exact_store,
+            exact_store, plan_io.merged_with(assemble_io),
         )
         self._observe_batch(stats, results, k=None)
         return BatchResult(queries=results, stats=stats)
@@ -553,8 +688,8 @@ class QueryEngine:
         self, query, radius, pages, cache, metric
     ) -> dict:
         """Classify one query's candidate points for a range search."""
-        exact_ids: list[int] = []
-        exact_dists: list[float] = []
+        exact_ids: list[np.ndarray] = []
+        exact_dists: list[np.ndarray] = []
         refine: list[tuple[int, int]] = []
         candidate_points = 0
         for page in pages.tolist():
@@ -563,8 +698,12 @@ class QueryEngine:
                 dists = metric.distances(query, handle.points)
                 candidate_points += dists.size
                 inside = dists <= radius
-                exact_ids.extend(handle.ids[inside].tolist())
-                exact_dists.extend(dists[inside].tolist())
+                exact_ids.append(
+                    handle.ids[inside].astype(np.int64, copy=False)
+                )
+                exact_dists.append(
+                    dists[inside].astype(np.float64, copy=False)
+                )
                 continue
             lo, up = cache.cell_bounds(page)
             lower_b = mindist_to_boxes(query, lo, up, metric)
@@ -574,8 +713,16 @@ class QueryEngine:
                 for local in np.flatnonzero(lower_b <= radius)
             )
         return {
-            "exact_ids": exact_ids,
-            "exact_dists": exact_dists,
+            "exact_ids": (
+                np.concatenate(exact_ids)
+                if exact_ids
+                else np.empty(0, dtype=np.int64)
+            ),
+            "exact_dists": (
+                np.concatenate(exact_dists)
+                if exact_dists
+                else np.empty(0)
+            ),
             "refine": refine,
             "candidate_points": candidate_points,
         }
@@ -601,10 +748,15 @@ class QueryEngine:
 
     def _batch_stats(
         self, n_queries, before, pool_before, fault_before, cache,
-        exact_store,
+        exact_store, worker_io: IOStats | None = None,
     ) -> BatchStats:
         tree = self.tree
         io = io_delta(before, io_snapshot(tree))
+        if worker_io is not None:
+            # Workers charge no simulated I/O by design (the ledgers
+            # exist so the merge discipline is exercised and pinned);
+            # merging keeps the accounting honest if that ever changes.
+            io = io.merged_with(worker_io)
         if self.pool is None:
             hits = misses = 0
         else:
@@ -624,6 +776,8 @@ class QueryEngine:
             quarantined=fault_after[1] - fault_before[1],
             degraded_results=fault_after[2] - fault_before[2],
             lost_pages=fault_after[3] - fault_before[3],
+            decoded_pages_reused=cache.pages_cached,
+            workers=self.workers,
         )
 
     def _observe_batch(

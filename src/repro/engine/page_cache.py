@@ -1,0 +1,238 @@
+"""A tree-level, memory-budgeted cache of decoded quantized pages.
+
+The per-batch :class:`~repro.engine.decode.PageDecodeCache` guarantees
+each page is fetched and decoded at most once *per batch*; this module
+extends the amortization *across* batches (and single queries): a
+:class:`DecodedPageCache` attached to a tree
+(``tree.use_decoded_cache(budget)``) keeps decoded code matrices -- and
+their derived per-point cell-bound boxes -- resident under an LRU policy
+bounded by a byte budget, so a page touched by consecutive batches pays
+the fetch + bit-unpack + bound computation exactly once while it stays
+resident.
+
+Validity is by content, not by hope: every entry records the CRC32
+sidecar value of its backing block at decode time, and a lookup only
+hits when the sidecar still matches.  That makes the cache immune to
+every write path -- ``replace_block`` during dynamic maintenance changes
+the sidecar, so the stale decoded copy is dropped on its next lookup
+(and counted as an invalidation).  Structural rewrites
+(:meth:`~repro.core.tree.IQTree._layout` after inserts/splits/deletes)
+clear the cache wholesale, because page indices themselves are
+reassigned.  Quarantined pages are bypassed by the callers (a poisoned
+block must surface as a lost page, never be silently served from a
+pre-fault decode).
+
+Thread safety: all mutation happens under one re-entrant lock.  The
+batch engine only touches the cache from its coordinator thread, but
+single-query callers may share a tree across threads.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import SearchError
+from repro.obs.instruments import (
+    DECODED_CACHE_BYTES,
+    DECODED_CACHE_EVICTIONS,
+    DECODED_CACHE_HITS,
+    DECODED_CACHE_INVALIDATIONS,
+    DECODED_CACHE_MISSES,
+    REGISTRY,
+)
+
+__all__ = ["DecodedPageCache"]
+
+
+@dataclass
+class _Entry:
+    """One resident decoded page."""
+
+    crc: int
+    handle: object  # PageHandle (avoid a core->engine import cycle)
+    bounds: tuple[np.ndarray, np.ndarray] | None
+    nbytes: int
+
+
+def _entry_bytes(handle, bounds) -> int:
+    total = 0
+    for arr in (handle.codes, handle.points, handle.ids):
+        if arr is not None:
+            total += arr.nbytes
+    if bounds is not None:
+        total += bounds[0].nbytes + bounds[1].nbytes
+    return total
+
+
+class DecodedPageCache:
+    """LRU cache of decoded quantized pages, bounded by a byte budget.
+
+    Parameters
+    ----------
+    budget_bytes:
+        Maximum resident bytes of decoded matrices plus cell bounds.
+        Must be positive; when an insert pushes the total over budget,
+        least-recently-used entries are evicted until it fits (an entry
+        larger than the whole budget is simply not kept).
+
+    Keys are file-local page indices of the tree's quantized level; the
+    content CRC recorded per entry makes a key self-validating, so a
+    page rewritten in place can never be served stale.
+    """
+
+    def __init__(self, budget_bytes: int):
+        if budget_bytes <= 0:
+            raise SearchError("decoded-page cache budget must be positive")
+        self.budget_bytes = int(budget_bytes)
+        self._entries: OrderedDict[int, _Entry] = OrderedDict()
+        self._lock = threading.RLock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+        self.current_bytes = 0
+
+    # ------------------------------------------------------------------
+    # Lookup / insert
+    # ------------------------------------------------------------------
+    def get(self, tree, page: int) -> _Entry | None:
+        """The resident entry for ``page``, or None.
+
+        A hit requires the backing block's CRC32 sidecar to still match
+        the value recorded at decode time; a mismatch drops the entry
+        (counted as an invalidation) and reports a miss.  Hits refresh
+        LRU recency.
+        """
+        with self._lock:
+            entry = self._entries.get(page)
+            if entry is not None:
+                if tree._quant_file.block_crc(page) != entry.crc:
+                    del self._entries[page]
+                    self.current_bytes -= entry.nbytes
+                    self.invalidations += 1
+                    if REGISTRY.enabled:
+                        DECODED_CACHE_INVALIDATIONS.inc()
+                        DECODED_CACHE_BYTES.set(self.current_bytes)
+                    entry = None
+                else:
+                    self._entries.move_to_end(page)
+            if entry is None:
+                self.misses += 1
+                if REGISTRY.enabled:
+                    DECODED_CACHE_MISSES.inc()
+                return None
+            self.hits += 1
+            if REGISTRY.enabled:
+                DECODED_CACHE_HITS.inc()
+            return entry
+
+    def put(self, tree, page: int, handle, bounds=None) -> None:
+        """Insert (or refresh) the decoded view of ``page``.
+
+        Records the block's current CRC sidecar as the entry's validity
+        token and evicts LRU entries until the budget is respected.
+        """
+        with self._lock:
+            old = self._entries.pop(page, None)
+            if old is not None:
+                self.current_bytes -= old.nbytes
+                if bounds is None and old.crc == tree._quant_file.block_crc(
+                    page
+                ):
+                    bounds = old.bounds  # keep already-derived bounds
+            entry = _Entry(
+                crc=tree._quant_file.block_crc(page),
+                handle=handle,
+                bounds=bounds,
+                nbytes=_entry_bytes(handle, bounds),
+            )
+            self._entries[page] = entry
+            self.current_bytes += entry.nbytes
+            self._evict_over_budget()
+            if REGISTRY.enabled:
+                DECODED_CACHE_BYTES.set(self.current_bytes)
+
+    def set_bounds(self, page: int, bounds) -> None:
+        """Attach derived cell bounds to a resident entry (no-op when
+        the page was evicted in the meantime)."""
+        with self._lock:
+            entry = self._entries.get(page)
+            if entry is None or entry.bounds is not None:
+                return
+            entry.bounds = bounds
+            grown = bounds[0].nbytes + bounds[1].nbytes
+            entry.nbytes += grown
+            self.current_bytes += grown
+            self._entries.move_to_end(page)
+            self._evict_over_budget()
+            if REGISTRY.enabled:
+                DECODED_CACHE_BYTES.set(self.current_bytes)
+
+    # ------------------------------------------------------------------
+    # Invalidation
+    # ------------------------------------------------------------------
+    def invalidate(self, page: int) -> None:
+        """Drop one page (quarantine / explicit rewrite notification)."""
+        with self._lock:
+            entry = self._entries.pop(page, None)
+            if entry is None:
+                return
+            self.current_bytes -= entry.nbytes
+            self.invalidations += 1
+            if REGISTRY.enabled:
+                DECODED_CACHE_INVALIDATIONS.inc()
+                DECODED_CACHE_BYTES.set(self.current_bytes)
+
+    def clear(self) -> None:
+        """Drop everything (re-layout reassigns page indices wholesale).
+
+        Counters are kept; the resident-bytes gauge drops to zero.
+        """
+        with self._lock:
+            if self._entries:
+                self.invalidations += len(self._entries)
+                if REGISTRY.enabled:
+                    DECODED_CACHE_INVALIDATIONS.inc(len(self._entries))
+            self._entries.clear()
+            self.current_bytes = 0
+            if REGISTRY.enabled:
+                DECODED_CACHE_BYTES.set(0)
+
+    def _evict_over_budget(self) -> None:
+        while self.current_bytes > self.budget_bytes and self._entries:
+            _page, entry = self._entries.popitem(last=False)
+            self.current_bytes -= entry.nbytes
+            self.evictions += 1
+            if REGISTRY.enabled:
+                DECODED_CACHE_EVICTIONS.inc()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def resident_pages(self) -> int:
+        """Number of decoded pages currently held."""
+        return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits / lookups; 0.0 on a cold cache (never a division error)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __contains__(self, page: int) -> bool:
+        return page in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        return (
+            f"DecodedPageCache(budget={self.budget_bytes}, "
+            f"resident={len(self._entries)} pages / "
+            f"{self.current_bytes} bytes, hit_rate={self.hit_rate:.2f})"
+        )

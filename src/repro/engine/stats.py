@@ -61,6 +61,12 @@ class BatchStats:
         attached fault context): reads retried after a fault, blocks
         newly quarantined, results degraded to a quantization interval,
         and per-query lost-page reports.
+    decoded_pages_reused:
+        Pages served already-decoded from the tree's cross-batch
+        :class:`~repro.engine.page_cache.DecodedPageCache` (zero when
+        none is attached); these paid neither fetch nor decode.
+    workers:
+        Worker-thread count the batch executed with (1 = serial).
     """
 
     n_queries: int
@@ -74,6 +80,8 @@ class BatchStats:
     quarantined: int = 0
     degraded_results: int = 0
     lost_pages: int = 0
+    decoded_pages_reused: int = 0
+    workers: int = 1
 
     @property
     def degraded(self) -> bool:
@@ -85,6 +93,12 @@ class BatchStats:
         """Pool hits / lookups within this batch (0 when no lookups)."""
         total = self.pool_hits + self.pool_misses
         return self.pool_hits / total if total else 0.0
+
+    @property
+    def decode_reuse_rate(self) -> float:
+        """Decoded-cache hits / pages needed this batch (0 when none)."""
+        total = self.decoded_pages_reused + self.pages_read
+        return self.decoded_pages_reused / total if total else 0.0
 
     @property
     def mean_time(self) -> float:

@@ -108,6 +108,31 @@ BATCH_QUERIES = REGISTRY.counter(
 )
 
 # ----------------------------------------------------------------------
+# Decoded-page cache (repro.engine.page_cache)
+# ----------------------------------------------------------------------
+DECODED_CACHE_HITS = REGISTRY.counter(
+    "iq_decoded_page_cache_hits_total",
+    "Quantized pages served already-decoded from the tree-level cache",
+)
+DECODED_CACHE_MISSES = REGISTRY.counter(
+    "iq_decoded_page_cache_misses_total",
+    "Decoded-page cache lookups that had to fetch and decode",
+)
+DECODED_CACHE_EVICTIONS = REGISTRY.counter(
+    "iq_decoded_page_cache_evictions_total",
+    "Decoded pages evicted to stay within the memory budget",
+)
+DECODED_CACHE_INVALIDATIONS = REGISTRY.counter(
+    "iq_decoded_page_cache_invalidations_total",
+    "Decoded pages dropped because the backing block changed "
+    "(CRC mismatch, replace_block, re-layout, or quarantine)",
+)
+DECODED_CACHE_BYTES = REGISTRY.gauge(
+    "iq_decoded_page_cache_resident_bytes",
+    "Bytes of decoded code matrices and cell bounds currently resident",
+)
+
+# ----------------------------------------------------------------------
 # Build / optimizer (Sections 3.4-3.6)
 # ----------------------------------------------------------------------
 OPT_RUNS = REGISTRY.counter(

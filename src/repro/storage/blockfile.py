@@ -189,6 +189,18 @@ class BlockFile:
         self._blocks[index] = bytes(payload)
         self._crcs[index] = _crc(self._blocks[index])
 
+    def block_crc(self, index: int) -> int:
+        """CRC32 sidecar entry of one block (untimed, in-memory).
+
+        This is the cheap content-identity check higher-level caches key
+        on: the sidecar is updated by every write path
+        (:meth:`append_block`, :meth:`append_record`,
+        :meth:`replace_block`), so a decoded copy of a block is current
+        exactly when its recorded CRC still matches this value.
+        """
+        self._check_index(index)
+        return self._crcs[index]
+
     def content_crc32(self) -> int:
         """CRC32 over every block payload, in file order (untimed).
 

@@ -19,6 +19,7 @@ cheaper to read the gap than to seek over it (paper, Section 2).
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
 from repro.exceptions import StorageError
@@ -198,6 +199,23 @@ class SimulatedDisk:
         #: optional ReadFaultInjector consulted by every timed BlockFile
         #: read over this disk (None = pristine fast path).
         self.fault_injector = None
+        # Charging is head-position-dependent, so two threads racing a
+        # read would corrupt the seek accounting.  The lock makes each
+        # individual charge atomic; *determinism* across threads is the
+        # caller's job (the batch engine keeps every charge on its
+        # coordinator thread precisely so ledgers replay bit-identically
+        # regardless of the worker count).
+        self._lock = threading.Lock()
+
+    def __getstate__(self) -> dict:
+        # Locks cannot be copied/pickled; the clone gets a fresh one.
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Fault injection (repro.storage.runtime_faults)
@@ -237,21 +255,22 @@ class SimulatedDisk:
         """
         if count <= 0:
             return
-        seeked = start != self._head
-        if seeked:
-            self.stats.add_seek(self.model)
-        self.stats.add_transfer(self.model, count, overread=overread)
-        self._head = start + count
-        if REGISTRY.enabled:
-            # The one place physical reads feed the metrics registry;
-            # see the IOStats docstring for the accounting discipline.
+        with self._lock:
+            seeked = start != self._head
             if seeked:
-                DISK_SEEKS.inc()
-                DISK_SIM_SECONDS.inc(self.model.t_seek)
-            DISK_BLOCKS_READ.inc(count)
-            if overread:
-                DISK_BLOCKS_OVERREAD.inc(overread)
-            DISK_SIM_SECONDS.inc(count * self.model.t_xfer)
+                self.stats.add_seek(self.model)
+            self.stats.add_transfer(self.model, count, overread=overread)
+            self._head = start + count
+            if REGISTRY.enabled:
+                # The one place physical reads feed the metrics registry;
+                # see the IOStats docstring for the accounting discipline.
+                if seeked:
+                    DISK_SEEKS.inc()
+                    DISK_SIM_SECONDS.inc(self.model.t_seek)
+                DISK_BLOCKS_READ.inc(count)
+                if overread:
+                    DISK_BLOCKS_OVERREAD.inc(overread)
+                DISK_SIM_SECONDS.inc(count * self.model.t_xfer)
 
     def read_block(self, address: int) -> None:
         """Account a single-block read at ``address``."""
@@ -269,11 +288,12 @@ class SimulatedDisk:
         """
         if seeks <= 0:
             return
-        self.stats.add_seek(self.model, seeks)
-        self._head = -1
-        if REGISTRY.enabled:
-            DISK_SEEKS.inc(seeks)
-            DISK_SIM_SECONDS.inc(seeks * self.model.t_seek)
+        with self._lock:
+            self.stats.add_seek(self.model, seeks)
+            self._head = -1
+            if REGISTRY.enabled:
+                DISK_SEEKS.inc(seeks)
+                DISK_SIM_SECONDS.inc(seeks * self.model.t_seek)
 
     @property
     def head(self) -> int:

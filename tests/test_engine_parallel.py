@@ -1,0 +1,299 @@
+"""Parallel batch serving must be bit-identical to serial execution.
+
+The worker pool shards only pure CPU phases; every simulated-I/O charge
+and every shared-state side effect stays on the coordinator.  These
+tests pin the consequence: for any worker count, a batch returns the
+same results, charges the same I/O ledger, and lands the same values in
+every observability counter -- including under read-path fault
+injection, where degraded results and session counters must also agree.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.tree import IQTree
+from repro.engine import DecodedPageCache, QueryEngine, WorkerPool
+from repro.exceptions import SearchError
+from repro.obs.instruments import REGISTRY
+from repro.storage.cache import BufferPool
+from repro.storage.disk import DiskModel, IOStats, SimulatedDisk
+from repro.storage.runtime_faults import ReadFaultInjector
+
+
+def make_disk() -> SimulatedDisk:
+    return SimulatedDisk(
+        DiskModel(t_seek=0.0025, t_xfer=0.0002, block_size=2048)
+    )
+
+
+@pytest.fixture
+def data(rng) -> np.ndarray:
+    return rng.random((1500, 8)).astype(np.float32).astype(np.float64)
+
+
+@pytest.fixture
+def queries(rng) -> np.ndarray:
+    return rng.random((13, 8))
+
+
+def build_tree(data) -> IQTree:
+    return IQTree.build(data, disk=make_disk(), optimize=False, fixed_bits=5)
+
+
+@pytest.fixture
+def live_registry():
+    REGISTRY.reset()
+    REGISTRY.enable()
+    try:
+        yield REGISTRY
+    finally:
+        REGISTRY.disable()
+        REGISTRY.reset()
+
+
+def ledger_tuple(io: IOStats) -> tuple:
+    return (io.seeks, io.blocks_read, io.blocks_overread, io.elapsed)
+
+
+class TestWorkerPool:
+    def test_workers_must_be_positive(self):
+        with pytest.raises(SearchError):
+            WorkerPool(0)
+
+    def test_sharding_is_contiguous_balanced_deterministic(self):
+        pool = WorkerPool(4)
+        shards = pool.shard(list(range(10)))
+        assert [len(s) for s in shards] == [3, 3, 2, 2]
+        assert [x for s in shards for x in s] == list(range(10))
+        assert pool.shard(list(range(10))) == shards  # pure function
+        assert pool.shard([]) == []
+        assert pool.shard([7]) == [[7]]
+
+    def test_fewer_items_than_workers(self):
+        shards = WorkerPool(8).shard([1, 2, 3])
+        assert shards == [[1], [2], [3]]
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_map_sharded_preserves_item_order(self, workers):
+        pool = WorkerPool(workers)
+        results, merged = pool.map_sharded(
+            lambda shard, led: [x * x for x in shard], range(23)
+        )
+        assert results == [x * x for x in range(23)]
+        assert ledger_tuple(merged) == (0, 0, 0, 0.0)
+        pool.close()
+
+    def test_ledgers_merge_in_shard_order(self):
+        def charge(shard, ledger):
+            for x in shard:
+                ledger.seeks += 1
+                ledger.blocks_read += x
+                ledger.elapsed += 0.5
+            return list(shard)
+
+        serial = WorkerPool(1).map_sharded(charge, range(9))
+        threaded = WorkerPool(3).map_sharded(charge, range(9))
+        assert serial[0] == threaded[0]
+        assert ledger_tuple(serial[1]) == ledger_tuple(threaded[1])
+        assert threaded[1].seeks == 9
+        assert threaded[1].blocks_read == sum(range(9))
+
+    def test_worker_exception_propagates(self):
+        def boom(shard, ledger):
+            if 5 in shard:
+                raise ValueError("shard failure")
+            return list(shard)
+
+        with pytest.raises(ValueError, match="shard failure"):
+            WorkerPool(3).map_sharded(boom, range(9))
+
+    def test_close_is_idempotent_and_reusable(self):
+        pool = WorkerPool(2)
+        pool.map_sharded(lambda s, led: list(s), range(4))
+        pool.close()
+        pool.close()
+        results, _ = pool.map_sharded(lambda s, led: list(s), range(4))
+        assert results == [0, 1, 2, 3]
+
+
+class TestSerialParallelEquivalence:
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_knn_results_and_ledger_match_serial(
+        self, data, queries, workers
+    ):
+        baseline = QueryEngine(build_tree(data), workers=1)
+        base = baseline.knn_batch(queries, k=6)
+        engine = QueryEngine(build_tree(data), workers=workers)
+        got = engine.knn_batch(queries, k=6)
+        assert got.stats.workers == workers
+        for b, g in zip(base, got):
+            assert np.array_equal(b.ids, g.ids)
+            assert np.array_equal(b.distances, g.distances)
+            assert b.stats == g.stats
+        assert ledger_tuple(base.stats.io) == ledger_tuple(got.stats.io)
+        assert base.stats.pages_read == got.stats.pages_read
+        assert base.stats.refinements == got.stats.refinements
+        engine.close()
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_range_results_and_ledger_match_serial(
+        self, data, queries, workers
+    ):
+        base = QueryEngine(build_tree(data), workers=1).range_batch(
+            queries, 0.35
+        )
+        got = QueryEngine(build_tree(data), workers=workers).range_batch(
+            queries, 0.35
+        )
+        for b, g in zip(base, got):
+            assert np.array_equal(b.ids, g.ids)
+            assert np.array_equal(b.distances, g.distances)
+        assert ledger_tuple(base.stats.io) == ledger_tuple(got.stats.io)
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_obs_counters_match_serial(
+        self, data, queries, workers, live_registry
+    ):
+        QueryEngine(build_tree(data), workers=1).knn_batch(queries, k=4)
+        serial_counters = live_registry.collect()
+        live_registry.reset()
+        QueryEngine(build_tree(data), workers=workers).knn_batch(
+            queries, k=4
+        )
+        assert live_registry.collect() == serial_counters
+
+    def test_matches_single_query_api(self, data, queries):
+        tree = build_tree(data)
+        engine = QueryEngine(tree, workers=4)
+        result = engine.knn_batch(queries, k=5)
+        for query, got in zip(queries, result):
+            ref = tree.nearest(query, k=5)
+            assert np.array_equal(got.ids, ref.ids)
+            assert np.allclose(got.distances, ref.distances)
+
+    def test_pool_accounting_matches_serial(self, data, queries):
+        ledgers = []
+        for workers in (1, 4):
+            tree = build_tree(data)
+            engine = QueryEngine(tree, pool=128, workers=workers)
+            engine.knn_batch(queries, k=4)
+            stats = engine.knn_batch(queries, k=4).stats
+            ledgers.append(
+                (stats.pool_hits, stats.pool_misses, ledger_tuple(stats.io))
+            )
+        assert ledgers[0] == ledgers[1]
+
+
+class TestChaosEquivalence:
+    """Fault injection: degraded results must not depend on workers."""
+
+    def faulted_setup(self, data):
+        tree = build_tree(data)
+        # Aim persistent faults at one quantized and one exact block.
+        inj = ReadFaultInjector()
+        inj.fail_always(tree._quant_file.extent_start + 1)
+        inj.fail_always(tree._exact_file.extent_start)
+        tree.disk.install_fault_injector(inj)
+        ctx = tree.use_fault_tolerance()
+        return tree, ctx
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_degraded_batch_matches_serial(self, data, queries, workers):
+        tree_s, ctx_s = self.faulted_setup(data)
+        base = QueryEngine(tree_s, workers=1).knn_batch(queries, k=6)
+        tree_p, ctx_p = self.faulted_setup(data)
+        got = QueryEngine(tree_p, workers=workers).knn_batch(queries, k=6)
+        for b, g in zip(base, got):
+            assert np.array_equal(b.ids, g.ids)
+            assert np.array_equal(b.distances, g.distances)
+            assert b.degraded == g.degraded
+            assert b.intervals == g.intervals
+            assert b.lost_pages == g.lost_pages
+            if b.certain is None:
+                assert g.certain is None
+            else:
+                assert np.array_equal(b.certain, g.certain)
+        assert ledger_tuple(base.stats.io) == ledger_tuple(got.stats.io)
+        # Session counters advanced identically.
+        assert (
+            ctx_s.retries,
+            ctx_s.quarantined,
+            ctx_s.degraded_results,
+            ctx_s.lost_pages,
+        ) == (
+            ctx_p.retries,
+            ctx_p.quarantined,
+            ctx_p.degraded_results,
+            ctx_p.lost_pages,
+        )
+        assert base.stats.degraded and got.stats.degraded
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_chaos_obs_counters_match_serial(
+        self, data, queries, workers, live_registry
+    ):
+        tree_s, _ = self.faulted_setup(data)
+        QueryEngine(tree_s, workers=1).knn_batch(queries, k=6)
+        serial_counters = live_registry.collect()
+        live_registry.reset()
+        tree_p, _ = self.faulted_setup(data)
+        QueryEngine(tree_p, workers=workers).knn_batch(queries, k=6)
+        assert live_registry.collect() == serial_counters
+
+
+class TestDecodedCacheInEngine:
+    def test_warm_batch_skips_page_transfers(self, data, queries):
+        engine = QueryEngine(build_tree(data), workers=2, decode_cache=1 << 24)
+        cold = engine.knn_batch(queries, k=5)
+        warm = engine.knn_batch(queries, k=5)
+        assert cold.stats.pages_read > 0
+        assert warm.stats.pages_read == 0
+        assert warm.stats.decoded_pages_reused == cold.stats.pages_read
+        assert warm.stats.decode_reuse_rate == 1.0
+        # Quantized-page transfers are gone (the third-level refetch
+        # may cost one extra seek, so compare blocks, not elapsed).
+        assert warm.stats.io.blocks_read < cold.stats.io.blocks_read
+        for c, w in zip(cold, warm):
+            assert np.array_equal(c.ids, w.ids)
+            assert np.array_equal(c.distances, w.distances)
+
+    def test_cache_shared_between_engine_and_single_queries(
+        self, data, queries
+    ):
+        tree = build_tree(data)
+        cache = DecodedPageCache(1 << 24)
+        engine = QueryEngine(tree, workers=2, decode_cache=cache)
+        engine.knn_batch(queries, k=5)
+        before = tree.disk.stats.blocks_read
+        res = tree.nearest(queries[0], k=5)
+        # The single query decoded nothing new at the quantized level:
+        # only directory + third-level transfers were charged.
+        assert cache.hits > 0
+        assert res.ids.size == 5
+        assert tree.disk.stats.blocks_read > before  # but not pages
+
+    def test_warm_results_identical_under_chaos(self, data, queries):
+        tree = build_tree(data)
+        inj = ReadFaultInjector()
+        inj.fail_always(tree._quant_file.extent_start + 1)
+        tree.disk.install_fault_injector(inj)
+        tree.use_fault_tolerance()
+        engine = QueryEngine(tree, workers=4, decode_cache=1 << 24)
+        cold = engine.knn_batch(queries, k=6)
+        warm = engine.knn_batch(queries, k=6)
+        for c, w in zip(cold, warm):
+            assert np.array_equal(c.ids, w.ids)
+            assert np.array_equal(c.distances, w.distances)
+            assert c.lost_pages == w.lost_pages
+
+    def test_query_engine_forwarding(self, data):
+        tree = build_tree(data)
+        engine = tree.query_engine(pool=64, workers=3, decode_cache=1 << 20)
+        assert engine.workers == 3
+        assert isinstance(engine.pool, BufferPool)
+        assert isinstance(engine.decode_cache, DecodedPageCache)
+        assert tree.decoded_cache is engine.decode_cache
+
+    def test_invalid_workers_rejected(self, data):
+        with pytest.raises(SearchError):
+            QueryEngine(build_tree(data), workers=0)

@@ -1,0 +1,273 @@
+"""The cross-batch decoded-page cache and the lock-striped buffer pool.
+
+The :class:`~repro.engine.page_cache.DecodedPageCache` must never serve
+a stale decoded page: its per-entry CRC token has to catch in-place
+``replace_block`` rewrites (the regression the PR-4 pool-invalidation
+fix guarded at the *block* level), structural re-layouts must clear it
+wholesale, and quarantined pages must bypass it so they are still
+reported lost.  The striped :class:`~repro.storage.cache.BufferPool`
+must behave identically to the classic single-stripe pool on every
+observable axis.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.tree import IQTree
+from repro.engine.page_cache import DecodedPageCache
+from repro.exceptions import SearchError, StorageError
+from repro.storage.blockfile import BlockFile
+from repro.storage.cache import BufferPool
+from repro.storage.disk import DiskModel, SimulatedDisk
+from repro.storage.runtime_faults import ReadFaultInjector
+
+
+def make_disk() -> SimulatedDisk:
+    return SimulatedDisk(
+        DiskModel(t_seek=0.0025, t_xfer=0.0002, block_size=2048)
+    )
+
+
+@pytest.fixture
+def data(rng) -> np.ndarray:
+    return rng.random((1500, 8)).astype(np.float32).astype(np.float64)
+
+
+@pytest.fixture
+def tree(data) -> IQTree:
+    return IQTree.build(data, disk=make_disk(), optimize=False, fixed_bits=6)
+
+
+def warm(tree, queries, k=5):
+    """Run single queries so the attached cache sees every decode."""
+    for q in queries:
+        tree.nearest(q, k=k)
+
+
+class TestBasics:
+    def test_budget_must_be_positive(self):
+        with pytest.raises(SearchError):
+            DecodedPageCache(0)
+        with pytest.raises(SearchError):
+            DecodedPageCache(-1)
+
+    def test_attach_by_budget_or_instance(self, tree):
+        cache = tree.use_decoded_cache(1 << 20)
+        assert isinstance(cache, DecodedPageCache)
+        assert tree.decoded_cache is cache
+        other = DecodedPageCache(1 << 20)
+        assert tree.use_decoded_cache(other) is other
+        tree.clear_decoded_cache()
+        assert tree.decoded_cache is None
+
+    def test_pages_decode_once_across_single_queries(self, tree, rng):
+        tree.use_decoded_cache(16 << 20)
+        query = rng.random(8)
+        cold = tree.nearest(query, k=5)
+        elapsed_cold = tree.disk.stats.elapsed
+        warmres = tree.nearest(query, k=5)
+        assert np.array_equal(cold.ids, warmres.ids)
+        assert np.array_equal(cold.distances, warmres.distances)
+        cache = tree.decoded_cache
+        assert cache.hits > 0
+        # The warm query still pays the directory scan and third-level
+        # refinements, but no quantized-page transfers.
+        assert tree.disk.stats.elapsed > elapsed_cold
+
+    def test_hit_rate_and_repr(self, tree, rng):
+        cache = tree.use_decoded_cache(16 << 20)
+        assert cache.hit_rate == 0.0  # cold: no division error
+        warm(tree, rng.random((3, 8)))
+        warm(tree, rng.random((3, 8)))
+        assert 0.0 < cache.hit_rate <= 1.0
+        assert "DecodedPageCache" in repr(cache)
+        assert len(cache) == cache.resident_pages > 0
+
+
+class TestLRUBudget:
+    def test_evicts_least_recently_used_first(self, tree, rng):
+        big = tree.use_decoded_cache(1 << 30)
+        warm(tree, rng.random((6, 8)))
+        per_page = big.current_bytes / max(len(big), 1)
+        assert len(big) >= 3
+        # Rebuild with room for roughly two pages.
+        small = tree.use_decoded_cache(int(per_page * 2.5))
+        warm(tree, rng.random((6, 8)))
+        assert small.evictions > 0
+        assert small.current_bytes <= small.budget_bytes
+
+    def test_oversized_entry_not_retained(self, tree, rng):
+        cache = tree.use_decoded_cache(1)  # nothing fits
+        warm(tree, rng.random((2, 8)))
+        assert len(cache) == 0
+        assert cache.current_bytes == 0
+        assert cache.evictions > 0
+
+    def test_budget_always_respected(self, tree, rng):
+        cache = tree.use_decoded_cache(64 << 10)
+        warm(tree, rng.random((10, 8)))
+        assert cache.current_bytes <= cache.budget_bytes
+
+
+class TestInvalidation:
+    def test_replace_block_invalidates_stale_decode(self, tree, rng):
+        """Satellite regression: an in-place page rewrite must never be
+        served from a pre-rewrite decoded copy (CRC sidecar mismatch)."""
+        cache = tree.use_decoded_cache(16 << 20)
+        warm(tree, rng.random((4, 8)))
+        page = next(iter(cache._entries))
+        entry = cache._entries[page]
+        # Rewrite the backing block in place with different bytes.
+        payload = bytearray(tree._quant_file.peek_block(page))
+        payload[-1] ^= 0xFF
+        tree._quant_file.replace_block(page, bytes(payload))
+        assert tree._quant_file.block_crc(page) != entry.crc
+        before = cache.invalidations
+        assert cache.get(tree, page) is None
+        assert cache.invalidations == before + 1
+        assert page not in cache
+
+    def test_maintenance_relayout_clears_cache(self, tree, rng):
+        cache = tree.use_decoded_cache(16 << 20)
+        warm(tree, rng.random((4, 8)))
+        assert len(cache) > 0
+        tree.insert(rng.random(8))
+        tree.nearest(rng.random(8), k=3)  # triggers the re-layout
+        # Page indices were reassigned wholesale; nothing stale remains
+        # and the old residency was counted as invalidations.
+        assert cache.invalidations > 0
+
+    def test_results_stay_exact_after_maintenance(self, tree, rng, data):
+        tree.use_decoded_cache(16 << 20)
+        queries = rng.random((4, 8))
+        warm(tree, queries)
+        for pid in (3, 77, 400):
+            tree.delete(pid)
+        alive = np.setdiff1d(np.arange(len(data)), [3, 77, 400])
+        for q in queries:
+            res = tree.nearest(q, k=5)
+            brute = alive[
+                np.argsort(np.linalg.norm(data[alive] - q, axis=1))[:5]
+            ]
+            assert set(res.ids.tolist()) == set(brute.tolist())
+
+    def test_explicit_invalidate_and_clear(self, tree, rng):
+        cache = tree.use_decoded_cache(16 << 20)
+        warm(tree, rng.random((4, 8)))
+        page = next(iter(cache._entries))
+        cache.invalidate(page)
+        assert page not in cache
+        cache.invalidate(page)  # absent: no-op, no double count
+        n = len(cache)
+        cache.clear()
+        assert len(cache) == 0 and cache.current_bytes == 0
+        assert cache.invalidations >= n
+
+
+class TestQuarantineInterplay:
+    def test_quarantined_page_not_served_from_cache(self, data, rng):
+        """A page that decoded fine before its block went bad must be
+        reported lost, not silently served from the decoded cache."""
+        tree = IQTree.build(
+            data, disk=make_disk(), optimize=False, fixed_bits=6
+        )
+        tree.use_decoded_cache(16 << 20)
+        query = rng.random(8)
+        tree.nearest(query, k=5)  # decode everything the query needs
+        # Find a quantized page the query touched and poison it.
+        observer = ReadFaultInjector()
+        tree.disk.install_fault_injector(observer)
+        tree.nearest(query, k=5)
+        tree.disk.clear_fault_injector()
+        start = tree._quant_file.extent_start
+        n_pages = tree.n_pages
+        touched = [
+            a
+            for a in observer.attempts_seen
+            if start <= a < start + n_pages
+        ]
+        if not touched:  # the whole quantized level was cache-resident
+            touched = [start]
+        inj = ReadFaultInjector()
+        inj.fail_always(touched[0])
+        tree.disk.install_fault_injector(inj)
+        ctx = tree.use_fault_tolerance()
+        ctx.quarantine.add(touched[0])
+        res = tree.nearest(query, k=5)
+        assert res.degraded
+        assert any(
+            lost.page == touched[0] - start for lost in res.lost_pages
+        )
+
+
+class TestStripedBufferPool:
+    def test_stripe_validation(self):
+        with pytest.raises(StorageError):
+            BufferPool(8, stripes=0)
+
+    def make_file(self, n_blocks=32):
+        disk = SimulatedDisk(
+            DiskModel(t_seek=0.01, t_xfer=0.001, block_size=64)
+        )
+        f = BlockFile(disk)
+        for i in range(n_blocks):
+            f.append_block(bytes([i]) * 8)
+        f.seal()
+        return f
+
+    @pytest.mark.parametrize("stripes", [1, 2, 4, 7])
+    def test_striped_pool_matches_unstriped_counters(self, stripes):
+        """Same accesses -> same hits/misses for any stripe count with
+        per-stripe capacity covering the same working set."""
+        accesses = [3, 5, 3, 9, 5, 3, 11, 9, 30, 3, 5]
+        plain = BufferPool(64)
+        striped = BufferPool(64, stripes=stripes)
+        for a in accesses:
+            if not plain.lookup(a):
+                plain.admit(a)
+            if not striped.lookup(a):
+                striped.admit(a)
+        assert striped.hits == plain.hits
+        assert striped.misses == plain.misses
+        assert striped.resident_count == plain.resident_count
+
+    def test_capacity_split_covers_all_stripes(self):
+        pool = BufferPool(10, stripes=4)
+        assert sum(pool._shard_caps) == 10
+        assert max(pool._shard_caps) - min(pool._shard_caps) <= 1
+
+    def test_eviction_is_per_stripe(self):
+        pool = BufferPool(2, stripes=2)
+        pool.admit(0)  # stripe 0
+        pool.admit(2)  # stripe 0 -> evicts 0 (cap 1 per stripe)
+        pool.admit(1)  # stripe 1
+        assert not pool.lookup(0)  # evicted within its own stripe
+        assert pool.lookup(2)
+        assert pool.lookup(1)  # stripe 1 never overflowed
+
+    def test_invalidate_and_clear_across_stripes(self):
+        pool = BufferPool(16, stripes=4)
+        for a in range(8):
+            pool.admit(a)
+        assert pool.resident_count == 8
+        pool.invalidate(5)
+        assert pool.resident_count == 7
+        pool.clear()
+        assert pool.resident_count == 0
+
+    def test_tree_queries_identical_under_striping(self, data, rng):
+        """End to end: a striped pool yields the same results and the
+        same hit/miss accounting as the classic pool."""
+        queries = rng.random((6, 8))
+        ledgers = []
+        for stripes in (1, 4):
+            tree = IQTree.build(
+                data, disk=make_disk(), optimize=False, fixed_bits=6
+            )
+            pool = BufferPool(256, stripes=stripes)
+            tree.use_buffer_pool(pool)
+            ids = [tree.nearest(q, k=5).ids.tolist() for q in queries]
+            ledgers.append(
+                (ids, pool.hits, pool.misses, tree.disk.stats.elapsed)
+            )
+        assert ledgers[0] == ledgers[1]
