@@ -1,14 +1,17 @@
-"""Extension bench -- parallel serving with the cross-batch decoded cache.
+"""Extension bench -- parallel serving, simulated AND wall-clock.
 
 A query server replays similar batches over and over; the paper's
 measurement discipline (everything cold, head parked) prices each round
-as if it were the first.  This bench runs a repeated 16-d kNN workload
-two ways on identical trees and disks:
+as if it were the first.  This bench measures two different things and
+keeps them clearly apart:
+
+**Simulated speedup** (the repo's standard cost measure).  A repeated
+16-d kNN workload runs two ways on identical trees and disks:
 
 * **serial**: ``QueryEngine(workers=1)`` with no decoded-page cache --
   every round re-fetches and re-decodes its candidate pages (the
   engine's per-batch amortization still applies *within* a round);
-* **cached-parallel**: the full serving stack this PR adds --
+* **cached-parallel**: the full serving stack --
   ``QueryEngine(workers=4)`` with a lock-striped
   :class:`~repro.storage.cache.BufferPool` over the block level and one
   :class:`~repro.engine.page_cache.DecodedPageCache` shared across
@@ -16,14 +19,23 @@ two ways on identical trees and disks:
   cell bounds) from memory, skip the quantized-level transfers
   entirely, and serve repeated third-level blocks from the pool.
 
-Throughput is queries per *simulated* second, the repo's standard cost
-measure; wall-clock throughput is reported alongside (informational:
-the worker pool shards pure CPU phases, so its wall-clock benefit
-depends on host cores, while the simulated ledger is bit-stable by
-design).  Acceptance thresholds asserted below, from the ISSUE:
+**Wall-clock speedup** (real elapsed time on the host).  The same warm
+workload -- decoded cache hot, so per-query CPU dominates -- runs with
+``workers=1`` and with ``workers=4, backend="process"`` on separate but
+identical trees; results must be bit-identical, only the clock may
+differ.  The process backend ships the per-query kernels to worker
+processes (large arrays via a shared-memory arena), so this is where
+multi-core hosts convert the simulated speedup into real time.  The
+measurement is host-dependent by nature: the acceptance threshold below
+is only asserted when the runner actually has >= 4 usable cores, and
+the JSON records the core count alongside the numbers.
 
-* >= 2x batch-query throughput for cached-parallel vs serial;
-* >= 80% decoded-cache hit rate on the repeated workload.
+Acceptance thresholds asserted below, from the ISSUEs:
+
+* >= 2x simulated batch-query throughput, cached-parallel vs serial;
+* >= 80% decoded-cache hit rate on the repeated workload;
+* >= 2.5x wall-clock batch speedup at 4 process workers -- asserted on
+  hosts with >= 4 cores, skipped (and still recorded) elsewhere.
 
 Results land in ``BENCH_parallel.json`` at the repo root so CI can
 track the trajectory.
@@ -32,6 +44,7 @@ track the trajectory.
 from __future__ import annotations
 
 import json
+import os
 import time
 from pathlib import Path
 
@@ -45,16 +58,29 @@ from repro.storage.cache import BufferPool
 
 #: identical rounds of the same batch (a repeated workload)
 ROUNDS = 6
-#: queries per round
+#: queries per round (simulated-speedup section)
 BATCH = 8
 K = 5
 DIM = 16
 WORKERS = 4
+#: queries per round of the wall-clock section -- large enough that the
+#: per-query kernels dominate the coordinator's bookkeeping
+WALL_BATCH = 64
+WALL_ROUNDS = 3
+#: ISSUE acceptance for the wall-clock section (4-core hosts and up)
+WALL_SPEEDUP_FLOOR = 2.5
 
 
-def build_fixture():
+def usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def build_fixture(n_queries: int = BATCH):
     data, queries = make_workload(
-        uniform, n=scaled(20_000), n_queries=BATCH, seed=11, dim=DIM
+        uniform, n=scaled(20_000), n_queries=n_queries, seed=11, dim=DIM
     )
     tree = IQTree.build(
         data, disk=experiment_disk(), optimize=False, fixed_bits=8
@@ -74,6 +100,21 @@ def run_rounds(engine, queries):
     return sim, wall, last
 
 
+def run_wall(tree, queries, workers, backend):
+    """Warm the decoded cache, then time WALL_ROUNDS replays."""
+    engine = tree.query_engine(
+        workers=workers, backend=backend, decode_cache=64 << 20
+    )
+    engine.knn_batch(queries, k=K)  # warm: decode once, off the clock
+    wall = -time.perf_counter()
+    last = None
+    for _ in range(WALL_ROUNDS):
+        last = engine.knn_batch(queries, k=K)
+    wall += time.perf_counter()
+    engine.close()
+    return wall, last
+
+
 @pytest.fixture(scope="module")
 def result() -> dict:
     n_queries = ROUNDS * BATCH
@@ -90,14 +131,28 @@ def result() -> dict:
     )
     par_sim, par_wall, par_last = run_rounds(engine, queries)
     cache = tree_p.decoded_cache
+    engine.close()
 
     # Identical answers, round after round.
     for s, p in zip(serial_last, par_last):
         assert (s.ids == p.ids).all()
         assert (s.distances == p.distances).all()
 
+    # Wall-clock section: same warm workload, serial vs process pool.
+    tree_w1, wall_queries = build_fixture(WALL_BATCH)
+    wall_serial, wall_serial_last = run_wall(
+        tree_w1, wall_queries, workers=1, backend="auto"
+    )
+    tree_wp, _ = build_fixture(WALL_BATCH)
+    wall_process, wall_process_last = run_wall(
+        tree_wp, wall_queries, workers=WORKERS, backend="process"
+    )
+    for s, p in zip(wall_serial_last, wall_process_last):
+        assert (s.ids == p.ids).all()
+        assert (s.distances == p.distances).all()
+
     sim_speedup = serial_sim / par_sim
-    wall_speedup = serial_wall / par_wall
+    wall_speedup = wall_serial / wall_process
     out = {
         "fixture": {
             "n_points": int(tree_s.n_points),
@@ -122,6 +177,19 @@ def result() -> dict:
             "pages_decoded": cache.misses,
         },
         "speedup_sim": round(sim_speedup, 3),
+        # Wall-clock scaling of the warm workload (process backend).
+        # Host-dependent: meaningful on >= WORKERS cores, recorded
+        # everywhere for trend visibility.
+        "wall_clock": {
+            "cores": usable_cores(),
+            "batch": WALL_BATCH,
+            "rounds": WALL_ROUNDS,
+            "serial_seconds": round(wall_serial, 4),
+            "process_seconds": round(wall_process, 4),
+            "speedup_wall": round(wall_speedup, 3),
+            "threshold": WALL_SPEEDUP_FLOOR,
+            "threshold_asserted": usable_cores() >= WORKERS,
+        },
         "speedup_wall": round(wall_speedup, 3),
         # Classic parallel efficiency (speedup / workers).  On a
         # single-core host the gain comes from cross-round decode
@@ -149,8 +217,23 @@ def test_decode_cache_hit_rate_at_least_80_percent(result):
     assert result["cached_parallel"]["decode_cache_hit_rate"] >= 0.80
 
 
+def test_wall_clock_speedup_on_multicore_hosts(result):
+    """ISSUE acceptance: >= 2.5x wall-clock batch speedup at 4 process
+    workers.  Only a host with >= 4 usable cores can demonstrate it;
+    smaller runners record the number and skip the assertion."""
+    cores = result["wall_clock"]["cores"]
+    if cores < WORKERS:
+        pytest.skip(
+            f"host exposes {cores} usable core(s); wall-clock scaling "
+            f"needs >= {WORKERS}"
+        )
+    assert result["wall_clock"]["speedup_wall"] >= WALL_SPEEDUP_FLOOR
+
+
 def test_json_artifact_written(result):
     path = Path(__file__).resolve().parent.parent / "BENCH_parallel.json"
     data = json.loads(path.read_text())
     assert data["speedup_sim"] == result["speedup_sim"]
-    assert {"serial", "cached_parallel", "scaling_efficiency"} <= set(data)
+    assert {
+        "serial", "cached_parallel", "scaling_efficiency", "wall_clock"
+    } <= set(data)

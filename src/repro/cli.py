@@ -6,7 +6,7 @@ Usage::
     python -m repro query  index.iqt --point 0.1,0.2,... [--k 5]
     python -m repro query  index.iqt --random 3 [--k 5]
     python -m repro batch  index.iqt --random 50 [--k 5] [--pool 256]
-    python -m repro batch  index.iqt --random 50 --workers 4 [--decode-cache 4194304]
+    python -m repro batch  index.iqt --random 50 --workers 4 [--backend process] [--decode-cache 4194304]
     python -m repro batch  index.iqt --random 50 --radius 0.2 [--compare]
     python -m repro info   index.iqt
     python -m repro fsck   index.iqt
@@ -97,6 +97,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         pool=args.pool,
         workers=args.workers,
         decode_cache=args.decode_cache,
+        backend=args.backend,
     )
     if args.radius is not None:
         result = engine.range_batch(queries, args.radius)
@@ -107,7 +108,8 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     stats = result.stats
     print(
         f"batch of {stats.n_queries} {kind} queries "
-        f"({stats.workers} worker{'s' if stats.workers != 1 else ''}): "
+        f"({stats.workers} worker{'s' if stats.workers != 1 else ''}, "
+        f"{engine.backend} backend): "
         f"{stats.io.elapsed * 1e3:.2f} ms simulated "
         f"({stats.mean_time * 1e3:.3f} ms/query), "
         f"{stats.io.seeks} seeks, {stats.pages_read} pages, "
@@ -484,7 +486,15 @@ def _build_parser() -> argparse.ArgumentParser:
         "--workers",
         type=int,
         default=1,
-        help="worker threads for the per-query phases (default: 1)",
+        help="workers for the per-query phases (default: 1)",
+    )
+    batch.add_argument(
+        "--backend",
+        choices=("auto", "thread", "process"),
+        default="auto",
+        help="executor backend for --workers > 1: processes scale on "
+        "real cores, threads avoid worker startup (default: auto = "
+        "process when parallel); results are identical either way",
     )
     batch.add_argument(
         "--decode-cache",

@@ -398,20 +398,32 @@ class IQTree:
             self.nearest(q, k=k, scheduler=scheduler) for q in queries
         ]
 
-    def query_engine(self, pool=None, workers: int = 1, decode_cache=None):
+    def query_engine(
+        self,
+        pool=None,
+        workers: int = 1,
+        decode_cache=None,
+        backend: str = "auto",
+    ):
         """A :class:`~repro.engine.QueryEngine` serving this tree.
 
         ``pool`` is an optional shared buffer pool (or integer capacity
         in blocks) attached via :meth:`use_buffer_pool`; when omitted,
         the engine uses whatever pool is already attached, if any.
-        ``workers`` sizes the engine's thread pool; ``decode_cache`` is
-        an optional :class:`~repro.engine.DecodedPageCache` (or byte
+        ``workers`` sizes the engine's worker pool and ``backend``
+        selects its executor (``"thread"``, ``"process"``, or ``"auto"``
+        -- results are identical either way); ``decode_cache`` is an
+        optional :class:`~repro.engine.DecodedPageCache` (or byte
         budget) attached via :meth:`use_decoded_cache`.
         """
         from repro.engine import QueryEngine
 
         return QueryEngine(
-            self, pool=pool, workers=workers, decode_cache=decode_cache
+            self,
+            pool=pool,
+            workers=workers,
+            decode_cache=decode_cache,
+            backend=backend,
         )
 
     def browse(self, query: np.ndarray):

@@ -23,6 +23,7 @@ from typing import Iterable, Mapping
 import numpy as np
 
 from repro.core.tree import IQTree, PageHandle
+from repro.engine.kernels import PageTable
 from repro.obs.instruments import PAGES_DECODED, REFINEMENTS, REGISTRY
 from repro.obs.tracing import span as obs_span
 from repro.quantization.bitpack import unpack_codes_bulk
@@ -158,6 +159,26 @@ class PageDecodeCache:
         for page, handle in self._handles.items():
             if handle.codes is not None:
                 self.cell_bounds(page)
+
+    def page_table(self) -> PageTable:
+        """Plain-array snapshot of every loaded page, for the kernels.
+
+        Call after :meth:`ensure_bounds` so quantized pages' boxes are
+        already computed.  The snapshot holds only numpy arrays keyed by
+        page number -- no tree, file, or cache references -- so it can
+        be pickled (or frozen into a shared arena) and shipped to
+        worker processes.
+        """
+        exact: dict[int, tuple] = {}
+        bounds: dict[int, tuple] = {}
+        part_ids: dict[int, np.ndarray] = {}
+        for page, handle in self._handles.items():
+            if handle.points is not None:
+                exact[page] = (handle.points, handle.ids)
+            else:
+                bounds[page] = self.cell_bounds(page)
+                part_ids[page] = self._tree._part_ids[page]
+        return PageTable(exact=exact, bounds=bounds, part_ids=part_ids)
 
     def _decode_bulk(self, payloads: Mapping[int, bytes]) -> None:
         dim = self._tree.dim

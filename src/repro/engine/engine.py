@@ -37,12 +37,18 @@ bounds) resident across batches under a byte budget.
 
 With ``workers > 1`` the per-query phases -- candidate bounding and
 result assembly -- are sharded across a
-:class:`~repro.engine.concurrent.WorkerPool`.  Every simulated-I/O
-charge (directory scan, page fetch, third-level fetch) and every
-side effect on shared state (fault-context counters, registry
-instruments) stays on the coordinator thread and is applied in query
-order, so results, the I/O ledger, and the observability counters are
-bit-identical for any worker count.
+:class:`~repro.engine.concurrent.WorkerPool`.  The phases are the pure,
+picklable kernels of :mod:`repro.engine.kernels`: their inputs are
+plain arrays (query rows, candidate masks, decoded matrices, cell-bound
+boxes), never an ``IQTree``, ``BlockFile``, or cache object, so they
+run equally on worker threads or worker *processes* -- the process
+backend is what converts simulated speedup into wall-clock speedup on
+multi-core hosts.  Every simulated-I/O charge (directory scan, page
+fetch, third-level fetch) and every side effect on shared state
+(fault-context counters, registry instruments) stays on the coordinator
+thread and is applied in query order, so results, the I/O ledger, and
+the observability counters are bit-identical for any worker count and
+either backend.
 """
 
 from __future__ import annotations
@@ -52,8 +58,6 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.search import (
-    KBest,
-    certain_mask,
     checked_queries,
     io_delta,
     io_snapshot,
@@ -63,7 +67,19 @@ from repro.core.search import (
 from repro.core.tree import IQTree
 from repro.engine.concurrent import WorkerPool
 from repro.engine.decode import ExactBatchStore, PageDecodeCache
-from repro.engine.stats import BatchStats, QueryStats
+from repro.engine.kernels import (
+    BatchQueryResult,
+    KnnAssembleTask,
+    KnnPlanTask,
+    RangeAssembleTask,
+    RangePlanTask,
+    assemble_knn_shard,
+    assemble_range_shard,
+    plan_knn_shard,
+    plan_range_shard,
+)
+from repro.engine.shm import SharedArena
+from repro.engine.stats import BatchStats
 from repro.exceptions import SearchError, StorageError
 from repro.obs.drift import MONITOR as _DRIFT
 from repro.obs.instruments import (
@@ -75,43 +91,15 @@ from repro.obs.instruments import (
     REGISTRY,
 )
 from repro.obs.tracing import span as obs_span
-from repro.geometry.mbr import (
-    maxdist_matrix,
-    maxdist_to_boxes,
-    mindist_matrix,
-    mindist_to_boxes,
-)
+from repro.geometry.mbr import maxdist_matrix, mindist_matrix
 from repro.storage.cache import BufferPool
 from repro.storage.disk import IOStats
-from repro.storage.runtime_faults import LostPage
 
 __all__ = [
     "QueryEngine",
     "BatchQueryResult",
     "BatchResult",
 ]
-
-
-@dataclass
-class BatchQueryResult:
-    """Answer to one query of a batch.
-
-    ``ids``/``distances`` are sorted ascending by distance, exactly as
-    the single-query search APIs return them; ``stats`` records the
-    logical work this query caused.  The degraded-mode fields mirror
-    :class:`~repro.core.search.NNResult`: ``certain`` flags which
-    results are exact, ``intervals`` carries the ``(mindist, maxdist)``
-    bound of each uncertain result, and ``lost_pages`` reports
-    second-level pages this query could not read at all.
-    """
-
-    ids: np.ndarray
-    distances: np.ndarray
-    stats: QueryStats
-    certain: np.ndarray | None = None
-    intervals: dict[int, tuple[float, float]] | None = None
-    lost_pages: tuple = ()
-    degraded: bool = False
 
 
 @dataclass
@@ -146,15 +134,19 @@ class QueryEngine:
         attached to the tree is used; when the tree has none, reads go
         straight to the simulated disk.
     workers:
-        Worker threads the per-query phases shard over (default 1 =
-        serial).  Any count yields identical results, ledgers, and
-        counters; see the module docstring.
+        Workers the per-query phases shard over (default 1 = serial).
+        Any count yields identical results, ledgers, and counters; see
+        the module docstring.
     decode_cache:
         Optional cross-batch decoded-page cache: a
         :class:`~repro.engine.page_cache.DecodedPageCache` or an
         integer byte budget, attached to the tree via
         :meth:`~repro.core.tree.IQTree.use_decoded_cache`.  When
         omitted, a cache already attached to the tree is used.
+    backend:
+        Executor backend for ``workers > 1``: ``"process"`` (real
+        multi-core scaling), ``"thread"``, or ``"auto"`` (default:
+        process when parallel).  Results are bit-identical either way.
     """
 
     def __init__(
@@ -163,6 +155,7 @@ class QueryEngine:
         pool: BufferPool | int | None = None,
         workers: int = 1,
         decode_cache=None,
+        backend: str = "auto",
     ):
         self.tree = tree
         if pool is not None:
@@ -173,14 +166,19 @@ class QueryEngine:
             self.decode_cache = tree.use_decoded_cache(decode_cache)
         else:
             self.decode_cache = tree._decoded_cache
-        self._worker_pool = WorkerPool(workers)
+        self._worker_pool = WorkerPool(workers, backend=backend)
         self.workers = self._worker_pool.workers
+
+    @property
+    def backend(self) -> str:
+        """The resolved executor backend ("thread" or "process")."""
+        return self._worker_pool.backend
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Shut the worker threads down (the engine stays usable)."""
+        """Shut the workers down (the engine stays usable)."""
         self._worker_pool.close()
 
     def __enter__(self) -> "QueryEngine":
@@ -188,6 +186,17 @@ class QueryEngine:
 
     def __exit__(self, *exc) -> None:
         self.close()
+
+    # ------------------------------------------------------------------
+    # Worker shipping
+    # ------------------------------------------------------------------
+    def _ships_to_processes(self, n_queries: int) -> bool:
+        """Whether this batch's kernels will cross a process boundary."""
+        return (
+            self._worker_pool.backend == "process"
+            and self._worker_pool.workers > 1
+            and n_queries > 1
+        )
 
     # ------------------------------------------------------------------
     # kNN batches
@@ -218,7 +227,6 @@ class QueryEngine:
 
     def _knn_batch_impl(self, queries: np.ndarray, k: int) -> BatchResult:
         tree = self.tree
-        ctx = tree._fault_ctx
         n_queries = queries.shape[0]
         before = io_snapshot(tree)
         pool_before = self._pool_counters()
@@ -246,251 +254,86 @@ class QueryEngine:
         cache.load(np.flatnonzero(cand_mask.any(axis=0)))
         cache.ensure_bounds()
 
-        with obs_span("refine", disk=tree.disk) as refine_span:
-            # Phase 1 (workers, pure): per-query point-level bounds;
-            # collect the refinement set (quantized points whose lower
-            # bound is within the k-th smallest upper bound).
-            def plan_shard(indices, _ledger):
-                out = []
-                for i in indices:
-                    cand = np.flatnonzero(cand_mask[i])
-                    if ctx is not None and cache.lost_pages:
-                        lost = [
-                            p for p in cand.tolist() if cache.is_lost(p)
-                        ]
-                        cand = np.array(
-                            [
-                                p
-                                for p in cand.tolist()
-                                if not cache.is_lost(p)
-                            ],
-                            dtype=np.int64,
-                        )
-                    else:
-                        lost = []
-                    plan = self._plan_knn_query(
-                        queries[i], k, cand, cache, metric
-                    )
-                    plan["lost"] = lost
-                    plan["candidate_pages"] = int(cand_mask[i].sum())
-                    out.append(plan)
-                return out
+        arena = None
+        try:
+            with obs_span("refine", disk=tree.disk) as refine_span:
+                # Phase 1 (workers, pure): per-query point-level bounds;
+                # collect the refinement set (quantized points whose
+                # lower bound is within the k-th smallest upper bound).
+                table = cache.page_table()
+                lost = (
+                    frozenset(cache.lost_pages)
+                    if tree._fault_ctx is not None
+                    else frozenset()
+                )
+                counts = tree._counts
+                if self._ships_to_processes(n_queries):
+                    arena = SharedArena.create()
+                if arena is not None:
+                    queries_s = arena.put(queries)
+                    cand_mask_s = arena.put(cand_mask)
+                    dmin_s = arena.put(dmin)
+                    dmax_s = arena.put(dmax)
+                    counts_s = arena.put(counts)
+                    table_s = table.frozen(arena)
+                    arena.seal()
+                else:
+                    queries_s, cand_mask_s = queries, cand_mask
+                    dmin_s, dmax_s, counts_s = dmin, dmax, counts
+                    table_s = table
+                plan_task = KnnPlanTask(
+                    queries=queries_s,
+                    k=k,
+                    cand_mask=cand_mask_s,
+                    lost=lost,
+                    metric=metric,
+                    table=table_s,
+                )
+                plans, plan_io = self._worker_pool.map_sharded(
+                    plan_knn_shard, range(n_queries), task=plan_task
+                )
+                all_requests: set[tuple[int, int]] = set()
+                for plan in plans:
+                    all_requests.update(plan["refine"])
 
-            plans, plan_io = self._worker_pool.map_sharded(
-                plan_shard, range(n_queries)
-            )
-            all_requests: set[tuple[int, int]] = set()
-            for plan in plans:
-                all_requests.update(plan["refine"])
+                # Phase 2 (coordinator): one batched third-level fetch
+                # for every query.  Unreadable records are absent from
+                # the map.
+                exact_store = ExactBatchStore(tree)
+                points = exact_store.fetch_all(all_requests)
+                if refine_span is not None:
+                    refine_span.attrs["records"] = len(all_requests)
 
-            # Phase 2 (coordinator): one batched third-level fetch for
-            # every query.  Unreadable records are absent from the map.
-            exact_store = ExactBatchStore(tree)
-            points = exact_store.fetch_all(all_requests)
-            if refine_span is not None:
-                refine_span.attrs["records"] = len(all_requests)
-
-            # Phase 3 (workers, pure): per-query result assembly.
-            def assemble_shard(indices, _ledger):
-                out = []
-                for i in indices:
-                    plan = plans[i]
-                    best = KBest(k)
-                    intervals: dict[int, tuple[float, float]] = {}
-                    best.offer_many(
-                        plan["exact_dists"], plan["exact_ids"]
-                    )
-                    dist_of = self._refined_distances(
-                        queries[i], plan["refine"], points, metric
-                    )
-                    for key in plan["refine"]:
-                        if key in dist_of:
-                            best.offer(dist_of[key], points[key][1])
-                        else:
-                            pid, lo, hi = self._interval_for(
-                                queries[i], key, cache, metric
-                            )
-                            intervals[pid] = (lo, hi)
-                            best.offer(hi, pid)
-                    ids, dists = best.sorted_results()
-                    lost_records = tuple(
-                        LostPage(
-                            page=int(p),
-                            n_points=int(tree._counts[p]),
-                            mindist=float(dmin[i, p]),
-                            maxdist=float(dmax[i, p]),
-                        )
-                        for p in plan["lost"]
-                    )
-                    result = self._assemble_result(
-                        ids, dists, intervals, lost_records,
-                        QueryStats(
-                            candidate_pages=plan["candidate_pages"],
-                            candidate_points=plan["candidate_points"],
-                            refinements=len(plan["refine"]),
-                        ),
-                    )
-                    out.append((result, len(intervals)))
-                return out
-
-            assembled, assemble_io = self._worker_pool.map_sharded(
-                assemble_shard, range(n_queries)
-            )
-            results = self._apply_degraded_effects(assembled)
-            if refine_span is not None and any(r.degraded for r in results):
-                refine_span.attrs["degraded"] = True
+                # Phase 3 (workers, pure): per-query result assembly.
+                assemble_task = KnnAssembleTask(
+                    queries=queries_s,
+                    k=k,
+                    metric=metric,
+                    table=table_s,
+                    plans=plans,
+                    points=points,
+                    counts=counts_s,
+                    dmin=dmin_s,
+                    dmax=dmax_s,
+                )
+                assembled, assemble_io = self._worker_pool.map_sharded(
+                    assemble_knn_shard, range(n_queries),
+                    task=assemble_task,
+                )
+                results = self._apply_degraded_effects(assembled)
+                if refine_span is not None and any(
+                    r.degraded for r in results
+                ):
+                    refine_span.attrs["degraded"] = True
+        finally:
+            if arena is not None:
+                arena.dispose()
         stats = self._batch_stats(
             n_queries, before, pool_before, fault_before, cache,
             exact_store, plan_io.merged_with(assemble_io),
         )
         self._observe_batch(stats, results, k=k)
         return BatchResult(queries=results, stats=stats)
-
-    def _plan_knn_query(self, query, k, pages, cache, metric) -> dict:
-        """Bound every candidate point of one query; pick refinements."""
-        exact_dists: list[np.ndarray] = []
-        exact_ids: list[np.ndarray] = []
-        quant_lowers: list[np.ndarray] = []
-        quant_keys: list[tuple[int, int]] = []
-        uppers: list[np.ndarray] = []
-        candidate_points = 0
-        for page in pages.tolist():
-            handle = cache.handle(page)
-            if handle.points is not None:
-                dists = metric.distances(query, handle.points)
-                candidate_points += dists.size
-                exact_dists.append(dists)
-                exact_ids.append(handle.ids)
-                uppers.append(dists)
-                continue
-            lo, up = cache.cell_bounds(page)
-            lower_b = mindist_to_boxes(query, lo, up, metric)
-            upper_b = maxdist_to_boxes(query, lo, up, metric)
-            candidate_points += lower_b.size
-            quant_lowers.append(lower_b)
-            quant_keys.extend(
-                (page, local) for local in range(lower_b.size)
-            )
-            uppers.append(upper_b)
-        all_uppers = (
-            np.concatenate(uppers) if uppers else np.empty(0)
-        )
-        if all_uppers.size >= k:
-            tau = np.partition(all_uppers, k - 1)[k - 1]
-        else:
-            tau = np.inf
-        refine: list[tuple[int, int]] = []
-        if quant_lowers:
-            lowers_cat = np.concatenate(quant_lowers)
-            for idx in np.flatnonzero(lowers_cat <= tau).tolist():
-                refine.append(quant_keys[idx])
-        return {
-            "exact_dists": (
-                np.concatenate(exact_dists) if exact_dists else np.empty(0)
-            ),
-            "exact_ids": (
-                np.concatenate(exact_ids)
-                if exact_ids
-                else np.empty(0, dtype=np.int64)
-            ),
-            "refine": refine,
-            "candidate_points": candidate_points,
-        }
-
-    @staticmethod
-    def _refined_distances(query, refine, points, metric) -> dict:
-        """Exact distances of one query's available refinements.
-
-        One vectorized ``metric.distances`` call over the fetched
-        records (bitwise identical to per-point ``metric.distance``:
-        the reduction runs over the same axis in the same order).
-        """
-        avail = [key for key in refine if key in points]
-        if not avail:
-            return {}
-        coords = np.array([points[key][0] for key in avail])
-        dists = metric.distances(query, coords)
-        return {key: float(d) for key, d in zip(avail, dists)}
-
-    def _interval_for(
-        self, query, key, cache, metric
-    ) -> tuple[int, float, float]:
-        """A point's cell interval (its record was unreadable).
-
-        Pure: returns ``(id, mindist, maxdist)`` -- the interval
-        provably contains the exact distance, and ``maxdist`` is a
-        sound conservative ranking distance.  Fault-context counters
-        and registry instruments are applied later, on the coordinator,
-        in query order (:meth:`_apply_degraded_effects`).
-        """
-        page, local = key
-        lo_box, up_box = cache.cell_bounds(page)
-        lo = float(
-            mindist_to_boxes(
-                query, lo_box[local : local + 1],
-                up_box[local : local + 1], metric,
-            )[0]
-        )
-        hi = float(
-            maxdist_to_boxes(
-                query, lo_box[local : local + 1],
-                up_box[local : local + 1], metric,
-            )[0]
-        )
-        return int(self.tree._part_ids[page][local]), lo, hi
-
-    def _assemble_result(
-        self, ids, dists, intervals, lost_records, stats
-    ) -> BatchQueryResult:
-        """Build one BatchQueryResult, attaching degraded-mode fields.
-
-        Pure (safe on worker threads): shared-state side effects happen
-        in :meth:`_apply_degraded_effects` on the coordinator.
-        """
-        degraded = bool(intervals or lost_records)
-        certain = None
-        result_intervals = None
-        if degraded:
-            certain = certain_mask(ids, intervals)
-            result_intervals = {
-                pid: intervals[pid]
-                for pid in ids.tolist()
-                if pid in intervals
-            }
-        return BatchQueryResult(
-            ids=ids,
-            distances=dists,
-            stats=stats,
-            certain=certain,
-            intervals=result_intervals,
-            lost_pages=lost_records,
-            degraded=degraded,
-        )
-
-    def _apply_degraded_effects(
-        self, assembled: list[tuple[BatchQueryResult, int]]
-    ) -> list[BatchQueryResult]:
-        """Apply each query's degraded-mode side effects, in query order.
-
-        Workers return pure results plus the count of interval
-        fallbacks they computed; this coordinator pass feeds the fault
-        context's session counters and the registry instruments exactly
-        as the serial engine did, so counter values cannot depend on
-        thread scheduling.
-        """
-        ctx = self.tree._fault_ctx
-        results = []
-        for result, n_intervals in assembled:
-            if n_intervals:
-                ctx.degraded_results += n_intervals
-                if REGISTRY.enabled:
-                    DEGRADED_RESULTS.inc(n_intervals)
-            if result.lost_pages:
-                ctx.lost_pages += len(result.lost_pages)
-                if REGISTRY.enabled:
-                    LOST_PAGES.inc(len(result.lost_pages))
-            results.append(result)
-        return results
 
     def _guarantee_radii(self, dmax: np.ndarray, k: int) -> np.ndarray:
         """Per-query radius guaranteed to contain at least k points.
@@ -546,7 +389,6 @@ class QueryEngine:
         self, queries: np.ndarray, radii: np.ndarray
     ) -> BatchResult:
         tree = self.tree
-        ctx = tree._fault_ctx
         n_queries = queries.shape[0]
         before = io_snapshot(tree)
         pool_before = self._pool_counters()
@@ -568,115 +410,73 @@ class QueryEngine:
         cache.load(np.flatnonzero(cand_mask.any(axis=0)))
         cache.ensure_bounds()
 
-        with obs_span("refine", disk=tree.disk) as refine_span:
-            def plan_shard(indices, _ledger):
-                out = []
-                for i in indices:
-                    cand = np.flatnonzero(cand_mask[i])
-                    if ctx is not None and cache.lost_pages:
-                        lost = [
-                            p for p in cand.tolist() if cache.is_lost(p)
-                        ]
-                        cand = np.array(
-                            [
-                                p
-                                for p in cand.tolist()
-                                if not cache.is_lost(p)
-                            ],
-                            dtype=np.int64,
-                        )
-                    else:
-                        lost = []
-                    plan = self._plan_range_query(
-                        queries[i], float(radii[i]), cand, cache, metric
-                    )
-                    plan["lost"] = lost
-                    plan["candidate_pages"] = int(cand_mask[i].sum())
-                    out.append(plan)
-                return out
+        arena = None
+        try:
+            with obs_span("refine", disk=tree.disk) as refine_span:
+                table = cache.page_table()
+                lost = (
+                    frozenset(cache.lost_pages)
+                    if tree._fault_ctx is not None
+                    else frozenset()
+                )
+                counts = tree._counts
+                radii = np.ascontiguousarray(radii)
+                if self._ships_to_processes(n_queries):
+                    arena = SharedArena.create()
+                if arena is not None:
+                    queries_s = arena.put(queries)
+                    radii_s = arena.put(radii)
+                    cand_mask_s = arena.put(cand_mask)
+                    dmin_s = arena.put(dmin)
+                    counts_s = arena.put(counts)
+                    table_s = table.frozen(arena)
+                    arena.seal()
+                else:
+                    queries_s, radii_s = queries, radii
+                    cand_mask_s, dmin_s, counts_s = cand_mask, dmin, counts
+                    table_s = table
+                plan_task = RangePlanTask(
+                    queries=queries_s,
+                    radii=radii_s,
+                    cand_mask=cand_mask_s,
+                    lost=lost,
+                    metric=metric,
+                    table=table_s,
+                )
+                plans, plan_io = self._worker_pool.map_sharded(
+                    plan_range_shard, range(n_queries), task=plan_task
+                )
+                all_requests: set[tuple[int, int]] = set()
+                for plan in plans:
+                    all_requests.update(plan["refine"])
 
-            plans, plan_io = self._worker_pool.map_sharded(
-                plan_shard, range(n_queries)
-            )
-            all_requests: set[tuple[int, int]] = set()
-            for plan in plans:
-                all_requests.update(plan["refine"])
+                exact_store = ExactBatchStore(tree)
+                points = exact_store.fetch_all(all_requests)
+                if refine_span is not None:
+                    refine_span.attrs["records"] = len(all_requests)
 
-            exact_store = ExactBatchStore(tree)
-            points = exact_store.fetch_all(all_requests)
-            if refine_span is not None:
-                refine_span.attrs["records"] = len(all_requests)
-
-            def assemble_shard(indices, _ledger):
-                out = []
-                for i in indices:
-                    plan = plans[i]
-                    intervals: dict[int, tuple[float, float]] = {}
-                    ref_ids: list[int] = []
-                    ref_dists: list[float] = []
-                    dist_of = self._refined_distances(
-                        queries[i], plan["refine"], points, metric
-                    )
-                    for key in plan["refine"]:
-                        if key in dist_of:
-                            dist = dist_of[key]
-                            if dist <= radii[i]:
-                                ref_ids.append(points[key][1])
-                                ref_dists.append(dist)
-                        else:
-                            # Unreadable record whose cell overlaps the
-                            # ball: include it conservatively at its
-                            # cell maxdist, flagged uncertain.
-                            pid, lo, hi = self._interval_for(
-                                queries[i], key, cache, metric
-                            )
-                            intervals[pid] = (lo, hi)
-                            ref_ids.append(pid)
-                            ref_dists.append(hi)
-                    found_ids = np.concatenate(
-                        [
-                            plan["exact_ids"],
-                            np.array(ref_ids, dtype=np.int64),
-                        ]
-                    )
-                    found_dists = np.concatenate(
-                        [
-                            plan["exact_dists"],
-                            np.array(ref_dists, dtype=np.float64),
-                        ]
-                    )
-                    order = np.argsort(found_dists, kind="stable")
-                    # A lost page may hold any number of in-range
-                    # points; its contribution cannot be bounded.
-                    lost_records = tuple(
-                        LostPage(
-                            page=int(p),
-                            n_points=int(tree._counts[p]),
-                            mindist=float(dmin[i, p]),
-                            maxdist=float("inf"),
-                        )
-                        for p in plan["lost"]
-                    )
-                    result = self._assemble_result(
-                        found_ids[order],
-                        found_dists[order],
-                        intervals,
-                        lost_records,
-                        QueryStats(
-                            candidate_pages=plan["candidate_pages"],
-                            candidate_points=plan["candidate_points"],
-                            refinements=len(plan["refine"]),
-                        ),
-                    )
-                    out.append((result, len(intervals)))
-                return out
-
-            assembled, assemble_io = self._worker_pool.map_sharded(
-                assemble_shard, range(n_queries)
-            )
-            results = self._apply_degraded_effects(assembled)
-            if refine_span is not None and any(r.degraded for r in results):
-                refine_span.attrs["degraded"] = True
+                assemble_task = RangeAssembleTask(
+                    queries=queries_s,
+                    radii=radii_s,
+                    metric=metric,
+                    table=table_s,
+                    plans=plans,
+                    points=points,
+                    counts=counts_s,
+                    dmin=dmin_s,
+                )
+                assembled, assemble_io = self._worker_pool.map_sharded(
+                    assemble_range_shard, range(n_queries),
+                    task=assemble_task,
+                )
+                results = self._apply_degraded_effects(assembled)
+                if refine_span is not None and any(
+                    r.degraded for r in results
+                ):
+                    refine_span.attrs["degraded"] = True
+        finally:
+            if arena is not None:
+                arena.dispose()
         stats = self._batch_stats(
             n_queries, before, pool_before, fault_before, cache,
             exact_store, plan_io.merged_with(assemble_io),
@@ -684,52 +484,34 @@ class QueryEngine:
         self._observe_batch(stats, results, k=None)
         return BatchResult(queries=results, stats=stats)
 
-    def _plan_range_query(
-        self, query, radius, pages, cache, metric
-    ) -> dict:
-        """Classify one query's candidate points for a range search."""
-        exact_ids: list[np.ndarray] = []
-        exact_dists: list[np.ndarray] = []
-        refine: list[tuple[int, int]] = []
-        candidate_points = 0
-        for page in pages.tolist():
-            handle = cache.handle(page)
-            if handle.points is not None:
-                dists = metric.distances(query, handle.points)
-                candidate_points += dists.size
-                inside = dists <= radius
-                exact_ids.append(
-                    handle.ids[inside].astype(np.int64, copy=False)
-                )
-                exact_dists.append(
-                    dists[inside].astype(np.float64, copy=False)
-                )
-                continue
-            lo, up = cache.cell_bounds(page)
-            lower_b = mindist_to_boxes(query, lo, up, metric)
-            candidate_points += lower_b.size
-            refine.extend(
-                (page, int(local))
-                for local in np.flatnonzero(lower_b <= radius)
-            )
-        return {
-            "exact_ids": (
-                np.concatenate(exact_ids)
-                if exact_ids
-                else np.empty(0, dtype=np.int64)
-            ),
-            "exact_dists": (
-                np.concatenate(exact_dists)
-                if exact_dists
-                else np.empty(0)
-            ),
-            "refine": refine,
-            "candidate_points": candidate_points,
-        }
-
     # ------------------------------------------------------------------
     # Shared accounting
     # ------------------------------------------------------------------
+    def _apply_degraded_effects(
+        self, assembled: list[tuple[BatchQueryResult, int]]
+    ) -> list[BatchQueryResult]:
+        """Apply each query's degraded-mode side effects, in query order.
+
+        Workers return pure results plus the count of interval
+        fallbacks they computed; this coordinator pass feeds the fault
+        context's session counters and the registry instruments exactly
+        as the serial engine did, so counter values cannot depend on
+        scheduling -- of threads or of processes.
+        """
+        ctx = self.tree._fault_ctx
+        results = []
+        for result, n_intervals in assembled:
+            if n_intervals:
+                ctx.degraded_results += n_intervals
+                if REGISTRY.enabled:
+                    DEGRADED_RESULTS.inc(n_intervals)
+            if result.lost_pages:
+                ctx.lost_pages += len(result.lost_pages)
+                if REGISTRY.enabled:
+                    LOST_PAGES.inc(len(result.lost_pages))
+            results.append(result)
+        return results
+
     def _pool_counters(self) -> tuple[int, int]:
         if self.pool is None:
             return (0, 0)

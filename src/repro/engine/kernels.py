@@ -1,0 +1,580 @@
+"""Pure, picklable per-query kernels of the batch query engine.
+
+The engine's batch algorithms split into coordinator phases (simulated
+I/O, shared-state side effects) and per-query phases (candidate
+bounding, result assembly) that are pure numpy over read-only inputs.
+This module holds the per-query phases as module-level functions whose
+inputs are plain data -- query rows, candidate masks, decoded code
+matrices, cell-bound boxes, scalar parameters -- with no ``IQTree``,
+``BlockFile``, or cache object anywhere in the hot path.  That makes
+them shippable to *worker processes* (everything here pickles), which
+is what lets ``QueryEngine(workers=N)`` scale on real cores instead of
+serializing on the GIL.
+
+Both executor backends (and the serial ``workers=1`` path) run exactly
+these functions, so thread/process/serial execution is bit-identical by
+construction; the equivalence tests in ``tests/test_engine_parallel.py``
+pin it.
+
+Large arrays travel by reference when the engine freezes them into a
+:class:`~repro.engine.shm.SharedArena`: any array field of a task (or
+of its :class:`PageTable`) may arrive as an
+:class:`~repro.engine.shm.ArrayRef`, and each kernel first calls the
+task's ``resolved()`` to materialize zero-copy views.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.core.search import KBest, certain_mask
+from repro.engine.shm import resolve
+from repro.engine.stats import QueryStats
+from repro.geometry.mbr import maxdist_to_boxes, mindist_to_boxes
+from repro.storage.runtime_faults import LostPage
+
+__all__ = [
+    "BatchQueryResult",
+    "PageTable",
+    "KnnPlanTask",
+    "KnnAssembleTask",
+    "RangePlanTask",
+    "RangeAssembleTask",
+    "plan_knn_shard",
+    "plan_range_shard",
+    "assemble_knn_shard",
+    "assemble_range_shard",
+]
+
+
+@dataclass
+class BatchQueryResult:
+    """Answer to one query of a batch.
+
+    ``ids``/``distances`` are sorted ascending by distance, exactly as
+    the single-query search APIs return them; ``stats`` records the
+    logical work this query caused.  The degraded-mode fields mirror
+    :class:`~repro.core.search.NNResult`: ``certain`` flags which
+    results are exact, ``intervals`` carries the ``(mindist, maxdist)``
+    bound of each uncertain result, and ``lost_pages`` reports
+    second-level pages this query could not read at all.
+    """
+
+    ids: np.ndarray
+    distances: np.ndarray
+    stats: QueryStats
+    certain: np.ndarray | None = None
+    intervals: dict[int, tuple[float, float]] | None = None
+    lost_pages: tuple = ()
+    degraded: bool = False
+
+
+def _freeze(value, arena):
+    return arena.put(value) if isinstance(value, np.ndarray) else value
+
+
+def _freeze_pair(pair, arena):
+    return (_freeze(pair[0], arena), _freeze(pair[1], arena))
+
+
+def _resolve_pair(pair):
+    return (resolve(pair[0]), resolve(pair[1]))
+
+
+@dataclass
+class PageTable:
+    """Decoded views of a batch's candidate pages, as plain arrays.
+
+    One entry per loaded page: ``exact`` maps pages stored at full
+    resolution to their ``(points, ids)`` arrays, ``bounds`` maps
+    quantized pages to their per-point cell ``(lower, upper)`` boxes,
+    and ``part_ids`` carries the point ids of quantized pages (needed
+    only for interval fallbacks of unreadable records).  Built by the
+    engine from the per-batch decode cache *after* all simulated I/O
+    has been charged; kernels only ever read it.
+    """
+
+    exact: dict[int, tuple]
+    bounds: dict[int, tuple]
+    part_ids: dict[int, object]
+
+    def frozen(self, arena) -> "PageTable":
+        """A copy whose arrays live in ``arena`` (ships as refs)."""
+        return PageTable(
+            exact={
+                p: _freeze_pair(v, arena) for p, v in self.exact.items()
+            },
+            bounds={
+                p: _freeze_pair(v, arena) for p, v in self.bounds.items()
+            },
+            part_ids={
+                p: _freeze(v, arena) for p, v in self.part_ids.items()
+            },
+        )
+
+    def resolved(self) -> "PageTable":
+        """A copy with every :class:`ArrayRef` materialized as a view."""
+        return PageTable(
+            exact={p: _resolve_pair(v) for p, v in self.exact.items()},
+            bounds={p: _resolve_pair(v) for p, v in self.bounds.items()},
+            part_ids={p: resolve(v) for p, v in self.part_ids.items()},
+        )
+
+
+@dataclass
+class KnnPlanTask:
+    """Inputs of the kNN candidate-bounding phase (phase 1)."""
+
+    queries: object  # (q, d) array or ArrayRef
+    k: int
+    cand_mask: object  # (q, pages) bool array or ArrayRef
+    lost: frozenset  # pages the coordinator could not read
+    metric: object  # repro.geometry.metrics.Metric (stateless)
+    table: PageTable
+
+    def frozen(self, arena) -> "KnnPlanTask":
+        return replace(
+            self,
+            queries=_freeze(self.queries, arena),
+            cand_mask=_freeze(self.cand_mask, arena),
+            table=self.table.frozen(arena),
+        )
+
+    def resolved(self) -> "KnnPlanTask":
+        return replace(
+            self,
+            queries=resolve(self.queries),
+            cand_mask=resolve(self.cand_mask),
+            table=self.table.resolved(),
+        )
+
+
+@dataclass
+class KnnAssembleTask:
+    """Inputs of the kNN result-assembly phase (phase 3)."""
+
+    queries: object
+    k: int
+    metric: object
+    table: PageTable
+    plans: list  # phase-1 output, one dict per query
+    points: dict  # (page, local) -> (coords, id); fetched records
+    counts: object  # per-page point counts (LostPage reporting)
+    dmin: object  # (q, pages) directory mindist matrix
+    dmax: object  # (q, pages) directory maxdist matrix
+
+    def frozen(self, arena) -> "KnnAssembleTask":
+        return replace(
+            self,
+            queries=_freeze(self.queries, arena),
+            table=self.table.frozen(arena),
+            counts=_freeze(self.counts, arena),
+            dmin=_freeze(self.dmin, arena),
+            dmax=_freeze(self.dmax, arena),
+        )
+
+    def resolved(self) -> "KnnAssembleTask":
+        return replace(
+            self,
+            queries=resolve(self.queries),
+            table=self.table.resolved(),
+            counts=resolve(self.counts),
+            dmin=resolve(self.dmin),
+            dmax=resolve(self.dmax),
+        )
+
+
+@dataclass
+class RangePlanTask:
+    """Inputs of the range candidate-classification phase."""
+
+    queries: object
+    radii: object  # (q,) array or ArrayRef
+    cand_mask: object
+    lost: frozenset
+    metric: object
+    table: PageTable
+
+    def frozen(self, arena) -> "RangePlanTask":
+        return replace(
+            self,
+            queries=_freeze(self.queries, arena),
+            radii=_freeze(self.radii, arena),
+            cand_mask=_freeze(self.cand_mask, arena),
+            table=self.table.frozen(arena),
+        )
+
+    def resolved(self) -> "RangePlanTask":
+        return replace(
+            self,
+            queries=resolve(self.queries),
+            radii=resolve(self.radii),
+            cand_mask=resolve(self.cand_mask),
+            table=self.table.resolved(),
+        )
+
+
+@dataclass
+class RangeAssembleTask:
+    """Inputs of the range result-assembly phase."""
+
+    queries: object
+    radii: object
+    metric: object
+    table: PageTable
+    plans: list
+    points: dict
+    counts: object
+    dmin: object
+
+    def frozen(self, arena) -> "RangeAssembleTask":
+        return replace(
+            self,
+            queries=_freeze(self.queries, arena),
+            radii=_freeze(self.radii, arena),
+            table=self.table.frozen(arena),
+            counts=_freeze(self.counts, arena),
+            dmin=_freeze(self.dmin, arena),
+        )
+
+    def resolved(self) -> "RangeAssembleTask":
+        return replace(
+            self,
+            queries=resolve(self.queries),
+            radii=resolve(self.radii),
+            table=self.table.resolved(),
+            counts=resolve(self.counts),
+            dmin=resolve(self.dmin),
+        )
+
+
+# ----------------------------------------------------------------------
+# Shared pure helpers
+# ----------------------------------------------------------------------
+def _candidates(cand_row, lost_set):
+    """Split one query's candidate pages into (readable, lost).
+
+    Matches the engine's historical branch structure exactly: with no
+    lost pages the flatnonzero array passes through untouched.
+    """
+    cand = np.flatnonzero(cand_row)
+    if lost_set:
+        lost = [p for p in cand.tolist() if p in lost_set]
+        cand = np.array(
+            [p for p in cand.tolist() if p not in lost_set],
+            dtype=np.int64,
+        )
+    else:
+        lost = []
+    return cand, lost
+
+
+def plan_knn_query(query, k, pages, table, metric) -> dict:
+    """Bound every candidate point of one query; pick refinements."""
+    exact_dists: list[np.ndarray] = []
+    exact_ids: list[np.ndarray] = []
+    quant_lowers: list[np.ndarray] = []
+    quant_keys: list[tuple[int, int]] = []
+    uppers: list[np.ndarray] = []
+    candidate_points = 0
+    for page in pages.tolist():
+        exact = table.exact.get(page)
+        if exact is not None:
+            points, ids = exact
+            dists = metric.distances(query, points)
+            candidate_points += dists.size
+            exact_dists.append(dists)
+            exact_ids.append(ids)
+            uppers.append(dists)
+            continue
+        lo, up = table.bounds[page]
+        lower_b = mindist_to_boxes(query, lo, up, metric)
+        upper_b = maxdist_to_boxes(query, lo, up, metric)
+        candidate_points += lower_b.size
+        quant_lowers.append(lower_b)
+        quant_keys.extend(
+            (page, local) for local in range(lower_b.size)
+        )
+        uppers.append(upper_b)
+    all_uppers = (
+        np.concatenate(uppers) if uppers else np.empty(0)
+    )
+    if all_uppers.size >= k:
+        tau = np.partition(all_uppers, k - 1)[k - 1]
+    else:
+        tau = np.inf
+    refine: list[tuple[int, int]] = []
+    if quant_lowers:
+        lowers_cat = np.concatenate(quant_lowers)
+        for idx in np.flatnonzero(lowers_cat <= tau).tolist():
+            refine.append(quant_keys[idx])
+    return {
+        "exact_dists": (
+            np.concatenate(exact_dists) if exact_dists else np.empty(0)
+        ),
+        "exact_ids": (
+            np.concatenate(exact_ids)
+            if exact_ids
+            else np.empty(0, dtype=np.int64)
+        ),
+        "refine": refine,
+        "candidate_points": candidate_points,
+    }
+
+
+def plan_range_query(query, radius, pages, table, metric) -> dict:
+    """Classify one query's candidate points for a range search."""
+    exact_ids: list[np.ndarray] = []
+    exact_dists: list[np.ndarray] = []
+    refine: list[tuple[int, int]] = []
+    candidate_points = 0
+    for page in pages.tolist():
+        exact = table.exact.get(page)
+        if exact is not None:
+            points, ids = exact
+            dists = metric.distances(query, points)
+            candidate_points += dists.size
+            inside = dists <= radius
+            exact_ids.append(ids[inside].astype(np.int64, copy=False))
+            exact_dists.append(
+                dists[inside].astype(np.float64, copy=False)
+            )
+            continue
+        lo, up = table.bounds[page]
+        lower_b = mindist_to_boxes(query, lo, up, metric)
+        candidate_points += lower_b.size
+        refine.extend(
+            (page, int(local))
+            for local in np.flatnonzero(lower_b <= radius)
+        )
+    return {
+        "exact_ids": (
+            np.concatenate(exact_ids)
+            if exact_ids
+            else np.empty(0, dtype=np.int64)
+        ),
+        "exact_dists": (
+            np.concatenate(exact_dists)
+            if exact_dists
+            else np.empty(0)
+        ),
+        "refine": refine,
+        "candidate_points": candidate_points,
+    }
+
+
+def refined_distances(query, refine, points, metric) -> dict:
+    """Exact distances of one query's available refinements.
+
+    One vectorized ``metric.distances`` call over the fetched records
+    (bitwise identical to per-point ``metric.distance``: the reduction
+    runs over the same axis in the same order).
+    """
+    avail = [key for key in refine if key in points]
+    if not avail:
+        return {}
+    coords = np.array([points[key][0] for key in avail])
+    dists = metric.distances(query, coords)
+    return {key: float(d) for key, d in zip(avail, dists)}
+
+
+def interval_for(query, key, table, metric) -> tuple[int, float, float]:
+    """A point's cell interval (its record was unreadable).
+
+    Pure: returns ``(id, mindist, maxdist)`` -- the interval provably
+    contains the exact distance, and ``maxdist`` is a sound
+    conservative ranking distance.  Fault-context counters and registry
+    instruments are applied later, on the coordinator, in query order.
+    """
+    page, local = key
+    lo_box, up_box = table.bounds[page]
+    lo = float(
+        mindist_to_boxes(
+            query, lo_box[local : local + 1],
+            up_box[local : local + 1], metric,
+        )[0]
+    )
+    hi = float(
+        maxdist_to_boxes(
+            query, lo_box[local : local + 1],
+            up_box[local : local + 1], metric,
+        )[0]
+    )
+    return int(table.part_ids[page][local]), lo, hi
+
+
+def assemble_result(
+    ids, dists, intervals, lost_records, stats
+) -> BatchQueryResult:
+    """Build one BatchQueryResult, attaching degraded-mode fields.
+
+    Pure (safe in workers): shared-state side effects happen on the
+    coordinator, in query order.
+    """
+    degraded = bool(intervals or lost_records)
+    certain = None
+    result_intervals = None
+    if degraded:
+        certain = certain_mask(ids, intervals)
+        result_intervals = {
+            pid: intervals[pid]
+            for pid in ids.tolist()
+            if pid in intervals
+        }
+    return BatchQueryResult(
+        ids=ids,
+        distances=dists,
+        stats=stats,
+        certain=certain,
+        intervals=result_intervals,
+        lost_pages=lost_records,
+        degraded=degraded,
+    )
+
+
+# ----------------------------------------------------------------------
+# Shard entry points (what the worker pool runs)
+# ----------------------------------------------------------------------
+def plan_knn_shard(task: KnnPlanTask, indices, _ledger) -> list[dict]:
+    """Phase 1 (pure): per-query point-level bounds + refinement picks."""
+    task = task.resolved()
+    out = []
+    for i in indices:
+        cand, lost = _candidates(task.cand_mask[i], task.lost)
+        plan = plan_knn_query(
+            task.queries[i], task.k, cand, task.table, task.metric
+        )
+        plan["lost"] = lost
+        plan["candidate_pages"] = int(np.count_nonzero(task.cand_mask[i]))
+        out.append(plan)
+    return out
+
+
+def plan_range_shard(task: RangePlanTask, indices, _ledger) -> list[dict]:
+    """Phase 1 (pure): per-query candidate classification."""
+    task = task.resolved()
+    out = []
+    for i in indices:
+        cand, lost = _candidates(task.cand_mask[i], task.lost)
+        plan = plan_range_query(
+            task.queries[i],
+            float(task.radii[i]),
+            cand,
+            task.table,
+            task.metric,
+        )
+        plan["lost"] = lost
+        plan["candidate_pages"] = int(np.count_nonzero(task.cand_mask[i]))
+        out.append(plan)
+    return out
+
+
+def assemble_knn_shard(task: KnnAssembleTask, indices, _ledger) -> list:
+    """Phase 3 (pure): per-query kNN result assembly.
+
+    Returns ``(result, n_intervals)`` pairs; the coordinator applies
+    the degraded-mode side effects in query order afterwards.
+    """
+    task = task.resolved()
+    out = []
+    for i in indices:
+        plan = task.plans[i]
+        best = KBest(task.k)
+        intervals: dict[int, tuple[float, float]] = {}
+        best.offer_many(plan["exact_dists"], plan["exact_ids"])
+        dist_of = refined_distances(
+            task.queries[i], plan["refine"], task.points, task.metric
+        )
+        for key in plan["refine"]:
+            if key in dist_of:
+                best.offer(dist_of[key], task.points[key][1])
+            else:
+                pid, lo, hi = interval_for(
+                    task.queries[i], key, task.table, task.metric
+                )
+                intervals[pid] = (lo, hi)
+                best.offer(hi, pid)
+        ids, dists = best.sorted_results()
+        lost_records = tuple(
+            LostPage(
+                page=int(p),
+                n_points=int(task.counts[p]),
+                mindist=float(task.dmin[i, p]),
+                maxdist=float(task.dmax[i, p]),
+            )
+            for p in plan["lost"]
+        )
+        result = assemble_result(
+            ids, dists, intervals, lost_records,
+            QueryStats(
+                candidate_pages=plan["candidate_pages"],
+                candidate_points=plan["candidate_points"],
+                refinements=len(plan["refine"]),
+            ),
+        )
+        out.append((result, len(intervals)))
+    return out
+
+
+def assemble_range_shard(task: RangeAssembleTask, indices, _ledger) -> list:
+    """Phase 3 (pure): per-query range result assembly."""
+    task = task.resolved()
+    out = []
+    for i in indices:
+        plan = task.plans[i]
+        intervals: dict[int, tuple[float, float]] = {}
+        ref_ids: list[int] = []
+        ref_dists: list[float] = []
+        dist_of = refined_distances(
+            task.queries[i], plan["refine"], task.points, task.metric
+        )
+        radius = float(task.radii[i])
+        for key in plan["refine"]:
+            if key in dist_of:
+                dist = dist_of[key]
+                if dist <= radius:
+                    ref_ids.append(task.points[key][1])
+                    ref_dists.append(dist)
+            else:
+                # Unreadable record whose cell overlaps the ball:
+                # include it conservatively at its cell maxdist,
+                # flagged uncertain.
+                pid, lo, hi = interval_for(
+                    task.queries[i], key, task.table, task.metric
+                )
+                intervals[pid] = (lo, hi)
+                ref_ids.append(pid)
+                ref_dists.append(hi)
+        found_ids = np.concatenate(
+            [plan["exact_ids"], np.array(ref_ids, dtype=np.int64)]
+        )
+        found_dists = np.concatenate(
+            [plan["exact_dists"], np.array(ref_dists, dtype=np.float64)]
+        )
+        order = np.argsort(found_dists, kind="stable")
+        # A lost page may hold any number of in-range points; its
+        # contribution cannot be bounded.
+        lost_records = tuple(
+            LostPage(
+                page=int(p),
+                n_points=int(task.counts[p]),
+                mindist=float(task.dmin[i, p]),
+                maxdist=float("inf"),
+            )
+            for p in plan["lost"]
+        )
+        result = assemble_result(
+            found_ids[order],
+            found_dists[order],
+            intervals,
+            lost_records,
+            QueryStats(
+                candidate_pages=plan["candidate_pages"],
+                candidate_points=plan["candidate_points"],
+                refinements=len(plan["refine"]),
+            ),
+        )
+        out.append((result, len(intervals)))
+    return out

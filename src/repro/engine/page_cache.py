@@ -134,22 +134,34 @@ class DecodedPageCache:
         """Insert (or refresh) the decoded view of ``page``.
 
         Records the block's current CRC sidecar as the entry's validity
-        token and evicts LRU entries until the budget is respected.
+        token and evicts LRU entries until the budget is respected.  An
+        entry larger than the whole budget is rejected up front -- it
+        could never be served anyway, and admitting it would flush
+        every resident entry before evicting itself.
+
+        The sidecar is read exactly once per put: reading it separately
+        for the bounds-reuse check and the entry token would let a
+        concurrent rewrite land between the reads, permanently pairing
+        the *old* page's bounds with the *new* page's CRC -- a stale
+        entry that self-validates forever.
         """
         with self._lock:
+            crc = tree._quant_file.block_crc(page)
             old = self._entries.pop(page, None)
             if old is not None:
                 self.current_bytes -= old.nbytes
-                if bounds is None and old.crc == tree._quant_file.block_crc(
-                    page
-                ):
+                if bounds is None and old.crc == crc:
                     bounds = old.bounds  # keep already-derived bounds
             entry = _Entry(
-                crc=tree._quant_file.block_crc(page),
+                crc=crc,
                 handle=handle,
                 bounds=bounds,
                 nbytes=_entry_bytes(handle, bounds),
             )
+            if entry.nbytes > self.budget_bytes:
+                if REGISTRY.enabled:
+                    DECODED_CACHE_BYTES.set(self.current_bytes)
+                return
             self._entries[page] = entry
             self.current_bytes += entry.nbytes
             self._evict_over_budget()
@@ -168,7 +180,16 @@ class DecodedPageCache:
             entry.nbytes += grown
             self.current_bytes += grown
             self._entries.move_to_end(page)
-            self._evict_over_budget()
+            if entry.nbytes > self.budget_bytes:
+                # Grown past the whole budget: drop this entry alone
+                # rather than flushing every resident ahead of it.
+                del self._entries[page]
+                self.current_bytes -= entry.nbytes
+                self.evictions += 1
+                if REGISTRY.enabled:
+                    DECODED_CACHE_EVICTIONS.inc()
+            else:
+                self._evict_over_budget()
             if REGISTRY.enabled:
                 DECODED_CACHE_BYTES.set(self.current_bytes)
 

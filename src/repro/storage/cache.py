@@ -292,8 +292,15 @@ class CachedBlockFile:
             ):
                 self._file.read_run(start, count, wanted=wanted)
                 self.pool.record(misses=wanted)
+                # Admit every transferred block, gap over-reads
+                # included -- they are in memory either way, and
+                # read_run admits its whole span, so admitting only the
+                # requested subset here would make residency (and every
+                # later hit/miss) depend on which read path fetched the
+                # block.  Only the ledger charge stays per-request
+                # (``wanted``).  Quarantined blocks are never admitted.
                 for i in range(start, start + count):
-                    if i in missing_set:
+                    if i not in avoid:
                         self.pool.admit(base + i)
             for i in indices:
                 if i not in missing_set:

@@ -2,10 +2,11 @@
 
 The worker pool shards only pure CPU phases; every simulated-I/O charge
 and every shared-state side effect stays on the coordinator.  These
-tests pin the consequence: for any worker count, a batch returns the
-same results, charges the same I/O ledger, and lands the same values in
-every observability counter -- including under read-path fault
-injection, where degraded results and session counters must also agree.
+tests pin the consequence: for any worker count and either executor
+backend (threads or processes), a batch returns the same results,
+charges the same I/O ledger, and lands the same values in every
+observability counter -- including under read-path fault injection,
+where degraded results and session counters must also agree.
 """
 
 import numpy as np
@@ -55,10 +56,40 @@ def ledger_tuple(io: IOStats) -> tuple:
     return (io.seeks, io.blocks_read, io.blocks_overread, io.elapsed)
 
 
+# Module-level worker functions: picklable, so they run on either
+# backend (closures and lambdas are thread-only).
+def _square_shard(shard, ledger):
+    return [x * x for x in shard]
+
+
+def _scaled_shard(task, shard, ledger):
+    return [task["scale"] * x for x in shard]
+
+
+def _charge_shard(shard, ledger):
+    for x in shard:
+        ledger.seeks += 1
+        ledger.blocks_read += x
+        ledger.elapsed += 0.5
+    return list(shard)
+
+
+def _boom_every_shard(shard, ledger):
+    raise ValueError(f"shard at {shard[0]} failed")
+
+
 class TestWorkerPool:
     def test_workers_must_be_positive(self):
         with pytest.raises(SearchError):
             WorkerPool(0)
+
+    def test_backend_validated_and_auto_resolved(self):
+        with pytest.raises(SearchError):
+            WorkerPool(2, backend="fiber")
+        assert WorkerPool(1).backend == "thread"
+        assert WorkerPool(4).backend == "process"
+        assert WorkerPool(4, backend="thread").backend == "thread"
+        assert "backend" in repr(WorkerPool(4))
 
     def test_sharding_is_contiguous_balanced_deterministic(self):
         pool = WorkerPool(4)
@@ -74,29 +105,33 @@ class TestWorkerPool:
         assert shards == [[1], [2], [3]]
 
     @pytest.mark.parametrize("workers", [1, 2, 4])
-    def test_map_sharded_preserves_item_order(self, workers):
-        pool = WorkerPool(workers)
-        results, merged = pool.map_sharded(
-            lambda shard, led: [x * x for x in shard], range(23)
-        )
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_map_sharded_preserves_item_order(self, workers, backend):
+        pool = WorkerPool(workers, backend=backend)
+        results, merged = pool.map_sharded(_square_shard, range(23))
         assert results == [x * x for x in range(23)]
         assert ledger_tuple(merged) == (0, 0, 0, 0.0)
         pool.close()
 
-    def test_ledgers_merge_in_shard_order(self):
-        def charge(shard, ledger):
-            for x in shard:
-                ledger.seeks += 1
-                ledger.blocks_read += x
-                ledger.elapsed += 0.5
-            return list(shard)
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_task_payload_shared_by_every_shard(self, backend):
+        pool = WorkerPool(3, backend=backend)
+        results, _ = pool.map_sharded(
+            _scaled_shard, range(10), task={"scale": 7}
+        )
+        assert results == [7 * x for x in range(10)]
+        pool.close()
 
-        serial = WorkerPool(1).map_sharded(charge, range(9))
-        threaded = WorkerPool(3).map_sharded(charge, range(9))
-        assert serial[0] == threaded[0]
-        assert ledger_tuple(serial[1]) == ledger_tuple(threaded[1])
-        assert threaded[1].seeks == 9
-        assert threaded[1].blocks_read == sum(range(9))
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_ledgers_merge_in_shard_order(self, backend):
+        serial = WorkerPool(1).map_sharded(_charge_shard, range(9))
+        pool = WorkerPool(3, backend=backend)
+        parallel = pool.map_sharded(_charge_shard, range(9))
+        pool.close()
+        assert serial[0] == parallel[0]
+        assert ledger_tuple(serial[1]) == ledger_tuple(parallel[1])
+        assert parallel[1].seeks == 9
+        assert parallel[1].blocks_read == sum(range(9))
 
     def test_worker_exception_propagates(self):
         def boom(shard, ledger):
@@ -105,15 +140,46 @@ class TestWorkerPool:
             return list(shard)
 
         with pytest.raises(ValueError, match="shard failure"):
-            WorkerPool(3).map_sharded(boom, range(9))
+            WorkerPool(3, backend="thread").map_sharded(boom, range(9))
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_concurrent_failures_are_aggregated(self, backend):
+        """Satellite regression: when several shards fail, only the
+        first exception used to surface -- the other shards' failures
+        vanished.  Now they ride along as ``__notes__`` entries."""
+        pool = WorkerPool(2, backend=backend)
+        with pytest.raises(ValueError, match="shard at 0 failed") as info:
+            pool.map_sharded(_boom_every_shard, range(4))
+        pool.close()
+        notes = getattr(info.value, "__notes__", [])
+        assert any(
+            "shard 1 also failed" in note and "shard at 2 failed" in note
+            for note in notes
+        )
+
+    def test_unpicklable_task_raises_search_error(self):
+        pool = WorkerPool(2, backend="process")
+        with pytest.raises(SearchError, match="picklable"):
+            pool.map_sharded(lambda s, led: list(s), range(8))
+        pool.close()
 
     def test_close_is_idempotent_and_reusable(self):
-        pool = WorkerPool(2)
+        pool = WorkerPool(2, backend="thread")
         pool.map_sharded(lambda s, led: list(s), range(4))
         pool.close()
         pool.close()
         results, _ = pool.map_sharded(lambda s, led: list(s), range(4))
         assert results == [0, 1, 2, 3]
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_single_shard_runs_inline(self, backend):
+        # One shard never pays an executor hop -- lambdas work even on
+        # the process backend because nothing crosses a process.
+        pool = WorkerPool(4, backend=backend)
+        results, _ = pool.map_sharded(lambda s, led: list(s), [42])
+        assert results == [42]
+        assert pool._executor is None
+        pool.close()
 
 
 class TestSerialParallelEquivalence:
@@ -241,6 +307,82 @@ class TestChaosEquivalence:
         assert live_registry.collect() == serial_counters
 
 
+class TestBackendSweep:
+    """Property-style sweep of the determinism contract.
+
+    For workers in {1, 2, 4} x backend in {thread, process} x fault
+    injection {off, on}: knn and range batch results, the IOStats
+    ledger, the fault-context session counters, and every observability
+    counter must be bit-identical to the serial (workers=1) run.
+    """
+
+    GRID = [
+        (1, "thread"),
+        (2, "thread"),
+        (4, "thread"),
+        (2, "process"),
+        (4, "process"),
+    ]
+
+    def run_once(self, data, queries, workers, backend, faults, registry):
+        tree = build_tree(data)
+        ctx = None
+        if faults:
+            inj = ReadFaultInjector()
+            inj.fail_always(tree._quant_file.extent_start + 1)
+            inj.fail_always(tree._exact_file.extent_start)
+            tree.disk.install_fault_injector(inj)
+            ctx = tree.use_fault_tolerance()
+        with QueryEngine(tree, workers=workers, backend=backend) as engine:
+            knn = engine.knn_batch(queries, k=6)
+            rng_res = engine.range_batch(queries, 0.35)
+        counters = registry.collect()
+        registry.reset()
+        session = (
+            (ctx.retries, ctx.quarantined, ctx.degraded_results,
+             ctx.lost_pages)
+            if ctx is not None
+            else None
+        )
+        return knn, rng_res, counters, session
+
+    @staticmethod
+    def assert_batches_identical(base, got):
+        assert len(base) == len(got)
+        for b, g in zip(base, got):
+            assert np.array_equal(b.ids, g.ids)
+            assert np.array_equal(b.distances, g.distances)
+            assert b.stats == g.stats
+            assert b.degraded == g.degraded
+            assert b.intervals == g.intervals
+            assert b.lost_pages == g.lost_pages
+            if b.certain is None:
+                assert g.certain is None
+            else:
+                assert np.array_equal(b.certain, g.certain)
+        assert ledger_tuple(base.stats.io) == ledger_tuple(got.stats.io)
+        assert base.stats.pages_read == got.stats.pages_read
+        assert base.stats.refinements == got.stats.refinements
+        assert base.stats.degraded_results == got.stats.degraded_results
+        assert base.stats.lost_pages == got.stats.lost_pages
+
+    @pytest.mark.parametrize("faults", [False, True])
+    def test_sweep_is_bit_identical_to_serial(
+        self, data, queries, faults, live_registry
+    ):
+        base_knn, base_rng, base_counters, base_session = self.run_once(
+            data, queries, 1, "thread", faults, live_registry
+        )
+        for workers, backend in self.GRID[1:]:
+            knn, rng_res, counters, session = self.run_once(
+                data, queries, workers, backend, faults, live_registry
+            )
+            self.assert_batches_identical(base_knn, knn)
+            self.assert_batches_identical(base_rng, rng_res)
+            assert session == base_session, (workers, backend)
+            assert counters == base_counters, (workers, backend)
+
+
 class TestDecodedCacheInEngine:
     def test_warm_batch_skips_page_transfers(self, data, queries):
         engine = QueryEngine(build_tree(data), workers=2, decode_cache=1 << 24)
@@ -290,9 +432,12 @@ class TestDecodedCacheInEngine:
         tree = build_tree(data)
         engine = tree.query_engine(pool=64, workers=3, decode_cache=1 << 20)
         assert engine.workers == 3
+        assert engine.backend == "process"  # auto resolves for workers>1
         assert isinstance(engine.pool, BufferPool)
         assert isinstance(engine.decode_cache, DecodedPageCache)
         assert tree.decoded_cache is engine.decode_cache
+        threaded = tree.query_engine(workers=2, backend="thread")
+        assert threaded.backend == "thread"
 
     def test_invalid_workers_rejected(self, data):
         with pytest.raises(SearchError):

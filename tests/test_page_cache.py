@@ -101,7 +101,40 @@ class TestLRUBudget:
         warm(tree, rng.random((2, 8)))
         assert len(cache) == 0
         assert cache.current_bytes == 0
-        assert cache.evictions > 0
+        # Rejected up front: an entry that can never fit is not
+        # admitted, so nothing is ever evicted on its behalf.
+        assert cache.evictions == 0
+
+    def test_oversized_put_leaves_residents_alone(self, tree, rng):
+        """Satellite regression: admitting an entry bigger than the
+        whole budget used to evict *every* resident entry before the
+        newcomer evicted itself -- one oversized page flushed the
+        cache.  It must be rejected without touching residents."""
+        cache = tree.use_decoded_cache(1 << 30)
+        warm(tree, rng.random((4, 8)))
+        assert len(cache) > 0
+        resident_before = sorted(cache._entries)
+        bytes_before = cache.current_bytes
+        evictions_before = cache.evictions
+        page = resident_before[0]
+        big = np.zeros(cache.budget_bytes + 1, dtype=np.uint8)
+
+        class _Fat:
+            codes = big
+            points = None
+            ids = None
+
+        other = next(p for p in resident_before if p != page) if len(
+            resident_before
+        ) > 1 else None
+        cache.put(tree, page, _Fat())
+        # The oversized refresh dropped the (stale) old entry for that
+        # page but no resident was evicted to make room.
+        assert cache.evictions == evictions_before
+        assert cache.current_bytes <= bytes_before
+        assert page not in cache
+        if other is not None:
+            assert other in cache
 
     def test_budget_always_respected(self, tree, rng):
         cache = tree.use_decoded_cache(64 << 10)
@@ -162,6 +195,62 @@ class TestInvalidation:
         cache.clear()
         assert len(cache) == 0 and cache.current_bytes == 0
         assert cache.invalidations >= n
+
+
+class TestCrcReadDiscipline:
+    """put() must read the CRC sidecar exactly once per call.
+
+    Satellite regression: it used to read ``block_crc`` twice -- once
+    for the bounds-reuse check against the old entry and once for the
+    new entry's validity token.  An in-place rewrite landing between
+    the two reads paired the *old* page's derived bounds with the *new*
+    page's CRC, producing a stale entry that self-validates forever.
+    """
+
+    class _Handle:
+        codes = np.zeros(64)
+        points = None
+        ids = None
+
+    class _MutatingQuantFile:
+        """A sidecar that changes on every read -- the worst-case
+        concurrent writer, compressed into one stub."""
+
+        def __init__(self):
+            self.calls = 0
+
+        def block_crc(self, page):
+            self.calls += 1
+            return 1000 + self.calls
+
+    class _Tree:
+        pass
+
+    def make(self):
+        tree = self._Tree()
+        tree._quant_file = self._MutatingQuantFile()
+        return DecodedPageCache(1 << 20), tree
+
+    def test_put_reads_sidecar_once(self):
+        cache, tree = self.make()
+        bounds = (np.zeros((4, 8)), np.ones((4, 8)))
+        cache.put(tree, 3, self._Handle(), bounds=bounds)
+        assert tree._quant_file.calls == 1
+        # A refresh exercises the bounds-reuse branch as well; it must
+        # still be one read, shared by the check and the token.
+        cache.put(tree, 3, self._Handle())
+        assert tree._quant_file.calls == 2
+
+    def test_refresh_token_matches_compared_value(self):
+        cache, tree = self.make()
+        bounds = (np.zeros((4, 8)), np.ones((4, 8)))
+        cache.put(tree, 3, self._Handle(), bounds=bounds)  # crc 1001
+        cache.put(tree, 3, self._Handle())  # single read: crc 1002
+        entry = cache._entries[3]
+        assert entry.crc == 1002
+        # 1002 != 1001, so the old bounds must NOT have been carried
+        # over -- the content changed under the refresh.
+        assert entry.bounds is None
 
 
 class TestQuarantineInterplay:

@@ -264,6 +264,56 @@ class TestBatchedPartialFailure:
         assert disk.stats.blocks_read - before == 2
 
 
+class TestAdmissionUnification:
+    """Every transferred block is admitted, whichever path fetched it.
+
+    Satellite regression: ``read_batched`` used to admit only the
+    *requested* missing blocks, silently dropping the gap blocks its
+    plan over-read -- while ``read_run`` admits its whole span.  The
+    same physical transfer then left different pool contents depending
+    on which read path issued it, so later hit/miss ledgers diverged on
+    internal routing rather than on access pattern.
+    """
+
+    def test_gap_overreads_are_admitted(self, cached, disk):
+        # The overread window (10 blocks) merges [2, 4] into one run
+        # 2..4 with wanted=2: block 3 is transferred as a gap.
+        cached.read_batched([2, 4])
+        assert (cached.pool.hits, cached.pool.misses) == (0, 2)
+        before = disk.stats.blocks_read
+        payload = cached.read_block(3)
+        assert payload == bytes([3]) * 8
+        # Transferred means resident: no second physical read.
+        assert disk.stats.blocks_read == before
+        assert (cached.pool.hits, cached.pool.misses) == (1, 2)
+
+    def test_batched_and_run_leave_identical_residency(self):
+        def residency(use_batched):
+            disk = SimulatedDisk(
+                DiskModel(t_seek=0.01, t_xfer=0.001, block_size=64)
+            )
+            f = BlockFile(disk)
+            for i in range(20):
+                f.append_block(bytes([i]) * 8)
+            f.seal()
+            c = CachedBlockFile(f, BufferPool(8))
+            if use_batched:
+                c.read_batched([2, 4])  # one run 2..4, wanted=2
+            else:
+                c.read_run(2, 3)  # the same physical span
+            return [c.pool.peek(disk_address(c, i)) for i in range(7)]
+
+        assert residency(True) == residency(False)
+
+    def test_avoided_blocks_never_admitted_even_when_spanned(
+        self, cached, disk
+    ):
+        # Defensive pin on the unified admit loop: quarantined blocks
+        # must stay out of the pool no matter how the plan shapes runs.
+        cached.read_batched([3, 4, 5], avoid={4})
+        assert not cached.pool.peek(disk_address(cached, 4))
+
+
 class TestGetattrGuard:
     def test_missing_attribute_raises_cleanly(self, cached):
         with pytest.raises(AttributeError, match="no_such_attr"):
