@@ -93,6 +93,8 @@ def _random_queries(tree, count: int, seed: int) -> np.ndarray:
 def _cmd_batch(args: argparse.Namespace) -> int:
     tree = load_iqtree(args.index)
     queries = _random_queries(tree, args.random, args.seed)
+    if args.shards is not None:
+        return _batch_sharded(args, tree, queries)
     engine = tree.query_engine(
         pool=args.pool,
         workers=args.workers,
@@ -144,6 +146,64 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             f"sequential loop: {elapsed * 1e3:.2f} ms simulated, "
             f"{seeks} seeks ({speedup:.1f}x slower than batched)"
         )
+    return 0
+
+
+def _batch_sharded(args: argparse.Namespace, tree, queries) -> int:
+    """Run the batch scatter-gather through a ShardRouter."""
+    from repro.engine import ShardRouter
+
+    router = ShardRouter(
+        tree,
+        shards=args.shards,
+        workers=args.workers,
+        backend=args.backend,
+        pool=args.pool,
+        decode_cache=args.decode_cache,
+    )
+    for index in args.kill_shard or ():
+        if not 0 <= index < router.n_shards:
+            raise SystemExit(
+                f"--kill-shard index {index} out of range (router has "
+                f"{router.n_shards} shards; the count clamps to the "
+                f"page count)"
+            )
+        router.kill_shard(index)
+    if args.radius is not None:
+        result = router.range_batch(queries, args.radius)
+        kind = f"range r={args.radius}"
+    else:
+        result = router.knn_batch(queries, k=args.k)
+        kind = f"{args.k}-NN"
+    stats, routing = result.stats, result.routing
+    alive = sum(1 for s in router.shards if s.alive)
+    print(
+        f"sharded batch of {stats.n_queries} {kind} queries over "
+        f"{router.n_shards} shards ({alive} alive, "
+        f"{stats.workers} worker{'s' if stats.workers != 1 else ''}, "
+        f"{router.backend} backend): "
+        f"{stats.io.elapsed * 1e3:.2f} ms simulated "
+        f"({stats.mean_time * 1e3:.3f} ms/query), "
+        f"{stats.io.seeks} seeks, {stats.pages_read} pages, "
+        f"{stats.refinements} refinements"
+    )
+    mean_contacted = (
+        float(routing.contacted.mean()) if len(result) else 0.0
+    )
+    print(
+        f"routing: visit order {routing.visit_order}, "
+        f"{mean_contacted:.2f} shards contacted/query, "
+        f"{routing.skipped} shard visits pruned"
+        + (f", dead shards {list(routing.dead)}" if routing.dead else "")
+    )
+    degraded = sum(1 for r in result if r.degraded)
+    if degraded:
+        print(
+            f"degraded answers: {degraded}/{stats.n_queries} "
+            f"({stats.lost_pages} lost-page reports with global "
+            f"mindist/maxdist bounds)"
+        )
+    router.close()
     return 0
 
 
@@ -330,6 +390,89 @@ def _chaos_run(
     return problems, degraded, lost, counters
 
 
+def _chaos_sharded(args: argparse.Namespace, tree, queries, k) -> int:
+    """Shard-kill chaos: degraded answers must contain the truth.
+
+    Kills the requested shards of a ShardRouter, then verifies for
+    every query that (a) each true neighbor is either returned exactly
+    or covered by a reported lost page whose ``[mindist, maxdist]``
+    interval contains its true distance, (b) results flagged certain
+    carry exact distances, and (c) after reviving every shard the
+    answers match the pristine single-tree baseline bit-exactly.
+    Returns non-zero when any check fails.
+    """
+    from repro.engine import ShardRouter
+
+    kill = [int(s) for s in args.kill_shards.split(",") if s != ""]
+    baseline = tree.query_engine().knn_batch(queries, k=k)
+    router = ShardRouter(tree, shards=args.shards, workers=args.workers)
+    for index in kill:
+        if not 0 <= index < router.n_shards:
+            raise SystemExit(
+                f"--kill-shards index {index} out of range "
+                f"(router has {router.n_shards} shards)"
+            )
+        router.kill_shard(index)
+    degraded_run = router.knn_batch(queries, k=k)
+
+    problems: list[str] = []
+    metric = tree.metric
+    n_degraded = sum(1 for r in degraded_run if r.degraded)
+    for i, (base, got) in enumerate(zip(baseline, degraded_run)):
+        got_ids = set(got.ids.tolist())
+        for pid, dist in zip(base.ids.tolist(), base.distances.tolist()):
+            if pid in got_ids:
+                continue
+            page = router.page_of(pid)
+            covered = any(
+                lp.page == page
+                and lp.mindist - 1e-9 <= dist <= lp.maxdist + 1e-9
+                for lp in got.lost_pages
+            )
+            if not covered:
+                problems.append(
+                    f"query {i}: true neighbor {pid} (d={dist:.4f}, "
+                    f"page {page}) neither returned nor covered by a "
+                    f"lost-page bound"
+                )
+        if got.certain is not None:
+            for pos, pid in enumerate(got.ids.tolist()):
+                if not got.certain[pos]:
+                    continue
+                true_dist = metric.distance(queries[i], tree.points[pid])
+                if abs(got.distances[pos] - true_dist) > 1e-9:
+                    problems.append(
+                        f"query {i}: certain result {pid} reports a "
+                        f"wrong distance"
+                    )
+    if kill and not n_degraded:
+        problems.append("shard kill degraded no result")
+
+    for index in kill:
+        router.revive_shard(index)
+    revived = router.knn_batch(queries, k=k)
+    for i, (base, got) in enumerate(zip(baseline, revived)):
+        if base.ids.tolist() != got.ids.tolist() or not np.allclose(
+            base.distances, got.distances, atol=1e-12
+        ):
+            problems.append(
+                f"query {i}: revived router differs from baseline"
+            )
+    router.close()
+
+    verdict = "FAIL" if problems else "ok"
+    print(
+        f"  shard-kill {kill} / {args.shards} shards: {verdict}  "
+        f"[{n_degraded} degraded / "
+        f"{degraded_run.stats.lost_pages} lost-page reports, "
+        f"{degraded_run.routing.skipped} visits pruned]"
+    )
+    for problem in problems:
+        print(f"      !! {problem}")
+    print(f"chaos verdict: {'FAIL' if problems else 'PASS'}")
+    return 1 if problems else 0
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
     from repro.core.search import locate_address
     from repro.storage.faults import ReadFaultInjector, RetryPolicy
@@ -337,6 +480,12 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     tree = load_iqtree(args.index)
     queries = _random_queries(tree, args.random, args.seed)
     k = min(args.k, tree.n_points)
+    if args.shards is not None:
+        print(
+            f"chaos (sharded): {len(queries)} queries, k={k}, "
+            f"{args.shards} shards, killing {args.kill_shards or 'none'}"
+        )
+        return _chaos_sharded(args, tree, queries, k)
     kinds = [s for s in args.kinds.split(",") if s]
     levels = [s for s in args.levels.split(",") if s]
     for kind in kinds:
@@ -510,6 +659,22 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also run the same queries one by one and report the cost",
     )
+    batch.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="serve scatter-gather over this many shards (partitioned "
+        "from the first-level directory by MBR); --pool and "
+        "--decode-cache become per-shard budgets",
+    )
+    batch.add_argument(
+        "--kill-shard",
+        type=int,
+        action="append",
+        metavar="INDEX",
+        help="take a shard down before the batch (repeatable); its "
+        "queries degrade to lost-page bounds instead of failing",
+    )
     batch.set_defaults(func=_cmd_batch)
 
     info = sub.add_parser("info", help="describe a saved index")
@@ -601,6 +766,27 @@ def _build_parser() -> argparse.ArgumentParser:
         "--retries", type=int, default=3, help="retry budget per read"
     )
     chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="run the shard-kill matrix instead of block faults: "
+        "split into this many shards and verify degraded answers "
+        "contain the truth",
+    )
+    chaos.add_argument(
+        "--kill-shards",
+        default="0",
+        metavar="I,J,...",
+        help="comma-separated shard indices to kill (default: 0); "
+        "only used with --shards",
+    )
+    chaos.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker count of the sharded run (only with --shards)",
+    )
     chaos.set_defaults(func=_cmd_chaos)
     return parser
 

@@ -546,18 +546,40 @@ class IQTree:
         -- `replace_block` rewrites are caught by the per-block CRC
         sidecar, structural re-layouts clear the cache wholesale, and
         quarantined pages are bypassed (see ``docs/performance.md``).
+
+        Idempotent: re-attaching the already-attached cache is a no-op,
+        and swapping caches re-syncs the resident-bytes gauge to the
+        *new* cache, so repeated enable/disable cannot leave
+        ``iq_decoded_page_cache_resident_bytes`` reporting a detached
+        cache's stale byte count.
         """
         from repro.engine.page_cache import DecodedPageCache
+        from repro.obs.instruments import DECODED_CACHE_BYTES
 
         if isinstance(cache_or_budget, DecodedPageCache):
-            self._decoded_cache = cache_or_budget
+            cache = cache_or_budget
         else:
-            self._decoded_cache = DecodedPageCache(int(cache_or_budget))
-        return self._decoded_cache
+            cache = DecodedPageCache(int(cache_or_budget))
+        if cache is self._decoded_cache:
+            return cache
+        self._decoded_cache = cache
+        if REGISTRY.enabled:
+            DECODED_CACHE_BYTES.set(cache.current_bytes)
+        return cache
 
     def clear_decoded_cache(self) -> None:
-        """Detach the decoded-page cache: every read decodes again."""
+        """Detach the decoded-page cache: every read decodes again.
+
+        Resets the resident-bytes gauge so it does not keep reporting
+        the detached cache's last value.  Idempotent.
+        """
+        from repro.obs.instruments import DECODED_CACHE_BYTES
+
+        if self._decoded_cache is None:
+            return
         self._decoded_cache = None
+        if REGISTRY.enabled:
+            DECODED_CACHE_BYTES.set(0)
 
     @property
     def decoded_cache(self):

@@ -18,6 +18,12 @@ per-query phases themselves are the pure, picklable kernels of
 from repro.engine.concurrent import WorkerPool
 from repro.engine.engine import BatchQueryResult, BatchResult, QueryEngine
 from repro.engine.page_cache import DecodedPageCache
+from repro.engine.sharding import (
+    Shard,
+    ShardBatchTrace,
+    ShardedBatchResult,
+    ShardRouter,
+)
 from repro.engine.stats import BatchStats, QueryStats
 
 __all__ = [
@@ -28,4 +34,8 @@ __all__ = [
     "QueryStats",
     "DecodedPageCache",
     "WorkerPool",
+    "ShardRouter",
+    "Shard",
+    "ShardBatchTrace",
+    "ShardedBatchResult",
 ]

@@ -99,7 +99,33 @@ __all__ = [
     "QueryEngine",
     "BatchQueryResult",
     "BatchResult",
+    "guarantee_radii",
 ]
+
+
+def guarantee_radii(
+    dmax: np.ndarray, counts: np.ndarray, k: int
+) -> np.ndarray:
+    """Per-query radius guaranteed to contain at least k points.
+
+    For each query, pages are taken in ascending maxdist order until
+    their point counts cover ``k``; the last maxdist bounds the k-th
+    neighbor from above, so any page whose mindist exceeds it can be
+    pruned before any data page is read.  When fewer than ``k`` points
+    are live (deletions), nothing can be pruned and the radius is
+    infinite.  Shared by the engine (over one tree's directory) and the
+    shard router (over the global directory spanning every shard).
+    """
+    order = np.argsort(dmax, axis=1, kind="stable")
+    cum = np.cumsum(np.take(counts, order), axis=1)
+    covered = cum >= k
+    radii = np.full(dmax.shape[0], np.inf)
+    reached = covered.any(axis=1)
+    if np.any(reached):
+        pos = np.argmax(covered[reached], axis=1)
+        rows = np.flatnonzero(reached)
+        radii[rows] = dmax[rows, order[rows, pos]]
+    return radii
 
 
 @dataclass
@@ -147,6 +173,12 @@ class QueryEngine:
         Executor backend for ``workers > 1``: ``"process"`` (real
         multi-core scaling), ``"thread"``, or ``"auto"`` (default:
         process when parallel).  Results are bit-identical either way.
+    worker_pool:
+        An externally owned :class:`~repro.engine.concurrent.WorkerPool`
+        to execute on instead of creating one (the shard router shares
+        a single pool across every shard engine this way).  The caller
+        keeps ownership: :meth:`close` leaves a borrowed pool running.
+        Mutually exclusive with ``workers``/``backend``.
     """
 
     def __init__(
@@ -156,18 +188,36 @@ class QueryEngine:
         workers: int = 1,
         decode_cache=None,
         backend: str = "auto",
+        worker_pool: WorkerPool | None = None,
     ):
         self.tree = tree
         if pool is not None:
-            self.pool = tree.use_buffer_pool(pool)
-        else:
-            self.pool = tree._pool
+            tree.use_buffer_pool(pool)
         if decode_cache is not None:
-            self.decode_cache = tree.use_decoded_cache(decode_cache)
+            tree.use_decoded_cache(decode_cache)
+        if worker_pool is not None:
+            self._worker_pool = worker_pool
+            self._owns_workers = False
         else:
-            self.decode_cache = tree._decoded_cache
-        self._worker_pool = WorkerPool(workers, backend=backend)
+            self._worker_pool = WorkerPool(workers, backend=backend)
+            self._owns_workers = True
         self.workers = self._worker_pool.workers
+
+    @property
+    def pool(self) -> BufferPool | None:
+        """The buffer pool currently attached to the tree, or None.
+
+        Read live from the tree rather than captured at construction,
+        so a later ``tree.use_buffer_pool(...)`` swap cannot leave the
+        engine computing hit/miss deltas against a detached pool's
+        (stale, frozen) counters.
+        """
+        return self.tree._pool
+
+    @property
+    def decode_cache(self):
+        """The decoded-page cache currently attached to the tree."""
+        return self.tree._decoded_cache
 
     @property
     def backend(self) -> str:
@@ -178,8 +228,13 @@ class QueryEngine:
     # Lifecycle
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Shut the workers down (the engine stays usable)."""
-        self._worker_pool.close()
+        """Shut the workers down (the engine stays usable).
+
+        A borrowed worker pool (``worker_pool=`` at construction) is
+        left running; its owner closes it.
+        """
+        if self._owns_workers:
+            self._worker_pool.close()
 
     def __enter__(self) -> "QueryEngine":
         return self
@@ -201,7 +256,12 @@ class QueryEngine:
     # ------------------------------------------------------------------
     # kNN batches
     # ------------------------------------------------------------------
-    def knn_batch(self, queries: np.ndarray, k: int = 1) -> BatchResult:
+    def knn_batch(
+        self,
+        queries: np.ndarray,
+        k: int = 1,
+        radius_cap: np.ndarray | None = None,
+    ) -> BatchResult:
         """Exact k-nearest-neighbor search for a batch of queries.
 
         With a fault context attached to the tree
@@ -209,6 +269,15 @@ class QueryEngine:
         affected results (see :class:`BatchQueryResult`) instead of
         aborting the batch; without one, storage failures surface as
         :class:`~repro.exceptions.QueryDataError`.
+
+        ``radius_cap`` is an optional per-query array, shape ``(q,)``,
+        of externally known upper bounds on the k-th neighbor distance;
+        the candidate radius becomes the elementwise minimum of the
+        tree's own guarantee radius and the cap.  The shard router
+        passes its running global bound here so a shard never examines
+        pages that provably cannot contribute.  Exactness is preserved
+        whenever each cap is a sound upper bound on that query's k-th
+        distance *within the caller's final merged answer*.
         """
         tree = self.tree
         if k < 1:
@@ -219,13 +288,24 @@ class QueryEngine:
                 f"k={k} exceeds the {tree.n_points} stored points"
             )
         queries = checked_queries(tree, queries)
+        if radius_cap is not None:
+            radius_cap = np.asarray(radius_cap, dtype=np.float64)
+            if radius_cap.shape != (queries.shape[0],):
+                raise SearchError(
+                    "radius_cap must have one entry per query"
+                )
         batch_id = next_query_id()
         try:
-            return self._knn_batch_impl(queries, k)
+            return self._knn_batch_impl(queries, k, radius_cap)
         except StorageError as exc:
             raise_query_error(exc, tree, batch_id)
 
-    def _knn_batch_impl(self, queries: np.ndarray, k: int) -> BatchResult:
+    def _knn_batch_impl(
+        self,
+        queries: np.ndarray,
+        k: int,
+        radius_cap: np.ndarray | None = None,
+    ) -> BatchResult:
         tree = self.tree
         n_queries = queries.shape[0]
         before = io_snapshot(tree)
@@ -245,6 +325,8 @@ class QueryEngine:
             )
         with obs_span("schedule", disk=tree.disk, queries=n_queries):
             radii = self._guarantee_radii(dmax, k)
+            if radius_cap is not None:
+                radii = np.minimum(radii, radius_cap)
             cand_mask = dmin <= radii[:, None]
 
         cache = PageDecodeCache(tree)
@@ -336,26 +418,8 @@ class QueryEngine:
         return BatchResult(queries=results, stats=stats)
 
     def _guarantee_radii(self, dmax: np.ndarray, k: int) -> np.ndarray:
-        """Per-query radius guaranteed to contain at least k points.
-
-        For each query, pages are taken in ascending maxdist order until
-        their point counts cover ``k``; the last maxdist bounds the k-th
-        neighbor from above, so any page whose mindist exceeds it can be
-        pruned before any data page is read.  When fewer than ``k``
-        points are live (deletions), nothing can be pruned and the
-        radius is infinite.
-        """
-        counts = self.tree._counts
-        order = np.argsort(dmax, axis=1, kind="stable")
-        cum = np.cumsum(np.take(counts, order), axis=1)
-        covered = cum >= k
-        radii = np.full(dmax.shape[0], np.inf)
-        reached = covered.any(axis=1)
-        if np.any(reached):
-            pos = np.argmax(covered[reached], axis=1)
-            rows = np.flatnonzero(reached)
-            radii[rows] = dmax[rows, order[rows, pos]]
-        return radii
+        """See :func:`guarantee_radii` (over this tree's directory)."""
+        return guarantee_radii(dmax, self.tree._counts, k)
 
     # ------------------------------------------------------------------
     # Range batches

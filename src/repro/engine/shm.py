@@ -108,6 +108,7 @@ class SharedArena:
         self._file = file
         self._offset = 0
         self.sealed = False
+        self.disposed = False
 
     @classmethod
     def create(cls) -> "SharedArena | None":
@@ -146,8 +147,23 @@ class SharedArena:
             self.sealed = True
 
     def dispose(self) -> None:
-        """Unlink the arena file (mappings already held stay valid)."""
-        self.seal()
+        """Unlink the arena file (mappings already held stay valid).
+
+        Idempotent and unconditional: the unlink happens even when the
+        write handle is in a broken state (a worker raising mid-phase
+        can leave the coordinator disposing an arena whose ``seal()``
+        would fail), so an abnormal batch teardown never leaks arena
+        files into ``/dev/shm`` or the temp directory.
+        """
+        if self.disposed:
+            return
+        self.disposed = True
+        try:
+            self.seal()
+        except (OSError, ValueError):
+            # A failed flush/close must not keep the file on disk; mark
+            # the arena sealed so no further writes are attempted.
+            self.sealed = True
         try:
             os.unlink(self.path)
         except OSError:
@@ -166,3 +182,13 @@ class SharedArena:
 
     def __exit__(self, *exc) -> None:
         self.dispose()
+
+    def __del__(self):
+        # Last-resort finalizer: an arena abandoned by an exception
+        # between create() and the dispose() in the engine's finally
+        # block (or by a caller without one) is still unlinked when the
+        # object is collected.  Never raise from a finalizer.
+        try:
+            self.dispose()
+        except Exception:
+            pass

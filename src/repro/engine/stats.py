@@ -83,6 +83,60 @@ class BatchStats:
     decoded_pages_reused: int = 0
     workers: int = 1
 
+    @classmethod
+    def merge_shards(
+        cls,
+        shard_stats: "list[BatchStats]",
+        *,
+        n_queries: int,
+        workers: int,
+        extra_lost_pages: int = 0,
+    ) -> "BatchStats":
+        """Merge per-shard batch stats into one scatter-gather view.
+
+        ``shard_stats`` are the stats of each *contacted* shard, in
+        shard-visit order; their I/O ledgers are merged in that order
+        (the same discipline :class:`~repro.engine.concurrent.WorkerPool`
+        applies to worker ledgers) and every additive counter -- pages,
+        refinements, pool traffic, fault-tolerance activity -- is
+        summed.  Two fields are deliberately *not* taken from the
+        shards: ``n_queries`` is the router's batch size (each shard
+        only saw its unpruned sub-batch, so summing would double-count
+        queries sent to several shards), and ``workers`` is the shared
+        pool's worker count (the last shard's value is not
+        authoritative -- a fully-pruned batch has no last shard at
+        all).  ``extra_lost_pages`` accounts for lost-page reports the
+        router synthesized itself for dead shards, which no shard engine
+        ever saw.  An empty ``shard_stats`` (every shard pruned or
+        dead) yields all-zero stats whose rate properties are 0.0, not
+        NaN.
+        """
+        io = IOStats()
+        for stats in shard_stats:
+            io = io.merged_with(stats.io)
+        return cls(
+            n_queries=n_queries,
+            io=io,
+            pages_read=sum(s.pages_read for s in shard_stats),
+            refinements=sum(s.refinements for s in shard_stats),
+            bytes_transferred=sum(
+                s.bytes_transferred for s in shard_stats
+            ),
+            pool_hits=sum(s.pool_hits for s in shard_stats),
+            pool_misses=sum(s.pool_misses for s in shard_stats),
+            retries=sum(s.retries for s in shard_stats),
+            quarantined=sum(s.quarantined for s in shard_stats),
+            degraded_results=sum(
+                s.degraded_results for s in shard_stats
+            ),
+            lost_pages=sum(s.lost_pages for s in shard_stats)
+            + extra_lost_pages,
+            decoded_pages_reused=sum(
+                s.decoded_pages_reused for s in shard_stats
+            ),
+            workers=workers,
+        )
+
     @property
     def degraded(self) -> bool:
         """True when any result of the batch is not exact."""

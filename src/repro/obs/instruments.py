@@ -108,6 +108,35 @@ BATCH_QUERIES = REGISTRY.counter(
 )
 
 # ----------------------------------------------------------------------
+# Shard router (repro.engine.sharding)
+# ----------------------------------------------------------------------
+ROUTER_BATCHES = REGISTRY.counter(
+    "iq_router_batches_total",
+    "Scatter-gather batches executed by the shard router",
+)
+SHARDS_CONTACTED = REGISTRY.histogram(
+    "iq_router_shards_contacted",
+    "Live shards contacted per query (global bound pruning skips the "
+    "rest)",
+    buckets=(0, 1, 2, 4, 8, 16, 32, 64),
+)
+SHARDS_SKIPPED = REGISTRY.counter(
+    "iq_router_shards_skipped_total",
+    "Per-query shard visits avoided because the shard's best mindist "
+    "exceeded the query's running bound",
+)
+DEAD_SHARD_QUERIES = REGISTRY.counter(
+    "iq_router_dead_shard_queries_total",
+    "Query/shard encounters degraded to LostPage bounds because the "
+    "shard was dead or failing",
+)
+SHARDED_QUERY_SECONDS = REGISTRY.histogram(
+    "iq_sharded_query_simulated_seconds",
+    "Open-loop per-query latency (queue wait + service) observed by "
+    "the sharded serving benchmark",
+)
+
+# ----------------------------------------------------------------------
 # Decoded-page cache (repro.engine.page_cache)
 # ----------------------------------------------------------------------
 DECODED_CACHE_HITS = REGISTRY.counter(

@@ -235,6 +235,32 @@ class Histogram(_Instrument):
         series = self._series.get(_label_key(labels))
         return 0 if series is None else int(series[-1])
 
+    def quantile(self, q: float, **labels) -> float:
+        """Estimate the ``q``-quantile (0 <= q <= 1) from the buckets.
+
+        Classic Prometheus ``histogram_quantile`` estimation: find the
+        bucket the target rank falls into and interpolate linearly
+        inside it.  Samples in the implicit ``+Inf`` bucket clamp to
+        the largest finite bound (there is nothing sounder to report).
+        Returns NaN when the series is empty or unknown.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be within [0, 1]")
+        series = self._series.get(_label_key(labels))
+        if series is None or series[-1] == 0:
+            return float("nan")
+        total = int(series[-1])
+        target = q * total
+        cumulative = 0
+        for i, bound in enumerate(self.buckets):
+            in_bucket = int(series[i])
+            if cumulative + in_bucket >= target and in_bucket:
+                lower = self.buckets[i - 1] if i else 0.0
+                fraction = (target - cumulative) / in_bucket
+                return lower + (bound - lower) * min(fraction, 1.0)
+            cumulative += in_bucket
+        return float(self.buckets[-1])
+
     def sum(self, **labels) -> float:
         """Sum of samples observed in one labeled series."""
         series = self._series.get(_label_key(labels))

@@ -100,6 +100,52 @@ class TestHistogram:
         assert "h_count 2" in lines
 
 
+class TestHistogramQuantile:
+    def test_interpolates_within_the_winning_bucket(self, registry):
+        h = registry.histogram("h", buckets=(1.0, 2.0, 4.0))
+        # 4 samples in (1, 2]: the median rank (2 of 4) lands halfway
+        # through that bucket's count, so the estimate is its midpoint.
+        for v in (1.1, 1.2, 1.8, 1.9):
+            h.observe(v)
+        assert h.quantile(0.5) == pytest.approx(1.5)
+        assert h.quantile(1.0) == pytest.approx(2.0)
+
+    def test_first_bucket_interpolates_from_zero(self, registry):
+        h = registry.histogram("h", buckets=(2.0, 4.0))
+        h.observe(0.5)
+        h.observe(1.0)
+        assert h.quantile(0.5) == pytest.approx(1.0)
+
+    def test_empty_or_unknown_series_is_nan(self, registry):
+        import math
+
+        h = registry.histogram("h", buckets=(1.0,))
+        assert math.isnan(h.quantile(0.5))
+        h.observe(0.5, shards="2")
+        assert math.isnan(h.quantile(0.5, shards="4"))
+        assert h.quantile(0.5, shards="2") == pytest.approx(0.5)
+
+    def test_inf_bucket_clamps_to_largest_finite_bound(self, registry):
+        h = registry.histogram("h", buckets=(1.0, 2.0))
+        h.observe(50.0)
+        assert h.quantile(0.99) == pytest.approx(2.0)
+
+    def test_q_must_be_a_probability(self, registry):
+        h = registry.histogram("h", buckets=(1.0,))
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+        with pytest.raises(ValueError):
+            h.quantile(-0.1)
+
+    def test_disabled_registry_observes_nothing(self):
+        import math
+
+        reg = MetricsRegistry(enabled=False)
+        h = reg.histogram("h", buckets=(1.0,))
+        h.observe(0.5)
+        assert math.isnan(h.quantile(0.5))
+
+
 class TestRegistry:
     def test_get_or_create_kind_checked(self, registry):
         c = registry.counter("x_total")
