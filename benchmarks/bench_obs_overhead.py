@@ -82,35 +82,47 @@ def _time(tree, queries) -> float:
 def _pristine_read_blocks(self, start, count, overread=0):
     if count <= 0:
         return
-    if start != self._head:
-        self.stats.add_seek(self.model)
-    self.stats.add_transfer(self.model, count, overread=overread)
-    self._head = start + count
+    with self._lock:
+        if start != self._head:
+            self.stats.add_seek(self.model)
+        self.stats.add_transfer(self.model, count, overread=overread)
+        self._head = start + count
 
 
 def _pristine_lookup(self, address):
-    if address in self._resident:
-        self._resident.move_to_end(address)
-        self.hits += 1
-        return True
-    self.misses += 1
-    return False
+    i = self._shard_of(address)
+    with self._locks[i]:
+        hit = address in self._shards[i]
+        if hit:
+            self._shards[i].move_to_end(address)
+    with self._stats_lock:
+        if hit:
+            self.hits += 1
+        else:
+            self.misses += 1
+    return hit
 
 
 def _pristine_record(self, hits=0, misses=0):
-    self.hits += hits
-    self.misses += misses
+    with self._stats_lock:
+        self.hits += hits
+        self.misses += misses
 
 
 def _pristine_admit(self, address):
     if self.capacity == 0:
         return
-    if address in self._resident:
-        self._resident.move_to_end(address)
-        return
-    if len(self._resident) >= self.capacity:
-        self._resident.popitem(last=False)
-    self._resident[address] = None
+    i = self._shard_of(address)
+    with self._locks[i]:
+        shard = self._shards[i]
+        if address in shard:
+            shard.move_to_end(address)
+            return
+        if self._shard_caps[i] == 0:
+            return
+        if len(shard) >= self._shard_caps[i]:
+            shard.popitem(last=False)
+        shard[address] = None
 
 
 def _pristine_span(name, disk=None, **attrs):
@@ -120,6 +132,7 @@ def _pristine_span(name, disk=None, **attrs):
 def _patch_pristine(monkeypatch) -> None:
     import repro.engine.decode as decode_mod
     import repro.engine.engine as engine_mod
+    import repro.engine.sharding as sharding_mod
 
     monkeypatch.setattr(
         SimulatedDisk, "read_blocks", _pristine_read_blocks
@@ -129,6 +142,7 @@ def _patch_pristine(monkeypatch) -> None:
     monkeypatch.setattr(BufferPool, "admit", _pristine_admit)
     monkeypatch.setattr(decode_mod, "obs_span", _pristine_span)
     monkeypatch.setattr(engine_mod, "obs_span", _pristine_span)
+    monkeypatch.setattr(sharding_mod, "obs_span", _pristine_span)
     monkeypatch.setattr(
         QueryEngine, "_observe_batch", lambda self, *a, **kw: None
     )
@@ -155,6 +169,64 @@ def test_disabled_instrumentation_overhead(workload, monkeypatch):
         f"disabled instrumentation costs {overhead * 100:.1f}% "
         f"(> {threshold * 100:.0f}%); a hook is missing its "
         "REGISTRY.enabled guard"
+    )
+
+
+def test_disabled_overhead_parallel_sharded(workload, monkeypatch):
+    """Tracing-disabled overhead on the full distributed serving path.
+
+    The tentpole threads span capture through the worker kernels
+    (``task.trace`` guards), the coordinator stitch points, and the
+    router's per-shard-visit spans.  All of it must stay behind the
+    same one-check guards as the serial path: this times the identical
+    sharded kNN workload (4 shards, 4 process workers) as shipped vs.
+    with every observability seam monkeypatched out of the coordinator.
+    Worker processes keep their ``task.trace`` branch either way -- the
+    flag rides the task object, so the disabled cost there is one
+    attribute test per query.
+    """
+    from repro.engine import ShardRouter
+
+    tree, queries = workload
+    assert not obs.registry.enabled
+    router = ShardRouter(
+        tree, shards=4, workers=4, backend="process", pool=128
+    )
+
+    def _run_router() -> None:
+        for i in range(BATCHES):
+            batch = queries[i * BATCH_SIZE : (i + 1) * BATCH_SIZE]
+            router.knn_batch(batch, k=K)
+
+    def _time_router() -> float:
+        best = float("inf")
+        for _ in range(REPS):
+            t0 = time.perf_counter()
+            _run_router()
+            best = min(best, time.perf_counter() - t0)
+        return best
+
+    try:
+        instrumented = _time_router()
+        with monkeypatch.context() as patched:
+            _patch_pristine(patched)
+            pristine = _time_router()
+    finally:
+        router.close()
+
+    overhead = (instrumented - pristine) / pristine
+    threshold = _threshold()
+    print(
+        f"\ndisabled overhead (4 shards, 4 process workers): "
+        f"{overhead * 100:+.2f}% "
+        f"(pristine {pristine * 1e3:.1f} ms, "
+        f"instrumented {instrumented * 1e3:.1f} ms, "
+        f"threshold {threshold * 100:.0f}%)"
+    )
+    assert overhead < threshold, (
+        f"disabled tracing costs {overhead * 100:.1f}% on the sharded "
+        f"process-backend path (> {threshold * 100:.0f}%); a span or "
+        "stitch seam is missing its is-tracing-enabled guard"
     )
 
 

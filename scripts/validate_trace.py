@@ -1,0 +1,120 @@
+#!/usr/bin/env python
+"""Validate a Chrome trace-event JSON export read from stdin or a file.
+
+A zero-dependency checker for the subset of the trace-event format that
+``python -m repro trace --export chrome`` emits (loadable by Perfetto
+and ``chrome://tracing``):
+
+* the document is a JSON object with a ``traceEvents`` list (the
+  "JSON Object Format"); every event is an object with ``name``,
+  ``ph``, ``pid``, ``tid``, and a numeric ``ts``;
+* only duration phases ``B`` / ``E`` appear, and within each
+  ``(pid, tid)`` track they nest with stack discipline: every ``E``
+  closes the most recent open ``B`` of the same name, and no ``B``
+  stays open at the end;
+* ``ts`` is monotone non-decreasing within each track -- the exporter
+  emits simulated microseconds depth-first, so any regression means
+  the span tree's simulated clock is broken.
+
+Exit status 0 when the trace is clean, 1 with one diagnostic per
+problem otherwise.  Usage::
+
+    python -m repro trace index.iqt --export chrome | \
+        python scripts/validate_trace.py
+    python scripts/validate_trace.py trace.json
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+REQUIRED_KEYS = ("name", "ph", "ts", "pid", "tid")
+PHASES = ("B", "E")
+
+
+def validate(text: str) -> list[str]:
+    """All violations in one exported trace (empty list = clean)."""
+    errors: list[str] = []
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as exc:
+        return [f"not valid JSON: {exc}"]
+    if not isinstance(document, dict):
+        return [f"top level must be an object, got {type(document).__name__}"]
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        return ["missing or non-list 'traceEvents'"]
+    if not events:
+        errors.append("'traceEvents' is empty")
+
+    # (pid, tid) -> stack of open B names / last seen ts
+    stacks: dict[tuple, list[str]] = {}
+    last_ts: dict[tuple, float] = {}
+    for index, event in enumerate(events):
+        where = f"event {index}"
+        if not isinstance(event, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        missing = [key for key in REQUIRED_KEYS if key not in event]
+        if missing:
+            errors.append(f"{where}: missing keys {missing}")
+            continue
+        name, phase = event["name"], event["ph"]
+        if not isinstance(name, str) or not name:
+            errors.append(f"{where}: bad name {name!r}")
+            continue
+        if phase not in PHASES:
+            errors.append(f"{where}: unexpected phase {phase!r}")
+            continue
+        ts = event["ts"]
+        if not isinstance(ts, (int, float)) or ts != ts or ts < 0:
+            errors.append(f"{where}: bad ts {ts!r}")
+            continue
+        track = (event["pid"], event["tid"])
+        if ts < last_ts.get(track, 0.0):
+            errors.append(
+                f"{where}: ts {ts} regresses below {last_ts[track]} "
+                f"on track pid={track[0]} tid={track[1]}"
+            )
+        last_ts[track] = ts
+        stack = stacks.setdefault(track, [])
+        if phase == "B":
+            stack.append(name)
+        elif not stack:
+            errors.append(f"{where}: E '{name}' with no open B")
+        elif stack[-1] != name:
+            errors.append(
+                f"{where}: E '{name}' closes open B '{stack[-1]}' "
+                f"(events must nest)"
+            )
+        else:
+            stack.pop()
+    for track, stack in stacks.items():
+        if stack:
+            errors.append(
+                f"track pid={track[0]} tid={track[1]}: unclosed B "
+                f"events {stack}"
+            )
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) > 1:
+        text = open(argv[1], encoding="utf-8").read()
+    else:
+        text = sys.stdin.read()
+    if not text.strip():
+        print("validate_trace: empty input", file=sys.stderr)
+        return 1
+    problems = validate(text)
+    for problem in problems:
+        print(f"validate_trace: {problem}", file=sys.stderr)
+    if not problems:
+        count = len(json.loads(text)["traceEvents"])
+        print(f"validate_trace: OK ({count} events)")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -12,7 +12,10 @@ Usage::
     python -m repro fsck   index.iqt
     python -m repro validate index.iqt [--queries 10]
     python -m repro stats  index.iqt --random 50 [--format prometheus]
+    python -m repro stats  index.iqt --slo lat=iq_query_simulated_seconds:p99<=0.05
     python -m repro trace  index.iqt [--k 5] [--json]
+    python -m repro trace  index.iqt --export chrome --shards 4 --workers 2
+    python -m repro flight index.iqt --shards 4 --kill-shard 0
     python -m repro chaos  index.iqt [--kinds transient] [--levels exact]
 
 ``data.npy`` is any ``numpy.save``-ed ``(n, d)`` float array.
@@ -255,11 +258,17 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     obs.registry.reset()
     obs.drift.reset()
     obs.enable()
+    burning = 0
     try:
         tree = load_iqtree(args.index)
         queries = _random_queries(tree, args.random, args.seed)
         engine = tree.query_engine(pool=args.pool)
         engine.knn_batch(queries, k=args.k)
+        statuses = None
+        if args.slo:
+            monitor = obs.SLOMonitor(args.slo)
+            statuses = monitor.evaluate()
+            burning = sum(1 for s in statuses if not s.met)
         if args.format == "json":
             payload = obs.registry.collect()
             if args.drift:
@@ -269,39 +278,128 @@ def _cmd_stats(args: argparse.Namespace) -> int:
             sys.stdout.write(obs.registry.to_prometheus())
             if args.drift:
                 print(f"\n{obs.drift.report().summary()}")
+        if statuses is not None:
+            for status in statuses:
+                print(status.describe(), file=sys.stderr)
     finally:
         obs.disable()
-    return 0
+    return 1 if burning else 0
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
     tree = load_iqtree(args.index)
     queries = _random_queries(tree, args.random, args.seed)
-    engine = tree.query_engine(pool=args.pool)
-    with obs.trace_query(engine, name=f"knn-batch k={args.k}") as tracer:
-        result = engine.knn_batch(queries, k=args.k)
-    if args.json:
-        print(tracer.to_json())
-        return 0
-    print(tracer.render())
+    router = None
+    if args.shards is not None:
+        from repro.engine import ShardRouter
+
+        router = ShardRouter(
+            tree,
+            shards=args.shards,
+            workers=args.workers,
+            backend=args.backend,
+            pool=args.pool,
+        )
+        target = router
+        name = f"knn-batch k={args.k} shards={router.n_shards}"
+    else:
+        target = tree.query_engine(
+            pool=args.pool, workers=args.workers, backend=args.backend
+        )
+        name = f"knn-batch k={args.k}"
+    try:
+        with obs.trace_query(target, name=name) as tracer:
+            result = target.knn_batch(queries, k=args.k)
+    finally:
+        if router is not None:
+            router.close()
+
+    # The attribution invariant always gets checked; when the span tree
+    # itself goes to stdout (export / json), the report moves to stderr
+    # so the payload stays machine-readable.
+    report = sys.stderr if (args.export or args.json) else sys.stdout
     root = tracer.root
     own = sum((s.own_io for s in root.walk()), start=obs.SpanIO())
     ledger = result.stats.io
-    print(
-        f"\nspan own-I/O sum: {own.elapsed * 1e3:.2f} ms, "
-        f"{own.seeks} seeks, {own.blocks_read} blocks"
-    )
-    print(
-        f"IOStats ledger:   {ledger.elapsed * 1e3:.2f} ms, "
-        f"{ledger.seeks} seeks, {ledger.blocks_read} blocks"
-    )
     ok = (
         abs(own.elapsed - ledger.elapsed) < 1e-9
         and own.seeks == ledger.seeks
         and own.blocks_read == ledger.blocks_read
     )
-    print(f"attribution {'consistent' if ok else 'MISMATCH'}")
+
+    if args.export:
+        payload = json.dumps(obs.export_trace(tracer, args.export), indent=2)
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as handle:
+                handle.write(payload + "\n")
+            print(f"wrote {args.export} trace to {args.out}", file=report)
+        else:
+            print(payload)
+    elif args.json:
+        print(tracer.to_json())
+    else:
+        print(tracer.render())
+    print(
+        f"\nspan own-I/O sum: {own.elapsed * 1e3:.2f} ms, "
+        f"{own.seeks} seeks, {own.blocks_read} blocks",
+        file=report,
+    )
+    print(
+        f"IOStats ledger:   {ledger.elapsed * 1e3:.2f} ms, "
+        f"{ledger.seeks} seeks, {ledger.blocks_read} blocks",
+        file=report,
+    )
+    print(f"attribution {'consistent' if ok else 'MISMATCH'}", file=report)
     return 0 if ok else 1
+
+
+def _cmd_flight(args: argparse.Namespace) -> int:
+    tree = load_iqtree(args.index)
+    queries = _random_queries(tree, args.random, args.seed)
+    recorder = obs.FlightRecorder(
+        capacity=args.capacity,
+        slow_threshold=args.slow_threshold,
+        top_slow=args.top_slow,
+    )
+    if args.shards is not None:
+        from repro.engine import ShardRouter
+
+        router = ShardRouter(tree, shards=args.shards, workers=args.workers)
+        for index in args.kill_shard or ():
+            if not 0 <= index < router.n_shards:
+                raise SystemExit(
+                    f"--kill-shard index {index} out of range "
+                    f"(router has {router.n_shards} shards)"
+                )
+            router.kill_shard(index)
+        router.use_flight_recorder(recorder)
+        try:
+            router.knn_batch(queries, k=args.k)
+        finally:
+            router.clear_flight_recorder()
+            router.close()
+    elif args.single:
+        tree.use_flight_recorder(recorder)
+        try:
+            for query in queries:
+                tree.nearest(query, k=args.k)
+        finally:
+            tree.clear_flight_recorder()
+    else:
+        tree.use_flight_recorder(recorder)
+        engine = tree.query_engine(pool=args.pool, workers=args.workers)
+        try:
+            engine.knn_batch(queries, k=args.k)
+        finally:
+            tree.clear_flight_recorder()
+    print(recorder.to_json())
+    print(
+        f"flight recorder: {recorder.recorded} recorded, "
+        f"{recorder.dropped} dropped, {len(recorder)} resident "
+        f"(capacity {recorder.capacity})",
+        file=sys.stderr,
+    )
+    return 0
 
 
 _CHAOS_KINDS = ("transient", "persistent", "corrupt")
@@ -358,6 +456,12 @@ def _chaos_run(
     _chaos_schedule(injector, kind, address)
     tree.disk.install_fault_injector(injector)
     ctx = tree.use_fault_tolerance(policy)
+    # Flight recorder in chaos-verification mode: relative slow capture
+    # off, so every record is a degraded/faulted postmortem we can
+    # count against the observed results.
+    recorder = tree.use_flight_recorder(
+        obs.FlightRecorder(capacity=4096, top_slow=0)
+    )
     problems: list[str] = []
     degraded = lost = 0
     try:
@@ -382,10 +486,23 @@ def _chaos_run(
     finally:
         tree.disk.clear_fault_injector()
         tree.clear_fault_tolerance()
+        tree.clear_flight_recorder()
     if kind == "transient" and ctx.retries == 0:
         problems.append("transient schedule never triggered a retry")
     if kind != "transient" and not (degraded or lost):
         problems.append(f"{kind} schedule degraded no result")
+    flight_degraded = len(recorder.records("degraded"))
+    if flight_degraded != degraded:
+        problems.append(
+            f"flight recorder captured {flight_degraded} degraded "
+            f"records but the workload observed {degraded} degraded "
+            f"results"
+        )
+    if (ctx.retries or ctx.quarantined) and not recorder.records("faulted"):
+        problems.append(
+            "fault tolerance retried/quarantined but the flight "
+            "recorder captured no faulted record"
+        )
     counters = (ctx.retries, ctx.quarantined, ctx.degraded_results, ctx.lost_pages)
     return problems, degraded, lost, counters
 
@@ -413,7 +530,13 @@ def _chaos_sharded(args: argparse.Namespace, tree, queries, k) -> int:
                 f"(router has {router.n_shards} shards)"
             )
         router.kill_shard(index)
-    degraded_run = router.knn_batch(queries, k=k)
+    recorder = router.use_flight_recorder(
+        obs.FlightRecorder(capacity=4096, top_slow=0)
+    )
+    try:
+        degraded_run = router.knn_batch(queries, k=k)
+    finally:
+        router.clear_flight_recorder()
 
     problems: list[str] = []
     metric = tree.metric
@@ -447,6 +570,13 @@ def _chaos_sharded(args: argparse.Namespace, tree, queries, k) -> int:
                     )
     if kill and not n_degraded:
         problems.append("shard kill degraded no result")
+    flight_degraded = len(recorder.records("degraded"))
+    if flight_degraded != n_degraded:
+        problems.append(
+            f"flight recorder captured {flight_degraded} degraded "
+            f"records but the batch observed {n_degraded} degraded "
+            f"queries"
+        )
 
     for index in kill:
         router.revive_shard(index)
@@ -719,6 +849,15 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="append the cost-model drift report",
     )
+    stats.add_argument(
+        "--slo",
+        action="append",
+        metavar="SPEC",
+        help="evaluate a service-level objective and export iq_slo_* "
+        "gauges: '[name=]histogram:p99<=0.05' or "
+        "'[name=]counter_a/counter_b<=0.01' (repeatable); exit code "
+        "1 when any objective burns",
+    )
     stats.set_defaults(func=_cmd_stats)
 
     trace = sub.add_parser(
@@ -735,7 +874,98 @@ def _build_parser() -> argparse.ArgumentParser:
     trace.add_argument(
         "--json", action="store_true", help="emit the span tree as JSON"
     )
+    trace.add_argument(
+        "--export",
+        choices=("chrome", "otlp"),
+        default=None,
+        help="emit the trace as Chrome trace-event JSON (load in "
+        "Perfetto / chrome://tracing) or OTLP-style span JSON "
+        "instead of the rendered tree",
+    )
+    trace.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="write the exported trace to this file instead of stdout",
+    )
+    trace.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="trace a sharded scatter-gather batch through a "
+        "ShardRouter instead of a single engine",
+    )
+    trace.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="workers for the per-query phases (default: 1)",
+    )
+    trace.add_argument(
+        "--backend",
+        choices=("auto", "thread", "process"),
+        default="auto",
+        help="executor backend for --workers > 1; the stitched trace "
+        "is identical either way",
+    )
     trace.set_defaults(func=_cmd_trace)
+
+    flight = sub.add_parser(
+        "flight",
+        help="run a workload with a flight recorder attached and dump "
+        "the captured postmortem records as JSON",
+    )
+    flight.add_argument("index")
+    flight.add_argument(
+        "--random", type=int, default=20, help="workload size"
+    )
+    flight.add_argument("--k", type=int, default=5)
+    flight.add_argument("--pool", type=int, default=None)
+    flight.add_argument("--seed", type=int, default=0)
+    flight.add_argument(
+        "--capacity", type=int, default=64, help="ring-buffer capacity"
+    )
+    flight.add_argument(
+        "--slow-threshold",
+        type=float,
+        default=None,
+        metavar="SIM_SECONDS",
+        help="absolute simulated-seconds bound for slow capture",
+    )
+    flight.add_argument(
+        "--top-slow",
+        type=int,
+        default=8,
+        help="capture queries among this many slowest seen so far "
+        "(0 disables relative slow capture)",
+    )
+    flight.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="workers for the batch / sharded paths",
+    )
+    flight.add_argument(
+        "--single",
+        action="store_true",
+        help="run single queries through tree.nearest instead of one "
+        "engine batch (exact per-query costs)",
+    )
+    flight.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="run the batch through a ShardRouter with this many shards",
+    )
+    flight.add_argument(
+        "--kill-shard",
+        type=int,
+        action="append",
+        metavar="INDEX",
+        help="take a shard down first (repeatable, with --shards); the "
+        "degraded queries then show up in the recorder",
+    )
+    flight.set_defaults(func=_cmd_flight)
 
     chaos = sub.add_parser(
         "chaos",

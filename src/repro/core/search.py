@@ -277,6 +277,13 @@ def nearest_neighbors(
     query = checked_query(tree, query)
     query_id = next_query_id()
     try:
+        if tree._flight_recorder is not None:
+            from repro.obs.flight import observe_single
+
+            return observe_single(
+                tree._flight_recorder, tree, "nearest", query_id,
+                lambda: _nearest_impl(tree, query, k, scheduler),
+            )
         return _nearest_impl(tree, query, k, scheduler)
     except StorageError as exc:
         raise_query_error(exc, tree, query_id)
@@ -428,6 +435,13 @@ def range_search(tree: IQTree, query: np.ndarray, radius: float) -> RangeResult:
     query = checked_query(tree, query)
     query_id = next_query_id()
     try:
+        if tree._flight_recorder is not None:
+            from repro.obs.flight import observe_single
+
+            return observe_single(
+                tree._flight_recorder, tree, "range", query_id,
+                lambda: _range_impl(tree, query, radius),
+            )
         return _range_impl(tree, query, radius)
     except StorageError as exc:
         raise_query_error(exc, tree, query_id)

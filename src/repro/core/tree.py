@@ -92,6 +92,9 @@ class IQTree:
         #: optional DecodedPageCache serving decoded quantized pages
         #: across batches and single queries (see use_decoded_cache).
         self._decoded_cache = None
+        #: optional FlightRecorder capturing postmortems of slow /
+        #: degraded / faulted queries (see use_flight_recorder).
+        self._flight_recorder = None
         self._layout()
 
     # ------------------------------------------------------------------
@@ -585,6 +588,38 @@ class IQTree:
     def decoded_cache(self):
         """The attached DecodedPageCache, or None."""
         return self._decoded_cache
+
+    # ------------------------------------------------------------------
+    # Flight recorder (repro.obs.flight)
+    # ------------------------------------------------------------------
+    def use_flight_recorder(self, recorder_or_capacity=64):
+        """Attach a flight recorder to every query path of this tree.
+
+        Accepts a :class:`~repro.obs.flight.FlightRecorder` or an
+        integer ring capacity.  Returns the recorder.  With one
+        attached, single queries and engine batches that qualify as
+        slow, degraded, or faulted leave a full postmortem record
+        (span tree + counter deltas) in the bounded ring; dump it with
+        ``recorder.to_json()`` or the ``repro flight`` CLI.  Idempotent
+        for an already-attached recorder.
+        """
+        from repro.obs.flight import FlightRecorder
+
+        if isinstance(recorder_or_capacity, FlightRecorder):
+            recorder = recorder_or_capacity
+        else:
+            recorder = FlightRecorder(capacity=int(recorder_or_capacity))
+        self._flight_recorder = recorder
+        return recorder
+
+    def clear_flight_recorder(self) -> None:
+        """Detach the flight recorder (its records stay readable)."""
+        self._flight_recorder = None
+
+    @property
+    def flight_recorder(self):
+        """The attached FlightRecorder, or None."""
+        return self._flight_recorder
 
     # ------------------------------------------------------------------
     # Fault tolerance (repro.storage.runtime_faults)

@@ -43,6 +43,14 @@ function that *does* charge its ledger aggregates reproducibly.  When
 several shards fail, the first shard's exception (in shard order) is
 raised and every other shard's failure is attached to it as a
 ``__notes__`` entry -- concurrent failures never vanish.
+
+Tracing rides the same channel: when a ``trace_query`` block is
+active, the engine flags its task objects and the kernels return
+compact picklable :class:`~repro.obs.tracing.SpanRecord` lists *by
+value* inside their ordinary results -- the pool itself carries no
+tracing state, no ambient context crosses the process boundary, and
+the coordinator stitches the records into the live span tree in query
+order after the barrier.
 """
 
 from __future__ import annotations

@@ -53,6 +53,8 @@ either backend.
 
 from __future__ import annotations
 
+import os
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
@@ -82,6 +84,7 @@ from repro.engine.shm import SharedArena
 from repro.engine.stats import BatchStats
 from repro.exceptions import SearchError, StorageError
 from repro.obs.drift import MONITOR as _DRIFT
+from repro.obs.flight import observe_batch
 from repro.obs.instruments import (
     BATCH_QUERIES,
     BATCHES,
@@ -90,6 +93,7 @@ from repro.obs.instruments import (
     QUERY_SECONDS,
     REGISTRY,
 )
+from repro.obs.tracing import active_tracer
 from repro.obs.tracing import span as obs_span
 from repro.geometry.mbr import maxdist_matrix, mindist_matrix
 from repro.storage.cache import BufferPool
@@ -126,6 +130,42 @@ def guarantee_radii(
         rows = np.flatnonzero(reached)
         radii[rows] = dmax[rows, order[rows, pos]]
     return radii
+
+
+_MISSING_SPANS_WARNED = False
+
+
+def _report_missing_worker_spans(phase: str) -> None:
+    """A worker returned no span records while tracing was enabled.
+
+    This is the silent-drop failure mode the stitching protocol was
+    built to eliminate (worker spans used to vanish with
+    ``backend="process"``), so it must never pass quietly again: under
+    pytest it raises, in production it warns once per process.
+    """
+    global _MISSING_SPANS_WARNED
+    message = (
+        f"tracing active but the {phase} kernel returned no span "
+        "records for at least one query; worker-side spans would be "
+        "silently dropped from the stitched trace"
+    )
+    if "PYTEST_CURRENT_TEST" in os.environ:
+        raise SearchError(message)
+    if not _MISSING_SPANS_WARNED:
+        _MISSING_SPANS_WARNED = True
+        warnings.warn(message, RuntimeWarning, stacklevel=3)
+
+
+def _stitch_worker_records(tracer, phase: str, per_query) -> None:
+    """Graft per-query worker records into the live trace, in order.
+
+    ``per_query`` is one record tuple per query, already in batch query
+    order (``map_sharded`` restores it), so the stitched tree is
+    independent of worker count and backend.
+    """
+    if any(not recs for recs in per_query):
+        _report_missing_worker_spans(phase)
+    tracer.stitch([rec for recs in per_query for rec in recs])
 
 
 @dataclass
@@ -296,6 +336,11 @@ class QueryEngine:
                 )
         batch_id = next_query_id()
         try:
+            if tree._flight_recorder is not None:
+                return observe_batch(
+                    tree._flight_recorder, tree, "knn-batch", batch_id,
+                    lambda: self._knn_batch_impl(queries, k, radius_cap),
+                )
             return self._knn_batch_impl(queries, k, radius_cap)
         except StorageError as exc:
             raise_query_error(exc, tree, batch_id)
@@ -312,6 +357,7 @@ class QueryEngine:
         pool_before = self._pool_counters()
         fault_before = self._fault_counters()
         metric = tree.metric
+        tracer = active_tracer()
 
         with obs_span(
             "directory-scan", disk=tree.disk, pages=tree.n_pages
@@ -370,10 +416,16 @@ class QueryEngine:
                     lost=lost,
                     metric=metric,
                     table=table_s,
+                    trace=tracer is not None,
                 )
                 plans, plan_io = self._worker_pool.map_sharded(
                     plan_knn_shard, range(n_queries), task=plan_task
                 )
+                if tracer is not None:
+                    _stitch_worker_records(
+                        tracer, "plan",
+                        [plan.pop("spans", ()) for plan in plans],
+                    )
                 all_requests: set[tuple[int, int]] = set()
                 for plan in plans:
                     all_requests.update(plan["refine"])
@@ -397,10 +449,14 @@ class QueryEngine:
                     counts=counts_s,
                     dmin=dmin_s,
                     dmax=dmax_s,
+                    trace=tracer is not None,
                 )
                 assembled, assemble_io = self._worker_pool.map_sharded(
                     assemble_knn_shard, range(n_queries),
                     task=assemble_task,
+                )
+                assembled = self._split_assemble_records(
+                    tracer, assembled
                 )
                 results = self._apply_degraded_effects(assembled)
                 if refine_span is not None and any(
@@ -445,6 +501,11 @@ class QueryEngine:
             raise SearchError("radius must be non-negative and finite")
         batch_id = next_query_id()
         try:
+            if tree._flight_recorder is not None:
+                return observe_batch(
+                    tree._flight_recorder, tree, "range-batch", batch_id,
+                    lambda: self._range_batch_impl(queries, radii),
+                )
             return self._range_batch_impl(queries, radii)
         except StorageError as exc:
             raise_query_error(exc, tree, batch_id)
@@ -458,6 +519,7 @@ class QueryEngine:
         pool_before = self._pool_counters()
         fault_before = self._fault_counters()
         metric = tree.metric
+        tracer = active_tracer()
 
         with obs_span(
             "directory-scan", disk=tree.disk, pages=tree.n_pages
@@ -506,10 +568,16 @@ class QueryEngine:
                     lost=lost,
                     metric=metric,
                     table=table_s,
+                    trace=tracer is not None,
                 )
                 plans, plan_io = self._worker_pool.map_sharded(
                     plan_range_shard, range(n_queries), task=plan_task
                 )
+                if tracer is not None:
+                    _stitch_worker_records(
+                        tracer, "plan",
+                        [plan.pop("spans", ()) for plan in plans],
+                    )
                 all_requests: set[tuple[int, int]] = set()
                 for plan in plans:
                     all_requests.update(plan["refine"])
@@ -528,10 +596,14 @@ class QueryEngine:
                     points=points,
                     counts=counts_s,
                     dmin=dmin_s,
+                    trace=tracer is not None,
                 )
                 assembled, assemble_io = self._worker_pool.map_sharded(
                     assemble_range_shard, range(n_queries),
                     task=assemble_task,
+                )
+                assembled = self._split_assemble_records(
+                    tracer, assembled
                 )
                 results = self._apply_degraded_effects(assembled)
                 if refine_span is not None and any(
@@ -551,6 +623,22 @@ class QueryEngine:
     # ------------------------------------------------------------------
     # Shared accounting
     # ------------------------------------------------------------------
+    def _split_assemble_records(self, tracer, assembled) -> list:
+        """Peel worker span records off assemble-phase outputs.
+
+        With tracing on, assemble kernels return ``(result,
+        n_intervals, records)`` triples; this stitches the records into
+        the live trace (query order) and hands back the plain pairs
+        the accounting code expects.
+        """
+        if tracer is None:
+            return assembled
+        _stitch_worker_records(
+            tracer, "assemble",
+            [entry[2] if len(entry) > 2 else () for entry in assembled],
+        )
+        return [entry[:2] for entry in assembled]
+
     def _apply_degraded_effects(
         self, assembled: list[tuple[BatchQueryResult, int]]
     ) -> list[BatchQueryResult]:

@@ -33,6 +33,7 @@ from repro.core.search import KBest, certain_mask
 from repro.engine.shm import resolve
 from repro.engine.stats import QueryStats
 from repro.geometry.mbr import maxdist_to_boxes, mindist_to_boxes
+from repro.obs.tracing import SpanRecord, ledger_state
 from repro.storage.runtime_faults import LostPage
 
 __all__ = [
@@ -133,6 +134,7 @@ class KnnPlanTask:
     lost: frozenset  # pages the coordinator could not read
     metric: object  # repro.geometry.metrics.Metric (stateless)
     table: PageTable
+    trace: bool = False  # emit per-query SpanRecords
 
     def frozen(self, arena) -> "KnnPlanTask":
         return replace(
@@ -164,6 +166,7 @@ class KnnAssembleTask:
     counts: object  # per-page point counts (LostPage reporting)
     dmin: object  # (q, pages) directory mindist matrix
     dmax: object  # (q, pages) directory maxdist matrix
+    trace: bool = False  # emit per-query SpanRecords
 
     def frozen(self, arena) -> "KnnAssembleTask":
         return replace(
@@ -196,6 +199,7 @@ class RangePlanTask:
     lost: frozenset
     metric: object
     table: PageTable
+    trace: bool = False  # emit per-query SpanRecords
 
     def frozen(self, arena) -> "RangePlanTask":
         return replace(
@@ -228,6 +232,7 @@ class RangeAssembleTask:
     points: dict
     counts: object
     dmin: object
+    trace: bool = False  # emit per-query SpanRecords
 
     def frozen(self, arena) -> "RangeAssembleTask":
         return replace(
@@ -437,17 +442,41 @@ def assemble_result(
 # ----------------------------------------------------------------------
 # Shard entry points (what the worker pool runs)
 # ----------------------------------------------------------------------
+#
+# When ``task.trace`` is set, each entry point also emits one
+# picklable :class:`~repro.obs.tracing.SpanRecord` per query, windowed
+# on the worker's private ledger (whose deltas the determinism
+# contract keeps at zero -- so records are identical for any worker
+# count or backend).  Plan records ride inside the plan dicts under
+# ``"spans"``; assemble outputs grow from pairs to
+# ``(result, n_intervals, records)`` triples.  The coordinator pops
+# them off and stitches them into the ambient tracer in query order.
+
 def plan_knn_shard(task: KnnPlanTask, indices, _ledger) -> list[dict]:
     """Phase 1 (pure): per-query point-level bounds + refinement picks."""
     task = task.resolved()
     out = []
     for i in indices:
+        before = ledger_state(_ledger) if task.trace else None
         cand, lost = _candidates(task.cand_mask[i], task.lost)
         plan = plan_knn_query(
             task.queries[i], task.k, cand, task.table, task.metric
         )
         plan["lost"] = lost
         plan["candidate_pages"] = int(np.count_nonzero(task.cand_mask[i]))
+        if task.trace:
+            plan["spans"] = (
+                SpanRecord.capture(
+                    "plan-query",
+                    _ledger,
+                    before,
+                    query=int(i),
+                    pages=plan["candidate_pages"],
+                    points=plan["candidate_points"],
+                    refine=len(plan["refine"]),
+                    lost=len(lost),
+                ),
+            )
         out.append(plan)
     return out
 
@@ -457,6 +486,7 @@ def plan_range_shard(task: RangePlanTask, indices, _ledger) -> list[dict]:
     task = task.resolved()
     out = []
     for i in indices:
+        before = ledger_state(_ledger) if task.trace else None
         cand, lost = _candidates(task.cand_mask[i], task.lost)
         plan = plan_range_query(
             task.queries[i],
@@ -467,6 +497,19 @@ def plan_range_shard(task: RangePlanTask, indices, _ledger) -> list[dict]:
         )
         plan["lost"] = lost
         plan["candidate_pages"] = int(np.count_nonzero(task.cand_mask[i]))
+        if task.trace:
+            plan["spans"] = (
+                SpanRecord.capture(
+                    "plan-query",
+                    _ledger,
+                    before,
+                    query=int(i),
+                    pages=plan["candidate_pages"],
+                    points=plan["candidate_points"],
+                    refine=len(plan["refine"]),
+                    lost=len(lost),
+                ),
+            )
         out.append(plan)
     return out
 
@@ -480,6 +523,7 @@ def assemble_knn_shard(task: KnnAssembleTask, indices, _ledger) -> list:
     task = task.resolved()
     out = []
     for i in indices:
+        before = ledger_state(_ledger) if task.trace else None
         plan = task.plans[i]
         best = KBest(task.k)
         intervals: dict[int, tuple[float, float]] = {}
@@ -514,7 +558,19 @@ def assemble_knn_shard(task: KnnAssembleTask, indices, _ledger) -> list:
                 refinements=len(plan["refine"]),
             ),
         )
-        out.append((result, len(intervals)))
+        if task.trace:
+            record = SpanRecord.capture(
+                "assemble-query",
+                _ledger,
+                before,
+                query=int(i),
+                refine=len(plan["refine"]),
+                intervals=len(intervals),
+                lost=len(lost_records),
+            )
+            out.append((result, len(intervals), (record,)))
+        else:
+            out.append((result, len(intervals)))
     return out
 
 
@@ -523,6 +579,7 @@ def assemble_range_shard(task: RangeAssembleTask, indices, _ledger) -> list:
     task = task.resolved()
     out = []
     for i in indices:
+        before = ledger_state(_ledger) if task.trace else None
         plan = task.plans[i]
         intervals: dict[int, tuple[float, float]] = {}
         ref_ids: list[int] = []
@@ -576,5 +633,17 @@ def assemble_range_shard(task: RangeAssembleTask, indices, _ledger) -> list:
                 refinements=len(plan["refine"]),
             ),
         )
-        out.append((result, len(intervals)))
+        if task.trace:
+            record = SpanRecord.capture(
+                "assemble-query",
+                _ledger,
+                before,
+                query=int(i),
+                refine=len(plan["refine"]),
+                intervals=len(intervals),
+                lost=len(lost_records),
+            )
+            out.append((result, len(intervals), (record,)))
+        else:
+            out.append((result, len(intervals)))
     return out

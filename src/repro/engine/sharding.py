@@ -61,7 +61,11 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.search import certain_mask, checked_queries
+from repro.core.search import (
+    certain_mask,
+    checked_queries,
+    next_query_id,
+)
 from repro.core.tree import IQTree
 from repro.engine.concurrent import WorkerPool
 from repro.engine.engine import (
@@ -81,7 +85,9 @@ from repro.obs.instruments import (
     SHARDS_CONTACTED,
     SHARDS_SKIPPED,
 )
-from repro.storage.disk import SimulatedDisk
+from repro.obs.flight import observe_batch
+from repro.obs.tracing import span as obs_span
+from repro.storage.disk import IOStats, SimulatedDisk
 from repro.storage.runtime_faults import LostPage
 
 __all__ = [
@@ -161,6 +167,10 @@ class ShardBatchTrace:
     the sequential scatter cost the merged ledger charges, their max is
     the floor a concurrent scatter (which could not tighten bounds
     between shards) would pay.
+
+    When the batch ran inside ``trace_query``, ``spans`` links the
+    per-shard ``shard-visit`` spans (in visit order, one per shard
+    actually examined) of the ambient trace tree; empty otherwise.
     """
 
     visit_order: list[int]
@@ -168,6 +178,7 @@ class ShardBatchTrace:
     skipped: int
     dead: tuple[int, ...] = ()
     shard_seconds: tuple[float, ...] = ()
+    spans: tuple = ()
 
 
 @dataclass
@@ -214,6 +225,30 @@ class _QueryMerge:
         self.pages += result.stats.candidate_pages
         self.points += result.stats.candidate_points
         self.refinements += result.stats.refinements
+
+
+class _RouterDisk:
+    """Read-only composite ledger view over every shard disk.
+
+    The router has no disk of its own -- each shard tree charges its
+    private :class:`~repro.storage.disk.SimulatedDisk` -- but tracing
+    and flight recording need one coherent clock and ledger for the
+    whole scatter-gather.  ``stats`` sums the live shard ledgers, so
+    ``trace_query(router)`` sees a timeline where exactly the visited
+    shard advances the clock during its visit window (shards execute
+    sequentially), keeping sibling shard-visit spans monotone.
+    """
+
+    def __init__(self, shards):
+        self._shards = shards
+        self.model = shards[0].tree.disk.model
+
+    @property
+    def stats(self) -> IOStats:
+        total = IOStats()
+        for shard in self._shards:
+            total = total.merged_with(shard.tree.disk.stats)
+        return total
 
 
 class ShardRouter:
@@ -285,6 +320,10 @@ class ShardRouter:
             self.shards.append(
                 Shard(index=idx, tree=shard_tree, pages=pages, engine=engine)
             )
+        #: composite ledger/clock over every shard disk, for
+        #: trace_query(router) and the flight recorder.
+        self.disk = _RouterDisk(self.shards)
+        self._flight_recorder = None
         # point id -> global page, for truth-containment checks.
         self._page_of: dict[int, int] = {}
         for g, opt in enumerate(tree._partitions):
@@ -327,6 +366,33 @@ class ShardRouter:
         """Attach a fault context to every shard tree; returns them."""
         return [s.tree.use_fault_tolerance(policy) for s in self.shards]
 
+    def use_flight_recorder(self, recorder_or_capacity=64):
+        """Attach a flight recorder to the router's batch paths.
+
+        Mirrors :meth:`~repro.core.tree.IQTree.use_flight_recorder`:
+        accepts a :class:`~repro.obs.flight.FlightRecorder` or an
+        integer ring capacity and returns the recorder.  Recording
+        happens at the router level (one merged judgment per batch /
+        per query), not per shard.
+        """
+        from repro.obs.flight import FlightRecorder
+
+        if isinstance(recorder_or_capacity, FlightRecorder):
+            recorder = recorder_or_capacity
+        else:
+            recorder = FlightRecorder(capacity=int(recorder_or_capacity))
+        self._flight_recorder = recorder
+        return recorder
+
+    def clear_flight_recorder(self) -> None:
+        """Detach the flight recorder (its records stay readable)."""
+        self._flight_recorder = None
+
+    @property
+    def flight_recorder(self):
+        """The attached FlightRecorder, or None."""
+        return self._flight_recorder
+
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
@@ -352,7 +418,17 @@ class ShardRouter:
                 f"k={k} exceeds the {self._n_rows} stored points"
             )
         queries = checked_queries(self.shards[0].tree, queries)
+        if self._flight_recorder is not None:
+            return observe_batch(
+                self._flight_recorder, self, "knn-batch",
+                next_query_id(),
+                lambda: self._knn_batch_impl(queries, k),
+            )
+        return self._knn_batch_impl(queries, k)
 
+    def _knn_batch_impl(
+        self, queries: np.ndarray, k: int
+    ) -> ShardedBatchResult:
         dmin = mindist_matrix(queries, self._lowers, self._uppers, self.metric)
         dmax = maxdist_matrix(queries, self._lowers, self._uppers, self.metric)
         bound = guarantee_radii(dmax, self._counts, k)
@@ -398,7 +474,17 @@ class ShardRouter:
         )
         if np.any(radii < 0) or not np.all(np.isfinite(radii)):
             raise SearchError("radius must be non-negative and finite")
+        if self._flight_recorder is not None:
+            return observe_batch(
+                self._flight_recorder, self, "range-batch",
+                next_query_id(),
+                lambda: self._range_batch_impl(queries, radii),
+            )
+        return self._range_batch_impl(queries, radii)
 
+    def _range_batch_impl(
+        self, queries: np.ndarray, radii: np.ndarray
+    ) -> ShardedBatchResult:
         dmin = mindist_matrix(queries, self._lowers, self._uppers, self.metric)
         return self._scatter_gather(
             queries,
@@ -446,6 +532,7 @@ class ShardRouter:
         dead: list[int] = []
         dead_lost_total = 0
 
+        visit_spans: list = []
         for s in visit_order.tolist():
             shard = self.shards[s]
             active = np.flatnonzero(shard_best[:, s] <= bound)
@@ -453,28 +540,68 @@ class ShardRouter:
             if active.size == 0:
                 continue
             result = None
-            if shard.alive:
-                try:
-                    result = run(shard, active)
-                except (StorageError, QueryDataError):
-                    # A failing shard is a dead shard for this batch:
-                    # degrade exactly like kill_shard, do not fail the
-                    # whole scatter-gather.
-                    result = None
-            if result is None:
-                if s not in dead:
-                    dead.append(s)
-                dead_lost_total += self._degrade_dead_shard(
-                    shard, active, dmin, bound, merges, lost_maxdist
-                )
-                continue
-            shard_stats.append(result.stats)
-            shard_seconds.append(float(result.stats.io.elapsed))
-            for j, q in enumerate(active.tolist()):
-                merges[q].absorb(result.queries[j], shard.pages)
-                contacted[q] += 1
-                if tighten is not None:
-                    bound[q] = min(bound[q], tighten(merges[q]))
+            # The sub-span attributes its I/O to the shard's own disk
+            # but is *placed* on the tracer's composite clock, so
+            # sibling visits stay monotone; radius_cap snapshots the
+            # per-active-query bound in force when the visit started.
+            with obs_span(
+                "shard-visit",
+                disk=shard.tree.disk,
+                shard=int(s),
+                queries=int(active.size),
+                radius_cap=[float(b) for b in bound[active].tolist()],
+            ) as visit_span:
+                if visit_span is not None:
+                    visit_spans.append(visit_span)
+                if shard.alive:
+                    try:
+                        result = run(shard, active)
+                    except (StorageError, QueryDataError):
+                        # A failing shard is a dead shard for this
+                        # batch: degrade exactly like kill_shard, do
+                        # not fail the whole scatter-gather.
+                        result = None
+                if result is None:
+                    if s not in dead:
+                        dead.append(s)
+                    lost_here = self._degrade_dead_shard(
+                        shard, active, dmin, bound, merges, lost_maxdist
+                    )
+                    dead_lost_total += lost_here
+                    if visit_span is not None:
+                        visit_span.attrs["outcome"] = "dead"
+                        visit_span.attrs["lost_pages"] = lost_here
+                    continue
+                shard_stats.append(result.stats)
+                shard_seconds.append(float(result.stats.io.elapsed))
+                degraded_here = 0
+                lost_here = 0
+                for j, q in enumerate(active.tolist()):
+                    shard_answer = result.queries[j]
+                    if shard_answer.degraded:
+                        degraded_here += 1
+                    lost_here += len(shard_answer.lost_pages)
+                    merges[q].absorb(shard_answer, shard.pages)
+                    contacted[q] += 1
+                    if tighten is not None:
+                        bound[q] = min(bound[q], tighten(merges[q]))
+                if visit_span is not None:
+                    candidate_pages = sum(
+                        answer.stats.candidate_pages
+                        for answer in result.queries
+                    )
+                    visit_span.attrs["outcome"] = (
+                        "degraded" if degraded_here else "ok"
+                    )
+                    visit_span.attrs["pages_read"] = (
+                        result.stats.pages_read
+                    )
+                    visit_span.attrs["pages_pruned"] = (
+                        int(active.size) * int(shard.pages.size)
+                        - candidate_pages
+                    )
+                    visit_span.attrs["degraded_queries"] = degraded_here
+                    visit_span.attrs["lost_pages"] = lost_here
 
         results = [
             self._finalize(merge, top_k) for merge in merges
@@ -496,6 +623,7 @@ class ShardRouter:
             skipped=skipped,
             dead=tuple(sorted(dead)),
             shard_seconds=tuple(shard_seconds),
+            spans=tuple(visit_spans),
         )
         return ShardedBatchResult(
             queries=results, stats=stats, routing=trace

@@ -6,19 +6,32 @@ Three pieces, documented in :doc:`docs/observability.md`:
   :mod:`repro.obs.instruments`) of counters/gauges/histograms fed by
   hooks in the storage, engine, optimizer, and persistence layers;
   disabled by default, one-flag cheap until :func:`enable` is called;
-* a **tracing API** (:func:`trace_query` / :func:`span`) producing
-  nested spans with wall-clock and simulated-I/O attribution;
+* a **distributed tracing API** (:func:`trace_query` / :func:`span`)
+  producing nested spans with wall-clock, simulated-seconds, and
+  simulated-I/O attribution, stitched across worker and shard
+  boundaries via picklable :class:`~repro.obs.tracing.SpanRecord`
+  lists, and exportable as Chrome trace-event or OTLP-style JSON
+  (:mod:`repro.obs.export`);
+* a **flight recorder** (:class:`~repro.obs.flight.FlightRecorder`)
+  keeping bounded postmortems -- span tree + counter deltas -- of
+  slow, degraded, or faulted queries;
+* an **SLO monitor** (:class:`~repro.obs.slo.SLOMonitor`) judging
+  declarative latency/degradation objectives from the registry and
+  exporting pass/burn gauges;
 * a **cost-model drift monitor** (:data:`drift`,
   :class:`~repro.obs.drift.DriftMonitor`) recording predicted vs.
   measured query cost per executed query.
 
 CLI frontends: ``python -m repro stats`` (registry dump, JSON or
-Prometheus text exposition) and ``python -m repro trace`` (span tree of
-one query).
+Prometheus text exposition, ``--slo`` objectives), ``python -m repro
+trace`` (span tree of one batch, ``--export chrome|otlp``), and
+``python -m repro flight`` (flight-recorder dump).
 """
 
 from repro.obs.drift import DriftMonitor, DriftReport, DriftSample
 from repro.obs.drift import MONITOR as drift
+from repro.obs.export import chrome_trace, export_trace, otlp_spans
+from repro.obs.flight import FlightRecord, FlightRecorder
 from repro.obs.instruments import REGISTRY as registry
 from repro.obs.registry import (
     Counter,
@@ -26,9 +39,11 @@ from repro.obs.registry import (
     Histogram,
     MetricsRegistry,
 )
+from repro.obs.slo import Objective, SLOMonitor, SLOStatus
 from repro.obs.tracing import (
     Span,
     SpanIO,
+    SpanRecord,
     Tracer,
     active_tracer,
     span,
@@ -45,10 +60,19 @@ __all__ = [
     "Histogram",
     "Span",
     "SpanIO",
+    "SpanRecord",
     "Tracer",
     "span",
     "trace_query",
     "active_tracer",
+    "chrome_trace",
+    "otlp_spans",
+    "export_trace",
+    "FlightRecord",
+    "FlightRecorder",
+    "Objective",
+    "SLOMonitor",
+    "SLOStatus",
     "DriftMonitor",
     "DriftReport",
     "DriftSample",

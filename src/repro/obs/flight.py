@@ -1,0 +1,349 @@
+"""Query flight recorder: a bounded postmortem ring buffer.
+
+Production question: *that* query was slow / wrong / degraded -- what
+exactly did it do?  Aggregate metrics (:mod:`repro.obs.instruments`)
+answer "how much", traces answer "what happened" but only for queries
+someone thought to trace in advance.  The flight recorder closes the
+gap: attached to a tree or shard router
+(``tree.use_flight_recorder()``), it watches every query go by and
+keeps a full :class:`FlightRecord` -- span tree, qualification reasons,
+and cache/pool/fault counter deltas -- for the ones worth a postmortem:
+
+* **slow** -- simulated seconds over an absolute threshold, or among
+  the ``top_slow`` slowest seen so far (so the first queries qualify
+  until a baseline forms);
+* **degraded** -- the answer carries intervals or ``LostPage`` records;
+* **faulted** -- the fault-tolerance machinery retried or quarantined
+  during the query.
+
+The ring is bounded (``capacity``): old records fall off the back and
+are counted in ``dropped``, so a recorder left attached forever costs
+bounded memory.  Qualification reads only deterministic inputs
+(simulated seconds, degraded flags, fault counters), never wall clock,
+so which queries a fixed workload captures is reproducible.
+
+``repro flight`` (CLI) runs a workload with a recorder attached and
+dumps the captured records as JSON.
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.obs.instruments import (
+    FLIGHT_DROPPED,
+    FLIGHT_RECORDS,
+    FLIGHT_RESIDENT,
+    REGISTRY,
+)
+from repro.obs.tracing import active_tracer, trace_query
+
+__all__ = [
+    "FlightRecord",
+    "FlightRecorder",
+    "observe_batch",
+    "observe_single",
+]
+
+
+@dataclass
+class FlightRecord:
+    """One captured query (or batch) and the evidence around it."""
+
+    kind: str  # knn-batch | range-batch | nearest | range
+    query_id: int  # engine batch id / single-query id
+    reasons: tuple  # subset of ("slow", "degraded", "faulted")
+    sim_seconds: float  # simulated cost that was judged
+    counters: dict  # cache/pool/fault counter deltas
+    detail: dict = field(default_factory=dict)
+    trace: dict | None = None  # span tree (sim_dict), when captured
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "query_id": self.query_id,
+            "reasons": list(self.reasons),
+            "sim_seconds": self.sim_seconds,
+            "counters": dict(self.counters),
+            "detail": dict(self.detail),
+            "trace": self.trace,
+        }
+
+
+class FlightRecorder:
+    """Bounded ring of :class:`FlightRecord` postmortems.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum resident records; the oldest is evicted (and counted in
+        ``dropped``) when a new record lands in a full ring.
+    slow_threshold:
+        Absolute simulated-seconds bound; any query at or over it
+        qualifies as slow.  ``None`` (default) disables the absolute
+        test.
+    top_slow:
+        Keep a query if it ranks among this many slowest seen so far
+        (0 disables relative slow capture -- the chaos harness uses
+        that to count only degraded/faulted captures).
+    capture_traces:
+        Record each captured query's span tree by opening a private
+        ``trace_query`` around it.  When a user trace is already
+        active, the query is recorded without a tree rather than
+        stealing spans from the ambient tracer.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 64,
+        slow_threshold: float | None = None,
+        top_slow: int = 8,
+        capture_traces: bool = True,
+    ):
+        if capacity < 1:
+            raise ValueError("flight recorder capacity must be >= 1")
+        self.capacity = int(capacity)
+        self.slow_threshold = slow_threshold
+        self.top_slow = int(top_slow)
+        self.capture_traces = bool(capture_traces)
+        self._ring: deque[FlightRecord] = deque(maxlen=self.capacity)
+        self._slow_marks: list[float] = []  # ascending, len <= top_slow
+        self.recorded = 0
+        self.dropped = 0
+
+    # ------------------------------------------------------------------
+    # Qualification
+    # ------------------------------------------------------------------
+    def _is_slow(self, sim_seconds: float) -> bool:
+        if (
+            self.slow_threshold is not None
+            and sim_seconds >= self.slow_threshold
+        ):
+            return True
+        if self.top_slow <= 0:
+            return False
+        if len(self._slow_marks) < self.top_slow:
+            bisect.insort(self._slow_marks, sim_seconds)
+            return True
+        if sim_seconds > self._slow_marks[0]:
+            bisect.insort(self._slow_marks, sim_seconds)
+            del self._slow_marks[0]
+            return True
+        return False
+
+    def qualify(
+        self,
+        sim_seconds: float,
+        degraded: bool = False,
+        faulted: bool = False,
+    ) -> tuple:
+        """Reasons this query deserves a record (empty = none).
+
+        Call once per observed query: the slowest-seen watermark
+        updates even when the query does not qualify.
+        """
+        reasons = []
+        if self._is_slow(sim_seconds):
+            reasons.append("slow")
+        if degraded:
+            reasons.append("degraded")
+        if faulted:
+            reasons.append("faulted")
+        return tuple(reasons)
+
+    # ------------------------------------------------------------------
+    # Recording / inspection
+    # ------------------------------------------------------------------
+    def record(
+        self,
+        kind: str,
+        query_id: int,
+        reasons: tuple,
+        sim_seconds: float,
+        counters: dict,
+        detail: dict | None = None,
+        trace: dict | None = None,
+    ) -> FlightRecord | None:
+        """Append one record (no-op when ``reasons`` is empty)."""
+        if not reasons:
+            return None
+        if len(self._ring) == self.capacity:
+            self.dropped += 1
+            if REGISTRY.enabled:
+                FLIGHT_DROPPED.inc()
+        rec = FlightRecord(
+            kind=kind,
+            query_id=query_id,
+            reasons=tuple(reasons),
+            sim_seconds=float(sim_seconds),
+            counters=dict(counters),
+            detail=dict(detail or {}),
+            trace=trace,
+        )
+        self._ring.append(rec)
+        self.recorded += 1
+        if REGISTRY.enabled:
+            for reason in rec.reasons:
+                FLIGHT_RECORDS.inc(reason=reason)
+            FLIGHT_RESIDENT.set(len(self._ring))
+        return rec
+
+    def records(self, reason: str | None = None) -> list[FlightRecord]:
+        """Resident records, oldest first (optionally one reason)."""
+        if reason is None:
+            return list(self._ring)
+        return [r for r in self._ring if reason in r.reasons]
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def clear(self) -> None:
+        """Drop every resident record and the slow watermark."""
+        self._ring.clear()
+        self._slow_marks.clear()
+        if REGISTRY.enabled:
+            FLIGHT_RESIDENT.set(0)
+
+    def to_dict(self) -> dict:
+        return {
+            "capacity": self.capacity,
+            "recorded": self.recorded,
+            "dropped": self.dropped,
+            "records": [r.to_dict() for r in self._ring],
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+
+# ----------------------------------------------------------------------
+# Observation hooks (called by the engine / router / search wrappers)
+# ----------------------------------------------------------------------
+def _batch_counters(stats) -> dict:
+    """Counter deltas of one batch, from its already-merged stats."""
+    return {
+        "pages_read": stats.pages_read,
+        "refinements": stats.refinements,
+        "pool_hits": stats.pool_hits,
+        "pool_misses": stats.pool_misses,
+        "decoded_pages_reused": stats.decoded_pages_reused,
+        "retries": stats.retries,
+        "quarantined": stats.quarantined,
+        "degraded_results": stats.degraded_results,
+        "lost_pages": stats.lost_pages,
+    }
+
+
+def observe_batch(recorder, target, kind: str, batch_id: int, run):
+    """Run one batch under the recorder's watch.
+
+    ``run`` executes the batch and returns its ``BatchResult``; the
+    recorder captures a span tree around it (unless a user trace is
+    already active), then judges the batch and each query: a batch
+    that retried or quarantined yields one *faulted* record, and every
+    degraded or slow query yields its own record carrying the batch's
+    counter deltas and its index within the batch.  Per-query simulated
+    seconds are the batch mean -- the engine amortizes I/O across the
+    batch, so no sharper per-query figure exists.
+    """
+    trace_dict = None
+    if recorder.capture_traces and active_tracer() is None:
+        with trace_query(target, name=kind) as tracer:
+            result = run()
+        if tracer.root is not None:
+            trace_dict = tracer.root.sim_dict()
+    else:
+        result = run()
+    stats = result.stats
+    counters = _batch_counters(stats)
+    faulted = stats.retries > 0 or stats.quarantined > 0
+    if faulted:
+        recorder.record(
+            kind,
+            batch_id,
+            ("faulted",),
+            stats.io.elapsed,
+            counters,
+            detail={"n_queries": stats.n_queries},
+            trace=trace_dict,
+        )
+    share = stats.io.elapsed / max(stats.n_queries, 1)
+    for index, query in enumerate(result.queries):
+        reasons = recorder.qualify(share, degraded=query.degraded)
+        if reasons:
+            recorder.record(
+                kind,
+                batch_id,
+                reasons,
+                share,
+                counters,
+                detail={
+                    "query": index,
+                    "intervals": len(query.intervals or {}),
+                    "lost_pages": len(query.lost_pages),
+                },
+                trace=trace_dict,
+            )
+    return result
+
+
+def observe_single(recorder, tree, kind: str, query_id: int, run):
+    """Run one single-query search under the recorder's watch.
+
+    Unlike batches, a single query has an exact per-query cost
+    (``result.io``) and exact fault-counter deltas, so slow/degraded/
+    faulted judgments here are precise.
+    """
+    ctx = tree._fault_ctx
+    retries_before = ctx.retries if ctx is not None else 0
+    quarantined_before = ctx.quarantined if ctx is not None else 0
+    pool = tree._pool
+    pool_before = (pool.hits, pool.misses) if pool is not None else (0, 0)
+    trace_dict = None
+    if recorder.capture_traces and active_tracer() is None:
+        with trace_query(tree, name=kind) as tracer:
+            result = run()
+        if tracer.root is not None:
+            trace_dict = tracer.root.sim_dict()
+    else:
+        result = run()
+    retries = (ctx.retries - retries_before) if ctx is not None else 0
+    quarantined = (
+        (ctx.quarantined - quarantined_before) if ctx is not None else 0
+    )
+    counters = {
+        "pages_read": result.pages_read,
+        "refinements": result.refinements,
+        "pool_hits": (
+            (pool.hits - pool_before[0]) if pool is not None else 0
+        ),
+        "pool_misses": (
+            (pool.misses - pool_before[1]) if pool is not None else 0
+        ),
+        "retries": retries,
+        "quarantined": quarantined,
+        "degraded_results": len(result.intervals or {}),
+        "lost_pages": len(result.lost_pages),
+    }
+    reasons = recorder.qualify(
+        result.io.elapsed,
+        degraded=result.degraded,
+        faulted=retries > 0 or quarantined > 0,
+    )
+    if reasons:
+        recorder.record(
+            kind,
+            query_id,
+            reasons,
+            result.io.elapsed,
+            counters,
+            detail={
+                "intervals": len(result.intervals or {}),
+                "lost_pages": len(result.lost_pages),
+            },
+            trace=trace_dict,
+        )
+    return result

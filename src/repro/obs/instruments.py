@@ -204,6 +204,46 @@ LOST_PAGES = REGISTRY.counter(
 )
 
 # ----------------------------------------------------------------------
+# Flight recorder (fed by repro.obs.flight.FlightRecorder)
+# ----------------------------------------------------------------------
+FLIGHT_RECORDS = REGISTRY.counter(
+    "iq_flight_records_total",
+    "Queries captured by the flight recorder, by qualification reason "
+    "(label: reason = slow | degraded | faulted)",
+)
+FLIGHT_DROPPED = REGISTRY.counter(
+    "iq_flight_records_dropped_total",
+    "Flight records evicted from the bounded ring to admit newer ones",
+)
+FLIGHT_RESIDENT = REGISTRY.gauge(
+    "iq_flight_resident_records",
+    "Flight records currently resident in the ring buffer",
+)
+
+# ----------------------------------------------------------------------
+# SLO monitor (fed by repro.obs.slo.SLOMonitor.evaluate)
+# ----------------------------------------------------------------------
+SLO_MET = REGISTRY.gauge(
+    "iq_slo_objective_met",
+    "1 when the objective currently meets its threshold, else 0 "
+    "(label: objective)",
+)
+SLO_BURN = REGISTRY.gauge(
+    "iq_slo_burn_ratio",
+    "Observed value over threshold; above 1.0 the objective is burning "
+    "(label: objective)",
+)
+SLO_OBSERVED = REGISTRY.gauge(
+    "iq_slo_observed_value",
+    "Value the objective was last evaluated against "
+    "(label: objective)",
+)
+SLO_THRESHOLD = REGISTRY.gauge(
+    "iq_slo_threshold",
+    "Declared threshold of the objective (label: objective)",
+)
+
+# ----------------------------------------------------------------------
 # Persistence
 # ----------------------------------------------------------------------
 CONTAINER_OPS = REGISTRY.counter(

@@ -1,0 +1,211 @@
+"""Declarative SLOs evaluated from the metrics registry.
+
+An :class:`Objective` states what "healthy" means in one line, in
+terms of instruments the library already maintains:
+
+* **quantile** objectives bound a histogram quantile, e.g. *"p99 of
+  per-query simulated seconds stays under 50 ms"* --
+  ``latency=iq_query_simulated_seconds:p99<=0.05``;
+* **ratio** objectives bound the ratio of two counters, e.g. *"at most
+  1% of batch queries degrade"* --
+  ``degraded=iq_degraded_results_total/iq_batch_queries_total<=0.01``.
+
+:meth:`SLOMonitor.evaluate` reads the registry, judges each objective,
+and exports the verdicts through the ``iq_slo_*`` gauges (labelled by
+objective name), so pass/burn status rides the same Prometheus text
+endpoint as everything else -- ``python -m repro stats --slo SPEC``
+wires it up.  The *burn ratio* is observed value over threshold: below
+1.0 there is headroom, above it the objective is burning.
+
+Objectives with no data yet (empty histogram, zero denominator) report
+as met with zero burn -- absence of traffic is not a violation -- and
+skip the observed-value gauge rather than exporting NaN.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass
+
+from repro.obs.instruments import (
+    REGISTRY,
+    SLO_BURN,
+    SLO_MET,
+    SLO_OBSERVED,
+    SLO_THRESHOLD,
+)
+from repro.obs.registry import Counter, Gauge, Histogram
+
+__all__ = ["Objective", "SLOStatus", "SLOMonitor", "parse_objective"]
+
+_SPEC_RE = re.compile(
+    r"^(?:(?P<name>[A-Za-z_][A-Za-z0-9_-]*)=)?"
+    r"(?P<metric>[A-Za-z_:][A-Za-z0-9_:]*)"
+    r"(?::p(?P<quantile>[0-9]+(?:\.[0-9]+)?)"
+    r"|/(?P<denominator>[A-Za-z_:][A-Za-z0-9_:]*))"
+    r"<=(?P<threshold>[0-9.eE+-]+)$"
+)
+
+
+@dataclass(frozen=True)
+class Objective:
+    """One declarative objective over registry instruments."""
+
+    name: str
+    kind: str  # "quantile" | "ratio"
+    metric: str
+    threshold: float
+    quantile: float = 0.0  # quantile objectives: in [0, 1]
+    denominator: str = ""  # ratio objectives: the divisor counter
+
+    def describe(self) -> str:
+        if self.kind == "quantile":
+            return (
+                f"{self.name}: p{self.quantile * 100:g}"
+                f"({self.metric}) <= {self.threshold:g}"
+            )
+        return (
+            f"{self.name}: {self.metric}/{self.denominator}"
+            f" <= {self.threshold:g}"
+        )
+
+
+def parse_objective(spec: str) -> Objective:
+    """Parse one ``--slo`` spec string.
+
+    Grammar: ``[name=]metric:pQQ<=bound`` (histogram quantile, ``QQ``
+    in percent) or ``[name=]numerator/denominator<=bound`` (counter
+    ratio).  The name defaults to the metric name.
+    """
+    match = _SPEC_RE.match(spec.strip())
+    if match is None:
+        raise ValueError(
+            f"bad SLO spec {spec!r}; expected "
+            "'[name=]metric:p99<=0.05' or "
+            "'[name=]counter_a/counter_b<=0.01'"
+        )
+    threshold = float(match["threshold"])
+    name = match["name"] or match["metric"]
+    if match["quantile"] is not None:
+        quantile = float(match["quantile"]) / 100.0
+        if not 0.0 <= quantile <= 1.0:
+            raise ValueError(f"quantile out of range in {spec!r}")
+        return Objective(
+            name=name,
+            kind="quantile",
+            metric=match["metric"],
+            threshold=threshold,
+            quantile=quantile,
+        )
+    return Objective(
+        name=name,
+        kind="ratio",
+        metric=match["metric"],
+        threshold=threshold,
+        denominator=match["denominator"],
+    )
+
+
+@dataclass(frozen=True)
+class SLOStatus:
+    """Verdict of one objective at one evaluation."""
+
+    objective: Objective
+    observed: float | None  # None = no data yet
+    met: bool
+    burn: float  # observed / threshold (0 when no data)
+
+    def describe(self) -> str:
+        state = "OK" if self.met else "BURNING"
+        if self.observed is None:
+            return f"{self.objective.describe()} -- {state} (no data)"
+        return (
+            f"{self.objective.describe()} -- {state} "
+            f"(observed {self.observed:.6g}, burn {self.burn:.3g})"
+        )
+
+
+class SLOMonitor:
+    """Evaluates a set of objectives against a metrics registry."""
+
+    def __init__(self, objectives):
+        self.objectives = [
+            parse_objective(o) if isinstance(o, str) else o
+            for o in objectives
+        ]
+
+    def _observe(self, objective: Objective, registry) -> float | None:
+        """The objective's current value, or None without data."""
+        try:
+            metric = registry.get(objective.metric)
+        except KeyError:
+            raise ValueError(
+                f"SLO {objective.name!r} references unknown metric "
+                f"{objective.metric!r}"
+            ) from None
+        if objective.kind == "quantile":
+            if not isinstance(metric, Histogram):
+                raise ValueError(
+                    f"SLO {objective.name!r} needs a histogram, but "
+                    f"{objective.metric!r} is a {metric.kind}"
+                )
+            value = metric.quantile(objective.quantile)
+            return None if math.isnan(value) else value
+        if not isinstance(metric, (Counter, Gauge)):
+            raise ValueError(
+                f"SLO {objective.name!r} needs counters, but "
+                f"{objective.metric!r} is a {metric.kind}"
+            )
+        try:
+            denominator = registry.get(objective.denominator)
+        except KeyError:
+            raise ValueError(
+                f"SLO {objective.name!r} references unknown metric "
+                f"{objective.denominator!r}"
+            ) from None
+        below = denominator.value()
+        if below == 0:
+            return None
+        return metric.value() / below
+
+    def evaluate(self, registry=None) -> list[SLOStatus]:
+        """Judge every objective and export ``iq_slo_*`` gauges.
+
+        Gauge export requires the registry to be enabled (like every
+        other instrument write); evaluation itself always works.
+        """
+        registry = registry if registry is not None else REGISTRY
+        statuses = []
+        for objective in self.objectives:
+            observed = self._observe(objective, registry)
+            if observed is None:
+                met, burn = True, 0.0
+            else:
+                met = observed <= objective.threshold
+                if objective.threshold > 0:
+                    burn = observed / objective.threshold
+                else:
+                    burn = 0.0 if observed == 0 else float("inf")
+            statuses.append(
+                SLOStatus(
+                    objective=objective,
+                    observed=observed,
+                    met=met,
+                    burn=burn,
+                )
+            )
+            SLO_MET.set(1.0 if met else 0.0, objective=objective.name)
+            SLO_BURN.set(burn, objective=objective.name)
+            SLO_THRESHOLD.set(
+                objective.threshold, objective=objective.name
+            )
+            if observed is not None:
+                SLO_OBSERVED.set(observed, objective=objective.name)
+        return statuses
+
+    def summary(self, statuses=None) -> str:
+        """One human-readable line per objective."""
+        if statuses is None:
+            statuses = self.evaluate()
+        return "\n".join(status.describe() for status in statuses)

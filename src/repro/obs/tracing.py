@@ -10,6 +10,21 @@ total minus its children's) partitions the ledger exactly: summing
 turn equals the disk's :class:`~repro.storage.disk.IOStats` delta for
 the traced call.
 
+Spans carry **two** clocks.  ``wall_seconds`` is the host's
+``perf_counter`` delta -- useful to humans, worthless for comparison
+(it varies run to run).  ``sim_start``/``sim_seconds`` place the span
+on the *simulated-seconds* timeline read from the tracer's clock disk,
+so a trace of a fixed workload is bit-identical across runs, worker
+counts, and executor backends; the exporters in
+:mod:`repro.obs.export` emit only the simulated timeline.
+
+Work executed in worker threads or processes cannot touch the ambient
+tracer (a process cannot see it, and a thread mutating the shared stack
+would interleave with the coordinator).  Worker kernels instead return
+compact, picklable :class:`SpanRecord` lists which the coordinator
+grafts into the live tree with :meth:`Tracer.stitch` -- in query order,
+so the stitched tree is independent of how work was sharded.
+
 Library code never takes a tracer argument.  Instead it calls the
 ambient :func:`span` helper, which is a no-op context manager unless a
 :func:`trace_query` block is active -- so instrumented code paths cost
@@ -23,6 +38,7 @@ Usage::
         tree.query_engine().knn_batch(queries, k=5)
     print(tracer.render())          # human-readable span tree
     payload = tracer.to_dict()      # JSON-friendly export
+    events = tracer.root.to_events()  # Chrome trace events (Perfetto)
 """
 
 from __future__ import annotations
@@ -35,6 +51,7 @@ from dataclasses import dataclass, field
 __all__ = [
     "Span",
     "SpanIO",
+    "SpanRecord",
     "Tracer",
     "span",
     "trace_query",
@@ -88,15 +105,79 @@ def _snapshot(disk) -> SpanIO:
     )
 
 
+@dataclass(frozen=True)
+class SpanRecord:
+    """A completed span as plain, picklable data.
+
+    What a worker kernel hands back across the thread/process boundary:
+    no live objects, only the name, attributes, and ledger deltas.
+    ``sim_start``/``sim_seconds`` are read from the *worker's* private
+    ledger (which the determinism contract keeps at zero -- workers
+    charge no simulated I/O), so records are bit-identical for any
+    worker count and either backend.  No wall clock is recorded: worker
+    wall time is scheduling noise, and the enclosing coordinator span
+    already times the whole phase for humans.
+
+    :meth:`Tracer.stitch` turns records back into :class:`Span` nodes,
+    re-basing ``sim_start`` onto the coordinator's simulated clock.
+    """
+
+    name: str
+    attrs: tuple = ()  # ((key, value), ...) -- dicts don't hash/freeze
+    sim_start: float = 0.0
+    sim_seconds: float = 0.0
+    seeks: int = 0
+    blocks_read: int = 0
+    blocks_overread: int = 0
+    children: tuple = ()
+
+    @staticmethod
+    def capture(name: str, ledger, before, **attrs) -> "SpanRecord":
+        """Build a record from a worker-ledger snapshot pair.
+
+        ``before`` is ``ledger_state(ledger)`` taken when the unit of
+        work started; the record's window is the delta since then.
+        """
+        after = ledger_state(ledger)
+        return SpanRecord(
+            name=name,
+            attrs=tuple(sorted(attrs.items())),
+            sim_start=before[3],
+            sim_seconds=after[3] - before[3],
+            seeks=after[0] - before[0],
+            blocks_read=after[1] - before[1],
+            blocks_overread=after[2] - before[2],
+        )
+
+
+def ledger_state(ledger) -> tuple[int, int, int, float]:
+    """Snapshot an IOStats-shaped ledger as a plain tuple."""
+    if ledger is None:
+        return (0, 0, 0, 0.0)
+    return (
+        ledger.seeks,
+        ledger.blocks_read,
+        ledger.blocks_overread,
+        ledger.elapsed,
+    )
+
+
 @dataclass
 class Span:
-    """One node of a trace: a named, timed, I/O-attributed interval."""
+    """One node of a trace: a named, timed, I/O-attributed interval.
+
+    ``wall_seconds`` is host wall-clock (humans only).  ``sim_start``
+    and ``sim_seconds`` are the span's interval on the simulated-seconds
+    timeline -- deterministic, and what the exporters emit.
+    """
 
     name: str
     attrs: dict = field(default_factory=dict)
     children: list["Span"] = field(default_factory=list)
     wall_seconds: float = 0.0
     io: SpanIO = field(default_factory=SpanIO)
+    sim_start: float = 0.0
+    sim_seconds: float = 0.0
 
     @property
     def own_io(self) -> SpanIO:
@@ -119,20 +200,94 @@ class Span:
                 return node
         return None
 
+    def find_all(self, name: str) -> list["Span"]:
+        """Every span named ``name`` in this subtree (depth-first)."""
+        return [node for node in self.walk() if node.name == name]
+
     def to_dict(self) -> dict:
         """JSON-friendly recursive export."""
         return {
             "name": self.name,
             "attrs": dict(self.attrs),
             "wall_seconds": self.wall_seconds,
+            "sim_start": self.sim_start,
+            "sim_seconds": self.sim_seconds,
             "io": self.io.to_dict(),
             "own_io": self.own_io.to_dict(),
             "children": [c.to_dict() for c in self.children],
         }
 
+    def sim_dict(self) -> dict:
+        """Deterministic projection: everything except wall clock.
+
+        Bit-identical across runs, worker counts, and backends for a
+        fixed workload -- what the sweep tests compare and the
+        exporters serialize.
+        """
+        return {
+            "name": self.name,
+            "attrs": dict(self.attrs),
+            "sim_start": self.sim_start,
+            "sim_seconds": self.sim_seconds,
+            "io": self.io.to_dict(),
+            "own_io": self.own_io.to_dict(),
+            "children": [c.sim_dict() for c in self.children],
+        }
+
+    def to_events(self, pid: int = 0, tid: int = 0) -> list[dict]:
+        """This subtree as Chrome trace events (``B``/``E`` pairs).
+
+        Timestamps are the simulated-seconds timeline in microseconds
+        (the format's unit), so the events are deterministic and load
+        directly in Perfetto / ``chrome://tracing``.  Events come out
+        depth-first, which makes ``ts`` non-decreasing: a child's
+        window nests inside its parent's because the simulated clock
+        only advances inside the parent's snapshot window.
+        """
+        events: list[dict] = []
+        self._emit_events(events, pid, tid)
+        return events
+
+    def _emit_events(self, out: list, pid: int, tid: int) -> None:
+        args = dict(self.attrs)
+        own = self.own_io
+        args["own_seeks"] = own.seeks
+        args["own_blocks"] = own.blocks_read
+        out.append(
+            {
+                "name": self.name,
+                "cat": "iq",
+                "ph": "B",
+                "ts": round(self.sim_start * 1e6, 3),
+                "pid": pid,
+                "tid": tid,
+                "args": args,
+            }
+        )
+        for child in self.children:
+            child._emit_events(out, pid, tid)
+        out.append(
+            {
+                "name": self.name,
+                "cat": "iq",
+                "ph": "E",
+                "ts": round((self.sim_start + self.sim_seconds) * 1e6, 3),
+                "pid": pid,
+                "tid": tid,
+            }
+        )
+
 
 class Tracer:
-    """Builds a span tree around a simulated disk's ledger."""
+    """Builds a span tree around a simulated disk's ledger.
+
+    ``disk`` doubles as the tracer's *clock*: every span's
+    ``sim_start`` is read from it, even when the span attributes its
+    I/O to a different disk (the shard router's per-shard sub-spans
+    measure their delta on the shard disk but are placed on the
+    router's composite timeline, which keeps sibling timestamps
+    monotone).
+    """
 
     def __init__(self, disk=None):
         self.disk = disk
@@ -154,6 +309,8 @@ class Tracer:
             self.roots.append(node)
         self._stack.append(node)
         disk = disk if disk is not None else self.disk
+        clock = self.disk if self.disk is not None else disk
+        node.sim_start = _snapshot(clock).elapsed
         io_before = _snapshot(disk)
         t0 = time.perf_counter()
         try:
@@ -161,7 +318,50 @@ class Tracer:
         finally:
             node.wall_seconds = time.perf_counter() - t0
             node.io = _snapshot(disk) - io_before
+            node.sim_seconds = node.io.elapsed
             self._stack.pop()
+
+    # ------------------------------------------------------------------
+    # Worker-record stitching
+    # ------------------------------------------------------------------
+    def stitch(self, records, parent: Span | None = None) -> list[Span]:
+        """Graft worker :class:`SpanRecord` lists into the live tree.
+
+        Records become children of ``parent`` (default: the currently
+        open span), re-based onto this tracer's simulated clock: a
+        record's ``sim_start`` is its offset within the worker's
+        private ledger (zero under the workers-charge-nothing
+        contract), added to the clock's reading *now*.  Call in query
+        order so the stitched tree does not depend on how the work was
+        sharded across workers.
+        """
+        if parent is None:
+            parent = self._stack[-1] if self._stack else None
+        base = _snapshot(self.disk).elapsed
+        spans = [self._materialize(rec, base) for rec in records]
+        if parent is None:
+            self.roots.extend(spans)
+        else:
+            parent.children.extend(spans)
+        return spans
+
+    def _materialize(self, rec: SpanRecord, base: float) -> Span:
+        node = Span(
+            name=rec.name,
+            attrs=dict(rec.attrs),
+            sim_start=base + rec.sim_start,
+            sim_seconds=rec.sim_seconds,
+            io=SpanIO(
+                seeks=rec.seeks,
+                blocks_read=rec.blocks_read,
+                blocks_overread=rec.blocks_overread,
+                elapsed=rec.sim_seconds,
+            ),
+        )
+        node.children = [
+            self._materialize(child, base) for child in rec.children
+        ]
+        return node
 
     # ------------------------------------------------------------------
     # Export
@@ -265,6 +465,8 @@ def trace_query(target=None, name: str = "query"):
 
     ``target`` is an :class:`~repro.core.tree.IQTree`, a
     :class:`~repro.engine.QueryEngine`, a
+    :class:`~repro.engine.sharding.ShardRouter` (whose composite ledger
+    view becomes the clock), a
     :class:`~repro.storage.disk.SimulatedDisk`, or None (wall-clock
     only).  Yields the :class:`Tracer`; after the block exits,
     ``tracer.root`` holds the finished span tree.

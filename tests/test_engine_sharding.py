@@ -17,6 +17,7 @@ resident-bytes gauge on repeated attach/detach.
 
 import gc
 import glob
+import json
 import os
 import tempfile
 
@@ -31,6 +32,7 @@ from repro.engine.shm import SharedArena
 from repro.engine.stats import BatchStats
 from repro.exceptions import QueryDataError, SearchError, StorageError
 from repro.obs.instruments import DECODED_CACHE_BYTES, REGISTRY
+from repro.obs.tracing import SpanIO, trace_query
 from repro.storage.disk import DiskModel, IOStats, SimulatedDisk
 from repro.storage.runtime_faults import ReadFaultInjector
 
@@ -537,3 +539,164 @@ class TestSharedWorkerPool:
         got = router.knn_batch(queries, k=3)
         assert len(got) == queries.shape[0]
         router.close()
+
+
+class TestDistributedTracing:
+    """Stitched scatter-gather traces: structure, attribution, parity.
+
+    The tentpole's acceptance bar: a ``trace_query(router)`` span tree
+    (names, structure, simulated-seconds durations, own-I/O) is
+    bit-identical across worker counts and backends at a fixed shard
+    count, the own-I/O partition invariant extends to the composite
+    router ledger (faults included), and every shard visit leaves a
+    ``shard-visit`` span carrying its routing decision.
+    """
+
+    GRID = [(1, "thread"), (2, "thread"), (4, "process")]
+
+    def trace_once(self, data, queries, n_shards, workers, backend, faults):
+        router = ShardRouter(
+            build_tree(data), shards=n_shards, workers=workers,
+            backend=backend,
+        )
+        if faults:
+            for shard in router.shards:
+                inj = ReadFaultInjector()
+                inj.fail_always(shard.tree._quant_file.extent_start)
+                shard.tree.disk.install_fault_injector(inj)
+            router.use_fault_tolerance()
+        try:
+            with trace_query(router, name="knn-batch") as tracer:
+                batch = router.knn_batch(queries, k=6)
+        finally:
+            router.close()
+        return tracer, batch
+
+    @staticmethod
+    def own_sum(tracer) -> SpanIO:
+        own = SpanIO()
+        for node in tracer.root.walk():
+            own = own + node.own_io
+        return own
+
+    @pytest.mark.parametrize("faults", [False, True])
+    def test_stitched_tree_identical_across_workers_and_backends(
+        self, data, queries, faults
+    ):
+        base_tracer, base_batch = self.trace_once(
+            data, queries, 2, 1, "thread", faults
+        )
+        if faults:
+            assert base_batch.stats.degraded
+        base = json.dumps(base_tracer.root.sim_dict(), sort_keys=True)
+        for workers, backend in self.GRID[1:]:
+            tracer, _ = self.trace_once(
+                data, queries, 2, workers, backend, faults
+            )
+            got = json.dumps(tracer.root.sim_dict(), sort_keys=True)
+            assert got == base, (workers, backend)
+
+    @pytest.mark.parametrize("faults", [False, True])
+    def test_own_io_sums_to_composite_router_ledger(
+        self, data, queries, faults
+    ):
+        """The PR 3 attribution invariant, one tier up: own-I/O over
+        the stitched tree partitions the *composite* (all-shards)
+        ledger delta exactly."""
+        router = ShardRouter(build_tree(data), shards=3)
+        if faults:
+            for shard in router.shards:
+                inj = ReadFaultInjector()
+                inj.fail_always(shard.tree._quant_file.extent_start)
+                shard.tree.disk.install_fault_injector(inj)
+            router.use_fault_tolerance()
+        before = ledger_tuple(router.disk.stats)
+        try:
+            with trace_query(router) as tracer:
+                batch = router.knn_batch(queries, k=6)
+        finally:
+            router.close()
+        delta = tuple(
+            a - b for a, b in zip(ledger_tuple(router.disk.stats), before)
+        )
+        own = self.own_sum(tracer)
+        ledger = batch.stats.io
+        assert own.seeks == ledger.seeks == delta[0]
+        assert own.blocks_read == ledger.blocks_read == delta[1]
+        assert own.blocks_overread == ledger.blocks_overread == delta[2]
+        assert own.elapsed == pytest.approx(ledger.elapsed, abs=1e-12)
+        assert own.elapsed == pytest.approx(delta[3], abs=1e-12)
+        assert tracer.root.io.elapsed == pytest.approx(
+            own.elapsed, abs=1e-12
+        )
+
+    def test_shard_visit_spans_carry_routing_decisions(
+        self, data, queries
+    ):
+        tracer, batch = self.trace_once(
+            data, queries, 3, 1, "thread", faults=False
+        )
+        visits = tracer.root.find_all("shard-visit")
+        assert visits
+        for visit in visits:
+            assert visit.attrs["shard"] in (0, 1, 2)
+            assert visit.attrs["queries"] >= 1
+            # radius_cap snapshots the bound per active query.
+            assert (
+                len(visit.attrs["radius_cap"]) == visit.attrs["queries"]
+            )
+            assert visit.attrs["outcome"] in ("ok", "degraded")
+            assert visit.attrs["pages_read"] >= 0
+            assert visit.attrs["pages_pruned"] >= 0
+            assert visit.attrs["lost_pages"] == 0
+            # The shard engine's own span chain nests inside the visit.
+            assert visit.find("directory-scan") is not None
+            assert visit.find("refine") is not None
+
+    def test_routing_trace_links_the_visit_spans(self, data, queries):
+        tracer, batch = self.trace_once(
+            data, queries, 3, 1, "thread", faults=False
+        )
+        visits = tracer.root.find_all("shard-visit")
+        assert list(batch.routing.spans) == visits
+
+    def test_routing_spans_empty_without_a_tracer(self, data, queries):
+        router = ShardRouter(build_tree(data), shards=2)
+        batch = router.knn_batch(queries, k=4)
+        router.close()
+        assert batch.routing.spans == ()
+
+    def test_dead_shard_visit_marked_dead(self, data, queries):
+        router = ShardRouter(build_tree(data), shards=3)
+        router.kill_shard(0)
+        try:
+            with trace_query(router) as tracer:
+                batch = router.knn_batch(queries, k=5)
+        finally:
+            router.close()
+        dead = [
+            v
+            for v in tracer.root.find_all("shard-visit")
+            if v.attrs["outcome"] == "dead"
+        ]
+        assert dead
+        for visit in dead:
+            assert visit.attrs["shard"] == 0
+            assert visit.attrs["lost_pages"] > 0
+            assert visit.io.elapsed == 0.0  # dead shards charge nothing
+        assert batch.stats.degraded
+
+    def test_sim_starts_monotone_across_sibling_visits(
+        self, data, queries
+    ):
+        """Shard visits attribute I/O to their shard disk but sit on
+        the router's composite clock, so siblings stay ordered."""
+        tracer, _ = self.trace_once(
+            data, queries, 3, 1, "thread", faults=False
+        )
+        visits = tracer.root.find_all("shard-visit")
+        starts = [v.sim_start for v in visits]
+        assert starts == sorted(starts)
+        events = tracer.root.to_events()
+        ts = [e["ts"] for e in events]
+        assert ts == sorted(ts)

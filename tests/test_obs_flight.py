@@ -1,0 +1,433 @@
+"""Flight recorder and SLO monitor: postmortem capture + objectives.
+
+The flight recorder's contract: attached to a tree or shard router it
+watches every query, keeps bounded postmortems for the slow / degraded
+/ faulted ones (deterministic qualification -- no wall clock), and
+never steals spans from a user's ambient trace.  The SLO monitor's:
+one-line declarative objectives over registry instruments, judged from
+``Histogram.quantile`` / counter ratios and exported as ``iq_slo_*``
+gauges on the Prometheus endpoint.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.tree import IQTree
+from repro.engine import ShardRouter
+from repro.obs.flight import FlightRecorder
+from repro.obs.instruments import REGISTRY
+from repro.obs.slo import Objective, SLOMonitor, parse_objective
+from repro.obs.tracing import trace_query
+from repro.storage.disk import DiskModel, SimulatedDisk
+from repro.storage.runtime_faults import ReadFaultInjector
+
+
+@pytest.fixture
+def tree(rng):
+    disk = SimulatedDisk(
+        DiskModel(t_seek=0.010, t_xfer=0.001, block_size=512)
+    )
+    return IQTree.build(rng.random((800, 6)), disk=disk)
+
+
+@pytest.fixture
+def live_registry():
+    REGISTRY.reset()
+    REGISTRY.enable()
+    try:
+        yield REGISTRY
+    finally:
+        REGISTRY.disable()
+        REGISTRY.reset()
+
+
+class TestRecorderRing:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=0)
+
+    def test_empty_reasons_is_a_no_op(self):
+        rec = FlightRecorder(capacity=4)
+        assert rec.record("knn-batch", 1, (), 0.1, {}) is None
+        assert len(rec) == 0
+        assert rec.recorded == 0
+
+    def test_ring_bounds_and_drop_counting(self):
+        rec = FlightRecorder(capacity=3)
+        for i in range(5):
+            rec.record("nearest", i, ("slow",), float(i), {})
+        assert len(rec) == 3
+        assert rec.recorded == 5
+        assert rec.dropped == 2
+        # Oldest first; the two oldest fell off the back.
+        assert [r.query_id for r in rec.records()] == [2, 3, 4]
+
+    def test_records_filters_by_reason(self):
+        rec = FlightRecorder(capacity=8)
+        rec.record("nearest", 1, ("slow",), 0.1, {})
+        rec.record("nearest", 2, ("slow", "degraded"), 0.2, {})
+        rec.record("nearest", 3, ("faulted",), 0.3, {})
+        assert [r.query_id for r in rec.records("degraded")] == [2]
+        assert [r.query_id for r in rec.records("slow")] == [1, 2]
+        assert len(rec.records()) == 3
+
+    def test_clear_resets_ring_and_watermark(self):
+        rec = FlightRecorder(capacity=4, top_slow=1)
+        assert rec.qualify(1.0) == ("slow",)
+        assert rec.qualify(0.5) == ()  # below the watermark
+        rec.record("nearest", 1, ("slow",), 1.0, {})
+        rec.clear()
+        assert len(rec) == 0
+        # Watermark gone: the first query qualifies again.
+        assert rec.qualify(0.5) == ("slow",)
+
+    def test_to_dict_and_json(self):
+        rec = FlightRecorder(capacity=4)
+        rec.record(
+            "knn-batch", 7, ("degraded",), 0.25,
+            {"pages_read": 3}, detail={"query": 0},
+        )
+        payload = json.loads(rec.to_json())
+        assert payload["capacity"] == 4
+        assert payload["recorded"] == 1
+        record = payload["records"][0]
+        assert record["kind"] == "knn-batch"
+        assert record["query_id"] == 7
+        assert record["reasons"] == ["degraded"]
+        assert record["counters"]["pages_read"] == 3
+
+
+class TestQualification:
+    def test_absolute_threshold(self):
+        rec = FlightRecorder(slow_threshold=0.5, top_slow=0)
+        assert rec.qualify(0.5) == ("slow",)
+        assert rec.qualify(0.49) == ()
+
+    def test_top_slow_watermark(self):
+        rec = FlightRecorder(top_slow=2)
+        # The first top_slow queries always qualify (baseline forming).
+        assert rec.qualify(0.3) == ("slow",)
+        assert rec.qualify(0.1) == ("slow",)
+        # Slower than the fastest mark: qualifies, evicts the mark.
+        assert rec.qualify(0.2) == ("slow",)
+        # Not slower than the (updated) fastest mark: does not.
+        assert rec.qualify(0.15) == ()
+
+    def test_top_slow_zero_disables_relative_capture(self):
+        rec = FlightRecorder(top_slow=0)
+        assert rec.qualify(99.0) == ()
+        assert rec.qualify(99.0, degraded=True) == ("degraded",)
+
+    def test_degraded_and_faulted_are_independent_reasons(self):
+        rec = FlightRecorder(top_slow=0)
+        assert rec.qualify(0.0, degraded=True, faulted=True) == (
+            "degraded",
+            "faulted",
+        )
+
+
+class TestInstruments:
+    def test_counters_and_resident_gauge(self, live_registry):
+        rec = FlightRecorder(capacity=2)
+        rec.record("nearest", 1, ("slow", "degraded"), 0.1, {})
+        rec.record("nearest", 2, ("slow",), 0.2, {})
+        rec.record("nearest", 3, ("slow",), 0.3, {})  # evicts #1
+        counters = live_registry.get("iq_flight_records_total")
+        assert counters.value(reason="slow") == 3
+        assert counters.value(reason="degraded") == 1
+        dropped = live_registry.get("iq_flight_records_dropped_total")
+        assert dropped.value() == 1
+        resident = live_registry.get("iq_flight_resident_records")
+        assert resident.value() == 2
+        rec.clear()
+        assert resident.value() == 0
+
+    def test_silent_when_registry_disabled(self):
+        assert not REGISTRY.enabled
+        rec = FlightRecorder(capacity=2)
+        rec.record("nearest", 1, ("slow",), 0.1, {})
+        assert rec.recorded == 1  # recorder works, instruments skipped
+
+
+class TestObserveSingle:
+    def test_first_queries_recorded_as_slow_with_trace(self, tree, rng):
+        recorder = tree.use_flight_recorder(FlightRecorder(capacity=8))
+        tree.nearest(rng.random(6), k=3)
+        assert len(recorder) == 1
+        record = recorder.records()[0]
+        assert record.kind == "nearest"
+        assert "slow" in record.reasons
+        assert record.sim_seconds > 0
+        assert record.counters["pages_read"] > 0
+        assert record.trace is not None
+        assert record.trace["name"] == "nearest"
+        tree.clear_flight_recorder()
+
+    def test_range_kind(self, tree, rng):
+        recorder = tree.use_flight_recorder(8)
+        tree.range_query(rng.random(6), 0.3)
+        assert recorder.records()[0].kind == "range"
+        tree.clear_flight_recorder()
+
+    def test_never_steals_an_ambient_trace(self, tree, rng):
+        recorder = tree.use_flight_recorder(FlightRecorder(capacity=8))
+        with trace_query(tree, name="mine") as tracer:
+            tree.nearest(rng.random(6), k=3)
+        tree.clear_flight_recorder()
+        # The user's trace kept the query's I/O; the record has no tree.
+        assert tracer.root.name == "mine"
+        assert tracer.root.io.blocks_read > 0
+        assert len(recorder) == 1
+        assert recorder.records()[0].trace is None
+
+    def test_capture_traces_false_skips_tracing(self, tree, rng):
+        recorder = tree.use_flight_recorder(
+            FlightRecorder(capacity=8, capture_traces=False)
+        )
+        tree.nearest(rng.random(6), k=3)
+        tree.clear_flight_recorder()
+        assert recorder.records()[0].trace is None
+
+    def test_faulted_single_query_recorded(self, tree, rng):
+        inj = ReadFaultInjector()
+        inj.fail_once(tree._quant_file.extent_start)
+        tree.disk.install_fault_injector(inj)
+        tree.use_fault_tolerance()
+        recorder = tree.use_flight_recorder(
+            FlightRecorder(capacity=8, top_slow=0)
+        )
+        result = tree.nearest(rng.random(6), k=3)
+        tree.clear_flight_recorder()
+        assert not result.degraded  # transient fault: retried to exact
+        (record,) = recorder.records()
+        assert record.reasons == ("faulted",)
+        assert record.counters["retries"] >= 1
+
+    def test_clear_flight_recorder_detaches(self, tree, rng):
+        recorder = tree.use_flight_recorder(4)
+        tree.clear_flight_recorder()
+        assert tree.flight_recorder is None
+        tree.nearest(rng.random(6), k=3)
+        assert len(recorder) == 0
+
+
+class TestObserveBatch:
+    def test_engine_batches_recorded(self, tree, rng):
+        recorder = tree.use_flight_recorder(FlightRecorder(capacity=32))
+        engine = tree.query_engine()
+        engine.knn_batch(rng.random((4, 6)), k=3)
+        tree.clear_flight_recorder()
+        assert len(recorder) > 0
+        for record in recorder.records():
+            assert record.kind == "knn-batch"
+            assert record.trace is not None
+            assert record.trace["name"] == "knn-batch"
+            assert record.counters["pages_read"] > 0
+
+    def test_degraded_queries_all_captured_on_router(self, rng):
+        """Acceptance: every degraded query leaves a record (the chaos
+        harness asserts exactly this count)."""
+        points = rng.random((1200, 8))
+        tree = IQTree.build(
+            points,
+            disk=SimulatedDisk(
+                DiskModel(t_seek=0.0025, t_xfer=0.0002, block_size=2048)
+            ),
+            optimize=False,
+            fixed_bits=5,
+        )
+        router = ShardRouter(tree, shards=3)
+        router.kill_shard(0)
+        recorder = router.use_flight_recorder(
+            FlightRecorder(capacity=4096, top_slow=0)
+        )
+        batch = router.knn_batch(rng.random((9, 8)), k=5)
+        router.clear_flight_recorder()
+        router.close()
+        degraded = sum(1 for q in batch if q.degraded)
+        assert degraded > 0
+        captured = recorder.records("degraded")
+        assert len(captured) == degraded
+        for record in captured:
+            assert record.detail["lost_pages"] > 0
+
+    def test_faulted_batch_leaves_one_faulted_record(self, tree, rng):
+        inj = ReadFaultInjector()
+        inj.fail_once(tree._quant_file.extent_start)
+        tree.disk.install_fault_injector(inj)
+        tree.use_fault_tolerance()
+        recorder = tree.use_flight_recorder(
+            FlightRecorder(capacity=32, top_slow=0)
+        )
+        engine = tree.query_engine()
+        batch = engine.knn_batch(rng.random((4, 6)), k=3)
+        tree.clear_flight_recorder()
+        assert batch.stats.retries >= 1
+        faulted = recorder.records("faulted")
+        assert len(faulted) == 1
+        assert faulted[0].detail == {"n_queries": 4}
+
+
+class TestSLOParsing:
+    def test_named_quantile_spec(self):
+        obj = parse_objective("lat=iq_query_simulated_seconds:p99<=0.05")
+        assert obj == Objective(
+            name="lat",
+            kind="quantile",
+            metric="iq_query_simulated_seconds",
+            threshold=0.05,
+            quantile=0.99,
+        )
+
+    def test_unnamed_spec_defaults_to_metric_name(self):
+        obj = parse_objective("iq_query_simulated_seconds:p50<=1")
+        assert obj.name == "iq_query_simulated_seconds"
+        assert obj.quantile == 0.5
+
+    def test_ratio_spec(self):
+        obj = parse_objective(
+            "deg=iq_degraded_results_total/iq_batch_queries_total<=0.01"
+        )
+        assert obj.kind == "ratio"
+        assert obj.denominator == "iq_batch_queries_total"
+        assert obj.threshold == 0.01
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "just_a_metric<=1",
+            "m:p99",
+            "m:p101<=0.5",  # quantile out of range
+            "a/b<=not-a-number",
+            "m:p99<=0.05 trailing",
+        ],
+    )
+    def test_bad_specs_raise(self, bad):
+        with pytest.raises(ValueError):
+            parse_objective(bad)
+
+    def test_describe_mentions_the_bound(self):
+        obj = parse_objective("lat=iq_query_simulated_seconds:p99<=0.05")
+        assert "p99" in obj.describe()
+        assert "0.05" in obj.describe()
+
+
+class TestSLOEvaluation:
+    def test_quantile_objective_met_and_burning(self, live_registry):
+        hist = live_registry.get("iq_query_simulated_seconds")
+        for value in (0.01, 0.02, 0.03):
+            hist.observe(value)
+        monitor = SLOMonitor(
+            [
+                "ok=iq_query_simulated_seconds:p99<=1.0",
+                "burn=iq_query_simulated_seconds:p99<=0.001",
+            ]
+        )
+        ok, burn = monitor.evaluate()
+        assert ok.met and ok.burn < 1.0
+        assert not burn.met and burn.burn > 1.0
+        assert "BURNING" in burn.describe()
+        assert "OK" in ok.describe()
+
+    def test_ratio_objective(self, live_registry):
+        live_registry.get("iq_degraded_results_total").inc(2)
+        live_registry.get("iq_batch_queries_total").inc(100)
+        monitor = SLOMonitor(
+            ["deg=iq_degraded_results_total/iq_batch_queries_total<=0.01"]
+        )
+        (status,) = monitor.evaluate()
+        assert status.observed == pytest.approx(0.02)
+        assert not status.met
+
+    def test_no_data_is_met_with_zero_burn(self, live_registry):
+        monitor = SLOMonitor(
+            [
+                "lat=iq_query_simulated_seconds:p99<=0.05",
+                "deg=iq_degraded_results_total/iq_batch_queries_total<=0.01",
+            ]
+        )
+        for status in monitor.evaluate():
+            assert status.met
+            assert status.observed is None
+            assert status.burn == 0.0
+            assert "no data" in status.describe()
+
+    def test_gauges_exported(self, live_registry):
+        live_registry.get("iq_query_simulated_seconds").observe(0.02)
+        SLOMonitor(["lat=iq_query_simulated_seconds:p99<=1.0"]).evaluate()
+        assert live_registry.get("iq_slo_objective_met").value(
+            objective="lat"
+        ) == 1.0
+        assert live_registry.get("iq_slo_threshold").value(
+            objective="lat"
+        ) == 1.0
+        assert live_registry.get("iq_slo_burn_ratio").value(
+            objective="lat"
+        ) > 0.0
+        observed = live_registry.get("iq_slo_observed_value")
+        assert observed.value(objective="lat") > 0.0
+        # And the verdict rides the Prometheus text endpoint.
+        text = live_registry.to_prometheus()
+        assert 'iq_slo_objective_met{objective="lat"} 1' in text
+
+    def test_observed_gauge_skipped_without_data(self, live_registry):
+        SLOMonitor(["lat=iq_query_simulated_seconds:p99<=1.0"]).evaluate()
+        text = live_registry.to_prometheus()
+        assert 'iq_slo_objective_met{objective="lat"} 1' in text
+        assert 'iq_slo_observed_value{objective="lat"}' not in text
+
+    def test_unknown_metric_raises(self, live_registry):
+        monitor = SLOMonitor(["x=iq_no_such_metric:p99<=1.0"])
+        with pytest.raises(ValueError, match="unknown metric"):
+            monitor.evaluate()
+
+    def test_wrong_instrument_kind_raises(self, live_registry):
+        # A counter has no quantiles; a histogram is not a ratio term.
+        with pytest.raises(ValueError, match="histogram"):
+            SLOMonitor(["x=iq_batch_queries_total:p99<=1.0"]).evaluate()
+        with pytest.raises(ValueError, match="counters"):
+            SLOMonitor(
+                ["x=iq_query_simulated_seconds/iq_batch_queries_total<=1"]
+            ).evaluate()
+
+    def test_zero_threshold_burn_semantics(self, live_registry):
+        live_registry.get("iq_degraded_results_total").inc(1)
+        live_registry.get("iq_batch_queries_total").inc(10)
+        monitor = SLOMonitor(
+            ["z=iq_degraded_results_total/iq_batch_queries_total<=0"]
+        )
+        (status,) = monitor.evaluate()
+        assert not status.met
+        assert status.burn == float("inf")
+
+    def test_summary_one_line_per_objective(self, live_registry):
+        monitor = SLOMonitor(
+            [
+                "a=iq_query_simulated_seconds:p99<=1.0",
+                "b=iq_degraded_results_total/iq_batch_queries_total<=0.5",
+            ]
+        )
+        summary = monitor.summary()
+        assert len(summary.splitlines()) == 2
+
+    def test_accepts_objective_instances(self, live_registry):
+        obj = parse_objective("a=iq_query_simulated_seconds:p99<=1.0")
+        monitor = SLOMonitor([obj])
+        assert monitor.objectives == [obj]
+
+
+class TestEndToEndWorkload:
+    def test_slo_over_a_real_workload(self, tree, rng, live_registry):
+        """Run real queries, then judge a latency objective from the
+        histogram the library itself populated."""
+        engine = tree.query_engine()
+        engine.knn_batch(rng.random((6, 6)), k=3)
+        monitor = SLOMonitor(["lat=iq_query_simulated_seconds:p99<=60"])
+        (status,) = monitor.evaluate()
+        assert status.observed is not None
+        assert status.met
