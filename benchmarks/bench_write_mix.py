@@ -1,0 +1,236 @@
+"""Extension bench -- query latency under an online write mix.
+
+A fixed-resolution tree serves kNN queries while absorbing bursts of
+journaled inserts and deletes (:class:`~repro.storage.journal.
+DurableTree`), in two configurations over the *same* deterministic
+write/query script:
+
+* **maintenance off** -- writes accumulate; pages drift away from the
+  resolution the optimizer would choose (inserts force coarser grids,
+  deletes strand near-empty pages) and queries pay the drifted cost.
+* **maintenance on** -- a :class:`~repro.core.maintenance.
+  MaintenanceManager` sweep runs after every write burst,
+  re-quantizing exactly the drifted pages (in place where only the
+  resolution changed).
+
+Per-query *simulated* service time is the engine's I/O delta for a
+one-query batch, so sweep I/O (which happens between queries) is never
+charged to a query.  The acceptance gate is the ISSUE's: maintenance
+must not blow up tail latency -- ``p99(on) < 2 x p99(off)`` -- while
+the answers of both configurations stay bit-identical (re-quantization
+never changes answers, and both trees hold the same live points).
+
+Results land in ``BENCH_writes.json`` at the repo root.  Run directly
+with ``--smoke`` for the CI-sized run.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import scaled
+from repro.core.maintenance import MaintenanceManager
+from repro.core.tree import IQTree
+from repro.datasets import gaussian_clusters, make_workload
+from repro.engine import QueryEngine
+from repro.experiments.harness import experiment_disk
+from repro.storage.journal import DurableTree
+
+DIM = 8
+K = 5
+FIXED_BITS = 6
+ROUNDS = 6
+WRITES_PER_ROUND = 25
+QUERIES_PER_ROUND = 12
+
+
+def build_fixture(n_points: int, tmp: Path, name: str):
+    data, queries = make_workload(
+        gaussian_clusters,
+        n=n_points,
+        n_queries=ROUNDS * QUERIES_PER_ROUND,
+        seed=11,
+        dim=DIM,
+        n_clusters=6,
+        spread=0.05,
+    )
+    tree = IQTree.build(
+        data, disk=experiment_disk(), optimize=False, fixed_bits=FIXED_BITS
+    )
+    store = DurableTree.create(tree, tmp / f"{name}.iq", fsync=False)
+    return store, queries
+
+
+def write_script(dim: int, base: int, n_rounds: int, per_round: int):
+    """Deterministic per-round insert/delete ops (same for every config)."""
+    rng = np.random.default_rng(23)
+    created = 0
+    live: list[int] = []
+    rounds = []
+    for _ in range(n_rounds):
+        ops = []
+        for i in range(per_round):
+            if live and i % 5 == 4:
+                ops.append(
+                    ("delete", live.pop(int(rng.integers(len(live)))))
+                )
+            else:
+                point = (
+                    rng.random(dim).astype(np.float32).astype(np.float64)
+                )
+                ops.append(("insert", point))
+                live.append(base + created)
+                created += 1
+        rounds.append(ops)
+    return rounds
+
+
+def run_config(store, queries, script, maintenance: bool):
+    """Apply the write/query script; return per-query service times."""
+    tree = store.tree
+    engine = QueryEngine(tree)
+    manager = (
+        MaintenanceManager(tree, baseline="none") if maintenance else None
+    )
+    services = []
+    answers = []
+    sweeps = requantized = restructured = 0
+    q = 0
+    for ops in script:
+        for op in ops:
+            if op[0] == "insert":
+                store.insert(op[1])
+            else:
+                store.delete(op[1])
+        if manager is not None:
+            report = manager.maybe_sweep()
+            if not report.noop:
+                sweeps += 1
+                requantized += report.requantized
+                restructured += report.restructured
+        for _ in range(QUERIES_PER_ROUND):
+            result = engine.knn_batch(queries[q : q + 1], k=K)
+            services.append(float(result.stats.io.elapsed))
+            answers.append(result[0])
+            q += 1
+    store.checkpoint()
+    engine.close()
+    return {
+        "services": np.asarray(services),
+        "answers": answers,
+        "sweeps": sweeps,
+        "requantized": requantized,
+        "restructured": restructured,
+    }
+
+
+def latency_summary(services: np.ndarray) -> dict:
+    return {
+        "p50_ms": round(float(np.percentile(services, 50)) * 1e3, 3),
+        "p99_ms": round(float(np.percentile(services, 99)) * 1e3, 3),
+        "mean_ms": round(float(services.mean()) * 1e3, 3),
+        "max_ms": round(float(services.max()) * 1e3, 3),
+    }
+
+
+def run_bench(n_points: int = scaled(8_000), tmp: Path | None = None) -> dict:
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as tmpdir:
+        tmp = Path(tmpdir)
+        runs = {}
+        for label, maintenance in (("off", False), ("on", True)):
+            store, queries = build_fixture(n_points, tmp, label)
+            script = write_script(
+                DIM, store.tree.n_points, ROUNDS, WRITES_PER_ROUND
+            )
+            runs[label] = run_config(store, queries, script, maintenance)
+
+    # Same live data in both configs: answers must be bit-identical.
+    for off, on in zip(runs["off"]["answers"], runs["on"]["answers"]):
+        assert (off.ids == on.ids).all()
+        assert (off.distances == on.distances).all()
+
+    p99_off = latency_summary(runs["off"]["services"])["p99_ms"]
+    p99_on = latency_summary(runs["on"]["services"])["p99_ms"]
+    out = {
+        "fixture": {
+            "n_points": n_points,
+            "dim": DIM,
+            "k": K,
+            "fixed_bits": FIXED_BITS,
+            "rounds": ROUNDS,
+            "writes_per_round": WRITES_PER_ROUND,
+            "queries_per_round": QUERIES_PER_ROUND,
+        },
+        "maintenance_off": latency_summary(runs["off"]["services"]),
+        "maintenance_on": latency_summary(runs["on"]["services"]),
+        "sweeps": runs["on"]["sweeps"],
+        "pages_requantized": runs["on"]["requantized"],
+        "pages_restructured": runs["on"]["restructured"],
+        "p99_ratio_on_vs_off": round(p99_on / max(p99_off, 1e-12), 3),
+    }
+    path = Path(__file__).resolve().parent.parent / "BENCH_writes.json"
+    path.write_text(json.dumps(out, indent=2) + "\n")
+    return out
+
+
+@pytest.fixture(scope="module")
+def result() -> dict:
+    return run_bench()
+
+
+def test_write_mix(benchmark, result):
+    benchmark.pedantic(lambda: result, rounds=1, iterations=1)
+    print()
+    print(json.dumps(result, indent=2))
+
+
+def test_maintenance_actually_ran(result):
+    assert result["sweeps"] >= 1
+    assert result["pages_requantized"] + result["pages_restructured"] >= 1
+
+
+def test_p99_bounded(result):
+    """ISSUE acceptance: background maintenance may not blow up tail
+    latency -- p99 with sweeps stays under 2x the sweep-free p99."""
+    assert result["p99_ratio_on_vs_off"] < 2.0
+
+
+def main() -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="Online write-mix latency benchmark"
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI-sized run (small fixture, same assertions)",
+    )
+    args = parser.parse_args()
+
+    out = run_bench(n_points=2_000 if args.smoke else scaled(8_000))
+    print(json.dumps(out, indent=2))
+    assert out["p99_ratio_on_vs_off"] < 2.0, (
+        "maintenance more than doubled tail latency"
+    )
+    assert out["sweeps"] >= 1
+    print(
+        f"ok: p99 ms -- maintenance off "
+        f"{out['maintenance_off']['p99_ms']}, on "
+        f"{out['maintenance_on']['p99_ms']} "
+        f"(ratio {out['p99_ratio_on_vs_off']}); "
+        f"{out['sweeps']} sweeps, "
+        f"{out['pages_requantized']} pages requantized in place, "
+        f"{out['pages_restructured']} restructured"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -17,6 +17,7 @@ Usage::
     python -m repro trace  index.iqt --export chrome --shards 4 --workers 2
     python -m repro flight index.iqt --shards 4 --kill-shard 0
     python -m repro chaos  index.iqt [--kinds transient] [--levels exact]
+    python -m repro chaos  index.iqt --writes [--ops 40] [--backend process]
 
 ``data.npy`` is any ``numpy.save``-ed ``(n, d)`` float array.
 """
@@ -603,10 +604,306 @@ def _chaos_sharded(args: argparse.Namespace, tree, queries, k) -> int:
     return 1 if problems else 0
 
 
+def _write_ops_script(tree, n_ops: int, seed: int):
+    """Deterministic insert/delete script for the write-chaos matrix.
+
+    Roughly one delete per four inserts, deleting only ids this script
+    created earlier -- so any acked prefix of the script is replayable
+    on a pristine copy of the index.
+    """
+    rng = np.random.default_rng(seed)
+    base = tree.n_points
+    ops: list[tuple] = []
+    created = 0
+    live: list[int] = []
+    for i in range(n_ops):
+        if live and i % 4 == 3:
+            victim = live.pop(int(rng.integers(len(live))))
+            ops.append(("delete", victim))
+        else:
+            point = (
+                rng.random(tree.dim).astype(np.float32).astype(np.float64)
+            )
+            ops.append(("insert", point))
+            live.append(base + created)
+            created += 1
+    return ops
+
+
+def _apply_write_op(store, op) -> None:
+    if op[0] == "insert":
+        store.insert(op[1])
+    else:
+        store.delete(op[1])
+
+
+def _write_answers(tree, queries, k):
+    tree._ensure_clean()
+    return [tree.nearest(q, k=k) for q in queries]
+
+
+def _compare_write_answers(want, got) -> list[str]:
+    problems = []
+    for i, (w, g) in enumerate(zip(want, got)):
+        if not np.array_equal(w.ids, g.ids):
+            problems.append(f"query {i}: recovered ids differ")
+        elif not np.array_equal(w.distances, g.distances):
+            problems.append(f"query {i}: recovered distances differ")
+    return problems
+
+
+def _chaos_writes(args: argparse.Namespace) -> int:
+    """Crash the write path at every protocol boundary and verify that
+    recovery is bit-identical to a crash-free replay of exactly the
+    acknowledged operations; then race background re-quantization
+    against query batches and demand unchanged answers."""
+    import shutil
+    import tempfile
+    from pathlib import Path
+
+    from repro.core.maintenance import MaintenanceManager
+    from repro.core.optimizer import OptimizedPartition
+    from repro.engine.engine import QueryEngine
+    from repro.engine.sharding import ShardRouter
+    from repro.exceptions import IntegrityError
+    from repro.storage.faults import FaultInjector, PowerLoss
+    from repro.storage.journal import (
+        CRASH_POINTS,
+        DurableTree,
+        record_spans,
+        wal_path,
+    )
+
+    source = load_iqtree(args.index)
+    queries = _random_queries(source, args.random, args.seed)
+    k = min(args.k, source.n_points)
+    ops = _write_ops_script(source, args.ops, args.seed)
+    crash_at = len(ops) // 2
+    checkpoint_every = args.checkpoint_every
+    failed = False
+    print(
+        f"chaos (writes): {len(ops)} ops, crash at op {crash_at}, "
+        f"checkpoint every {checkpoint_every}, {len(queries)} probe "
+        f"queries, k={k}"
+    )
+
+    with tempfile.TemporaryDirectory() as tmp:
+        tmp = Path(tmp)
+
+        def fresh_store(name):
+            path = tmp / f"{name}.iq"
+            shutil.copy(args.index, path)
+            # Drop any journal sidecar left by an earlier scenario.
+            wal_path(path).unlink(missing_ok=True)
+            return DurableTree.open(path, fsync=False)
+
+        def run_prefix(store, n, checkpoints=True):
+            for i in range(n):
+                _apply_write_op(store, ops[i])
+                if checkpoints and (i + 1) % checkpoint_every == 0:
+                    store.checkpoint()
+
+        def reference_answers(n_acked):
+            ref = fresh_store("reference")
+            for i in range(n_acked):
+                _apply_write_op(ref, ops[i])
+            return _write_answers(ref.tree, queries, k)
+
+        # ---- crash matrix: every protocol boundary --------------------
+        scenarios: list[tuple[str, dict]] = [
+            (point, {"crash_point": point}) for point in CRASH_POINTS
+        ]
+        scenarios += [
+            (f"torn-append[{budget}]", {"torn_append": budget})
+            for budget in (1, 6, 18)
+        ]
+        scenarios += [
+            (f"torn-checkpoint[{budget}]", {"torn_checkpoint": budget})
+            for budget in (1, 512)
+        ]
+        for name, spec in scenarios:
+            store = fresh_store("victim")
+            run_prefix(store, crash_at)
+            point = spec.get("crash_point")
+            if point is not None:
+                store.inject_crash(point)
+            if "torn_append" in spec:
+                store.inject_torn_append(spec["torn_append"])
+            if "torn_checkpoint" in spec:
+                store.inject_torn_checkpoint(spec["torn_checkpoint"])
+            crashed = False
+            index = crash_at
+            checkpoint_crash = "torn_checkpoint" in spec or (
+                point is not None and point.startswith("checkpoint")
+            )
+            try:
+                if checkpoint_crash:
+                    store.checkpoint()
+                else:
+                    # Crash inside the next scripted op of the type the
+                    # boundary names (torn appends hit whatever is next).
+                    wanted = (
+                        point.split(":")[0] if point is not None else None
+                    )
+                    while wanted is not None and ops[index][0] != wanted:
+                        _apply_write_op(store, ops[index])
+                        index += 1
+                    _apply_write_op(store, ops[index])
+            except PowerLoss:
+                crashed = True
+            if not crashed:
+                failed = True
+                print(f"  {name:22s}: FAIL  !! injected crash never fired")
+                continue
+            store.close()
+            # Acked = everything applied before the crash, plus the
+            # crashed op iff its journal append completed (post-append).
+            if checkpoint_crash:
+                n_acked = index
+            elif point is not None and point.endswith("post-append"):
+                n_acked = index + 1
+            else:  # pre-append or torn append: never acknowledged
+                n_acked = index
+            recovered = DurableTree.open(store.path, fsync=False)
+            got = _write_answers(recovered.tree, queries, k)
+            problems = _compare_write_answers(
+                reference_answers(n_acked), got
+            )
+            verdict = "FAIL" if problems else "ok"
+            print(
+                f"  {name:22s}: {verdict}  "
+                f"[{n_acked} acked, {recovered.recovered_ops} replayed]"
+            )
+            for problem in problems:
+                failed = True
+                print(f"      !! {problem}")
+
+        # ---- at-rest corruption of an acked record is loud ------------
+        store = fresh_store("victim")
+        run_prefix(store, crash_at, checkpoints=False)
+        store.close()
+        spans = record_spans(wal_path(store.path))
+        start, stop, _seq = spans[len(spans) // 2]
+        FaultInjector(wal_path(store.path)).flip_bit(start + 12)
+        try:
+            DurableTree.open(store.path, fsync=False)
+        except IntegrityError:
+            print("  corrupt-acked-record   : ok  [recovery raised]")
+        else:
+            failed = True
+            print(
+                "  corrupt-acked-record   : FAIL  "
+                "!! silent recovery over corrupted acked data"
+            )
+
+    # ---- concurrent maintenance: sweeps must be invisible -------------
+    def churn_batches(run_batch, tree, rounds=4):
+        import threading
+
+        mgr = MaintenanceManager(tree, baseline="current")
+        victim = int(np.argmax(tree._bits < 32))
+        fine = int(tree._bits[victim])
+        if fine >= 32 or fine <= 2:
+            return None, 0  # nothing to requantize on this index
+        stop = threading.Event()
+        errors: list[BaseException] = []
+        sweeps = [0]
+
+        def churn():
+            while not stop.is_set():
+                try:
+                    with tree._write_lock:
+                        opt = tree._partitions[victim]
+                        # Only coarsen quantized pages (an exact page
+                        # has no refinement sidecar to decode against).
+                        if 32 > opt.bits >= fine:
+                            mgr._replace_page(
+                                victim,
+                                OptimizedPartition(opt.partition, fine - 2),
+                            )
+                    if not mgr.maybe_sweep().noop:
+                        sweeps[0] += 1
+                except BaseException as exc:  # pragma: no cover
+                    errors.append(exc)
+                    return
+
+        thread = threading.Thread(target=churn)
+        thread.start()
+        try:
+            results = [run_batch() for _ in range(rounds)]
+        finally:
+            stop.set()
+            thread.join()
+        if errors:
+            raise errors[0]
+        return results, sweeps[0]
+
+    qmatrix = np.asarray(queries)
+    problems = []
+
+    engine_tree = load_iqtree(args.index)
+    engine = QueryEngine(engine_tree, workers=2, backend=args.backend)
+    try:
+        want = engine.knn_batch(qmatrix, k=k)
+        got_all, sweeps = churn_batches(
+            lambda: engine.knn_batch(qmatrix, k=k), engine_tree
+        )
+        for got in got_all or []:
+            for i, (w, g) in enumerate(zip(want, got)):
+                if not np.array_equal(w.ids, g.ids) or not np.array_equal(
+                    w.distances, g.distances
+                ):
+                    problems.append(
+                        f"engine query {i} changed under maintenance"
+                    )
+    finally:
+        engine.close()
+    verdict = "FAIL" if problems else "ok"
+    print(
+        f"  maintenance x engine[{engine.backend}]: {verdict}  "
+        f"[{sweeps} sweeps raced]"
+    )
+
+    shard_problems = []
+    shard_tree = load_iqtree(args.index)
+    router = ShardRouter(
+        shard_tree, shards=2, workers=2, backend=args.backend
+    )
+    try:
+        want = router.knn_batch(qmatrix, k=k)
+        got_all, shard_sweeps = churn_batches(
+            lambda: router.knn_batch(qmatrix, k=k),
+            router.shards[0].tree,
+        )
+        for got in got_all or []:
+            for i, (w, g) in enumerate(zip(want, got)):
+                if not np.array_equal(w.ids, g.ids) or not np.array_equal(
+                    w.distances, g.distances
+                ):
+                    shard_problems.append(
+                        f"sharded query {i} changed under maintenance"
+                    )
+    finally:
+        router.close()
+    verdict = "FAIL" if shard_problems else "ok"
+    print(
+        f"  maintenance x sharded:  {verdict}  "
+        f"[{shard_sweeps} sweeps raced]"
+    )
+    for problem in problems + shard_problems:
+        failed = True
+        print(f"      !! {problem}")
+
+    print(f"chaos verdict: {'FAIL' if failed else 'PASS'}")
+    return 1 if failed else 0
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
     from repro.core.search import locate_address
     from repro.storage.faults import ReadFaultInjector, RetryPolicy
 
+    if args.writes:
+        return _chaos_writes(args)
     tree = load_iqtree(args.index)
     queries = _random_queries(tree, args.random, args.seed)
     k = min(args.k, tree.n_points)
@@ -1016,6 +1313,34 @@ def _build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         help="worker count of the sharded run (only with --shards)",
+    )
+    chaos.add_argument(
+        "--writes",
+        action="store_true",
+        help="run the write-path matrix instead of read faults: crash "
+        "the journal/checkpoint protocol at every boundary, verify "
+        "recovery is bit-identical to a crash-free replay of the "
+        "acknowledged ops, then race background re-quantization "
+        "against query batches",
+    )
+    chaos.add_argument(
+        "--ops",
+        type=int,
+        default=40,
+        help="scripted insert/delete operations (only with --writes)",
+    )
+    chaos.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=10,
+        help="checkpoint cadence in the write script (only with --writes)",
+    )
+    chaos.add_argument(
+        "--backend",
+        default="thread",
+        choices=("thread", "process"),
+        help="worker backend of the concurrent-maintenance phase "
+        "(only with --writes)",
     )
     chaos.set_defaults(func=_cmd_chaos)
     return parser

@@ -103,6 +103,8 @@ def optimize_partitions(
     initial: list[Partition],
     cost_model: CostModel,
     block_size: int,
+    *,
+    page_offset: int = 0,
 ) -> tuple[list[OptimizedPartition], OptimizationTrace]:
     """Run the optimal-quantization algorithm.
 
@@ -116,6 +118,10 @@ def optimize_partitions(
         Bound cost model used for both variable and constant costs.
     block_size:
         Fixed quantized-page size in bytes.
+    page_offset:
+        Pages of the index *outside* ``initial`` that contribute to the
+        constant (directory-scan) cost.  Maintenance sweeps use this to
+        re-optimize a single page in the context of the whole tree.
 
     Returns
     -------
@@ -140,7 +146,7 @@ def optimize_partitions(
         )
 
     roots = [make_node(p, 0) for p in initial]
-    n_pages = len(roots)
+    n_pages = len(roots) + page_offset
     refine_sum = sum(node.refine_cost for node in roots)
     costs = [cost_model.total_from_aggregates(n_pages, refine_sum)]
     best_step = 0

@@ -15,6 +15,7 @@ use.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
 import numpy as np
@@ -95,6 +96,17 @@ class IQTree:
         #: optional FlightRecorder capturing postmortems of slow /
         #: degraded / faulted queries (see use_flight_recorder).
         self._flight_recorder = None
+        #: highest journal sequence number folded into the container
+        #: this tree was loaded from (see repro.storage.journal).
+        self._wal_seq = 0
+        #: reentrant lock serializing structural mutations (re-layouts,
+        #: in-place page swaps) against query planning; the engine holds
+        #: it for a whole batch, so a concurrent maintenance sweep can
+        #: never expose a torn index to in-flight queries.
+        self._write_lock = threading.RLock()
+        #: bumped on every layout change or in-place page swap; query
+        #: snapshots can compare epochs to detect a swap under them.
+        self.epoch = 0
         self._layout()
 
     # ------------------------------------------------------------------
@@ -213,7 +225,10 @@ class IQTree:
         n_parts = len(self._partitions)
         if n_parts == 0:
             raise BuildError("cannot lay out an empty tree")
+        if any(opt.partition.size == 0 for opt in self._partitions):
+            raise BuildError("cannot lay out a zero-count partition")
         dim = self.dim
+        self._invalidate_resident_blocks()
 
         lowers = np.empty((n_parts, dim))
         uppers = np.empty((n_parts, dim))
@@ -300,11 +315,36 @@ class IQTree:
             # Page indices were just reassigned wholesale; every cached
             # decode is addressed by a now-meaningless key.
             self._decoded_cache.clear()
+        self.epoch += 1
         self._dirty = False
+
+    def _invalidate_resident_blocks(self) -> None:
+        """Evict this tree's current extents from the buffer pool.
+
+        A re-layout moves every page to a fresh extent; the old
+        addresses are never read again, so residents left behind are
+        pure capacity leaks (and would serve stale bytes if the disk
+        ever reused an address).
+        """
+        pool = self._pool
+        if pool is None:
+            return
+        for slot in ("_dir_file", "_quant_file", "_exact_file"):
+            wrapped = getattr(self, slot, None)
+            if wrapped is None:
+                continue
+            inner = getattr(wrapped, "_file", wrapped)
+            if not inner.sealed:
+                continue
+            base = inner.extent_start
+            for i in range(inner.n_blocks):
+                pool.invalidate(base + i)
 
     def _ensure_clean(self) -> None:
         if self._dirty:
-            self._layout()
+            with self._write_lock:
+                if self._dirty:
+                    self._layout()
 
     # ------------------------------------------------------------------
     # Introspection
@@ -377,13 +417,15 @@ class IQTree:
         """
         from repro.core.search import nearest_neighbors
 
-        return nearest_neighbors(self, query, k=k, scheduler=scheduler)
+        with self._write_lock:
+            return nearest_neighbors(self, query, k=k, scheduler=scheduler)
 
     def range_query(self, query: np.ndarray, radius: float):
         """All points within ``radius`` of ``query`` (ids + distances)."""
         from repro.core.search import range_search
 
-        return range_search(self, query, radius)
+        with self._write_lock:
+            return range_search(self, query, radius)
 
     def nearest_batch(
         self, queries: np.ndarray, k: int = 1, scheduler: str = "optimized"
@@ -493,19 +535,30 @@ class IQTree:
         """Insert a point; returns its assigned id (Section 6)."""
         from repro.core.maintenance import insert_point
 
-        return insert_point(self, point)
+        with self._write_lock:
+            return insert_point(self, point)
 
     def delete(self, point_id: int) -> None:
         """Delete a point by id."""
         from repro.core.maintenance import delete_point
 
-        delete_point(self, point_id)
+        with self._write_lock:
+            delete_point(self, point_id)
 
     def reoptimize(self) -> None:
         """Re-run bulk load + optimal quantization on the current data."""
         from repro.core.maintenance import reoptimize
 
-        reoptimize(self)
+        with self._write_lock:
+            reoptimize(self)
+
+    def maintenance_manager(self, drift_ratio: float = 1.25):
+        """A :class:`~repro.core.maintenance.MaintenanceManager` for
+        this tree: tracks dirty pages (structural edits and cost-model
+        drift) and re-quantizes them in background sweeps."""
+        from repro.core.maintenance import MaintenanceManager
+
+        return MaintenanceManager(self, drift_ratio=drift_ratio)
 
     # ------------------------------------------------------------------
     # Buffer management

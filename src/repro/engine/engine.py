@@ -336,12 +336,16 @@ class QueryEngine:
                 )
         batch_id = next_query_id()
         try:
-            if tree._flight_recorder is not None:
-                return observe_batch(
-                    tree._flight_recorder, tree, "knn-batch", batch_id,
-                    lambda: self._knn_batch_impl(queries, k, radius_cap),
-                )
-            return self._knn_batch_impl(queries, k, radius_cap)
+            # The whole batch runs under the tree's write lock so a
+            # concurrent maintenance sweep can never swap pages out
+            # from under it (sweeps take the same lock).
+            with tree._write_lock:
+                if tree._flight_recorder is not None:
+                    return observe_batch(
+                        tree._flight_recorder, tree, "knn-batch", batch_id,
+                        lambda: self._knn_batch_impl(queries, k, radius_cap),
+                    )
+                return self._knn_batch_impl(queries, k, radius_cap)
         except StorageError as exc:
             raise_query_error(exc, tree, batch_id)
 
@@ -501,12 +505,14 @@ class QueryEngine:
             raise SearchError("radius must be non-negative and finite")
         batch_id = next_query_id()
         try:
-            if tree._flight_recorder is not None:
-                return observe_batch(
-                    tree._flight_recorder, tree, "range-batch", batch_id,
-                    lambda: self._range_batch_impl(queries, radii),
-                )
-            return self._range_batch_impl(queries, radii)
+            # Serialized against maintenance sweeps, like knn_batch.
+            with tree._write_lock:
+                if tree._flight_recorder is not None:
+                    return observe_batch(
+                        tree._flight_recorder, tree, "range-batch", batch_id,
+                        lambda: self._range_batch_impl(queries, radii),
+                    )
+                return self._range_batch_impl(queries, radii)
         except StorageError as exc:
             raise_query_error(exc, tree, batch_id)
 

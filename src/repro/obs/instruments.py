@@ -252,6 +252,63 @@ CONTAINER_OPS = REGISTRY.counter(
 )
 
 # ----------------------------------------------------------------------
+# Write-ahead journal (repro.storage.journal)
+# ----------------------------------------------------------------------
+WAL_APPENDS = REGISTRY.counter(
+    "iq_wal_appends_total",
+    "Operations appended to the write-ahead journal (label: op = "
+    "insert | delete)",
+)
+WAL_APPENDED_BYTES = REGISTRY.counter(
+    "iq_wal_appended_bytes_total",
+    "Bytes written to the write-ahead journal (records only, not the "
+    "header)",
+)
+WAL_FSYNCS = REGISTRY.counter(
+    "iq_wal_fsyncs_total",
+    "fsync calls issued by the journal append path",
+)
+WAL_REPLAYED = REGISTRY.counter(
+    "iq_wal_replayed_records_total",
+    "Journal records re-applied during recovery (records at or below "
+    "the checkpointed wal_seq are skipped, not counted)",
+)
+WAL_RECOVERIES = REGISTRY.counter(
+    "iq_wal_recoveries_total",
+    "Journal scans at open time (label: outcome = clean | torn-tail "
+    "| corrupt)",
+)
+WAL_CHECKPOINTS = REGISTRY.counter(
+    "iq_wal_checkpoints_total",
+    "Checkpoints of the journal into the container (label: outcome)",
+)
+WAL_SIZE = REGISTRY.gauge(
+    "iq_wal_size_bytes", "Current byte size of the write-ahead journal"
+)
+
+# ----------------------------------------------------------------------
+# Background maintenance (repro.core.maintenance.MaintenanceManager)
+# ----------------------------------------------------------------------
+MAINT_SWEEPS = REGISTRY.counter(
+    "iq_maintenance_sweeps_total",
+    "Background re-quantization sweeps (label: outcome = ok | noop "
+    "| error)",
+)
+MAINT_REQUANTIZED = REGISTRY.counter(
+    "iq_maintenance_pages_requantized_total",
+    "Pages re-quantized in place via replace_block (bits-only change)",
+)
+MAINT_RESTRUCTURED = REGISTRY.counter(
+    "iq_maintenance_pages_restructured_total",
+    "Dirty pages whose sweep required a structural re-layout "
+    "(split, exact transition, or quarantined block address)",
+)
+MAINT_DIRTY = REGISTRY.gauge(
+    "iq_maintenance_dirty_pages",
+    "Dirty pages seen by the most recent maintenance sweep",
+)
+
+# ----------------------------------------------------------------------
 # Cost-model drift (fed by repro.obs.drift.DriftMonitor)
 # ----------------------------------------------------------------------
 _DRIFT_BUCKETS = (0.01, 0.05, 0.1, 0.25, 0.5, 1.0, 2.0, 5.0, 10.0)

@@ -133,6 +133,12 @@ def serialize_iqtree(tree: IQTree) -> bytes:
             "exact": tree._exact_file.content_crc32(),
         },
     }
+    # wal_seq: highest journal sequence number folded into this
+    # container (see repro.storage.journal).  Written only when nonzero
+    # so pre-journal containers re-serialize byte-identically under
+    # verify=True.
+    if tree._wal_seq:
+        meta["wal_seq"] = int(tree._wal_seq)
     meta_bytes = json.dumps(meta).encode("utf-8")
     index_bytes = _encode_index_section(tree)
     payload = np.ascontiguousarray(tree.points, dtype="<f8").tobytes()
@@ -412,7 +418,7 @@ def _load_v2(raw: bytes, path, disk: SimulatedDisk | None) -> IQTree:
         metric=metric,
         k=cm["k"],
     )
-    return IQTree(
+    tree = IQTree(
         points,
         solution,
         disk,
@@ -421,6 +427,14 @@ def _load_v2(raw: bytes, path, disk: SimulatedDisk | None) -> IQTree:
         trace=None,
         charge_directory=bool(meta["charge_directory"]),
     )
+    wal_seq = meta.get("wal_seq", 0)
+    if not isinstance(wal_seq, int) or wal_seq < 0:
+        raise IntegrityError(
+            f"{path}: malformed meta section: bad wal_seq {wal_seq!r}",
+            section="meta",
+        )
+    tree._wal_seq = wal_seq
+    return tree
 
 
 def _decode_index_section(

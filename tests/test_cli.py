@@ -206,3 +206,42 @@ class TestChaos:
             main(
                 ["chaos", str(quantized_index), "--kinds", "gamma-ray"]
             )
+
+    def test_write_matrix_passes(self, quantized_index, capsys):
+        assert (
+            main(
+                [
+                    "chaos",
+                    str(quantized_index),
+                    "--writes",
+                    "--ops",
+                    "12",
+                    "--checkpoint-every",
+                    "5",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "chaos verdict: PASS" in out
+        for scenario in (
+            "insert:post-append",
+            "checkpoint:post-save",
+            "torn-append",
+            "torn-checkpoint",
+            "corrupt-acked-record",
+            "maintenance x sharded",
+        ):
+            assert scenario in out
+
+    def test_writes_backend_rejected(self, quantized_index):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "chaos",
+                    str(quantized_index),
+                    "--writes",
+                    "--backend",
+                    "carrier-pigeon",
+                ]
+            )

@@ -170,3 +170,97 @@ class TestReoptimize:
         tree.reoptimize()
         assert tree.trace is not None
         assert tree.trace.n_final == tree.n_pages
+
+
+class TestLayoutFree:
+    """Bursts of maintenance ops must not rebuild the files mid-burst."""
+
+    def test_insert_burst_relays_out_once(self, tree, rng):
+        tree._ensure_clean()
+        quant_before = tree._quant_file
+        for _ in range(20):
+            tree.insert(rng.random(8))
+        # Still the same sealed files: no intermediate re-layout.
+        assert tree._quant_file is quant_before
+        assert tree._dirty
+        tree._ensure_clean()
+        assert tree._quant_file is not quant_before
+
+    def test_delete_on_dirty_tree_stays_layout_free(self, tree, rng):
+        tree._ensure_clean()
+        quant_before = tree._quant_file
+        new_id = tree.insert(rng.random(8))
+        tree.delete(new_id)       # locate must work on the dirty tree
+        tree.delete(3)            # and for pre-existing ids too
+        assert tree._quant_file is quant_before
+        assert tree._dirty
+
+    def test_delete_then_insert_roundtrip(self, tree, rng):
+        """Deleting a point and inserting the same coordinates yields a
+        fresh id that answers exactly."""
+        victim = 17
+        coords = tree.points[victim].copy()
+        tree.delete(victim)
+        new_id = tree.insert(coords)
+        assert new_id != victim
+        res = tree.nearest(coords, k=1)
+        assert res.ids[0] == new_id
+        assert res.distances[0] == 0.0
+
+    def test_mixed_burst_matches_brute_force(self, tree, rng):
+        removed = set()
+        for i in range(30):
+            if i % 3 == 0:
+                pid = i * 7
+                tree.delete(pid)
+                removed.add(pid)
+            else:
+                tree.insert(rng.random(8))
+        q = rng.random(8)
+        res = tree.nearest(q, k=5)
+        keep = np.array(
+            [i for i in range(tree.points.shape[0]) if i not in removed]
+        )
+        dists = EUCLIDEAN.distances(q, tree.points[keep])
+        assert np.allclose(res.distances, np.sort(dists)[:5])
+
+
+class TestPoolInvalidationOnRelayout:
+    """Regression: a lazy re-layout moves every file to a fresh extent;
+    blocks of the *old* extents must not linger in the buffer pool as
+    phantom residents (they can never be read again, so they only
+    distort capacity and hit accounting)."""
+
+    def test_relayout_evicts_old_extent_residents(self, tree, rng):
+        from repro.storage.cache import BufferPool
+
+        pool = BufferPool(capacity=64)
+        tree.use_buffer_pool(pool)
+        tree.nearest(rng.random(8), k=3)  # warm the pool
+        old_addresses = [
+            inner.extent_start + i
+            for slot in ("_dir_file", "_quant_file", "_exact_file")
+            for inner in [getattr(tree, slot)._file]
+            for i in range(inner.n_blocks)
+        ]
+        assert any(pool.peek(a) for a in old_addresses)
+
+        tree.insert(rng.random(8))
+        tree._ensure_clean()  # re-layout onto fresh extents
+
+        stale = [a for a in old_addresses if pool.peek(a)]
+        assert stale == []
+
+    def test_relayout_keeps_pool_usable(self, tree, rng):
+        from repro.storage.cache import BufferPool
+
+        pool = BufferPool(capacity=64)
+        tree.use_buffer_pool(pool)
+        tree.nearest(rng.random(8), k=3)
+        tree.insert(rng.random(8))
+        q = rng.random(8)
+        first = tree.nearest(q, k=3)
+        second = tree.nearest(q, k=3)
+        assert np.array_equal(first.ids, second.ids)
+        # The second read of the new extent hits the pool.
+        assert pool.hit_rate > 0.0

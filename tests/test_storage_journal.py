@@ -1,0 +1,329 @@
+"""Tests for the write-ahead journal and crash recovery (PR 9)."""
+
+import struct
+
+import numpy as np
+import pytest
+
+from repro.exceptions import IntegrityError, SearchError, StorageError
+from repro.core.tree import IQTree
+from repro.storage.faults import FaultInjector, PowerLoss
+from repro.storage.journal import (
+    CRASH_POINTS,
+    OP_DELETE,
+    OP_INSERT,
+    DurableTree,
+    WriteAheadJournal,
+    record_spans,
+    scan_journal,
+    wal_path,
+)
+
+
+@pytest.fixture
+def store(uniform_points, small_disk, tmp_path):
+    tree = IQTree.build(uniform_points[:400], disk=small_disk)
+    return DurableTree.create(tree, tmp_path / "idx.iq")
+
+
+def answers(tree, queries, k=5):
+    tree._ensure_clean()
+    return [tree.nearest(q, k=k) for q in queries]
+
+
+def assert_same_answers(tree_a, tree_b, queries, k=5):
+    for ra, rb in zip(
+        answers(tree_a, queries, k), answers(tree_b, queries, k)
+    ):
+        assert np.array_equal(ra.ids, rb.ids)
+        assert np.array_equal(ra.distances, rb.distances)
+
+
+class TestJournalFile:
+    def test_create_then_scan_empty(self, tmp_path):
+        j = WriteAheadJournal.create(tmp_path / "x.wal", base_seq=7)
+        assert j.last_seq == 7
+        scan = scan_journal(tmp_path / "x.wal")
+        assert scan.base_seq == 7
+        assert scan.records == ()
+        assert scan.outcome == "clean"
+
+    def test_append_and_rescan(self, tmp_path):
+        j = WriteAheadJournal.create(tmp_path / "x.wal")
+        s1 = j.append(OP_INSERT, b"\x01" * 16)
+        s2 = j.append(OP_DELETE, struct.pack("<q", 3))
+        assert (s1, s2) == (1, 2)
+        j.close()
+        scan = scan_journal(tmp_path / "x.wal")
+        assert [r.seq for r in scan.records] == [1, 2]
+        assert scan.records[0].op == OP_INSERT
+        assert scan.records[1].payload == struct.pack("<q", 3)
+
+    def test_unknown_op_rejected(self, tmp_path):
+        j = WriteAheadJournal.create(tmp_path / "x.wal")
+        with pytest.raises(StorageError):
+            j.append(99, b"")
+
+    def test_reset_restarts_sequence_from_base(self, tmp_path):
+        j = WriteAheadJournal.create(tmp_path / "x.wal")
+        for _ in range(4):
+            j.append(OP_INSERT, b"p")
+        j.reset(4)
+        assert j.last_seq == 4
+        assert j.append(OP_INSERT, b"q") == 5
+        j.close()
+        scan = scan_journal(tmp_path / "x.wal")
+        assert scan.base_seq == 4
+        assert [r.seq for r in scan.records] == [5]
+
+    def test_torn_tail_is_dropped_and_truncated(self, tmp_path):
+        path = tmp_path / "x.wal"
+        j = WriteAheadJournal.create(path)
+        j.append(OP_INSERT, b"a" * 24)
+        j.append(OP_INSERT, b"b" * 24)
+        j.close()
+        spans = record_spans(path)
+        # Cut the last record short: a torn, never-acked append.
+        FaultInjector(path).truncate_to(spans[-1][0] + 5)
+        j2 = WriteAheadJournal(path)
+        assert j2.last_seq == 1
+        assert path.stat().st_size == spans[0][1]
+        # The journal keeps appending after the repair.
+        assert j2.append(OP_DELETE, struct.pack("<q", 0)) == 2
+        j2.close()
+        assert [r.seq for r in scan_journal(path).records] == [1, 2]
+
+    def test_corrupt_acked_record_raises(self, tmp_path):
+        path = tmp_path / "x.wal"
+        j = WriteAheadJournal.create(path)
+        j.append(OP_INSERT, b"a" * 24)
+        j.append(OP_INSERT, b"b" * 24)
+        j.close()
+        start, _stop, _seq = record_spans(path)[0]
+        FaultInjector(path).flip_bit(start + 13)  # inside the body
+        with pytest.raises(IntegrityError, match="journal"):
+            scan_journal(path)
+
+    def test_corrupt_header_raises(self, tmp_path):
+        path = tmp_path / "x.wal"
+        WriteAheadJournal.create(path)
+        FaultInjector(path).flip_bit(9)  # inside base_seq
+        with pytest.raises(IntegrityError, match="header"):
+            scan_journal(path)
+
+    def test_sequence_gap_raises(self, tmp_path):
+        path = tmp_path / "x.wal"
+        j = WriteAheadJournal.create(path)
+        j.append(OP_INSERT, b"a" * 8)
+        j.append(OP_INSERT, b"b" * 8)
+        j.close()
+        spans = record_spans(path)
+        raw = bytearray(path.read_bytes())
+        # Drop record 1 entirely: 2 follows the header -> gap.
+        del raw[spans[0][0] : spans[0][1]]
+        path.write_bytes(bytes(raw))
+        with pytest.raises(IntegrityError, match="gap"):
+            scan_journal(path)
+
+    def test_not_a_journal_raises(self, tmp_path):
+        path = tmp_path / "x.wal"
+        path.write_bytes(b"definitely not a journal")
+        with pytest.raises(IntegrityError):
+            scan_journal(path)
+
+
+class TestDurableTree:
+    def test_replay_rebuilds_acked_state(self, store, rng):
+        ids = [store.insert(rng.random(8)) for _ in range(12)]
+        store.delete(ids[2])
+        store.delete(ids[9])
+        queries = [rng.random(8) for _ in range(4)]
+        # No checkpoint: everything lives in the journal.
+        recovered = DurableTree.open(store.path)
+        assert recovered.recovered_ops == 14
+        assert_same_answers(store.tree, recovered.tree, queries)
+
+    def test_checkpoint_folds_journal(self, store, rng):
+        for _ in range(6):
+            store.insert(rng.random(8))
+        store.checkpoint()
+        assert store.journal.n_records == 0
+        recovered = DurableTree.open(store.path)
+        assert recovered.recovered_ops == 0
+        assert recovered.tree.n_points == store.tree.n_points
+
+    def test_ops_after_checkpoint_replay_only_the_tail(self, store, rng):
+        for _ in range(5):
+            store.insert(rng.random(8))
+        store.checkpoint()
+        post = [store.insert(rng.random(8)) for _ in range(3)]
+        recovered = DurableTree.open(store.path)
+        assert recovered.recovered_ops == len(post)
+        queries = [rng.random(8) for _ in range(3)]
+        assert_same_answers(store.tree, recovered.tree, queries)
+
+    def test_open_without_sidecar_starts_empty_journal(
+        self, uniform_points, small_disk, tmp_path
+    ):
+        from repro.storage.persistence import save_iqtree
+
+        tree = IQTree.build(uniform_points[:300], disk=small_disk)
+        save_iqtree(tree, tmp_path / "bare.iq")
+        store = DurableTree.open(tmp_path / "bare.iq")
+        assert store.recovered_ops == 0
+        assert wal_path(tmp_path / "bare.iq").exists()
+        assert store.insert(np.full(8, 0.5)) == tree.n_points
+
+    def test_insert_validates_dimension_before_journaling(self, store):
+        with pytest.raises(SearchError):
+            store.insert(np.zeros(3))
+        assert store.journal.n_records == 0
+
+    def test_delete_validates_id_before_journaling(self, store):
+        with pytest.raises(SearchError):
+            store.delete(10**9)
+        assert store.journal.n_records == 0
+
+
+class TestCrashMatrix:
+    """Every protocol boundary: crash, recover, compare to acked state."""
+
+    @pytest.mark.parametrize("point", CRASH_POINTS)
+    def test_crash_then_recover_equals_acked_replay(
+        self, store, rng, point
+    ):
+        acked_ids = [store.insert(rng.random(8)) for _ in range(8)]
+        store.delete(acked_ids[0])
+        acked_points = store.tree._points.copy()
+        n_acked = store.tree.n_points
+
+        store.inject_crash(point)
+        with pytest.raises(PowerLoss):
+            if point.startswith("insert"):
+                store.insert(rng.random(8))
+            elif point.startswith("delete"):
+                store.delete(acked_ids[1])
+            else:
+                store.checkpoint()
+
+        from repro.core.maintenance import locate_point
+
+        recovered = DurableTree.open(store.path)
+        if point == "insert:post-append":
+            # Acked by the journal: the insert must survive.
+            assert recovered.tree.n_points == n_acked + 1
+        elif point == "delete:post-append":
+            # Acked delete: the victim must stay gone after recovery.
+            assert locate_point(recovered.tree, acked_ids[1]) is None
+        else:
+            assert recovered.tree.n_points == n_acked
+            assert locate_point(recovered.tree, acked_ids[1]) is not None
+            recovered.tree._ensure_clean()
+            assert np.array_equal(
+                recovered.tree._points[: len(acked_points)], acked_points
+            )
+
+    @pytest.mark.parametrize("budget", [1, 3, 7, 20])
+    def test_torn_append_loses_only_the_unacked_op(
+        self, store, rng, budget
+    ):
+        for _ in range(4):
+            store.insert(rng.random(8))
+        n_acked = store.tree.n_points
+        queries = [rng.random(8) for _ in range(3)]
+        before = answers(store.tree, queries)
+        store.inject_torn_append(budget)
+        with pytest.raises(PowerLoss):
+            store.insert(rng.random(8))
+        recovered = DurableTree.open(store.path)
+        assert recovered.tree.n_points == n_acked
+        for ra, rb in zip(before, answers(recovered.tree, queries)):
+            assert np.array_equal(ra.ids, rb.ids)
+
+    @pytest.mark.parametrize("budget", [1, 64, 4096])
+    def test_torn_checkpoint_preserves_old_container(
+        self, store, rng, budget
+    ):
+        for _ in range(5):
+            store.insert(rng.random(8))
+        queries = [rng.random(8) for _ in range(3)]
+        before = answers(store.tree, queries)
+        store.inject_torn_checkpoint(budget)
+        with pytest.raises(PowerLoss):
+            store.checkpoint()
+        recovered = DurableTree.open(store.path)
+        assert recovered.recovered_ops == 5
+        for ra, rb in zip(before, answers(recovered.tree, queries)):
+            assert np.array_equal(ra.ids, rb.ids)
+            assert np.array_equal(ra.distances, rb.distances)
+
+    def test_crash_between_save_and_reset_does_not_double_apply(
+        self, store, rng
+    ):
+        """The checkpoint:post-save window: container has wal_seq, the
+        journal still holds the folded records -- replay must skip them."""
+        for _ in range(6):
+            store.insert(rng.random(8))
+        n_acked = store.tree.n_points
+        store.inject_crash("checkpoint:post-save")
+        with pytest.raises(PowerLoss):
+            store.checkpoint()
+        # Journal untouched, container already carries wal_seq=6.
+        assert store.journal.n_records == 6
+        recovered = DurableTree.open(store.path)
+        assert recovered.recovered_ops == 0
+        assert recovered.tree.n_points == n_acked
+
+    def test_recovery_is_idempotent(self, store, rng):
+        for _ in range(7):
+            store.insert(rng.random(8))
+        once = DurableTree.open(store.path)
+        twice = DurableTree.open(store.path)
+        queries = [rng.random(8) for _ in range(3)]
+        assert_same_answers(once.tree, twice.tree, queries)
+
+    def test_bit_flip_in_acked_record_is_loud(self, store, rng):
+        for _ in range(5):
+            store.insert(rng.random(8))
+        start, stop, _seq = record_spans(wal_path(store.path))[2]
+        FaultInjector(wal_path(store.path)).flip_bit(start + 16)
+        with pytest.raises(IntegrityError):
+            DurableTree.open(store.path)
+
+
+class TestContainerCompat:
+    def test_wal_seq_meta_roundtrip(self, store, rng):
+        for _ in range(3):
+            store.insert(rng.random(8))
+        store.checkpoint()
+        from repro.storage.persistence import load_iqtree
+
+        tree = load_iqtree(store.path)
+        assert tree._wal_seq == 3
+
+    def test_journal_free_container_unchanged(
+        self, uniform_points, small_disk, tmp_path
+    ):
+        """A tree that never journaled serializes without a wal_seq key
+        (byte-compatible with pre-journal containers)."""
+        from repro.storage.persistence import save_iqtree, verify_container
+
+        tree = IQTree.build(uniform_points[:300], disk=small_disk)
+        save_iqtree(tree, tmp_path / "plain.iq")
+        assert verify_container(tmp_path / "plain.iq")
+        raw = (tmp_path / "plain.iq").read_bytes()
+        assert b"wal_seq" not in raw
+
+    def test_negative_wal_seq_rejected(self, store, rng, tmp_path):
+        store.insert(rng.random(8))
+        store.checkpoint()
+        raw = store.path.read_bytes()
+        bad = raw.replace(b'"wal_seq": 1', b'"wal_seq": -1')
+        assert bad != raw
+        (tmp_path / "bad.iq").write_bytes(bad)
+        from repro.storage.persistence import load_iqtree
+
+        # The meta section is CRC'd, so the edit surfaces as integrity
+        # damage one way or the other -- never as a negative seq.
+        with pytest.raises(IntegrityError):
+            load_iqtree(tmp_path / "bad.iq")
