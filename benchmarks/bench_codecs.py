@@ -1,0 +1,242 @@
+"""Extension bench -- page codecs vs the grid-only reference layout.
+
+The same workload is indexed four times, once per codec policy
+(``grid`` reference, forced ``pq``, Elias-Fano ``ef`` directory, and
+cost-model ``auto``), and an identical query stream runs against each
+build.  Two figures per (workload, codec) cell:
+
+**Blocks transferred** -- the :class:`~repro.storage.disk.IOStats`
+ledger's ``blocks_read`` summed over the stream.  This is the paper's
+objective: quantization exists to move fewer blocks per query, and a
+codec only earns its place by lowering this number.  The expected win
+has two independent sources: PQ codebook pages encode clustered pages
+in fewer bits than the uniform grid at equal-or-tighter cell bounds
+(fewer second-level blocks *and* fewer third-level refinements), and
+the Elias-Fano directory shrinks the sequential first-level scan every
+query pays.
+
+**Wall-clock time** -- decode cost is not free (PQ adds a codebook
+gather per page), so the bench records real seconds per build to show
+the CPU price of the block savings.
+
+The workloads bracket the codec decision: ``clustered`` draws many
+Gaussian micro-clusters far smaller than a page, so one page holds
+several tight clumps and a per-page k-means codebook beats the uniform
+grid; ``uniform`` is the adversarial case where the grid is optimal and
+``auto``'s job is to *decline* PQ (picking it would transfer more).
+
+Answers must be bit-identical across every build -- codecs change the
+conservative bounds, never the refined results.
+
+Results land in ``BENCH_codecs.json`` at the repo root.  ``--smoke``
+runs the CI-sized fixture and gates the cost-model pick: ``auto`` may
+never transfer more blocks than ``grid`` on either workload.  The full
+run additionally asserts the ISSUE acceptance: >= 15% fewer blocks on
+the clustered workload under ``auto``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.tree import IQTree
+from repro.datasets import gaussian_clusters, make_workload, uniform
+
+CODECS = ("grid", "pq", "ef", "auto")
+K = 10
+
+#: ISSUE acceptance: auto must cut >= this fraction of grid's blocks
+#: on the clustered workload (full-size run only).
+CLUSTERED_SAVINGS_FLOOR = 0.15
+
+
+def make_fixtures(n_points: int, n_queries: int, dim: int) -> dict:
+    """The two workloads, as ``name -> (data, queries)``.
+
+    The clustered generator draws micro-clusters much smaller than a
+    grid cell (~125 points each at sub-cell spread), so a page holds
+    several tight clumps -- the regime where per-page codebooks encode
+    the same points in far fewer bits than the uniform grid and the
+    merge pass can coalesce neighboring pages into single blocks.
+    """
+    clustered = make_workload(
+        gaussian_clusters,
+        n=n_points,
+        n_queries=n_queries,
+        seed=7,
+        dim=dim,
+        n_clusters=max(n_points // 125, 8),
+        spread=0.0005,
+    )
+    flat = make_workload(
+        uniform, n=n_points, n_queries=n_queries, dim=dim, seed=9
+    )
+    return {"clustered": clustered, "uniform": flat}
+
+
+def run_stream(tree: IQTree, queries: np.ndarray) -> tuple[dict, list]:
+    """Serve the stream; return (figures, answers)."""
+    tree.disk.reset_stats()
+    answers = []
+    start = time.perf_counter()
+    for query in queries:
+        answers.append(tree.nearest(query, k=K))
+    wall = time.perf_counter() - start
+    stats = tree.disk.stats
+    figures = {
+        "blocks_read": int(stats.blocks_read),
+        "seeks": int(stats.seeks),
+        "simulated_s": round(float(stats.elapsed), 6),
+        "wall_s": round(wall, 4),
+        "refinements": int(sum(a.refinements for a in answers)),
+        "pages_read": int(sum(a.pages_read for a in answers)),
+    }
+    return figures, answers
+
+
+def codec_census(tree: IQTree) -> dict:
+    """How the build actually encoded the tree."""
+    pq_pages = sum(1 for opt in tree._partitions if opt.codec)
+    return {
+        "pages": int(tree.n_pages),
+        "pq_pages": int(pq_pages),
+        "directory_codec": tree.directory_codec,
+        "directory_blocks": int(tree._dir_file.n_blocks),
+    }
+
+
+def run_bench(
+    n_points: int = 32_000, n_queries: int = 48, dim: int = 16
+) -> dict:
+    fixtures = make_fixtures(n_points, n_queries, dim)
+    workloads = {}
+    for name, (data, queries) in fixtures.items():
+        cells = {}
+        baseline_answers = None
+        for codec in CODECS:
+            tree = IQTree.build(data, codec=codec)
+            figures, answers = run_stream(tree, queries)
+            figures.update(codec_census(tree))
+            cells[codec] = figures
+            if codec == "grid":
+                baseline_answers = answers
+            else:
+                # Codecs change bounds, never answers: bit-identical.
+                for want, got in zip(baseline_answers, answers):
+                    assert (want.ids == got.ids).all(), (
+                        f"{name}/{codec}: ids differ from grid baseline"
+                    )
+                    assert (want.distances == got.distances).all(), (
+                        f"{name}/{codec}: distances differ from grid"
+                    )
+        grid_blocks = cells["grid"]["blocks_read"]
+        for codec in CODECS:
+            cells[codec]["blocks_vs_grid"] = round(
+                cells[codec]["blocks_read"] / max(grid_blocks, 1), 4
+            )
+        workloads[name] = cells
+
+    out = {
+        "fixture": {
+            "n_points": n_points,
+            "n_queries": n_queries,
+            "dim": dim,
+            "k": K,
+        },
+        "workloads": workloads,
+        "clustered_auto_block_savings": round(
+            1.0 - workloads["clustered"]["auto"]["blocks_vs_grid"], 4
+        ),
+        "uniform_auto_block_savings": round(
+            1.0 - workloads["uniform"]["auto"]["blocks_vs_grid"], 4
+        ),
+    }
+    path = Path(__file__).resolve().parent.parent / "BENCH_codecs.json"
+    path.write_text(json.dumps(out, indent=2) + "\n")
+    return out
+
+
+def check_auto_never_worse(out: dict) -> None:
+    """CI gate: the cost-model pick must never transfer more blocks
+    than the grid-only reference, on either workload."""
+    for name, cells in out["workloads"].items():
+        assert (
+            cells["auto"]["blocks_read"] <= cells["grid"]["blocks_read"]
+        ), f"{name}: auto transferred more blocks than grid-only"
+
+
+@pytest.fixture(scope="module")
+def result() -> dict:
+    return run_bench()
+
+
+def test_codecs(benchmark, result):
+    benchmark.pedantic(lambda: result, rounds=1, iterations=1)
+    print()
+    print(json.dumps(result, indent=2))
+
+
+def test_auto_never_transfers_more_than_grid(result):
+    check_auto_never_worse(result)
+
+
+def test_clustered_savings_meet_acceptance(result):
+    """ISSUE acceptance: >= 15% fewer blocks transferred on the
+    clustered workload with cost-model codec selection."""
+    savings = result["clustered_auto_block_savings"]
+    assert savings >= CLUSTERED_SAVINGS_FLOOR, (
+        f"auto saved only {savings:.1%} of grid's blocks on the "
+        f"clustered workload (need >= {CLUSTERED_SAVINGS_FLOOR:.0%})"
+    )
+
+
+def test_json_artifact_written(result):
+    path = Path(__file__).resolve().parent.parent / "BENCH_codecs.json"
+    data = json.loads(path.read_text())
+    assert set(data["workloads"]) == {"clustered", "uniform"}
+    for cells in data["workloads"].values():
+        assert set(cells) == set(CODECS)
+
+
+def main() -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="Page-codec benchmark (blocks transferred vs grid)"
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI-sized run: gates auto <= grid blocks on both "
+        "workloads (the 15%% clustered-savings floor only applies to "
+        "the full run)",
+    )
+    args = parser.parse_args()
+
+    if args.smoke:
+        out = run_bench(n_points=16_000, n_queries=24, dim=16)
+    else:
+        out = run_bench()
+
+    print(json.dumps(out, indent=2))
+    check_auto_never_worse(out)
+    savings = out["clustered_auto_block_savings"]
+    if not args.smoke:
+        assert savings >= CLUSTERED_SAVINGS_FLOOR, (
+            f"clustered auto savings {savings:.1%} below the "
+            f"{CLUSTERED_SAVINGS_FLOOR:.0%} acceptance floor"
+        )
+    print(
+        f"ok: clustered auto saves {savings:.1%} of grid's blocks "
+        f"(uniform: {out['uniform_auto_block_savings']:.1%})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

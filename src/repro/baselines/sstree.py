@@ -364,7 +364,7 @@ class SSTree:
     # ------------------------------------------------------------------
     def _read_leaf(self, leaf: _Leaf) -> tuple[np.ndarray, np.ndarray]:
         payload = self._data_file.read_block(leaf.block)
-        coords, _bits, ids = serializer.decode_quantized_page(
+        coords, _bits, ids, _aux = serializer.decode_quantized_page(
             payload, self.dim
         )
         return coords, ids

@@ -49,6 +49,7 @@ def _cmd_build(args: argparse.Namespace) -> int:
         optimize=not args.no_optimize and args.bits is None,
         fixed_bits=args.bits,
         fractal_dim=None if args.uniform_model else "auto",
+        codec=args.codec,
     )
     save_iqtree(tree, args.index)
     bits, counts = np.unique(tree.page_bits, return_counts=True)
@@ -236,7 +237,7 @@ def _cmd_info(args: argparse.Namespace) -> int:
 
 
 def _cmd_fsck(args: argparse.Namespace) -> int:
-    report = verify_container(args.index)
+    report = verify_container(args.index, expect_codec=args.codec)
     print(report.summary())
     return 0 if report.ok else 1
 
@@ -680,11 +681,12 @@ def _chaos_writes(args: argparse.Namespace) -> int:
     ops = _write_ops_script(source, args.ops, args.seed)
     crash_at = len(ops) // 2
     checkpoint_every = args.checkpoint_every
+    group_commit = args.group_commit
     failed = False
     print(
         f"chaos (writes): {len(ops)} ops, crash at op {crash_at}, "
-        f"checkpoint every {checkpoint_every}, {len(queries)} probe "
-        f"queries, k={k}"
+        f"checkpoint every {checkpoint_every}, group commit "
+        f"{group_commit}, {len(queries)} probe queries, k={k}"
     )
 
     with tempfile.TemporaryDirectory() as tmp:
@@ -695,7 +697,9 @@ def _chaos_writes(args: argparse.Namespace) -> int:
             shutil.copy(args.index, path)
             # Drop any journal sidecar left by an earlier scenario.
             wal_path(path).unlink(missing_ok=True)
-            return DurableTree.open(path, fsync=False)
+            return DurableTree.open(
+                path, fsync=False, group_commit=group_commit
+            )
 
         def run_prefix(store, n, checkpoints=True):
             for i in range(n):
@@ -1018,6 +1022,14 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="use the uniform cost model instead of estimating D_F",
     )
+    build.add_argument(
+        "--codec",
+        choices=("auto", "grid", "pq", "ef"),
+        default="grid",
+        help="second-level page codec policy: grid (reference layout), "
+        "pq (per-page k-means codebooks), ef (Elias-Fano compressed "
+        "directory), or auto (cost-model pick per page + directory)",
+    )
     build.set_defaults(func=_cmd_build)
 
     query = sub.add_parser("query", help="run nearest-neighbor queries")
@@ -1113,6 +1125,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="verify a container's integrity section by section",
     )
     fsck.add_argument("index")
+    fsck.add_argument(
+        "--codec",
+        choices=("auto", "grid", "pq", "ef"),
+        default=None,
+        help="also assert the container's declared codec policy "
+        "matches this build-time choice",
+    )
     fsck.set_defaults(func=_cmd_fsck)
 
     validate = sub.add_parser(
@@ -1334,6 +1353,13 @@ def _build_parser() -> argparse.ArgumentParser:
         type=int,
         default=10,
         help="checkpoint cadence in the write script (only with --writes)",
+    )
+    chaos.add_argument(
+        "--group-commit",
+        type=int,
+        default=1,
+        help="WAL group-commit window: acknowledge writes only at every "
+        "Nth fsync batch (only with --writes; 1 = fsync per append)",
     )
     chaos.add_argument(
         "--backend",

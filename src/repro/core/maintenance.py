@@ -40,7 +40,11 @@ import numpy as np
 
 from repro.exceptions import BuildError, SearchError
 from repro.core.build import bulk_load_partitions
-from repro.core.optimizer import OptimizedPartition, optimize_partitions
+from repro.core.optimizer import (
+    OptimizedPartition,
+    choose_codecs,
+    optimize_partitions,
+)
 from repro.core.partition import Partition
 from repro.core.split import split_partition
 from repro.core.tree import IQTree, canonicalize
@@ -412,11 +416,27 @@ class MaintenanceManager:
                 block_size,
                 page_offset=len(tree._partitions) - 1,
             )
+            # Re-encodes respect the tree-wide codec policy: the sweep
+            # re-runs codec selection on the fresh grid solution, so a
+            # "pq"/"auto" tree keeps (or regains) its PQ pages and a
+            # "grid" tree never grows one.
+            solution = choose_codecs(
+                tree._points,
+                solution,
+                model,
+                block_size,
+                mode=tree.codec_mode,
+            )
             if len(solution) == 1 and (
                 solution[0].partition is old.partition
             ):
                 new = solution[0]
-                if new.bits == old.bits:
+                if (
+                    new.bits == old.bits
+                    and new.codec == old.codec
+                    and new.pq_bits == old.pq_bits
+                    and new.pq_sub == old.pq_sub
+                ):
                     self._clean.add(old)
                     continue
                 quarantined = (
@@ -450,18 +470,28 @@ class MaintenanceManager:
         return SweepReport(tuple(sorted(dirty)), requantized, restructured)
 
     def _replace_page(self, page: int, new: OptimizedPartition) -> None:
-        """In-place bits-only swap of one quantized page."""
+        """In-place swap of one quantized page (same extent address)."""
+        from repro.quantization.codecs import CODEC_PQ
         from repro.quantization.grid import GridQuantizer
         from repro.storage import serializer
 
         tree = self.tree
         part = new.partition
-        quantizer = GridQuantizer(part.mbr, new.bits)
-        payload = serializer.encode_quantized_page(
-            quantizer.encode(part.points(tree._points)),
-            new.bits,
-            tree.disk.model.block_size,
-        )
+        pts = part.points(tree._points)
+        if new.codec == CODEC_PQ:
+            payload = serializer.encode_pq_page(
+                pts,
+                new.pq_bits,
+                new.pq_sub,
+                tree.disk.model.block_size,
+            )
+        else:
+            quantizer = GridQuantizer(part.mbr, new.bits)
+            payload = serializer.encode_quantized_page(
+                quantizer.encode(pts),
+                new.bits,
+                tree.disk.model.block_size,
+            )
         # CachedBlockFile.replace_block drops the pool resident; the
         # CRC sidecar catches any decoded-page cache entry, but evict
         # it eagerly rather than on the next (failed) validation.

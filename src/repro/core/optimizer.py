@@ -44,10 +44,44 @@ __all__ = ["OptimizedPartition", "OptimizationTrace", "optimize_partitions"]
 
 @dataclass(frozen=True)
 class OptimizedPartition:
-    """A partition of the chosen solution with its quantization level."""
+    """A partition of the chosen solution with its quantization level.
+
+    ``codec`` selects the second-level page representation
+    (:data:`~repro.quantization.codecs.CODEC_GRID` or
+    :data:`~repro.quantization.codecs.CODEC_PQ`); for PQ pages,
+    ``pq_bits``/``pq_sub`` are the code width and subspace count of the
+    per-page codebook and ``eff_bits`` the grid-equivalent resolution
+    the cost model uses in place of ``bits``.  The defaults describe a
+    plain grid page, so positional two-argument construction keeps its
+    pre-codec meaning.
+    """
 
     partition: Partition
     bits: int
+    codec: int = 0
+    pq_bits: int = 0
+    pq_sub: int = 0
+    eff_bits: float = 0.0
+
+
+def stats_for(opt: "OptimizedPartition"):
+    """Codec-aware :class:`~repro.costmodel.model.PartitionStats`.
+
+    Grid pages report their stored ``bits``; PQ pages report the fitted
+    codebook's grid-equivalent ``eff_bits``, so every cost consumer
+    (optimizer selection, ``estimated_query_cost``, the drift monitor)
+    attributes per-codec refinement cost instead of assuming grid.
+    """
+    from repro.costmodel.model import PartitionStats
+
+    bits = opt.bits
+    if opt.codec != 0 and opt.eff_bits:
+        bits = opt.eff_bits
+    return PartitionStats(
+        m=opt.partition.size,
+        side_lengths=tuple(opt.partition.mbr.extents.tolist()),
+        bits=bits,
+    )
 
 
 @dataclass
@@ -237,3 +271,178 @@ def fixed_bits_partitions(
 
 
 __all__.append("fixed_bits_partitions")
+
+
+def pq_candidate_configs(dim: int) -> list[tuple[int, int]]:
+    """Candidate ``(n_sub, pq_bits)`` PQ configurations for ``dim`` data.
+
+    Deliberately small: one scalar-codebook config per interesting code
+    width (``S = d`` -- an independent non-uniform grid per dimension)
+    plus one paired-dimension config that can capture correlation.
+    """
+    configs = [(dim, 2), (dim, 3), (dim, 4), (dim, 6)]
+    if dim >= 2:
+        configs.append(((dim + 1) // 2, 8))
+    return configs
+
+
+def _best_pq_for(
+    data: np.ndarray,
+    opt: OptimizedPartition,
+    cost_model: CostModel,
+    block_size: int,
+) -> tuple["OptimizedPartition | None", float]:
+    """Cheapest fitting PQ encoding of ``opt``'s partition (or None)."""
+    from dataclasses import replace
+
+    from repro.quantization.codecs import (
+        CODEC_PQ,
+        effective_bits,
+        fit_pq,
+        pq_page_fits,
+        PQView,
+    )
+
+    part = opt.partition
+    m = part.size
+    dim = part.mbr.dim
+    points = part.points(data)
+    best: OptimizedPartition | None = None
+    best_cost = np.inf
+    for n_sub, pq_bits in pq_candidate_configs(dim):
+        if not pq_page_fits(m, dim, n_sub, pq_bits, block_size):
+            continue
+        codes, lo32, hi32 = fit_pq(points, n_sub, pq_bits)
+        view = PQView(
+            lo32.astype(np.float64),
+            hi32.astype(np.float64),
+            n_sub,
+            dim,
+        )
+        eff = effective_bits(part.mbr.extents, codes, view)
+        candidate = replace(
+            opt,
+            codec=CODEC_PQ,
+            pq_bits=pq_bits,
+            pq_sub=n_sub,
+            eff_bits=eff,
+        )
+        cost = cost_model.refinement_cost(stats_for(candidate))
+        if cost < best_cost:
+            best, best_cost = candidate, cost
+    return best, best_cost
+
+
+def _merge_pass(
+    data: np.ndarray,
+    chosen: list[OptimizedPartition],
+    cost_model: CostModel,
+    block_size: int,
+) -> list[OptimizedPartition]:
+    """Coalesce adjacent pages into single PQ pages while cheaper.
+
+    This is where compression buys the paper's objective directly:
+    narrower codes let the points of two neighboring pages fit one
+    block, so every surviving page removes a directory row and a
+    potential seek.  Lemma 1 splits the objective exactly as the
+    optimizer does -- first- and second-level costs depend only on the
+    page count -- so a merge is accepted iff
+    ``total(n-1, refine - r_i - r_j + r_merged) < total(n, refine)``.
+    Passes repeat (merged pages can merge again) until a fixed point.
+
+    The split trajectory is left alone: the optimizer already explored
+    every *grid* coarsening when it rolled back to the best step, so
+    only PQ-coded merges can still pay.
+    """
+    improved = True
+    while improved:
+        improved = False
+        refine = [
+            cost_model.refinement_cost(stats_for(o)) for o in chosen
+        ]
+        refine_sum = float(sum(refine))
+        n = len(chosen)
+        out: list[OptimizedPartition] = []
+        i = 0
+        while i < len(chosen):
+            if i + 1 < len(chosen):
+                left, right = chosen[i], chosen[i + 1]
+                indices = np.concatenate(
+                    (left.partition.indices, right.partition.indices)
+                )
+                merged_part = Partition.of(data, indices)
+                merged_opt = OptimizedPartition(merged_part, 1)
+                best, r_merged = _best_pq_for(
+                    data, merged_opt, cost_model, block_size
+                )
+                if best is not None:
+                    old_total = cost_model.total_from_aggregates(
+                        n, refine_sum
+                    )
+                    new_sum = (
+                        refine_sum - refine[i] - refine[i + 1] + r_merged
+                    )
+                    new_total = cost_model.total_from_aggregates(
+                        n - 1, new_sum
+                    )
+                    if new_total < old_total:
+                        out.append(best)
+                        refine_sum = new_sum
+                        n -= 1
+                        i += 2
+                        improved = True
+                        continue
+            out.append(chosen[i])
+            i += 1
+        chosen = out
+    return chosen
+
+
+def choose_codecs(
+    data: np.ndarray,
+    solution: list[OptimizedPartition],
+    cost_model: CostModel,
+    block_size: int,
+    *,
+    mode: str = "grid",
+    allow_merge: bool = False,
+) -> list[OptimizedPartition]:
+    """Codec selection as a post-pass over the grid solution.
+
+    Two stages.  First, page by page, a per-page PQ codebook replaces
+    the grid where it wins at the paper's expected-cost objective --
+    the eq. 2-5 access probabilities are shared (same MBR, same m), so
+    comparing expected refinement costs at ``eff_bits`` vs the grid
+    ``bits`` is exact.  Second (``allow_merge``, bulk builds only),
+    adjacent pages whose points fit a single PQ-coded block are
+    coalesced while the model's total cost decreases -- compression
+    turned into *fewer pages*, hence fewer transferred blocks.
+    Maintenance sweeps keep ``allow_merge=False``: a sweep re-encodes
+    pages in place and must preserve the page structure.
+
+    ``mode`` is the tree-wide policy: ``"grid"`` returns the solution
+    unchanged (byte-identical trees), ``"pq"`` forces the best-fitting
+    PQ config wherever one fits, ``"auto"`` picks PQ only where the
+    model says it is strictly cheaper (ties keep grid).
+    """
+    if mode == "grid":
+        return list(solution)
+    if mode not in ("pq", "auto"):
+        raise BuildError(f"unknown codec mode {mode!r}")
+    chosen: list[OptimizedPartition] = []
+    for opt in solution:
+        if opt.bits >= EXACT_BITS or opt.partition.size < 2:
+            chosen.append(opt)
+            continue
+        grid_cost = cost_model.refinement_cost(stats_for(opt))
+        best, best_cost = _best_pq_for(data, opt, cost_model, block_size)
+        if best is None or (mode == "auto" and best_cost >= grid_cost):
+            chosen.append(opt)
+        else:
+            chosen.append(best)
+    if allow_merge:
+        chosen = _merge_pass(data, chosen, cost_model, block_size)
+    return chosen
+
+
+__all__.extend(["choose_codecs", "pq_candidate_configs", "stats_for"])

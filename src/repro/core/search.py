@@ -507,7 +507,7 @@ def _range_impl(tree: IQTree, query: np.ndarray, radius: float) -> RangeResult:
             id_runs.append(handle.ids[inside].astype(np.int64, copy=False))
             dist_runs.append(dists[inside].astype(np.float64, copy=False))
             continue
-        quantizer = tree._quantizer_for(page)
+        quantizer = tree._codec_view(page, handle)
         lower_b = quantizer.cell_mindist(query, handle.codes, metric)
         upper_b = None
         page_ids: list[int] = []
@@ -639,7 +639,7 @@ def _browse_impl(tree: IQTree, query: np.ndarray):
                     heap, (float(true), next(tie), result_kind, int(pid), 0)
                 )
             continue
-        quantizer = tree._quantizer_for(page)
+        quantizer = tree._codec_view(page, handle)
         lower_b = quantizer.cell_mindist(query, handle.codes, metric)
         for local_idx, lb in enumerate(lower_b):
             heapq.heappush(
@@ -658,7 +658,7 @@ def _process_page(tree, query, handle: PageHandle, best, heap, tie) -> None:
         dists = metric.distances(query, handle.points)
         best.offer_many(dists, handle.ids)
         return
-    quantizer = tree._quantizer_for(handle.index)
+    quantizer = tree._codec_view(handle.index, handle)
     lower_b = quantizer.cell_mindist(query, handle.codes, metric)
     bound = best.bound()
     for local in np.flatnonzero(lower_b <= bound):
@@ -831,7 +831,7 @@ def _refine_degraded(
         if fault_address(exc) is None:
             raise
         handle = handles_by_page[page]
-        quantizer = tree._quantizer_for(page)
+        quantizer = tree._codec_view(page, handle)
         code = handle.codes[local : local + 1]
         lo = float(quantizer.cell_mindist(query, code, metric)[0])
         hi = float(quantizer.cell_maxdist(query, code, metric)[0])

@@ -25,8 +25,10 @@ from repro.core.build import bulk_load_partitions
 from repro.core.optimizer import (
     OptimizedPartition,
     OptimizationTrace,
+    choose_codecs,
     optimize_partitions,
     fixed_bits_partitions,
+    stats_for,
 )
 from repro.costmodel.fractal import correlation_dimension
 from repro.costmodel.model import CostModel
@@ -34,6 +36,7 @@ from repro.geometry.mbr import MBR
 from repro.geometry.metrics import get_metric
 from repro.obs.instruments import PAGES_DECODED, REFINEMENTS, REGISTRY
 from repro.quantization.capacity import EXACT_BITS
+from repro.quantization.codecs import CODEC_PQ
 from repro.quantization.grid import GridQuantizer
 from repro.storage.blockfile import BlockFile
 from repro.storage.disk import SimulatedDisk
@@ -56,6 +59,8 @@ class PageHandle:
     codes: np.ndarray | None  # uint32 cell codes when bits < 32
     points: np.ndarray | None  # exact coords when bits = 32
     ids: np.ndarray | None  # inline ids when bits = 32
+    codec: int = 0  # page codec id (0 = grid, 1 = per-page PQ)
+    aux: object | None = None  # codec side data (PQView for PQ pages)
 
 
 class IQTree:
@@ -76,6 +81,8 @@ class IQTree:
         cost_model: CostModel,
         trace: OptimizationTrace | None,
         charge_directory: bool,
+        codec_mode: str = "grid",
+        directory_codec: str = "dense",
     ):
         self._points = points
         self._partitions = list(solution)
@@ -84,6 +91,12 @@ class IQTree:
         self.cost_model = cost_model
         self.trace = trace
         self.charge_directory = charge_directory
+        #: tree-wide codec policy maintenance sweeps re-apply when they
+        #: re-quantize pages ("grid", "pq", or "auto").
+        self.codec_mode = codec_mode
+        #: first-level layout: "dense" fixed-width rows or "ef"
+        #: Elias-Fano reference columns ("auto" resolves at layout).
+        self.directory_codec = directory_codec
         self._dirty = True
         self._id_to_partition: dict[int, int] = {}
         self._pool = None
@@ -125,6 +138,7 @@ class IQTree:
         charge_directory: bool = True,
         layout: str = "spatial",
         layout_seed: int = 0,
+        codec: str = "grid",
     ) -> "IQTree":
         """Bulk-load an IQ-tree.
 
@@ -162,9 +176,26 @@ class IQTree:
             ablation that isolates the layout's contribution).
         layout_seed:
             Seed of the ``"random"`` layout's shuffle.
+        codec:
+            Second-level/codec policy.  ``"grid"`` (default) is the
+            paper's format, byte-identical to pre-codec containers.
+            ``"pq"`` forces per-page PQ codebooks wherever one fits,
+            ``"ef"`` keeps grid pages but stores the directory with
+            Elias-Fano reference columns, and ``"auto"`` lets the cost
+            model pick PQ per page where it is strictly cheaper and
+            picks whichever directory layout needs fewer blocks.
         """
         disk = disk or SimulatedDisk()
         metric = get_metric(metric)
+        codec_policies = {
+            "grid": ("grid", "dense"),
+            "pq": ("pq", "dense"),
+            "ef": ("grid", "ef"),
+            "auto": ("auto", "auto"),
+        }
+        if codec not in codec_policies:
+            raise BuildError(f"unknown codec {codec!r}")
+        codec_mode, directory_codec = codec_policies[codec]
         points = canonicalize(data)
         if points.ndim != 2 or points.shape[0] == 0:
             raise BuildError("build needs a non-empty (n, d) array")
@@ -206,6 +237,14 @@ class IQTree:
             solution = [solution[i] for i in rng.permutation(len(solution))]
         elif layout != "spatial":
             raise BuildError(f"unknown layout: {layout!r}")
+        solution = choose_codecs(
+            points,
+            solution,
+            cost_model,
+            block_size,
+            mode=codec_mode,
+            allow_merge=True,
+        )
         return cls(
             points,
             solution,
@@ -214,6 +253,8 @@ class IQTree:
             cost_model,
             trace,
             charge_directory,
+            codec_mode=codec_mode,
+            directory_codec=directory_codec,
         )
 
     # ------------------------------------------------------------------
@@ -259,11 +300,16 @@ class IQTree:
                 )
                 quant_file.append_block(payload)
             else:
-                quantizer = GridQuantizer(part.mbr, g)
-                codes = quantizer.encode(pts)
-                payload = serializer.encode_quantized_page(
-                    codes, g, block_size
-                )
+                if opt.codec == CODEC_PQ:
+                    payload = serializer.encode_pq_page(
+                        pts, opt.pq_bits, opt.pq_sub, block_size
+                    )
+                else:
+                    quantizer = GridQuantizer(part.mbr, g)
+                    codes = quantizer.encode(pts)
+                    payload = serializer.encode_quantized_page(
+                        codes, g, block_size
+                    )
                 quant_file.append_block(payload)
                 record = serializer.encode_exact_record(pts, ids)
                 first, nblocks = exact_file.append_record(record)
@@ -271,7 +317,7 @@ class IQTree:
                 exact_counts[j] = nblocks
 
         dir_file = BlockFile(self.disk, "directory")
-        dir_blocks = serializer.encode_directory(
+        dir_args = (
             lowers,
             uppers,
             np.arange(n_parts),
@@ -280,6 +326,20 @@ class IQTree:
             counts,
             block_size,
         )
+        dir_mode = self.directory_codec
+        dense_blocks = ef_blocks = None
+        if dir_mode != "ef":
+            dense_blocks = serializer.encode_directory(*dir_args)
+        if dir_mode in ("ef", "auto"):
+            from repro.quantization.eliasfano import encode_ef_directory
+
+            ef_blocks = encode_ef_directory(*dir_args)
+        if dir_mode == "auto":
+            # Resolve once and persist the winner: "auto" must never
+            # cost more first-level blocks than the dense layout.
+            dir_mode = "ef" if len(ef_blocks) < len(dense_blocks) else "dense"
+        self.directory_codec = dir_mode
+        dir_blocks = ef_blocks if dir_mode == "ef" else dense_blocks
         for payload in dir_blocks:
             dir_file.append_block(payload)
 
@@ -299,11 +359,15 @@ class IQTree:
         self._quant_file = quant_file
         self._exact_file = exact_file
         # Directory arrays mirror the float32 on-disk representation.
-        decoded = serializer.decode_directory(
-            [dir_file.peek_block(i) for i in range(dir_file.n_blocks)],
-            dim,
-            n_parts,
-        )
+        raw_blocks = [
+            dir_file.peek_block(i) for i in range(dir_file.n_blocks)
+        ]
+        if dir_mode == "ef":
+            from repro.quantization.eliasfano import decode_ef_directory
+
+            decoded = decode_ef_directory(raw_blocks, dim, n_parts)
+        else:
+            decoded = serializer.decode_directory(raw_blocks, dim, n_parts)
         self._lowers = decoded["lowers"]
         self._uppers = decoded["uppers"]
         self._counts = decoded["point_counts"]
@@ -517,15 +581,8 @@ class IQTree:
         expected first-level, second-level, and refinement time per
         nearest-neighbor query -- the quantity the optimizer minimized.
         """
-        from repro.costmodel.model import PartitionStats
-
         return self.cost_model.breakdown(
-            PartitionStats(
-                m=opt.partition.size,
-                side_lengths=tuple(opt.partition.mbr.extents.tolist()),
-                bits=opt.bits,
-            )
-            for opt in self._partitions
+            stats_for(opt) for opt in self._partitions
         )
 
     # ------------------------------------------------------------------
@@ -714,13 +771,17 @@ class IQTree:
             self._dir_file.read_run(0, self._dir_file.n_blocks)
 
     def _decode_page_payload(self, page: int, payload: bytes) -> PageHandle:
-        contents, g, ids = serializer.decode_quantized_page(
+        contents, g, ids, aux = serializer.decode_quantized_page(
             payload, self.dim
         )
         if REGISTRY.enabled:
             PAGES_DECODED.inc(bits=g)
         if g >= EXACT_BITS:
             handle = PageHandle(page, g, None, contents, ids)
+        elif aux is not None:
+            handle = PageHandle(
+                page, g, contents, None, None, codec=CODEC_PQ, aux=aux
+            )
         else:
             handle = PageHandle(page, g, contents, None, None)
         if self._decoded_cache is not None:
@@ -767,6 +828,17 @@ class IQTree:
             MBR(self._lowers[page], self._uppers[page]),
             int(self._bits[page]),
         )
+
+    def _codec_view(self, page: int, handle: PageHandle):
+        """Cell-bounds provider for one decoded page.
+
+        PQ pages carry their codebook view in ``handle.aux``; grid
+        pages reconstruct the quantizer from the directory MBR.  Both
+        expose ``cell_bounds`` / ``cell_mindist`` / ``cell_maxdist``.
+        """
+        if handle.aux is not None:
+            return handle.aux
+        return self._quantizer_for(page)
 
     def __repr__(self) -> str:
         return (

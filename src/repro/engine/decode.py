@@ -142,8 +142,8 @@ class PageDecodeCache:
         """
         if page not in self._bounds:
             handle = self._handles[page]
-            quantizer = self._tree._quantizer_for(page)
-            bounds = quantizer.cell_bounds(handle.codes)
+            view = self._tree._codec_view(page, handle)
+            bounds = view.cell_bounds(handle.codes)
             self._bounds[page] = bounds
             if self._shared is not None:
                 self._shared.set_bounds(page, bounds)
@@ -184,16 +184,24 @@ class PageDecodeCache:
         dim = self._tree.dim
         grouped: dict[int, list[tuple[int, bytes, int]]] = defaultdict(list)
         for page, payload in payloads.items():
-            m, bits = serializer.QUANT_PAGE_HEADER.unpack_from(payload)
-            if bits >= EXACT_BITS:
-                # Exact pages carry coords + ids; decode individually
-                # (a plain frombuffer, nothing to batch).
-                contents, g, ids = serializer.decode_quantized_page(
+            m, bits, codec = serializer.QUANT_PAGE_HEADER.unpack_from(
+                payload
+            )
+            if bits >= EXACT_BITS or codec != 0:
+                # Exact pages carry coords + ids and PQ pages carry a
+                # per-page codebook; both decode individually (a plain
+                # frombuffer / codebook gather, nothing to batch).
+                contents, g, ids, aux = serializer.decode_quantized_page(
                     payload, dim
                 )
-                self._handles[page] = PageHandle(
-                    page, g, None, contents, ids
-                )
+                if aux is not None:
+                    self._handles[page] = PageHandle(
+                        page, g, contents, None, None, codec=codec, aux=aux
+                    )
+                else:
+                    self._handles[page] = PageHandle(
+                        page, g, None, contents, ids
+                    )
                 if REGISTRY.enabled:
                     PAGES_DECODED.inc(bits=g)
             else:

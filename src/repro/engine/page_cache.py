@@ -63,6 +63,9 @@ def _entry_bytes(handle, bounds) -> int:
     for arr in (handle.codes, handle.points, handle.ids):
         if arr is not None:
             total += arr.nbytes
+    aux = getattr(handle, "aux", None)
+    if aux is not None:
+        total += aux.nbytes
     if bounds is not None:
         total += bounds[0].nbytes + bounds[1].nbytes
     return total

@@ -310,6 +310,8 @@ class ShardRouter:
                 tree.cost_model,
                 None,
                 tree.charge_directory,
+                codec_mode=tree.codec_mode,
+                directory_codec=tree.directory_codec,
             )
             engine = QueryEngine(
                 shard_tree,

@@ -171,7 +171,8 @@ class DriftMonitor:
             return cached
         # Local imports: obs must stay importable from the storage
         # layer without pulling the cost model in at module-import time.
-        from repro.costmodel.model import CostModel, PartitionStats
+        from repro.core.optimizer import stats_for
+        from repro.costmodel.model import CostModel
         from repro.costmodel.pages import expected_page_accesses
 
         model = tree.cost_model
@@ -194,15 +195,11 @@ class DriftMonitor:
             metric=model.metric,
             k=int(k),
         )
+        # stats_for attributes per-codec refinement cost: PQ pages
+        # report their codebook's grid-equivalent resolution, not the
+        # grid bits, so mixed-codec trees do not show spurious drift.
         breakdown = model.breakdown(
-            PartitionStats(
-                m=opt.partition.size,
-                side_lengths=tuple(
-                    opt.partition.mbr.extents.tolist()
-                ),
-                bits=opt.bits,
-            )
-            for opt in tree._partitions
+            stats_for(opt) for opt in tree._partitions
         )
         prediction = (float(pages), float(breakdown.total))
         self._predictions[key] = prediction

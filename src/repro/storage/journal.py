@@ -292,6 +292,9 @@ class WriteAheadJournal:
         self._records = list(scan.records)
         self._size = scan.valid_bytes
         self._handle = None
+        #: bytes appended (flushed) but not yet fsync'd -- the group
+        #: commit window; :meth:`sync` drains it with one fsync.
+        self._dirty = False
 
     @classmethod
     def create(cls, path, *, base_seq: int = 0, fsync: bool = True):
@@ -323,14 +326,21 @@ class WriteAheadJournal:
     # ------------------------------------------------------------------
     # Mutation
     # ------------------------------------------------------------------
-    def append(self, op: int, payload: bytes, *, _writer=None) -> int:
-        """Durably append one operation; returns its sequence number.
+    def append(
+        self, op: int, payload: bytes, *, sync: bool | None = None,
+        _writer=None,
+    ) -> int:
+        """Append one operation; returns its sequence number.
 
-        The record only counts as *acknowledged* once this method
-        returns: the bytes are written in one call and fsync'd (when
-        enabled) before the sequence number is handed back.  ``_writer``
-        is the torn-write fault hook -- it receives ``(handle, record)``
-        and may write a prefix and raise
+        With ``sync`` omitted (or True) the record is fsync'd (when
+        enabled) before the sequence number is handed back -- the
+        record counts as *acknowledged* when this method returns.  With
+        ``sync=False`` the bytes are written and flushed but the fsync
+        is deferred to a later :meth:`sync` -- the group-commit path:
+        the record is torn-write-safe against a process crash but only
+        acknowledged once the group fsync lands.  ``_writer`` is the
+        torn-write fault hook -- it receives ``(handle, record)`` and
+        may write a prefix and raise
         :class:`~repro.storage.faults.PowerLoss`, after which this
         journal object must be abandoned (reopen from disk to recover).
         """
@@ -344,8 +354,10 @@ class WriteAheadJournal:
         else:
             _writer(handle, record)
         handle.flush()
-        if self.fsync:
+        self._dirty = True
+        if (sync is None or sync) and self.fsync:
             os.fsync(handle.fileno())
+            self._dirty = False
             if REGISTRY.enabled:
                 WAL_FSYNCS.inc()
         self._records.append(
@@ -357,6 +369,20 @@ class WriteAheadJournal:
             WAL_APPENDED_BYTES.inc(len(record))
             WAL_SIZE.set(self._size)
         return seq
+
+    def sync(self) -> None:
+        """Fsync any deferred appends in one call (the group commit).
+
+        No-op when nothing was appended since the last fsync, so it is
+        safe to call at every ack boundary.
+        """
+        if not self._dirty:
+            return
+        if self.fsync and self._handle is not None:
+            os.fsync(self._handle.fileno())
+            if REGISTRY.enabled:
+                WAL_FSYNCS.inc()
+        self._dirty = False
 
     def reset(self, base_seq: int) -> None:
         """Atomically replace the journal with an empty one.
@@ -372,6 +398,7 @@ class WriteAheadJournal:
         self.base_seq = base_seq
         self._records = []
         self._size = len(blob)
+        self._dirty = False
         if REGISTRY.enabled:
             WAL_SIZE.set(self._size)
 
@@ -399,11 +426,26 @@ class DurableTree:
     exactly the acknowledged operations.
     """
 
-    def __init__(self, tree, path, journal: WriteAheadJournal, *, fsync=True):
+    def __init__(
+        self, tree, path, journal: WriteAheadJournal, *, fsync=True,
+        group_commit: int = 1,
+    ):
         self.tree = tree
         self.path = Path(path)
         self.journal = journal
         self.fsync = fsync
+        if int(group_commit) < 1:
+            raise StorageError("group_commit must be >= 1")
+        #: appends per fsync.  1 (default) fsyncs every append -- the
+        #: original protocol.  G > 1 coalesces up to G appends into one
+        #: group fsync; an operation is only *acknowledged* once its
+        #: group's fsync lands (at the G-th append, a checkpoint, an
+        #: explicit :meth:`sync`, or :meth:`close`).  Crash recovery
+        #: still restores a prefix of the appended operations
+        #: bit-identically -- only unacknowledged tail records can be
+        #: lost.
+        self.group_commit = int(group_commit)
+        self._pending = 0
         #: records re-applied by :meth:`open` (0 for a clean start)
         self.recovered_ops = 0
         self._crash_points: set[str] = set()
@@ -414,7 +456,9 @@ class DurableTree:
     # Lifecycle
     # ------------------------------------------------------------------
     @classmethod
-    def create(cls, tree, path, *, fsync: bool = True) -> "DurableTree":
+    def create(
+        cls, tree, path, *, fsync: bool = True, group_commit: int = 1
+    ) -> "DurableTree":
         """Persist ``tree`` and open an empty journal next to it."""
         from repro.storage.persistence import save_iqtree
 
@@ -422,10 +466,14 @@ class DurableTree:
         journal = WriteAheadJournal.create(
             wal_path(path), base_seq=tree._wal_seq, fsync=fsync
         )
-        return cls(tree, path, journal, fsync=fsync)
+        return cls(
+            tree, path, journal, fsync=fsync, group_commit=group_commit
+        )
 
     @classmethod
-    def open(cls, path, *, disk=None, fsync: bool = True) -> "DurableTree":
+    def open(
+        cls, path, *, disk=None, fsync: bool = True, group_commit: int = 1
+    ) -> "DurableTree":
         """Load the container and replay the journal tail.
 
         Records with ``seq <= wal_seq`` (already folded into the
@@ -440,9 +488,14 @@ class DurableTree:
             journal = WriteAheadJournal.create(
                 jpath, base_seq=tree._wal_seq, fsync=fsync
             )
-            return cls(tree, path, journal, fsync=fsync)
+            return cls(
+                tree, path, journal, fsync=fsync,
+                group_commit=group_commit,
+            )
         journal = WriteAheadJournal(jpath, fsync=fsync)
-        store = cls(tree, path, journal, fsync=fsync)
+        store = cls(
+            tree, path, journal, fsync=fsync, group_commit=group_commit
+        )
         replayed = 0
         for rec in journal.records():
             if rec.seq <= tree._wal_seq:
@@ -455,7 +508,20 @@ class DurableTree:
         return store
 
     def close(self) -> None:
+        self.sync()
         self.journal.close()
+
+    def sync(self) -> None:
+        """Fsync the current group; acknowledges every pending append."""
+        self.journal.sync()
+        self._pending = 0
+
+    def _count_group_append(self) -> None:
+        if self.group_commit <= 1:
+            return
+        self._pending += 1
+        if self._pending >= self.group_commit:
+            self.sync()
 
     def _apply(self, rec: JournalRecord) -> None:
         if rec.op == OP_INSERT:
@@ -487,9 +553,11 @@ class DurableTree:
         payload = np.ascontiguousarray(point, dtype="<f8").tobytes()
         self._hook("insert:pre-append")
         self.journal.append(
-            OP_INSERT, payload, _writer=self._take_torn_append()
+            OP_INSERT, payload, sync=self.group_commit <= 1,
+            _writer=self._take_torn_append(),
         )
         self._hook("insert:post-append")
+        self._count_group_append()
         return self.tree.insert(point)
 
     def delete(self, point_id: int) -> None:
@@ -502,9 +570,11 @@ class DurableTree:
         payload = struct.pack("<q", point_id)
         self._hook("delete:pre-append")
         self.journal.append(
-            OP_DELETE, payload, _writer=self._take_torn_append()
+            OP_DELETE, payload, sync=self.group_commit <= 1,
+            _writer=self._take_torn_append(),
         )
         self._hook("delete:post-append")
+        self._count_group_append()
         self.tree.delete(point_id)
 
     def checkpoint(self) -> None:
@@ -516,6 +586,10 @@ class DurableTree:
         to the same acknowledged state (replay filters on ``wal_seq``).
         """
         previous = self.tree._wal_seq
+        # Drain the group first: a checkpoint acknowledges everything
+        # appended so far, so its records must be durable before the
+        # journal is reset from under them.
+        self.sync()
         try:
             self._hook("checkpoint:pre-save")
             self.tree._wal_seq = self.journal.last_seq

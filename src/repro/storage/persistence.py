@@ -139,6 +139,22 @@ def serialize_iqtree(tree: IQTree) -> bytes:
     # verify=True.
     if tree._wal_seq:
         meta["wal_seq"] = int(tree._wal_seq)
+    # Codec keys follow the same only-when-nonzero convention: a pure
+    # grid tree with a dense directory writes none of them, so
+    # pre-codec containers re-serialize byte-identically.
+    codecs = [
+        [int(opt.codec), int(opt.pq_bits), int(opt.pq_sub),
+         float(opt.eff_bits)]
+        if opt.codec
+        else 0
+        for opt in tree._partitions
+    ]
+    if any(codecs):
+        meta["codecs"] = codecs
+    if tree.directory_codec == "ef":
+        meta["directory_codec"] = "ef"
+    if tree.codec_mode != "grid":
+        meta["codec_mode"] = tree.codec_mode
     meta_bytes = json.dumps(meta).encode("utf-8")
     index_bytes = _encode_index_section(tree)
     payload = np.ascontiguousarray(tree.points, dtype="<f8").tobytes()
@@ -401,8 +417,25 @@ def _load_v2(raw: bytes, path, disk: SimulatedDisk | None) -> IQTree:
         np.frombuffer(payload, dtype="<f8").reshape(n, dim).copy()
     )
 
+    codec_mode = meta.get("codec_mode", "grid")
+    directory_codec = meta.get("directory_codec", "dense")
+    if codec_mode not in ("grid", "pq", "auto"):
+        raise IntegrityError(
+            f"{path}: malformed meta section: bad codec_mode "
+            f"{codec_mode!r}",
+            section="meta",
+        )
+    if directory_codec not in ("dense", "ef"):
+        raise IntegrityError(
+            f"{path}: malformed meta section: bad directory_codec "
+            f"{directory_codec!r}",
+            section="meta",
+        )
+
     index_bytes = _checked_section(raw, spans, "index", index_crc, path)
     solution = _decode_index_section(index_bytes, n_parts, n, dim, points, path)
+    if "codecs" in meta:
+        solution = _apply_codecs(solution, meta["codecs"], dim, path)
 
     disk = disk or SimulatedDisk(saved_model)
     if disk.model.block_size != saved_model.block_size:
@@ -426,6 +459,8 @@ def _load_v2(raw: bytes, path, disk: SimulatedDisk | None) -> IQTree:
         cost_model,
         trace=None,
         charge_directory=bool(meta["charge_directory"]),
+        codec_mode=codec_mode,
+        directory_codec=directory_codec,
     )
     wal_seq = meta.get("wal_seq", 0)
     if not isinstance(wal_seq, int) or wal_seq < 0:
@@ -500,6 +535,50 @@ def _decode_index_section(
     return solution
 
 
+def _apply_codecs(
+    solution: list[OptimizedPartition], codecs, dim: int, path
+) -> list[OptimizedPartition]:
+    """Attach the meta section's per-page codec tags to the solution."""
+    from dataclasses import replace
+
+    from repro.quantization.codecs import CODEC_PQ
+
+    def bad(reason: str) -> IntegrityError:
+        return IntegrityError(
+            f"{path}: malformed meta section: {reason}", section="meta"
+        )
+
+    if not isinstance(codecs, list) or len(codecs) != len(solution):
+        raise bad("codecs list length disagrees with partition count")
+    out: list[OptimizedPartition] = []
+    for j, (opt, entry) in enumerate(zip(solution, codecs)):
+        if entry == 0:
+            out.append(opt)
+            continue
+        if (
+            not isinstance(entry, list)
+            or len(entry) != 4
+            or entry[0] != CODEC_PQ
+            or not isinstance(entry[1], int)
+            or not 1 <= entry[1] <= 16
+            or not isinstance(entry[2], int)
+            or not 1 <= entry[2] <= dim
+            or not isinstance(entry[3], (int, float))
+            or not 1.0 <= float(entry[3]) < 32.0
+        ):
+            raise bad(f"bad codec entry for page {j}: {entry!r}")
+        out.append(
+            replace(
+                opt,
+                codec=CODEC_PQ,
+                pq_bits=int(entry[1]),
+                pq_sub=int(entry[2]),
+                eff_bits=float(entry[3]),
+            )
+        )
+    return out
+
+
 # ----------------------------------------------------------------------
 # fsck
 # ----------------------------------------------------------------------
@@ -536,24 +615,56 @@ class FsckReport:
         return "\n".join(lines)
 
 
-def verify_container(path) -> FsckReport:
+def verify_container(path, expect_codec: str | None = None) -> FsckReport:
     """Verify a container file section by section without loading it.
 
     Unlike :func:`load_iqtree`, which stops at the first problem, this
     checks every section independently and reports all of them -- the
     engine behind ``python -m repro fsck``.
+
+    ``expect_codec`` (one of ``grid``/``pq``/``ef``/``auto``) adds a
+    ``codec`` section asserting the container's declared codec policy
+    matches the one the index was supposedly built with, using the same
+    mapping as ``IQTree.build(codec=...)``.
     """
-    report = _verify_container(path)
+    report = _verify_container(path, expect_codec)
     if REGISTRY.enabled:
         outcome = "ok" if report.ok else "corrupt"
         CONTAINER_OPS.inc(op="fsck", outcome=outcome)
     return report
 
 
-def _verify_container(path) -> FsckReport:
+def _codec_expectation_status(
+    codec_mode: str, directory_codec: str, expect: str
+) -> SectionStatus:
+    """One fsck line comparing declared codec meta with an expectation.
+
+    Mirrors the ``IQTree.build`` codec-policy mapping: ``grid`` means
+    grid pages over a dense directory, ``pq`` / ``auto`` name the page
+    codec mode, and ``ef`` names the directory encoding (its pages stay
+    grid).
+    """
+    matched = {
+        "grid": codec_mode == "grid" and directory_codec == "dense",
+        "pq": codec_mode == "pq",
+        "ef": directory_codec == "ef",
+        "auto": codec_mode == "auto",
+    }.get(expect)
+    if matched is None:
+        return SectionStatus(
+            "codec", False, f"unknown expectation {expect!r}"
+        )
+    detail = (
+        f"pages={codec_mode} directory={directory_codec} "
+        f"(expected {expect})"
+    )
+    return SectionStatus("codec", matched, detail)
+
+
+def _verify_container(path, expect_codec: str | None = None) -> FsckReport:
     raw = Path(path).read_bytes()
     if raw[: len(MAGIC_V1)] == MAGIC_V1:
-        return _fsck_v1(raw, path)
+        return _fsck_v1(raw, path, expect_codec)
     sections: list[SectionStatus] = []
     report = FsckReport(str(path), 2, sections)
     if raw[: len(MAGIC_V2)] != MAGIC_V2:
@@ -598,12 +709,34 @@ def _verify_container(path) -> FsckReport:
                 if s.name == section:
                     s.ok = False
                     s.detail = f"parse failed: {exc}"
+    if expect_codec is not None:
+        meta_ok = any(s.name == "meta" and s.ok for s in sections)
+        if meta_ok:
+            meta = json.loads(raw[slice(*spans["meta"])])
+            sections.append(
+                _codec_expectation_status(
+                    meta.get("codec_mode", "grid"),
+                    meta.get("directory_codec", "dense"),
+                    expect_codec,
+                )
+            )
+        else:
+            sections.append(
+                SectionStatus("codec", False, "unverifiable: bad meta")
+            )
     return report
 
 
-def _fsck_v1(raw: bytes, path) -> FsckReport:
+def _fsck_v1(
+    raw: bytes, path, expect_codec: str | None = None
+) -> FsckReport:
     sections: list[SectionStatus] = []
     report = FsckReport(str(path), 1, sections)
+    if expect_codec is not None:
+        # Legacy v1 predates codec tags entirely: grid-everything.
+        sections.append(
+            _codec_expectation_status("grid", "dense", expect_codec)
+        )
     note = "legacy v1: no checksum"
     offset = len(MAGIC_V1)
     if len(raw) < offset + 8:

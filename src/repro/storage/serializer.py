@@ -34,6 +34,7 @@ __all__ = [
     "directory_entry_size",
     "exact_point_record_size",
     "encode_quantized_page",
+    "encode_pq_page",
     "decode_quantized_page",
     "encode_exact_record",
     "decode_exact_record",
@@ -41,8 +42,11 @@ __all__ = [
     "exact_points_per_block",
 ]
 
-#: header of a quantized data page: u32 point count, u8 bits, 3 pad bytes
-QUANT_PAGE_HEADER = struct.Struct("<IBxxx")
+#: header of a quantized data page: u32 point count, u8 bits, u8 codec
+#: id, 2 pad bytes.  The codec byte occupies a former pad byte that was
+#: always written as zero, so grid pages (codec 0) are byte-identical to
+#: the pre-codec format and legacy containers decode unchanged.
+QUANT_PAGE_HEADER = struct.Struct("<IBBxx")
 
 #: per-directory-entry overhead besides the MBR floats:
 #: u32 quantized page id, u32 exact first block, u32 exact block count,
@@ -118,7 +122,7 @@ def encode_quantized_page(
         raise PageOverflowError(
             f"{m} points at {bits} bits/dim exceed a {block_size}-byte page"
         )
-    header = QUANT_PAGE_HEADER.pack(m, bits)
+    header = QUANT_PAGE_HEADER.pack(m, bits, 0)
     if bits == 32:
         if ids is None:
             raise StorageError("32-bit pages must store point ids")
@@ -138,19 +142,58 @@ def encode_quantized_page(
     return payload
 
 
+def encode_pq_page(
+    points: np.ndarray, bits: int, n_sub: int, block_size: int
+) -> bytes:
+    """Serialize a PQ-codec data page (codec id 1).
+
+    ``points`` are the page's exact coordinates; the per-page codebook
+    is fitted deterministically by :func:`repro.quantization.codecs.fit_pq`,
+    so re-encoding the same points always reproduces the same bytes.
+    """
+    from repro.quantization.codecs import CODEC_PQ, encode_pq_body
+
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2:
+        raise StorageError("page contents must be a (m, d) array")
+    m, _d = points.shape
+    if not 1 <= bits <= 16:
+        raise StorageError("PQ bits per code must be in [1, 16]")
+    payload = QUANT_PAGE_HEADER.pack(m, bits, CODEC_PQ) + encode_pq_body(
+        points, n_sub, bits
+    )
+    if len(payload) > block_size:
+        raise PageOverflowError(
+            f"serialized PQ page is {len(payload)} bytes > {block_size}"
+        )
+    return payload
+
+
 def decode_quantized_page(
     payload: bytes, dim: int
-) -> tuple[np.ndarray, int, np.ndarray | None]:
-    """Inverse of :func:`encode_quantized_page`.
+) -> tuple[np.ndarray, int, np.ndarray | None, object | None]:
+    """Inverse of :func:`encode_quantized_page` / :func:`encode_pq_page`.
 
-    Returns ``(contents, bits, ids)``: for ``bits < 32`` the contents are
-    uint32 cell codes and ``ids`` is ``None``; for ``bits = 32`` the
-    contents are float64 coordinates and ``ids`` the stored point ids.
+    Returns ``(contents, bits, ids, aux)``: for grid pages with
+    ``bits < 32`` the contents are uint32 cell codes and ``ids`` /
+    ``aux`` are ``None``; for ``bits = 32`` the contents are float64
+    coordinates and ``ids`` the stored point ids; for PQ pages the
+    contents are the ``(m, S)`` cluster selectors and ``aux`` is the
+    page's :class:`~repro.quantization.codecs.PQView`.
     """
     if len(payload) < QUANT_PAGE_HEADER.size:
         raise StorageError("payload shorter than the page header")
-    m, bits = QUANT_PAGE_HEADER.unpack_from(payload)
+    m, bits, codec = QUANT_PAGE_HEADER.unpack_from(payload)
     body = payload[QUANT_PAGE_HEADER.size :]
+    from repro.quantization.codecs import CODEC_GRID, CODEC_PQ
+
+    if codec == CODEC_PQ:
+        from repro.quantization.codecs import decode_pq_body
+
+        codes, view = decode_pq_body(body, m, bits, dim)
+        return codes, bits, None, view
+    if codec != CODEC_GRID:
+        raise StorageError(f"unknown page codec id {codec}")
     if bits == 32:
         coord_bytes = m * dim * 4
         need = coord_bytes + m * 4
@@ -160,9 +203,9 @@ def decode_quantized_page(
         ids = np.frombuffer(
             body[coord_bytes:], dtype="<u4", count=m
         ).astype(np.int64)
-        return coords.reshape(m, dim).astype(np.float64), bits, ids
+        return coords.reshape(m, dim).astype(np.float64), bits, ids, None
     codes = unpack_codes(body, bits, m, dim)
-    return codes, bits, None
+    return codes, bits, None, None
 
 
 def encode_exact_record(points: np.ndarray, ids: np.ndarray) -> bytes:

@@ -53,7 +53,7 @@ class TestQuantizedPageRoundTrip:
         codes = rng.integers(0, 2**bits, size=(m, d), dtype=np.uint64)
         codes = codes.astype(np.uint32)
         payload = encode_quantized_page(codes, bits, 8192)
-        got, got_bits, ids = decode_quantized_page(payload, d)
+        got, got_bits, ids, aux = decode_quantized_page(payload, d)
         assert got_bits == bits
         assert ids is None
         assert np.array_equal(got, codes)
@@ -63,7 +63,7 @@ class TestQuantizedPageRoundTrip:
         points = rng.random((m, d)).astype(np.float32).astype(np.float64)
         ids = rng.integers(0, 10**6, size=m)
         payload = encode_quantized_page(points, 32, 8192, ids=ids)
-        got, bits, got_ids = decode_quantized_page(payload, d)
+        got, bits, got_ids, aux = decode_quantized_page(payload, d)
         assert bits == 32
         assert np.array_equal(got, points)
         assert np.array_equal(got_ids, ids)
@@ -88,7 +88,7 @@ class TestQuantizedPageRoundTrip:
         codes = np.full((cap, 16), 3, dtype=np.uint32)
         payload = encode_quantized_page(codes, 2, 8192)
         assert len(payload) <= 8192
-        got, _, _ = decode_quantized_page(payload, 16)
+        got, _, _, _ = decode_quantized_page(payload, 16)
         assert np.array_equal(got, codes)
 
     def test_empty_payload_rejected(self):
